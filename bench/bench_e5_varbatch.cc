@@ -1,0 +1,82 @@
+// E5 — Theorem 3 + Section 5.3: VarBatch solves the general problem
+// [Delta | 1 | D_l | 1], including arbitrary (non-power-of-two) delay
+// bounds.
+//
+// Unbatched Poisson workloads (nothing aligned to delay-bound multiples)
+// are run through the full pipeline (VarBatch -> Distribute -> dLRU-EDF)
+// with n = 8m, for both power-of-two and arbitrary delay bounds, across
+// load levels.  The bench reports cost against the offline bracket; the
+// theorem predicts a constant ratio throughout.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/ratio.h"
+#include "sim/sweep.h"
+#include "workload/poisson.h"
+
+int main() {
+  using namespace rrs;
+  bench::banner("E5 (Theorem 3 + 5.3)",
+                "VarBatch pipeline on unbatched arrivals, pow2 and "
+                "arbitrary delay bounds");
+
+  const int m = 1;
+  const int n = 8 * m;
+  TextTable table({"delays", "rate", "jobs", "LB(m)", "UB(m)", "varbatch",
+                   "drops", "ratio<=", "ratio>="});
+  CsvWriter csv({"delays", "rate", "jobs", "lb", "ub", "cost", "drops",
+                 "ratio_lb", "ratio_ub"});
+
+  std::vector<std::function<std::vector<std::string>()>> cells;
+  for (const bool arbitrary : {false, true}) {
+    for (const double rate : {0.05, 0.15, 0.4}) {
+      cells.emplace_back([arbitrary, rate, m, n] {
+        PoissonParams params;
+        params.seed = 13;
+        params.delta = 8;
+        params.num_colors = 12;
+        params.horizon = 2048;
+        params.mean_rate = rate;
+        params.arbitrary_delays = arbitrary;
+        if (arbitrary) {
+          params.min_delay = 3;
+          params.max_delay = 150;
+        }
+        const Instance inst = make_poisson(params);
+        const RatioReport report = measure_ratio(inst, "varbatch", n, m);
+        return std::vector<std::string>{
+            arbitrary ? "arbitrary" : "pow2",
+            fmt_double(rate, 2),
+            std::to_string(inst.jobs().size()),
+            std::to_string(report.lower_bound),
+            std::to_string(report.heuristic_ub),
+            std::to_string(report.online.cost.total()),
+            std::to_string(report.online.cost.drops),
+            fmt_ratio(report.ratio_vs_lb),
+            fmt_ratio(report.ratio_vs_ub),
+        };
+      });
+    }
+  }
+
+  double worst_ratio_vs_ub = 0.0;
+  for (const auto& row : run_sweep(cells)) {
+    table.add_row(row);
+    csv.add_row({row[0], row[1], row[2], row[3], row[4], row[5], row[6],
+                 row[7].substr(1), row[8].substr(1)});
+    worst_ratio_vs_ub =
+        std::max(worst_ratio_vs_ub, std::stod(row[8].substr(1)));
+  }
+  table.print(std::cout);
+  bench::maybe_write_csv(csv, "e5_varbatch");
+
+  std::cout << "\npaper: VarBatch is resource competitive for the general "
+               "problem; Section 5.3 extends to arbitrary delay bounds.\n"
+               "(ratio>= uses the greedy offline UB — a pessimistic "
+               "denominator, so even it must stay constant.)\n";
+  return bench::verdict(worst_ratio_vs_ub < 12.0,
+                        "pipeline ratio bounded on pow2 AND arbitrary "
+                        "delay bounds")
+             ? 0
+             : 1;
+}

@@ -1,0 +1,105 @@
+// E9 — engineering: simulator throughput (google-benchmark).
+//
+// Not a paper claim; measures the substrate so users can size experiments:
+// engine rounds/second and jobs/second for dLRU-EDF across color counts
+// and resource counts, generator and validator throughput, and the exact
+// offline DP's cost on a tiny instance (to document its scaling wall).
+#include <benchmark/benchmark.h>
+
+#include "algs/registry.h"
+#include "core/validator.h"
+#include "offline/optimal.h"
+#include "sim/runner.h"
+#include "workload/random_batched.h"
+
+namespace {
+
+using namespace rrs;
+
+Instance bench_instance(int colors, Round horizon,
+                        std::uint64_t seed = 99) {
+  RandomBatchedParams params;
+  params.seed = seed;
+  params.delta = 8;
+  params.num_colors = colors;
+  params.min_scale = 2;
+  params.max_scale = 6;
+  params.horizon = horizon;
+  return make_random_batched(params);
+}
+
+void BM_DLruEdfEngine(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const Instance inst = bench_instance(colors, 4096);
+  for (auto _ : state) {
+    auto policy = make_policy("dlru-edf");
+    EngineOptions options;
+    options.num_resources = n;
+    options.replication = 2;
+    options.record_schedule = false;
+    benchmark::DoNotOptimize(run_policy(inst, *policy, options));
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(inst.horizon()), benchmark::Counter::kIsRate);
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(inst.jobs().size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DLruEdfEngine)
+    ->Args({8, 8})
+    ->Args({32, 8})
+    ->Args({128, 8})
+    ->Args({32, 4})
+    ->Args({32, 16})
+    ->Args({32, 64});
+
+void BM_VarBatchPipeline(benchmark::State& state) {
+  const Instance inst = bench_instance(static_cast<int>(state.range(0)),
+                                       2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_algorithm(inst, "varbatch", 8));
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(inst.jobs().size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VarBatchPipeline)->Arg(8)->Arg(32);
+
+void BM_Generator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench_instance(32, static_cast<Round>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Generator)->Arg(1024)->Arg(8192);
+
+void BM_Validator(benchmark::State& state) {
+  const Instance inst = bench_instance(32, 2048);
+  Schedule schedule;
+  (void)run_algorithm(inst, "dlru-edf", 8, &schedule);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate(inst, schedule));
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(schedule.execs.size() + schedule.reconfigs.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Validator);
+
+void BM_ExactOfflineDp(benchmark::State& state) {
+  RandomBatchedParams params;
+  params.seed = 1;
+  params.delta = 2;
+  params.num_colors = static_cast<int>(state.range(0));
+  params.min_scale = 1;
+  params.max_scale = 3;
+  params.horizon = 16;
+  const Instance inst = make_random_batched(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_offline_cost(inst, 1));
+  }
+}
+BENCHMARK(BM_ExactOfflineDp)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+#include "algs/adaptive.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+AdaptiveSplitPolicy::AdaptiveSplitPolicy(Options options)
+    : DLruEdfPolicy(options.initial_fraction), options_(options) {
+  RRS_REQUIRE(options_.window >= 1, "adaptation window must be >= 1");
+  RRS_REQUIRE(options_.min_fraction >= 0.0 &&
+                  options_.min_fraction <= options_.max_fraction &&
+                  options_.max_fraction < 1.0,
+              "need 0 <= min_fraction <= max_fraction < 1");
+}
+
+void AdaptiveSplitPolicy::begin(const Instance& instance, int num_resources,
+                                int speed) {
+  DLruEdfPolicy::begin(instance, num_resources, speed);
+  delta_ = instance.delta();
+  window_drop_cost_ = 0;
+  window_reconfig_cost_ = 0;
+  window_end_ = options_.window;
+  adaptations_ = 0;
+}
+
+void AdaptiveSplitPolicy::on_drop_phase(Round k,
+                                        const PendingJobs::DropResult& dropped,
+                                        const EngineView& view) {
+  DLruEdfPolicy::on_drop_phase(k, dropped, view);
+  window_drop_cost_ += dropped.total;
+
+  if (k >= window_end_) {
+    // Thrashing pressure -> pin more (grow the LRU share); drop pressure
+    // -> utilize more (grow the EDF share).  Ties leave the split alone.
+    double fraction = lru_fraction();
+    if (window_reconfig_cost_ > window_drop_cost_) {
+      fraction += options_.step;
+    } else if (window_drop_cost_ > window_reconfig_cost_) {
+      fraction -= options_.step;
+    }
+    fraction = std::clamp(fraction, options_.min_fraction,
+                          options_.max_fraction);
+    if (fraction != lru_fraction()) {
+      set_lru_fraction(fraction);
+      ++adaptations_;
+    }
+    window_drop_cost_ = 0;
+    window_reconfig_cost_ = 0;
+    window_end_ = k + options_.window;
+  }
+}
+
+void AdaptiveSplitPolicy::reconfigure(Round k, int mini,
+                                      const EngineView& view,
+                                      CacheAssignment& cache) {
+  // Count this phase's insertions (each costs replication * Delta) by
+  // diffing the logical cached set around the base reconfiguration.
+  before_ = cache.cached_colors();
+  std::sort(before_.begin(), before_.end());
+  DLruEdfPolicy::reconfigure(k, mini, view, cache);
+  for (const ColorId c : cache.cached_colors()) {
+    if (!std::binary_search(before_.begin(), before_.end(), c)) {
+      window_reconfig_cost_ += Cost{cache.replication()} * delta_;
+    }
+  }
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+AdaptiveSplitPolicy::stats() const {
+  auto stats = DLruEdfPolicy::stats();
+  stats.emplace_back("adaptations", adaptations_);
+  stats.emplace_back("final_lru_percent",
+                     static_cast<std::int64_t>(lru_fraction() * 100.0));
+  return stats;
+}
+
+}  // namespace rrs

@@ -1,0 +1,52 @@
+// Algorithm Distribute (Section 4.1): batched -> rate-limited reduction.
+//
+// Given an instance of [Delta | 1 | D_l | D_l] (batched arrivals, possibly
+// more than D_l color-l jobs per batch), Distribute splits each color l
+// into virtual colors (l, 0), (l, 1), ...: the jobs of color l in request i
+// are ranked in arrival order and job rank r is recolored to
+// (l, floor(r / D_l)).  The resulting instance is rate-limited (at most D_l
+// jobs per virtual color per batch), is solved by dLRU-EDF, and the
+// schedule is mapped back by erasing the virtual-color distinction.
+// Mapping back never increases cost (Lemma 4.2): executions are 1:1, and
+// reconfigurations between sibling virtual colors of one real color vanish.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+
+/// The instance transformation of Distribute.
+struct DistributeTransform {
+  Instance rate_limited;  ///< I': the rate-limited virtual-color instance
+  /// Virtual color -> real color.  Job ids are shared between I and I'
+  /// (job j of I' is job j of I, recolored).
+  std::vector<ColorId> virtual_to_real;
+};
+
+/// Builds the rate-limited instance I' from a batched instance I.
+/// Requires instance.is_batched().
+[[nodiscard]] DistributeTransform distribute_transform(
+    const Instance& instance);
+
+/// Maps a schedule for I' back to a schedule for I (step three of
+/// Distribute).  Reconfigurations that keep the real color of a resource
+/// unchanged are elided, so the mapped cost never exceeds the virtual cost.
+[[nodiscard]] Schedule distribute_map_back(
+    const DistributeTransform& transform, const Schedule& virtual_schedule);
+
+/// End-to-end online algorithm Distribute: transform, run dLRU-EDF with
+/// `n` resources on I', map back.  Returns the mapped schedule's engine
+/// result (cost recomputed for the mapped schedule).
+struct DistributeResult {
+  EngineResult virtual_run;  ///< dLRU-EDF on I' (schedule recorded)
+  Schedule schedule;         ///< mapped back onto I
+  CostBreakdown cost;        ///< cost of `schedule` on I
+};
+[[nodiscard]] DistributeResult run_distribute(const Instance& instance,
+                                              int n);
+
+}  // namespace rrs

@@ -1,0 +1,58 @@
+#include "algs/dlru.h"
+
+#include <algorithm>
+
+#include "algs/ranked_cache.h"
+#include "util/check.h"
+
+namespace rrs {
+
+void DLruPolicy::begin(const Instance& instance, int num_resources,
+                       int speed) {
+  (void)num_resources;
+  (void)speed;
+  tracker_.begin(instance);
+}
+
+void DLruPolicy::on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
+                               const EngineView& view) {
+  tracker_.drop_phase(k, dropped, view.cache());
+}
+
+void DLruPolicy::on_arrival_phase(Round k, std::span<const Job> arrivals,
+                                  const EngineView& view) {
+  (void)view;
+  tracker_.arrival_phase(k, arrivals);
+}
+
+void DLruPolicy::reconfigure(Round k, int mini, const EngineView& view,
+                             CacheAssignment& cache) {
+  (void)mini;
+  (void)view;
+  // Invariant: the cache holds exactly the top min(n/2, |eligible|)
+  // eligible colors by timestamp recency.
+  scratch_ = tracker_.eligible_colors();
+  lru_sort(scratch_, tracker_, k);
+  const auto capacity = static_cast<std::size_t>(cache.max_distinct());
+  if (scratch_.size() > capacity) scratch_.resize(capacity);
+
+  // Evict cached colors outside the target set, then insert the rest.
+  std::vector<ColorId> to_evict;
+  for (const ColorId c : cache.cached_colors()) {
+    if (std::find(scratch_.begin(), scratch_.end(), c) == scratch_.end()) {
+      to_evict.push_back(c);
+    }
+  }
+  for (const ColorId c : to_evict) cache.erase(c);
+  for (const ColorId c : scratch_) {
+    if (!cache.contains(c)) cache.insert(c);
+  }
+}
+
+std::vector<std::pair<std::string, std::int64_t>> DLruPolicy::stats() const {
+  return {{"epochs", tracker_.num_epochs()},
+          {"eligible_drops", tracker_.eligible_drops()},
+          {"ineligible_drops", tracker_.ineligible_drops()}};
+}
+
+}  // namespace rrs

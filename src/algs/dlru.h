@@ -1,0 +1,38 @@
+// Algorithm dLRU (Section 3.1.1): pure recency-based reconfiguration.
+//
+// Keeps the (up to) n/2 eligible colors with the most recent counter-wrap
+// timestamps cached, each replicated in two locations, regardless of
+// whether they have pending jobs.  The paper proves (Appendix A) that this
+// is NOT resource competitive: it happily caches idle recently-used colors
+// while a backlog of long-delay jobs drops.  Implemented both as a paper
+// artifact and as the LRU half reused by dLRU-EDF.
+#pragma once
+
+#include "core/color_state.h"
+#include "core/policy.h"
+
+namespace rrs {
+
+/// The dLRU reconfiguration scheme.  Run with EngineOptions{.replication=2}.
+class DLruPolicy : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dlru"; }
+
+  void begin(const Instance& instance, int num_resources,
+             int speed) override;
+  void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
+                     const EngineView& view) override;
+  void on_arrival_phase(Round k, std::span<const Job> arrivals,
+                        const EngineView& view) override;
+  void reconfigure(Round k, int mini, const EngineView& view,
+                   CacheAssignment& cache) override;
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
+      const override;
+
+ private:
+  EligibilityTracker tracker_;
+  std::vector<ColorId> scratch_;
+};
+
+}  // namespace rrs

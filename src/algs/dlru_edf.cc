@@ -1,0 +1,115 @@
+#include "algs/dlru_edf.h"
+
+#include <algorithm>
+
+#include "algs/ranked_cache.h"
+#include "util/check.h"
+
+namespace rrs {
+
+void DLruEdfPolicy::begin(const Instance& instance, int num_resources,
+                          int speed) {
+  (void)speed;
+  RRS_REQUIRE(lru_fraction_ >= 0.0 && lru_fraction_ < 1.0,
+              "lru_fraction must be in [0, 1), got " << lru_fraction_);
+  RRS_REQUIRE(num_resources % 4 == 0,
+              "dLRU-EDF needs n divisible by 4 (n/4 LRU colors + n/4 EDF "
+              "colors, each in 2 locations); got n="
+                  << num_resources);
+  tracker_.begin(instance);
+  const auto colors = static_cast<std::size_t>(instance.num_colors());
+  is_lru_.ensure_size(colors);
+  is_protected_.ensure_size(colors);
+  rank_pos_.ensure_size(colors);
+}
+
+void DLruEdfPolicy::on_drop_phase(Round k,
+                                  const PendingJobs::DropResult& dropped,
+                                  const EngineView& view) {
+  tracker_.drop_phase(k, dropped, view.cache());
+}
+
+void DLruEdfPolicy::on_arrival_phase(Round k, std::span<const Job> arrivals,
+                                     const EngineView& view) {
+  (void)view;
+  tracker_.arrival_phase(k, arrivals);
+}
+
+void DLruEdfPolicy::evict_worst_non_lru(CacheAssignment& cache) {
+  ColorId victim = kBlack;
+  std::int32_t worst = -1;
+  for (const ColorId c : cache.cached_colors()) {
+    if (is_lru_.contains(c) || is_protected_.contains(c)) continue;
+    // Every cached non-LRU color is eligible and therefore ranked.
+    RRS_CHECK_MSG(rank_pos_.contains(c),
+                  "cached non-LRU color " << c << " missing from ranking");
+    const std::int32_t pos = rank_pos_.at(c);
+    if (pos > worst) {
+      worst = pos;
+      victim = c;
+    }
+  }
+  RRS_CHECK_MSG(victim != kBlack, "no evictable non-LRU color");
+  cache.erase(victim);
+}
+
+void DLruEdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
+                                CacheAssignment& cache) {
+  (void)mini;
+  const auto max_distinct = static_cast<std::size_t>(cache.max_distinct());
+  // The paper's split is half/half; lru_fraction generalizes it, clamped
+  // so the non-LRU pool is never empty (evictions need a victim).
+  const auto lru_cap = std::min(
+      max_distinct - 1,
+      static_cast<std::size_t>(lru_fraction_ *
+                               static_cast<double>(max_distinct)));
+  const std::size_t edf_cap = max_distinct - lru_cap;
+
+  // --- LRU half: the top lru_cap eligible colors by timestamp recency. ---
+  lru_target_ = tracker_.eligible_colors();
+  lru_sort(lru_target_, tracker_, k);
+  if (lru_target_.size() > lru_cap) lru_target_.resize(lru_cap);
+  is_lru_.clear();
+  for (const ColorId c : lru_target_) is_lru_.set(c, 1);
+
+  // --- EDF half: rank the eligible non-LRU colors. ---
+  edf_ranked_.clear();
+  for (const ColorId c : tracker_.eligible_colors()) {
+    if (!is_lru_.contains(c)) edf_ranked_.push_back(c);
+  }
+  edf_sort(edf_ranked_, view.instance(), tracker_, view.pending());
+  rank_pos_.clear();
+  for (std::size_t i = 0; i < edf_ranked_.size(); ++i) {
+    rank_pos_.set(edf_ranked_[i], static_cast<std::int32_t>(i));
+  }
+
+  is_protected_.clear();
+
+  // Bring LRU-target colors in (eviction takes the worst non-LRU color;
+  // one always exists because the LRU target holds at most half the
+  // capacity).
+  for (const ColorId c : lru_target_) {
+    if (cache.contains(c)) continue;
+    if (cache.full()) evict_worst_non_lru(cache);
+    cache.insert(c);
+  }
+
+  // X = nonidle non-LRU colors in the top edf_cap EDF ranks not cached.
+  const auto top = std::min(edf_ranked_.size(), edf_cap);
+  for (std::size_t i = 0; i < top; ++i) {
+    const ColorId color = edf_ranked_[i];
+    if (view.pending().idle(color) || cache.contains(color)) continue;
+    if (cache.full()) evict_worst_non_lru(cache);
+    cache.insert(color);
+    is_protected_.set(color, 1);
+  }
+}
+
+std::vector<std::pair<std::string, std::int64_t>> DLruEdfPolicy::stats()
+    const {
+  return {{"epochs", tracker_.num_epochs()},
+          {"eligible_drops", tracker_.eligible_drops()},
+          {"ineligible_drops", tracker_.ineligible_drops()}};
+}
+
+}  // namespace rrs

@@ -1,0 +1,76 @@
+#include "algs/edf.h"
+
+#include <algorithm>
+
+#include "algs/ranked_cache.h"
+#include "util/check.h"
+
+namespace rrs {
+
+void EdfPolicy::begin(const Instance& instance, int num_resources,
+                      int speed) {
+  (void)num_resources;
+  (void)speed;
+  tracker_.begin(instance);
+  rank_pos_.ensure_size(static_cast<std::size_t>(instance.num_colors()));
+}
+
+void EdfPolicy::on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
+                              const EngineView& view) {
+  tracker_.drop_phase(k, dropped, view.cache());
+}
+
+void EdfPolicy::on_arrival_phase(Round k, std::span<const Job> arrivals,
+                                 const EngineView& view) {
+  (void)view;
+  tracker_.arrival_phase(k, arrivals);
+}
+
+void EdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
+                            CacheAssignment& cache) {
+  (void)k;
+  (void)mini;
+  ranked_ = tracker_.eligible_colors();
+  edf_sort(ranked_, view.instance(), tracker_, view.pending());
+
+  rank_pos_.clear();
+  for (std::size_t i = 0; i < ranked_.size(); ++i) {
+    rank_pos_.set(ranked_[i], static_cast<std::int32_t>(i));
+  }
+
+  // Cache every nonidle color among the top max_distinct() ranks; when
+  // full, evict the cached color with the worst rank.  Cached colors are
+  // always eligible (a color only becomes ineligible while uncached), so
+  // every cached color has a rank.
+  const auto top = std::min(ranked_.size(),
+                            static_cast<std::size_t>(cache.max_distinct()));
+  for (std::size_t i = 0; i < top; ++i) {
+    const ColorId color = ranked_[i];
+    if (view.pending().idle(color) || cache.contains(color)) continue;
+    if (cache.full()) {
+      ColorId victim = kBlack;
+      std::int32_t worst = -1;
+      for (const ColorId c : cache.cached_colors()) {
+        RRS_CHECK_MSG(rank_pos_.contains(c),
+                      "cached color " << c << " missing from EDF ranking");
+        const std::int32_t pos = rank_pos_.at(c);
+        if (pos > worst) {
+          worst = pos;
+          victim = c;
+        }
+      }
+      RRS_CHECK_MSG(worst > static_cast<std::int32_t>(i),
+                    "EDF would evict a better-ranked color than it inserts");
+      cache.erase(victim);
+    }
+    cache.insert(color);
+  }
+}
+
+std::vector<std::pair<std::string, std::int64_t>> EdfPolicy::stats() const {
+  return {{"epochs", tracker_.num_epochs()},
+          {"eligible_drops", tracker_.eligible_drops()},
+          {"ineligible_drops", tracker_.ineligible_drops()}};
+}
+
+}  // namespace rrs

@@ -1,0 +1,47 @@
+// Algorithm EDF (Section 3.1.2): pure deadline-based reconfiguration.
+//
+// Ranks eligible colors (nonidle first, then earliest color deadline,
+// breaking ties by delay bound and then a consistent color order) and
+// caches every nonidle color among the top max_distinct() ranks, evicting
+// the worst-ranked cached color when full.  The paper proves (Appendix B)
+// that this is NOT resource competitive: alternating idleness of a
+// short-delay color makes EDF thrash long-delay colors in and out.
+//
+// The same policy doubles as Seq-EDF (Section 3.3) when run with
+// replication 1 — Seq-EDF "is defined the same as EDF except that [it] uses
+// all the cache capacity to cache distinct colors" — and as DS-Seq-EDF with
+// speed 2.
+#pragma once
+
+#include "core/color_state.h"
+#include "core/policy.h"
+#include "util/stamped_map.h"
+
+namespace rrs {
+
+/// The EDF reconfiguration scheme.  Run with EngineOptions{.replication=2}
+/// for the paper's EDF, {.replication=1} for Seq-EDF, and additionally
+/// {.speed=2} for DS-Seq-EDF.
+class EdfPolicy : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "edf"; }
+
+  void begin(const Instance& instance, int num_resources,
+             int speed) override;
+  void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
+                     const EngineView& view) override;
+  void on_arrival_phase(Round k, std::span<const Job> arrivals,
+                        const EngineView& view) override;
+  void reconfigure(Round k, int mini, const EngineView& view,
+                   CacheAssignment& cache) override;
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
+      const override;
+
+ private:
+  EligibilityTracker tracker_;
+  std::vector<ColorId> ranked_;
+  StampedMap<std::int32_t> rank_pos_;
+};
+
+}  // namespace rrs

@@ -1,0 +1,62 @@
+#include "algs/par_edf.h"
+
+#include <set>
+#include <tuple>
+
+#include "core/pending.h"
+#include "util/check.h"
+
+namespace rrs {
+
+ParEdfResult run_par_edf(const Instance& instance, int m) {
+  RRS_REQUIRE(m >= 1, "Par-EDF needs m >= 1");
+  PendingJobs pending;
+  pending.reset(instance.num_colors());
+
+  // Colors with pending jobs, keyed by the rank of their best (front) job:
+  // (deadline, delay bound, color).  The overall best-ranked pending job is
+  // always the front job of the first color here.
+  using Key = std::tuple<Round, Round, ColorId>;
+  std::set<Key> active;
+  const auto key_of = [&](ColorId c) {
+    return Key{pending.earliest_deadline(c), instance.delay_bound(c), c};
+  };
+
+  ParEdfResult result;
+  for (Round k = 0; k < instance.horizon(); ++k) {
+    // Drop phase.  Colors whose front job expires leave a stale key in
+    // `active`; stale keys sort no later than the color's true key and are
+    // refreshed lazily when they reach the front of the set below.
+    const auto dropped = pending.drop_expired(k);
+    result.drops += dropped.total;
+
+    // Arrival phase.
+    for (const Job& job : instance.arrivals_in_round(k)) {
+      const bool was_idle = pending.idle(job.color);
+      pending.add(job);
+      if (was_idle) active.insert(key_of(job.color));
+    }
+
+    // Execution phase: up to m best-ranked pending jobs.
+    for (int executed_this_round = 0; executed_this_round < m;) {
+      if (active.empty()) break;
+      const auto it = active.begin();
+      const auto [deadline, delay, color] = *it;
+      if (pending.idle(color) || pending.earliest_deadline(color) != deadline) {
+        // Stale key (front expired in the drop phase); refresh lazily.
+        active.erase(it);
+        if (!pending.idle(color)) active.insert(key_of(color));
+        continue;
+      }
+      pending.pop_earliest(color);
+      ++result.executed;
+      ++executed_this_round;
+      active.erase(it);
+      if (!pending.idle(color)) active.insert(key_of(color));
+    }
+  }
+  result.drops += pending.total();  // anything beyond the horizon
+  return result;
+}
+
+}  // namespace rrs

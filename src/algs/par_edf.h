@@ -1,0 +1,29 @@
+// Algorithm Par-EDF (Section 3.3): the drop-cost yardstick.
+//
+// Par-EDF treats m resources as one super-resource that executes up to m
+// pending jobs per round, chosen best-rank-first by the paper's job
+// ranking (ascending deadline, then ascending delay bound, then the
+// consistent color order).  It pays no reconfiguration cost and, by the
+// optimality of preemptive EDF (Lemma 3.7), its drop cost lower-bounds the
+// drop cost of ANY schedule with m resources — including the offline
+// optimum.  Experiments use it as the denominator for Lemma 3.2 checks.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Result of a Par-EDF run.
+struct ParEdfResult {
+  std::int64_t executed = 0;
+  std::int64_t drops = 0;
+  /// True iff no job was dropped (the paper's "nice" input predicate).
+  [[nodiscard]] bool nice() const { return drops == 0; }
+};
+
+/// Runs Par-EDF with `m` resources (m jobs per round) on `instance`.
+[[nodiscard]] ParEdfResult run_par_edf(const Instance& instance, int m);
+
+}  // namespace rrs

@@ -1,0 +1,25 @@
+#include "algs/ranked_cache.h"
+
+#include <algorithm>
+
+namespace rrs {
+
+void edf_sort(std::vector<ColorId>& colors, const Instance& instance,
+              const EligibilityTracker& tracker, const PendingJobs& pending) {
+  std::sort(colors.begin(), colors.end(), [&](ColorId a, ColorId b) {
+    return edf_key(a, instance, tracker, pending) <
+           edf_key(b, instance, tracker, pending);
+  });
+}
+
+void lru_sort(std::vector<ColorId>& colors, const EligibilityTracker& tracker,
+              Round now) {
+  std::sort(colors.begin(), colors.end(), [&](ColorId a, ColorId b) {
+    const Round ta = tracker.timestamp(a, now);
+    const Round tb = tracker.timestamp(b, now);
+    if (ta != tb) return ta > tb;  // most recent first
+    return a < b;
+  });
+}
+
+}  // namespace rrs

@@ -1,0 +1,55 @@
+// Shared ranking machinery for the Section 3 reconfiguration schemes.
+//
+// Two orders recur throughout the paper and are centralized here:
+//   * the EDF color ranking (Section 3.1.2 / 3.3): eligible colors ranked
+//     first on idleness (nonidle first), then ascending color deadline,
+//     then ascending delay bound, then a consistent order of colors (we use
+//     ascending ColorId everywhere, as the paper requires one consistent
+//     order across all algorithms);
+//   * the dLRU recency ranking (Section 3.1.1): descending timestamp,
+//     ties broken by the same consistent order.
+#pragma once
+
+#include <vector>
+
+#include "core/color_state.h"
+#include "core/instance.h"
+#include "core/pending.h"
+#include "core/types.h"
+
+namespace rrs {
+
+/// Sort key for the EDF color ranking; smaller compares as better rank.
+struct EdfKey {
+  bool idle = false;
+  Round color_deadline = 0;
+  Round delay_bound = 0;
+  ColorId color = 0;
+
+  friend bool operator<(const EdfKey& a, const EdfKey& b) {
+    if (a.idle != b.idle) return !a.idle;  // nonidle ranks first
+    if (a.color_deadline != b.color_deadline)
+      return a.color_deadline < b.color_deadline;
+    if (a.delay_bound != b.delay_bound) return a.delay_bound < b.delay_bound;
+    return a.color < b.color;
+  }
+};
+
+/// Builds the EDF key of `color` from tracker + pending state.
+[[nodiscard]] inline EdfKey edf_key(ColorId color, const Instance& instance,
+                                    const EligibilityTracker& tracker,
+                                    const PendingJobs& pending) {
+  return EdfKey{pending.idle(color), tracker.color_deadline(color),
+                instance.delay_bound(color), color};
+}
+
+/// Sorts `colors` best-rank-first by the EDF color ranking.
+void edf_sort(std::vector<ColorId>& colors, const Instance& instance,
+              const EligibilityTracker& tracker, const PendingJobs& pending);
+
+/// Sorts `colors` most-recent-timestamp-first (dLRU order) as of round
+/// `now`, ties by ascending ColorId.
+void lru_sort(std::vector<ColorId>& colors, const EligibilityTracker& tracker,
+              Round now);
+
+}  // namespace rrs

@@ -1,0 +1,125 @@
+#include "algs/registry.h"
+
+#include "algs/adaptive.h"
+#include "algs/distribute.h"
+#include "algs/dlru.h"
+#include "algs/dlru_edf.h"
+#include "algs/edf.h"
+#include "algs/seq_edf.h"
+#include "algs/varbatch.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace {
+
+RunOutcome from_engine(const std::string& name, EngineResult&& r,
+                       bool record) {
+  RunOutcome out;
+  out.algorithm = name;
+  out.cost = r.cost;
+  out.executed = r.executed;
+  out.stats = std::move(r.policy_stats);
+  if (record) out.schedule = std::move(r.schedule);
+  return out;
+}
+
+RunOutcome run_section3_policy(const std::string& name,
+                               const Instance& instance, int n, bool record) {
+  auto policy = make_policy(name);
+  EngineOptions options;
+  options.num_resources = n;
+  options.speed = 1;
+  options.replication = 2;
+  options.record_schedule = record;
+  return from_engine(name, run_policy(instance, *policy, options), record);
+}
+
+std::vector<AlgorithmInfo> build_registry() {
+  std::vector<AlgorithmInfo> algs;
+  algs.push_back(
+      {"dlru", "pure recency caching (Section 3.1.1; not competitive)",
+       [](const Instance& inst, int n, bool record) {
+         return run_section3_policy("dlru", inst, n, record);
+       }});
+  algs.push_back(
+      {"edf", "pure deadline caching (Section 3.1.2; not competitive)",
+       [](const Instance& inst, int n, bool record) {
+         return run_section3_policy("edf", inst, n, record);
+       }});
+  algs.push_back(
+      {"dlru-edf",
+       "combined recency + deadline caching (Section 3.1.3; Theorem 1)",
+       [](const Instance& inst, int n, bool record) {
+         return run_section3_policy("dlru-edf", inst, n, record);
+       }});
+  algs.push_back(
+      {"adaptive",
+       "dLRU-EDF with an ARC-inspired self-tuning LRU/EDF split "
+       "(extension; see algs/adaptive.h)",
+       [](const Instance& inst, int n, bool record) {
+         return run_section3_policy("adaptive", inst, n, record);
+       }});
+  algs.push_back(
+      {"seq-edf", "EDF with unreplicated full capacity (Section 3.3)",
+       [](const Instance& inst, int n, bool record) {
+         return from_engine("seq-edf", run_seq_edf(inst, n, record), record);
+       }});
+  algs.push_back(
+      {"ds-seq-edf", "double-speed Seq-EDF (Section 3.3)",
+       [](const Instance& inst, int n, bool record) {
+         return from_engine("ds-seq-edf", run_ds_seq_edf(inst, n, record),
+                            record);
+       }});
+  algs.push_back(
+      {"distribute",
+       "batched -> rate-limited reduction over dLRU-EDF (Theorem 2)",
+       [](const Instance& inst, int n, bool record) {
+         DistributeResult r = run_distribute(inst, n);
+         RunOutcome out;
+         out.algorithm = "distribute";
+         out.cost = r.cost;
+         out.executed = static_cast<std::int64_t>(r.schedule.execs.size());
+         out.stats = std::move(r.virtual_run.policy_stats);
+         if (record) out.schedule = std::move(r.schedule);
+         return out;
+       }});
+  algs.push_back(
+      {"varbatch",
+       "general -> batched -> rate-limited pipeline (Theorem 3); handles "
+       "arbitrary delay bounds",
+       [](const Instance& inst, int n, bool record) {
+         VarBatchResult r = run_varbatch(inst, n);
+         RunOutcome out;
+         out.algorithm = "varbatch";
+         out.cost = r.cost;
+         out.executed = static_cast<std::int64_t>(r.schedule.execs.size());
+         out.stats = std::move(r.core_run.policy_stats);
+         if (record) out.schedule = std::move(r.schedule);
+         return out;
+       }});
+  return algs;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& algorithm_registry() {
+  static const std::vector<AlgorithmInfo> registry = build_registry();
+  return registry;
+}
+
+const AlgorithmInfo& find_algorithm(const std::string& name) {
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.name == name) return info;
+  }
+  throw InputError("unknown algorithm: " + name);
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& name) {
+  if (name == "dlru") return std::make_unique<DLruPolicy>();
+  if (name == "edf") return std::make_unique<EdfPolicy>();
+  if (name == "dlru-edf") return std::make_unique<DLruEdfPolicy>();
+  if (name == "adaptive") return std::make_unique<AdaptiveSplitPolicy>();
+  throw InputError("unknown policy: " + name);
+}
+
+}  // namespace rrs

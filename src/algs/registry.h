@@ -1,0 +1,46 @@
+// Name-based access to every runnable algorithm, for examples and benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/policy.h"
+
+namespace rrs {
+
+/// Uniform outcome of running any algorithm (policy or reduction pipeline)
+/// on an instance with n resources.
+struct RunOutcome {
+  std::string algorithm;
+  CostBreakdown cost;
+  std::int64_t executed = 0;
+  Schedule schedule;  ///< recorded iff requested
+  std::vector<std::pair<std::string, std::int64_t>> stats;
+};
+
+/// An entry in the algorithm registry.
+struct AlgorithmInfo {
+  std::string name;
+  std::string description;
+  /// Runs the algorithm.  `record` controls schedule recording (pipelines
+  /// always record internally but only return the schedule if asked).
+  std::function<RunOutcome(const Instance&, int n, bool record)> run;
+};
+
+/// All registered algorithms: dlru, edf, dlru-edf, adaptive, seq-edf,
+/// ds-seq-edf, distribute, varbatch.
+[[nodiscard]] const std::vector<AlgorithmInfo>& algorithm_registry();
+
+/// Looks up an algorithm by name; throws InputError if unknown.
+[[nodiscard]] const AlgorithmInfo& find_algorithm(const std::string& name);
+
+/// Creates a fresh policy instance for the Section 3 schemes ("dlru",
+/// "edf", "dlru-edf") and the "adaptive" extension; throws InputError
+/// otherwise.
+[[nodiscard]] std::unique_ptr<Policy> make_policy(const std::string& name);
+
+}  // namespace rrs

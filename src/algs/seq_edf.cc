@@ -1,0 +1,29 @@
+#include "algs/seq_edf.h"
+
+#include "algs/edf.h"
+
+namespace rrs {
+
+EngineResult run_seq_edf(const Instance& instance, int m,
+                         bool record_schedule) {
+  EdfPolicy policy;
+  EngineOptions options;
+  options.num_resources = m;
+  options.speed = 1;
+  options.replication = 1;
+  options.record_schedule = record_schedule;
+  return run_policy(instance, policy, options);
+}
+
+EngineResult run_ds_seq_edf(const Instance& instance, int m,
+                            bool record_schedule) {
+  EdfPolicy policy;
+  EngineOptions options;
+  options.num_resources = m;
+  options.speed = 2;
+  options.replication = 1;
+  options.record_schedule = record_schedule;
+  return run_policy(instance, policy, options);
+}
+
+}  // namespace rrs

@@ -1,0 +1,26 @@
+// Seq-EDF and DS-Seq-EDF (Section 3.3 analysis machinery), runnable.
+//
+// Seq-EDF is EDF given m resources with ALL capacity used for distinct
+// colors (no replication); DS-Seq-EDF is its double-speed variant
+// (reconfiguration + execution phases repeated twice per round).  The paper
+// uses DS-Seq-EDF as a bridge between Par-EDF and dLRU-EDF in the proof of
+// Lemma 3.2; tests and experiment E6 exercise the same chain numerically:
+//
+//   EligibleDropCost(dLRU-EDF)  <=  DropCost(DS-Seq-EDF)
+//                               <=  DropCost(Par-EDF)  <=  DropCost(OFF).
+#pragma once
+
+#include "core/engine.h"
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Runs Seq-EDF with `m` resources on `instance`.
+[[nodiscard]] EngineResult run_seq_edf(const Instance& instance, int m,
+                                       bool record_schedule = false);
+
+/// Runs double-speed Seq-EDF with `m` resources on `instance`.
+[[nodiscard]] EngineResult run_ds_seq_edf(const Instance& instance, int m,
+                                          bool record_schedule = false);
+
+}  // namespace rrs

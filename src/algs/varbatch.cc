@@ -1,0 +1,81 @@
+#include "algs/varbatch.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace rrs {
+
+Round varbatch_effective_delay(Round p) {
+  RRS_REQUIRE(p >= 1, "delay bound must be positive");
+  if (p == 1) return 1;
+  return floor_pow2(p) / 2;  // == p/2 for power-of-two p
+}
+
+VarBatchTransform varbatch_transform(const Instance& instance) {
+  VarBatchTransform out;
+  InstanceBuilder builder;
+  builder.delta(instance.delta());
+
+  // Colors keep their identity; only their delay bounds shrink to the
+  // effective half-block length.
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    const ColorId mapped =
+        builder.add_color(varbatch_effective_delay(instance.delay_bound(c)),
+                          instance.drop_cost(c));
+    RRS_CHECK(mapped == c);
+  }
+
+  // Delay each job to the start of its next half-block, then add jobs in
+  // (new arrival, original id) order so builder ids match our mapping
+  // table.
+  struct Delayed {
+    Round arrival;
+    JobId original;
+    ColorId color;
+  };
+  std::vector<Delayed> delayed;
+  delayed.reserve(instance.jobs().size());
+  for (const Job& job : instance.jobs()) {
+    const Round e = varbatch_effective_delay(job.delay_bound);
+    const Round new_arrival =
+        job.delay_bound == 1 ? job.arrival
+                             : floor_multiple(job.arrival, e) + e;
+    delayed.push_back({new_arrival, job.id, job.color});
+  }
+  std::stable_sort(delayed.begin(), delayed.end(),
+                   [](const Delayed& a, const Delayed& b) {
+                     return a.arrival < b.arrival;
+                   });
+  out.job_to_original.reserve(delayed.size());
+  for (const Delayed& d : delayed) {
+    builder.add_jobs(d.color, d.arrival, 1);
+    out.job_to_original.push_back(d.original);
+  }
+  builder.min_horizon(instance.horizon());
+  out.batched = builder.build();
+  RRS_CHECK_MSG(out.batched.is_batched(), "VarBatch output is not batched");
+  return out;
+}
+
+Schedule varbatch_map_back(const VarBatchTransform& transform,
+                           const Schedule& batched_schedule) {
+  Schedule mapped = batched_schedule;
+  for (ExecEvent& e : mapped.execs) {
+    e.job = transform.job_to_original[static_cast<std::size_t>(e.job)];
+  }
+  return mapped;
+}
+
+VarBatchResult run_varbatch(const Instance& instance, int n) {
+  VarBatchResult result;
+  const VarBatchTransform vb = varbatch_transform(instance);
+  DistributeResult dist = run_distribute(vb.batched, n);
+  result.core_run = std::move(dist.virtual_run);
+  result.schedule = varbatch_map_back(vb, dist.schedule);
+  result.cost = result.schedule.cost(instance);
+  return result;
+}
+
+}  // namespace rrs

@@ -1,0 +1,54 @@
+// Algorithm VarBatch (Section 5.1 + 5.3): general -> batched reduction,
+// and the paper's end-to-end online algorithm for [Delta | 1 | D_l | 1].
+//
+// Each job of delay bound p arriving in half-block i (of length e, where
+// e = p/2 for power-of-two p, and e = floor_pow2(p)/2 in the Section 5.3
+// extension to arbitrary bounds) is delayed to the start of half-block
+// i+1 and its execution restricted there.  The transformed instance is
+// batched with delay bounds e, so Distribute + dLRU-EDF solve it; the
+// schedule maps back verbatim (delayed windows are contained in real
+// windows), so cost is preserved exactly.
+//
+// Delay-bound-1 colors are already batched and pass through unchanged.
+#pragma once
+
+#include <vector>
+
+#include "algs/distribute.h"
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+
+/// The instance transformation of VarBatch.
+struct VarBatchTransform {
+  Instance batched;  ///< sigma': delayed, half-block-batched instance
+  /// Job id in `batched` -> job id in the original instance.
+  std::vector<JobId> job_to_original;
+};
+
+/// Effective batched delay bound for original bound `p`:
+/// 1 for p == 1, floor_pow2(p) / 2 otherwise (= p/2 when p is a power of
+/// two, matching Section 5.1; the general rule is Section 5.3).
+[[nodiscard]] Round varbatch_effective_delay(Round p);
+
+/// Builds the batched instance sigma' from an arbitrary [Delta|1|D_l|1]
+/// instance.
+[[nodiscard]] VarBatchTransform varbatch_transform(const Instance& instance);
+
+/// Maps a schedule for sigma' back to the original instance (executions
+/// re-indexed; reconfigurations unchanged).
+[[nodiscard]] Schedule varbatch_map_back(const VarBatchTransform& transform,
+                                         const Schedule& batched_schedule);
+
+/// End-to-end online algorithm VarBatch: delay-batch, Distribute, dLRU-EDF,
+/// map back.  This is the paper's Theorem 3 algorithm.
+struct VarBatchResult {
+  EngineResult core_run;  ///< dLRU-EDF on the doubly-transformed instance
+  Schedule schedule;      ///< mapped back onto the original instance
+  CostBreakdown cost;     ///< cost of `schedule` on the original instance
+};
+[[nodiscard]] VarBatchResult run_varbatch(const Instance& instance, int n);
+
+}  // namespace rrs

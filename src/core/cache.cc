@@ -1,0 +1,124 @@
+#include "core/cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+CacheAssignment::CacheAssignment(int num_resources, int replication)
+    : replication_(replication) {
+  RRS_REQUIRE(num_resources >= 0, "negative resource count");
+  RRS_REQUIRE(replication >= 1, "replication must be >= 1");
+  RRS_REQUIRE(num_resources % replication == 0,
+              "num_resources (" << num_resources
+                                << ") must be divisible by replication ("
+                                << replication << ")");
+  physical_.assign(static_cast<std::size_t>(num_resources), kBlack);
+  phase_start_ = physical_;
+  dirty_flag_.assign(static_cast<std::size_t>(num_resources), 0);
+  free_locations_.resize(static_cast<std::size_t>(num_resources));
+  // Keep low-numbered locations on top of the stack so the layout matches
+  // the paper's "first half of the cache" narration for fresh inserts.
+  for (int i = 0; i < num_resources; ++i) {
+    free_locations_[static_cast<std::size_t>(num_resources - 1 - i)] = i;
+  }
+}
+
+void CacheAssignment::ensure_colors(ColorId num_colors) {
+  if (static_cast<std::size_t>(num_colors) > cached_pos_.size()) {
+    cached_pos_.resize(static_cast<std::size_t>(num_colors), -1);
+    locations_.resize(static_cast<std::size_t>(num_colors));
+  }
+}
+
+bool CacheAssignment::contains(ColorId color) const {
+  return color >= 0 && idx(color) < cached_pos_.size() &&
+         cached_pos_[idx(color)] >= 0;
+}
+
+ColorId CacheAssignment::color_at(int location) const {
+  RRS_REQUIRE(location >= 0 && location < num_resources(),
+              "location out of range");
+  return physical_[static_cast<std::size_t>(location)];
+}
+
+void CacheAssignment::begin_phase() {
+  RRS_CHECK(!in_phase_);
+  in_phase_ = true;
+  dirty_.clear();
+}
+
+void CacheAssignment::insert(ColorId color) {
+  RRS_CHECK(in_phase_);
+  ensure_colors(color + 1);
+  RRS_CHECK_MSG(!contains(color), "insert of already-cached color " << color);
+  RRS_CHECK_MSG(!full(), "cache full inserting color " << color);
+
+  auto& locs = locations_[idx(color)];
+  RRS_CHECK(locs.empty());
+  for (int r = 0; r < replication_; ++r) {
+    // Prefer a free location still physically colored `color`: reclaiming it
+    // costs nothing.
+    int chosen = -1;
+    for (std::size_t i = free_locations_.size(); i-- > 0;) {
+      if (physical_[static_cast<std::size_t>(free_locations_[i])] == color) {
+        chosen = free_locations_[i];
+        free_locations_.erase(free_locations_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (chosen < 0) {
+      RRS_CHECK(!free_locations_.empty());
+      chosen = free_locations_.back();
+      free_locations_.pop_back();
+    }
+    const auto loc = static_cast<std::size_t>(chosen);
+    if (physical_[loc] != color) {
+      if (!dirty_flag_[loc]) {
+        dirty_flag_[loc] = 1;
+        dirty_.push_back(chosen);
+        phase_start_[loc] = physical_[loc];
+      }
+      physical_[loc] = color;
+    }
+    locs.push_back(chosen);
+  }
+  cached_pos_[idx(color)] = static_cast<std::int32_t>(cached_.size());
+  cached_.push_back(color);
+}
+
+void CacheAssignment::erase(ColorId color) {
+  RRS_CHECK(in_phase_);
+  RRS_CHECK_MSG(contains(color), "erase of non-cached color " << color);
+  auto& locs = locations_[idx(color)];
+  for (const int loc : locs) free_locations_.push_back(loc);
+  locs.clear();
+  // Swap-remove from the logical set.
+  const auto pos = static_cast<std::size_t>(cached_pos_[idx(color)]);
+  const ColorId moved = cached_.back();
+  cached_[pos] = moved;
+  cached_pos_[idx(moved)] = static_cast<std::int32_t>(pos);
+  cached_.pop_back();
+  cached_pos_[idx(color)] = -1;
+}
+
+std::vector<std::pair<int, ColorId>> CacheAssignment::finish_phase() {
+  RRS_CHECK(in_phase_);
+  in_phase_ = false;
+  std::vector<std::pair<int, ColorId>> events;
+  events.reserve(dirty_.size());
+  for (const int loc : dirty_) {
+    const auto l = static_cast<std::size_t>(loc);
+    dirty_flag_[l] = 0;
+    if (physical_[l] != phase_start_[l]) {
+      events.emplace_back(loc, physical_[l]);
+    }
+    phase_start_[l] = physical_[l];
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+}  // namespace rrs

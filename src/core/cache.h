@@ -1,0 +1,93 @@
+// The resource pool viewed as a color cache (Section 3.1 of the paper).
+//
+// The paper treats the n resources as cache locations and colors as pages;
+// the Section 3 algorithms keep each cached color in `replication` locations
+// (2 for the online algorithms, which replicate the first half of the cache;
+// 1 for Seq-EDF).  CacheAssignment separates the *logical* cached-color set
+// (what the policy maintains) from the *physical* per-location colors (what
+// costs Delta to change): evicting a color frees its locations without
+// recoloring them, and re-inserting a color whose old locations are still
+// free costs nothing.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rrs {
+
+/// Mapping of cache locations (resources) to colors, with a logical
+/// cached-color set on top.  All mutations happen between begin_phase() and
+/// finish_phase(); finish_phase() reports the physical recolorings, each of
+/// which costs Delta.
+class CacheAssignment {
+ public:
+  /// `num_resources` locations, each cached color held in `replication`
+  /// locations.  Requires num_resources % replication == 0.
+  CacheAssignment(int num_resources, int replication);
+
+  [[nodiscard]] int num_resources() const {
+    return static_cast<int>(physical_.size());
+  }
+  [[nodiscard]] int replication() const { return replication_; }
+
+  /// Maximum number of distinct cached colors (= n / replication).
+  [[nodiscard]] int max_distinct() const {
+    return num_resources() / replication_;
+  }
+
+  /// True iff `color` is in the logical cached set.
+  [[nodiscard]] bool contains(ColorId color) const;
+
+  /// The logical cached set, in unspecified order.
+  [[nodiscard]] const std::vector<ColorId>& cached_colors() const {
+    return cached_;
+  }
+
+  [[nodiscard]] int num_cached() const {
+    return static_cast<int>(cached_.size());
+  }
+  [[nodiscard]] bool full() const { return num_cached() == max_distinct(); }
+
+  /// Physical color currently configured at `location` (kBlack initially).
+  [[nodiscard]] ColorId color_at(int location) const;
+
+  /// Marks the start of a reconfiguration phase (resets the dirty set).
+  void begin_phase();
+
+  /// Adds `color` to the cached set, claiming `replication` free locations
+  /// (preferring locations already physically colored `color`).
+  /// Requires !contains(color) and !full().
+  void insert(ColorId color);
+
+  /// Removes `color` from the cached set, freeing its locations without
+  /// recoloring them.  Requires contains(color).
+  void erase(ColorId color);
+
+  /// Ends the phase: returns (location, new_color) for every location whose
+  /// physical color changed since begin_phase().  Each entry is one
+  /// reconfiguration costing Delta.
+  [[nodiscard]] std::vector<std::pair<int, ColorId>> finish_phase();
+
+  /// Ensures per-color tables cover ColorIds < num_colors.
+  void ensure_colors(ColorId num_colors);
+
+ private:
+  [[nodiscard]] static std::size_t idx(ColorId c) {
+    return static_cast<std::size_t>(c);
+  }
+
+  int replication_;
+  std::vector<ColorId> physical_;            // location -> color
+  std::vector<ColorId> phase_start_;         // snapshot of touched locations
+  std::vector<int> dirty_;                   // locations touched this phase
+  std::vector<char> dirty_flag_;             // location -> touched?
+  std::vector<int> free_locations_;          // stack of unclaimed locations
+  std::vector<ColorId> cached_;              // logical set
+  std::vector<std::int32_t> cached_pos_;     // color -> index in cached_, -1
+  std::vector<std::vector<int>> locations_;  // color -> claimed locations
+  bool in_phase_ = false;
+};
+
+}  // namespace rrs

@@ -1,0 +1,165 @@
+#include "core/color_state.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace rrs {
+
+void EligibilityTracker::begin(const Instance& instance) {
+  inst_ = &instance;
+  state_.assign(static_cast<std::size_t>(instance.num_colors()), {});
+  eligible_colors_.clear();
+  super_epochs_ = 0;
+  super_generation_ = 1;
+  updated_this_super_ = 0;
+  max_endings_ = 0;
+  timestamp_updates_ = 0;
+  completed_epochs_ = 0;
+  active_colors_ = 0;
+  eligible_drops_ = 0;
+  ineligible_drops_ = 0;
+  eligible_drop_weight_ = 0;
+  ineligible_drop_weight_ = 0;
+  ineligible_drop_ids_.clear();
+}
+
+void EligibilityTracker::drop_phase(Round k,
+                                    const PendingJobs::DropResult& dropped,
+                                    const CacheAssignment& cache) {
+  // Classify drops with the pre-reset eligibility status: the algorithm
+  // drops jobs first, then flips eligibility, so boundary drops of a
+  // still-eligible color count as eligible drops (Section 3.2).
+  for (const auto& [color, count] : dropped.by_color) {
+    if (state_[idx(color)].eligible) {
+      eligible_drops_ += count;
+      eligible_drop_weight_ += count * inst_->drop_cost(color);
+    } else {
+      ineligible_drops_ += count;
+      ineligible_drop_weight_ += count * inst_->drop_cost(color);
+    }
+  }
+  for (const JobId id : dropped.job_ids) {
+    const ColorId color = inst_->jobs()[static_cast<std::size_t>(id)].color;
+    if (!state_[idx(color)].eligible) ineligible_drop_ids_.push_back(id);
+  }
+  // Epoch ends: every eligible, uncached color at a multiple of its delay
+  // bound becomes ineligible with cnt = 0.
+  for (const auto& [delay, colors] : inst_->colors_by_delay()) {
+    if (k % delay != 0) continue;
+    for (const ColorId color : colors) {
+      ColorState& s = state_[idx(color)];
+      if (s.eligible && !cache.contains(color)) {
+        make_ineligible(color);
+        s.cnt = 0;
+        ++completed_epochs_;
+        if (analysis_m_ > 0) note_epoch_end(color);
+      }
+    }
+  }
+}
+
+void EligibilityTracker::arrival_phase(Round k,
+                                       std::span<const Job> arrivals) {
+  // Advance color deadlines at block boundaries (requests exist — possibly
+  // empty — at every multiple of D_l).  With super-epoch analysis on,
+  // block boundaries are also where timestamps become visible, so detect
+  // timestamp update events here.
+  for (const auto& [delay, colors] : inst_->colors_by_delay()) {
+    if (k % delay != 0) continue;
+    for (const ColorId color : colors) {
+      ColorState& s = state_[idx(color)];
+      s.dd = k + delay;
+      if (analysis_m_ > 0) {
+        const Round now_ts = timestamp(color, k);
+        if (now_ts > s.eff_ts) {
+          s.eff_ts = now_ts;
+          note_timestamp_update(color);
+        }
+      }
+    }
+  }
+  // Count this round's arrivals per color and fire wrap events.
+  for (std::size_t i = 0; i < arrivals.size();) {
+    const ColorId color = arrivals[i].color;
+    std::size_t j = i;
+    while (j < arrivals.size() && arrivals[j].color == color) ++j;
+    const auto count = static_cast<Cost>(j - i);
+    i = j;
+
+    ColorState& s = state_[idx(color)];
+    if (!s.seen_job) {
+      s.seen_job = true;
+      ++active_colors_;
+    }
+    s.cnt += count * inst_->drop_cost(color);
+    if (s.cnt >= inst_->delta()) {
+      s.cnt %= inst_->delta();  // counter wrapping event
+      s.prev_wrap = s.last_wrap;
+      s.last_wrap = k;
+      if (!s.eligible) make_eligible(color);
+    }
+  }
+}
+
+Round EligibilityTracker::timestamp(ColorId color, Round now) const {
+  const ColorState& s = state_[idx(color)];
+  const Round block_start = floor_multiple(now, inst_->delay_bound(color));
+  // Wraps happen only at multiples of D_l, so the latest wrap strictly
+  // before the current block start is last_wrap unless last_wrap is the
+  // current boundary itself, in which case it is prev_wrap.
+  const Round wrap = s.last_wrap < block_start ? s.last_wrap : s.prev_wrap;
+  return wrap < 0 ? 0 : wrap;
+}
+
+void EligibilityTracker::enable_super_epoch_analysis(int m) {
+  RRS_REQUIRE(m >= 1, "super-epoch analysis needs m >= 1");
+  analysis_m_ = m;
+}
+
+void EligibilityTracker::note_timestamp_update(ColorId color) {
+  ++timestamp_updates_;
+  ColorState& s = state_[idx(color)];
+  if (s.updated_gen == super_generation_) return;  // already counted
+  s.updated_gen = super_generation_;
+  ++updated_this_super_;
+  if (updated_this_super_ >= 2 * analysis_m_) {
+    // Super-epoch ends the moment 2m distinct colors have updated.
+    ++super_epochs_;
+    ++super_generation_;
+    updated_this_super_ = 0;
+  }
+}
+
+void EligibilityTracker::note_epoch_end(ColorId color) {
+  ColorState& s = state_[idx(color)];
+  if (s.endings_gen != super_generation_) {
+    s.endings_gen = super_generation_;
+    s.endings_in_super_ = 0;
+  }
+  ++s.endings_in_super_;
+  max_endings_ = std::max(max_endings_, s.endings_in_super_);
+}
+
+void EligibilityTracker::make_eligible(ColorId color) {
+  ColorState& s = state_[idx(color)];
+  RRS_CHECK(!s.eligible && s.eligible_pos < 0);
+  s.eligible = true;
+  s.eligible_pos = static_cast<std::int32_t>(eligible_colors_.size());
+  eligible_colors_.push_back(color);
+}
+
+void EligibilityTracker::make_ineligible(ColorId color) {
+  ColorState& s = state_[idx(color)];
+  RRS_CHECK(s.eligible && s.eligible_pos >= 0);
+  const auto pos = static_cast<std::size_t>(s.eligible_pos);
+  const ColorId moved = eligible_colors_.back();
+  eligible_colors_[pos] = moved;
+  state_[idx(moved)].eligible_pos = static_cast<std::int32_t>(pos);
+  eligible_colors_.pop_back();
+  s.eligible = false;
+  s.eligible_pos = -1;
+}
+
+}  // namespace rrs

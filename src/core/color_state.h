@@ -1,0 +1,175 @@
+// Per-color eligibility, counter, deadline, and timestamp bookkeeping.
+//
+// This is the "common aspects" machinery of Section 3.1 that all three
+// online algorithms (dLRU, EDF, dLRU-EDF) share.  For each color l it
+// maintains:
+//   * l.cnt   — arrivals counted modulo Delta; reaching Delta is a *counter
+//               wrapping event* and makes the color eligible.  In the
+//               weighted extension each arrival contributes its drop cost,
+//               so a color becomes eligible once Delta worth of droppable
+//               value has accumulated (identical for unit costs);
+//   * l.dd    — the color deadline, set to k + D_l at each multiple k of D_l;
+//   * eligible/ineligible — a color becomes ineligible again in the drop
+//               phase of a multiple of D_l while it is not cached;
+//   * the dLRU *timestamp* — the latest round before the most recent
+//               multiple of D_l in which a counter wrapping event occurred
+//               (0 if none).  Timestamps are evaluated lazily from the last
+//               two wrap rounds, which is equivalent because wraps happen
+//               only at multiples of D_l.
+//
+// It also tallies the quantities the paper's analysis is stated in terms of
+// (epochs, eligible vs. ineligible drops), so experiments E6 can check
+// Lemmas 3.2-3.4 numerically.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/instance.h"
+#include "core/pending.h"
+#include "core/types.h"
+
+namespace rrs {
+
+/// Shared Section 3.1 per-color state machine.
+class EligibilityTracker {
+ public:
+  /// Resets all state for `instance`.
+  void begin(const Instance& instance);
+
+  /// Drop phase of round `k`: classifies this round's drops as eligible or
+  /// ineligible (Section 3.2), then, for every color l with k a multiple of
+  /// D_l that is eligible and not cached, ends its epoch (set ineligible,
+  /// cnt = 0).
+  void drop_phase(Round k, const PendingJobs::DropResult& dropped,
+                  const CacheAssignment& cache);
+
+  /// Arrival phase of round `k`: for every color with k a multiple of its
+  /// delay bound, advances the color deadline and counts arrivals, firing
+  /// counter wrapping events (and eligibility) when cnt reaches Delta.
+  void arrival_phase(Round k, std::span<const Job> arrivals);
+
+  [[nodiscard]] bool eligible(ColorId color) const {
+    return state_[idx(color)].eligible;
+  }
+
+  /// Color deadline l.dd (start-of-time value 0 before the first multiple).
+  [[nodiscard]] Round color_deadline(ColorId color) const {
+    return state_[idx(color)].dd;
+  }
+
+  /// dLRU timestamp of `color` as of round `now` (lazy evaluation).
+  [[nodiscard]] Round timestamp(ColorId color, Round now) const;
+
+  /// Currently eligible colors, unspecified order.
+  [[nodiscard]] const std::vector<ColorId>& eligible_colors() const {
+    return eligible_colors_;
+  }
+
+  // --- analysis counters (Section 3.2 definitions) ---
+
+  /// Completed epochs (eligible -> ineligible transitions) plus one
+  /// incomplete epoch per color that received at least one job.
+  [[nodiscard]] std::int64_t num_epochs() const {
+    return completed_epochs_ + active_colors_;
+  }
+
+  /// Jobs dropped while their color was ineligible / eligible (counts).
+  [[nodiscard]] std::int64_t ineligible_drops() const {
+    return ineligible_drops_;
+  }
+  [[nodiscard]] std::int64_t eligible_drops() const {
+    return eligible_drops_;
+  }
+
+  /// Weighted variants: summed drop costs (equal to the counts for unit
+  /// drop costs).
+  [[nodiscard]] Cost ineligible_drop_weight() const {
+    return ineligible_drop_weight_;
+  }
+  [[nodiscard]] Cost eligible_drop_weight() const {
+    return eligible_drop_weight_;
+  }
+
+  /// Ids of every job dropped while its color was ineligible — the jobs
+  /// removed from sigma to form the eligible subsequence alpha of the
+  /// Lemma 3.2 analysis.
+  [[nodiscard]] const std::vector<JobId>& ineligible_drop_ids() const {
+    return ineligible_drop_ids_;
+  }
+
+  // --- super-epoch analysis (Section 3.4) ---
+  //
+  // A super-epoch ends the moment at least 2m distinct colors have
+  // increased their timestamps since it started (m = the offline resource
+  // count of the analysis).  Lemma 3.15 implies no color completes more
+  // than two epochs inside one super-epoch (Corollary 3.2: at most three
+  // epochs overlap it).  Enable with the analysis m; counters then track
+  // the quantities the Lemma 3.5 proof charges.
+
+  /// Enables super-epoch tracking for offline resource count `m` (>= 1).
+  /// Call before the run starts (begin() keeps the setting).
+  void enable_super_epoch_analysis(int m);
+
+  /// Completed super-epochs so far (the current one is in progress).
+  [[nodiscard]] std::int64_t num_super_epochs() const {
+    return super_epochs_;
+  }
+
+  /// Largest number of epoch endings any color accumulated within one
+  /// super-epoch (Lemma 3.15 predicts <= 2).
+  [[nodiscard]] std::int64_t max_epoch_endings_per_super_epoch() const {
+    return max_endings_;
+  }
+
+  /// Total timestamp update events observed (analysis enabled only).
+  [[nodiscard]] std::int64_t timestamp_updates() const {
+    return timestamp_updates_;
+  }
+
+ private:
+  struct ColorState {
+    Cost cnt = 0;
+    Round dd = 0;
+    Round last_wrap = -1;         // most recent counter-wrap round
+    Round prev_wrap = -1;         // the one before
+    bool eligible = false;
+    bool seen_job = false;        // has received any job
+    std::int32_t eligible_pos = -1;  // index in eligible_colors_, -1 if not
+    // Super-epoch analysis state (valid when analysis_m_ > 0):
+    Round eff_ts = 0;                 // last observed effective timestamp
+    std::int64_t updated_gen = 0;     // super-epoch generation of last update
+    std::int64_t endings_gen = 0;     // generation of endings_in_super_
+    std::int64_t endings_in_super_ = 0;
+  };
+
+  [[nodiscard]] static std::size_t idx(ColorId c) {
+    return static_cast<std::size_t>(c);
+  }
+
+  void make_eligible(ColorId color);
+  void make_ineligible(ColorId color);
+
+  void note_timestamp_update(ColorId color);
+  void note_epoch_end(ColorId color);
+
+  const Instance* inst_ = nullptr;
+  int analysis_m_ = 0;  // 0 = super-epoch analysis disabled
+  std::int64_t super_epochs_ = 0;
+  std::int64_t super_generation_ = 1;
+  std::int64_t updated_this_super_ = 0;
+  std::int64_t max_endings_ = 0;
+  std::int64_t timestamp_updates_ = 0;
+  std::vector<ColorState> state_;
+  std::vector<ColorId> eligible_colors_;
+  std::int64_t completed_epochs_ = 0;
+  std::int64_t active_colors_ = 0;
+  std::int64_t eligible_drops_ = 0;
+  std::int64_t ineligible_drops_ = 0;
+  Cost eligible_drop_weight_ = 0;
+  Cost ineligible_drop_weight_ = 0;
+  std::vector<JobId> ineligible_drop_ids_;
+};
+
+}  // namespace rrs

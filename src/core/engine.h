@@ -1,0 +1,46 @@
+// The round engine: executes the Section 2 model for any online policy.
+//
+// Per round k:
+//   1. drop phase      — expire pending jobs with deadline k; notify policy;
+//   2. arrival phase   — ingest request k into the pending set; notify
+//                        policy;
+//   3+4. for each mini-round (speed times): reconfiguration phase (policy
+//        mutates the cache; Delta per physical recoloring), then execution
+//        phase (each configured resource executes one pending job of its
+//        color, earliest deadline first).
+//
+// The engine is the single place cost is accounted for online algorithms,
+// and optionally records a full event Schedule for validation.
+#pragma once
+
+#include "core/instance.h"
+#include "core/policy.h"
+#include "core/schedule.h"
+
+namespace rrs {
+
+/// Knobs for one engine run.
+struct EngineOptions {
+  int num_resources = 1;
+  int speed = 1;  ///< mini-rounds per round (2 = double-speed, Section 3.3)
+  /// Locations each cached color occupies (2 for the Section 3 algorithms'
+  /// replication invariant, 1 for Seq-EDF).
+  int replication = 1;
+  bool record_schedule = true;  ///< disable for large benchmark runs
+};
+
+/// Result of one engine run.
+struct EngineResult {
+  CostBreakdown cost;
+  std::int64_t executed = 0;  ///< jobs executed
+  Schedule schedule;          ///< events iff options.record_schedule
+  /// Policy-specific counters captured after the run.
+  std::vector<std::pair<std::string, std::int64_t>> policy_stats;
+};
+
+/// Runs `policy` on `instance` under `options`.
+[[nodiscard]] EngineResult run_policy(const Instance& instance,
+                                      Policy& policy,
+                                      const EngineOptions& options);
+
+}  // namespace rrs

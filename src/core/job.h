@@ -1,0 +1,29 @@
+// Unit jobs: the work items of reconfigurable resource scheduling.
+#pragma once
+
+#include "core/types.h"
+
+namespace rrs {
+
+/// A unit job (Section 2 of the paper): it arrives at `arrival`, must run on
+/// a resource configured to `color` strictly before `deadline()`, and is
+/// otherwise dropped at unit cost.  Jobs are value types stored densely in
+/// an Instance; `id` is the job's index there.
+struct Job {
+  JobId id = 0;
+  ColorId color = 0;
+  Round arrival = 0;
+  Round delay_bound = 1;  ///< positive; category-specific in this paper
+  /// Cost of dropping this job.  The paper fixes 1; the weighted extension
+  /// (per-color drop costs, following the companion SPAA 2006 paper's
+  /// variable-drop-cost variant) allows any positive integer.
+  Cost drop_cost = 1;
+
+  /// First round in which the job no longer exists: it is dropped in the
+  /// drop phase of round `deadline()` if still pending.
+  [[nodiscard]] Round deadline() const { return arrival + delay_bound; }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace rrs

@@ -1,0 +1,61 @@
+#include "core/pending.h"
+
+#include "util/check.h"
+
+namespace rrs {
+
+void PendingJobs::reset(ColorId num_colors) {
+  RRS_REQUIRE(num_colors >= 0, "negative color count");
+  per_color_.assign(static_cast<std::size_t>(num_colors), {});
+  expiry_hints_ = {};
+  total_ = 0;
+}
+
+void PendingJobs::add(const Job& job) {
+  auto& dq = per_color_[idx(job.color)];
+  const Round deadline = job.deadline();
+  RRS_CHECK_MSG(dq.empty() || dq.back().deadline <= deadline,
+                "per-color deadlines must be nondecreasing (color "
+                    << job.color << ")");
+  dq.push_back({deadline, job.id});
+  expiry_hints_.emplace(deadline, job.color);
+  ++total_;
+}
+
+Round PendingJobs::earliest_deadline(ColorId color) const {
+  const auto& dq = per_color_[idx(color)];
+  RRS_CHECK(!dq.empty());
+  return dq.front().deadline;
+}
+
+JobId PendingJobs::pop_earliest(ColorId color) {
+  auto& dq = per_color_[idx(color)];
+  RRS_CHECK(!dq.empty());
+  const JobId id = dq.front().id;
+  dq.pop_front();
+  --total_;
+  return id;
+}
+
+PendingJobs::DropResult PendingJobs::drop_expired(Round round) {
+  DropResult result;
+  while (!expiry_hints_.empty() && expiry_hints_.top().first <= round) {
+    const ColorId color = expiry_hints_.top().second;
+    expiry_hints_.pop();
+    auto& dq = per_color_[idx(color)];
+    std::int64_t dropped_here = 0;
+    while (!dq.empty() && dq.front().deadline <= round) {
+      result.job_ids.push_back(dq.front().id);
+      dq.pop_front();
+      ++dropped_here;
+    }
+    if (dropped_here > 0) {
+      result.by_color.emplace_back(color, dropped_here);
+      result.total += dropped_here;
+      total_ -= dropped_here;
+    }
+  }
+  return result;
+}
+
+}  // namespace rrs

@@ -1,0 +1,81 @@
+// Pending-job bookkeeping shared by the engine and the offline machinery.
+//
+// Tracks, per color, the not-yet-executed not-yet-dropped jobs, ordered by
+// deadline.  Within one color deadlines are nondecreasing in arrival order
+// (one fixed delay bound per color), so a deque suffices; expiry across
+// colors is found through a lazy global min-heap of (deadline, color) hints.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/job.h"
+#include "core/types.h"
+
+namespace rrs {
+
+/// Multiset of pending jobs, keyed by color, ordered by deadline per color.
+class PendingJobs {
+ public:
+  /// Prepares bookkeeping for colors [0, num_colors); discards any state.
+  void reset(ColorId num_colors);
+
+  /// Adds a newly arrived job.  Amortized O(log #jobs).
+  void add(const Job& job);
+
+  /// Number of pending jobs of `color`.
+  [[nodiscard]] std::int64_t count(ColorId color) const {
+    return static_cast<std::int64_t>(per_color_[idx(color)].size());
+  }
+
+  /// True iff `color` has no pending jobs (the paper's "idle").
+  [[nodiscard]] bool idle(ColorId color) const { return count(color) == 0; }
+
+  /// Total pending jobs across all colors.
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+  /// Deadline of the earliest-deadline pending job of `color`.
+  /// Requires count(color) > 0.
+  [[nodiscard]] Round earliest_deadline(ColorId color) const;
+
+  /// Removes and returns the earliest-deadline pending job of `color`
+  /// (i.e. executes it).  Requires count(color) > 0.
+  JobId pop_earliest(ColorId color);
+
+  /// Result of an expiry sweep.
+  struct DropResult {
+    std::int64_t total = 0;
+    /// (color, count) pairs for colors that dropped >= 1 job, ascending
+    /// color order not guaranteed.
+    std::vector<std::pair<ColorId, std::int64_t>> by_color;
+    /// Ids of every dropped job, unordered.
+    std::vector<JobId> job_ids;
+  };
+
+  /// Drops every pending job with deadline <= `round` (the round-`round`
+  /// drop phase).  Amortized O(log) per dropped job.
+  DropResult drop_expired(Round round);
+
+ private:
+  struct Entry {
+    Round deadline;
+    JobId id;
+  };
+
+  [[nodiscard]] static std::size_t idx(ColorId color) {
+    return static_cast<std::size_t>(color);
+  }
+
+  std::vector<std::deque<Entry>> per_color_;
+  // Lazy hints: one (deadline, color) per added job; stale entries (already
+  // executed/dropped jobs) are skipped during sweeps.
+  std::priority_queue<std::pair<Round, ColorId>,
+                      std::vector<std::pair<Round, ColorId>>, std::greater<>>
+      expiry_hints_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace rrs

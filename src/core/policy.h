@@ -1,0 +1,89 @@
+// The online-policy interface driven by the round engine.
+//
+// The paper's Section 2 model advances in rounds of four phases:
+//   drop -> arrival -> reconfiguration -> execution.
+// The engine owns the model-level bookkeeping (pending jobs, expiry, the
+// physical cache, cost) and calls the policy at each phase.  Policies only
+// decide *which colors to cache*; execution is model-defined (each resource
+// executes one pending job of its configured color, earliest deadline
+// first).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/instance.h"
+#include "core/pending.h"
+
+namespace rrs {
+
+/// Read-only view of engine state offered to policies.
+class EngineView {
+ public:
+  EngineView(const Instance& instance, const PendingJobs& pending,
+             const CacheAssignment& cache)
+      : instance_(&instance), pending_(&pending), cache_(&cache) {}
+
+  [[nodiscard]] const Instance& instance() const { return *instance_; }
+  [[nodiscard]] const PendingJobs& pending() const { return *pending_; }
+  [[nodiscard]] const CacheAssignment& cache() const { return *cache_; }
+
+ private:
+  const Instance* instance_;
+  const PendingJobs* pending_;
+  const CacheAssignment* cache_;
+};
+
+/// Base class for online reconfiguration policies.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Algorithm name for tables and registries (e.g. "dlru-edf").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once before round 0.  `num_resources` is the online resource
+  /// count n; `speed` is mini-rounds per round (1 unless double-speed).
+  virtual void begin(const Instance& instance, int num_resources, int speed) {
+    (void)instance;
+    (void)num_resources;
+    (void)speed;
+  }
+
+  /// Drop phase of round `k`: `dropped` lists the jobs the engine just
+  /// expired.  Policies update per-color eligibility state here.
+  virtual void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
+                             const EngineView& view) {
+    (void)k;
+    (void)dropped;
+    (void)view;
+  }
+
+  /// Arrival phase of round `k`: `arrivals` are this round's jobs (already
+  /// added to the pending set visible through `view`).
+  virtual void on_arrival_phase(Round k, std::span<const Job> arrivals,
+                                const EngineView& view) {
+    (void)k;
+    (void)arrivals;
+    (void)view;
+  }
+
+  /// Reconfiguration phase of mini-round `mini` of round `k`: mutate
+  /// `cache` (insert/erase colors).  The engine charges Delta per physical
+  /// recoloring that results.
+  virtual void reconfigure(Round k, int mini, const EngineView& view,
+                           CacheAssignment& cache) = 0;
+
+  /// Optional policy-specific counters (epochs, classified drops, ...)
+  /// surfaced to experiments.
+  [[nodiscard]] virtual std::vector<std::pair<std::string, std::int64_t>>
+  stats() const {
+    return {};
+  }
+};
+
+}  // namespace rrs

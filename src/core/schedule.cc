@@ -1,0 +1,33 @@
+#include "core/schedule.h"
+
+#include "util/check.h"
+
+namespace rrs {
+
+CostBreakdown Schedule::cost(Cost delta, std::int64_t total_jobs) const {
+  RRS_REQUIRE(delta >= 1, "Delta must be positive");
+  RRS_REQUIRE(total_jobs >= static_cast<std::int64_t>(execs.size()),
+              "schedule executes more jobs than exist");
+  CostBreakdown c;
+  c.reconfig_events = static_cast<Cost>(reconfigs.size());
+  c.reconfig_cost = c.reconfig_events * delta;
+  c.drops = total_jobs - static_cast<std::int64_t>(execs.size());
+  return c;
+}
+
+CostBreakdown Schedule::cost(const Instance& instance) const {
+  RRS_REQUIRE(execs.size() <= instance.jobs().size(),
+              "schedule executes more jobs than exist");
+  CostBreakdown c;
+  c.reconfig_events = static_cast<Cost>(reconfigs.size());
+  c.reconfig_cost = c.reconfig_events * instance.delta();
+  Cost executed_weight = 0;
+  for (const ExecEvent& e : execs) {
+    executed_weight +=
+        instance.jobs()[static_cast<std::size_t>(e.job)].drop_cost;
+  }
+  c.drops = instance.total_weight() - executed_weight;
+  return c;
+}
+
+}  // namespace rrs

@@ -1,0 +1,33 @@
+// The explicit offline schedules from Appendix A and Appendix B.
+//
+// The paper's two lower-bound proofs exhibit concrete offline strategies:
+//
+//   Appendix A OFF (1 resource): configure the long-term color at round 0
+//   and keep it forever, executing one backlog job per round; every
+//   short-term job is dropped.  Cost = Delta + (short-term job count).
+//
+//   Appendix B OFF (1 resource): serve the short color throughout rounds
+//   [0, 2^{k-1}), then serve long color p throughout rounds
+//   [2^{k+p-1}, 2^{k+p}) for p = 0..n/2-1.  No drops;
+//   cost = (n/2 + 1) * Delta.
+//
+// These are *validated upper bounds on OPT* for the adversarial instances,
+// so the E1/E2 competitive ratios can be reported against the exact OFF
+// the proofs use rather than a generic lower bound.
+#pragma once
+
+#include "core/schedule.h"
+#include "workload/adversary_dlru.h"
+#include "workload/adversary_edf.h"
+
+namespace rrs {
+
+/// The Appendix A offline schedule (single resource) for `adversary`.
+[[nodiscard]] Schedule appendix_a_off_schedule(
+    const AdversaryAInstance& adversary);
+
+/// The Appendix B offline schedule (single resource) for `adversary`.
+[[nodiscard]] Schedule appendix_b_off_schedule(
+    const AdversaryBInstance& adversary);
+
+}  // namespace rrs

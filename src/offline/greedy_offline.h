@@ -1,0 +1,65 @@
+// Demand-following baselines: upper bounds on the offline optimum.
+//
+// The competitive-ratio experiments bracket the (intractable) OPT from
+// both sides: certified lower bounds (lower_bound.h) from below, and the
+// cheapest of a family of demand-greedy schedules from above.  Each
+// variant runs m unreplicated resources and switches a resource to a new
+// color only when the new color's backlog exceeds the incumbent's by a
+// hysteresis threshold (measured in jobs), so threshold ~ Delta amortizes
+// every reconfiguration against potential drops.  Colors with fewer than
+// Delta total jobs can optionally be ignored outright (they are cheaper to
+// drop than to configure — the Lemma 3.1 regime).
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/policy.h"
+
+namespace rrs {
+
+/// One demand-greedy configuration.
+struct DemandGreedyParams {
+  Cost switch_threshold = 0;  ///< 0 = use Delta
+  bool skip_small_colors = false;  ///< ignore colors with < Delta jobs total
+  /// Replace an idle incumbent without meeting the threshold.  Eager
+  /// replacement utilizes resources but can thrash on alternating demand
+  /// (the paper's Section 1 dilemma) — the best-of family tries both.
+  bool replace_idle_freely = true;
+};
+
+/// Greedy policy: each round, rank colors by pending backlog (earliest
+/// color deadline as tiebreak) and keep the m largest backlogs configured,
+/// subject to the hysteresis threshold.
+class DemandGreedyPolicy : public Policy {
+ public:
+  explicit DemandGreedyPolicy(DemandGreedyParams params = {})
+      : params_(params) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "demand-greedy";
+  }
+
+  void begin(const Instance& instance, int num_resources,
+             int speed) override;
+  void reconfigure(Round k, int mini, const EngineView& view,
+                   CacheAssignment& cache) override;
+
+ private:
+  DemandGreedyParams params_;
+  Cost threshold_ = 1;
+  std::vector<char> skip_color_;
+  std::vector<ColorId> scratch_;
+};
+
+/// Runs one demand-greedy variant with `m` resources.
+[[nodiscard]] EngineResult run_demand_greedy(const Instance& instance, int m,
+                                             DemandGreedyParams params = {});
+
+/// Best (cheapest) cost across a default family of demand-greedy variants
+/// — a practical upper bound on Cost_OPT(m).
+[[nodiscard]] Cost best_offline_heuristic_cost(const Instance& instance,
+                                               int m);
+
+}  // namespace rrs

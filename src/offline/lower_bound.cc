@@ -1,0 +1,56 @@
+#include "offline/lower_bound.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace rrs {
+
+LowerBound offline_lower_bound(const Instance& instance, int m) {
+  RRS_REQUIRE(m >= 1, "lower bound needs m >= 1");
+  LowerBound lb;
+
+  // LB1: sum over colors of min(Delta, total drop weight of the color) —
+  // either OFF configures the color at least once or forfeits its jobs.
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    lb.configure_or_drop +=
+        std::min<Cost>(instance.delta(), instance.weight_of_color(c));
+  }
+
+  // LB2: per dyadic scale s, windows [i*2^s, (i+1)*2^s) partition time;
+  // count jobs fully contained in each window and charge the excess over
+  // m * 2^s.  A job [arrival, deadline) fits in the window of scale s
+  // containing its arrival iff deadline <= window end.
+  if (instance.horizon() > 0 && !instance.jobs().empty()) {
+    const int max_scale = floor_log2(instance.horizon()) + 1;
+    // (scale, window index) -> contained job count.  Sparse: touched
+    // windows only.
+    std::vector<std::unordered_map<Round, Cost>> contained(
+        static_cast<std::size_t>(max_scale) + 1);
+    for (const Job& job : instance.jobs()) {
+      for (int s = 0; s <= max_scale; ++s) {
+        const Round width = Round{1} << s;
+        if (width < job.delay_bound) continue;  // cannot possibly fit
+        const Round start = floor_multiple(job.arrival, width);
+        if (job.deadline() <= start + width) {
+          ++contained[static_cast<std::size_t>(s)][start / width];
+        }
+      }
+    }
+    for (int s = 0; s <= max_scale; ++s) {
+      const Round width = Round{1} << s;
+      Cost scale_total = 0;
+      for (const auto& [window, count] :
+           contained[static_cast<std::size_t>(s)]) {
+        (void)window;
+        scale_total += std::max<Cost>(0, count - Cost{m} * width);
+      }
+      lb.capacity = std::max(lb.capacity, scale_total);
+    }
+  }
+  return lb;
+}
+
+}  // namespace rrs

@@ -1,0 +1,38 @@
+// Certified lower bounds on the offline optimum OFF.
+//
+// The competitive-ratio experiments need a denominator that provably does
+// not exceed Cost_OFF.  Two bounds are computed and combined by max():
+//
+//   LB1 (configure-or-drop): resources start black, so OFF either pays at
+//       least Delta to configure color l at least once, or drops all J_l of
+//       its jobs.  Hence Cost_OFF >= sum_l min(Delta, J_l).
+//
+//   LB2 (capacity): with m uni-speed resources, at most m * |W| jobs can be
+//       executed inside any window W; jobs whose whole [arrival, deadline)
+//       window lies inside W in excess of that are necessarily dropped.
+//       Dyadic windows of one scale are disjoint, so the per-scale sum of
+//       excesses is a valid bound; we take the max over scales.
+//
+// Both bounds are exact lower bounds (no slack assumptions), so measured
+// ratios  cost_online / max(LB1, LB2)  are upper bounds on the true
+// competitive ratio — conservative in the right direction.
+#pragma once
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Components of the offline lower bound for an instance and m resources.
+struct LowerBound {
+  Cost configure_or_drop = 0;  ///< LB1
+  Cost capacity = 0;           ///< LB2 (best dyadic scale)
+  [[nodiscard]] Cost best() const {
+    return configure_or_drop > capacity ? configure_or_drop : capacity;
+  }
+};
+
+/// Computes both lower bounds for `instance` against an offline algorithm
+/// with `m` resources.
+[[nodiscard]] LowerBound offline_lower_bound(const Instance& instance, int m);
+
+}  // namespace rrs

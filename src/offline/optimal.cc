@@ -1,0 +1,319 @@
+#include "offline/optimal.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/pending.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace {
+
+/// Pending profile: for each color, deadlines of pending jobs with
+/// multiplicity, ascending.  Kept canonical so profiles compare.
+using Profile = std::vector<std::vector<std::pair<Round, Cost>>>;
+
+/// Full DP state key: configured multiset (sorted) + profile flattened.
+using Key = std::vector<std::int64_t>;
+
+Key encode(const std::vector<ColorId>& cache, const Profile& profile) {
+  Key key;
+  key.reserve(cache.size() + 8);
+  for (const ColorId c : cache) key.push_back(c);
+  key.push_back(-7);  // separator
+  for (std::size_t c = 0; c < profile.size(); ++c) {
+    if (profile[c].empty()) continue;
+    key.push_back(static_cast<std::int64_t>(c));
+    for (const auto& [deadline, count] : profile[c]) {
+      key.push_back(-deadline - 2);  // negative marks deadline entries
+      key.push_back(count);
+    }
+  }
+  return key;
+}
+
+/// Drops entries with deadline <= round; returns the drop cost incurred
+/// (count x per-color drop cost).
+Cost expire(Profile& profile, Round round, const Instance& instance) {
+  Cost dropped = 0;
+  for (std::size_t color = 0; color < profile.size(); ++color) {
+    auto& buckets = profile[color];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i].first <= round) {
+        dropped += buckets[i].second *
+                   instance.drop_cost(static_cast<ColorId>(color));
+      } else {
+        buckets[keep++] = buckets[i];
+      }
+    }
+    buckets.resize(keep);
+  }
+  return dropped;
+}
+
+/// Executes one earliest-deadline job of `color` if any.
+bool execute_one(Profile& profile, ColorId color) {
+  auto& buckets = profile[static_cast<std::size_t>(color)];
+  if (buckets.empty()) return false;
+  if (--buckets.front().second == 0) {
+    buckets.erase(buckets.begin());
+  }
+  return true;
+}
+
+Cost total_pending_weight(const Profile& profile, const Instance& instance) {
+  Cost total = 0;
+  for (std::size_t color = 0; color < profile.size(); ++color) {
+    for (const auto& [deadline, count] : profile[color]) {
+      (void)deadline;
+      total += count * instance.drop_cost(static_cast<ColorId>(color));
+    }
+  }
+  return total;
+}
+
+/// Enumerates all multisets of size m over {kBlack} + `candidates`
+/// (candidates sorted ascending), invoking `visit` with each sorted
+/// multiset.  kBlack entries stand for unused slots.
+void enumerate_multisets(const std::vector<ColorId>& candidates, int m,
+                         std::vector<ColorId>& scratch,
+                         const std::function<void(const std::vector<ColorId>&)>&
+                             visit,
+                         std::size_t from = 0) {
+  if (static_cast<int>(scratch.size()) == m) {
+    visit(scratch);
+    return;
+  }
+  // kBlack (skip slot) allowed only as a prefix to keep multisets sorted.
+  if (scratch.empty() || scratch.back() == kBlack) {
+    scratch.push_back(kBlack);
+    enumerate_multisets(candidates, m, scratch, visit, from);
+    scratch.pop_back();
+  }
+  for (std::size_t i = from; i < candidates.size(); ++i) {
+    scratch.push_back(candidates[i]);
+    enumerate_multisets(candidates, m, scratch, visit, i);
+    scratch.pop_back();
+  }
+}
+
+/// Reconfiguration events needed to turn multiset `a` into multiset `b`:
+/// b-entries (ignoring black) not matched in a.
+Cost reconfig_cost_between(const std::vector<ColorId>& a,
+                           const std::vector<ColorId>& b) {
+  Cost changes = 0;
+  std::vector<ColorId> remaining = a;
+  for (const ColorId color : b) {
+    if (color == kBlack) continue;
+    const auto it = std::find(remaining.begin(), remaining.end(), color);
+    if (it != remaining.end()) {
+      remaining.erase(it);
+    } else {
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+/// One DP state with its provenance for backtracking.
+struct State {
+  Cost cost = 0;
+  std::vector<ColorId> cache;  // sorted multiset
+  Profile profile;
+  std::int32_t parent = -1;  // index into the previous round's state list
+};
+
+/// Runs the forward DP, keeping every round's state list for backtracking.
+/// Returns (per-round state lists, best final state index, best cost).
+struct DpRun {
+  std::vector<std::vector<State>> rounds;  // rounds[k] = states AFTER round k
+  std::int32_t best_final = -1;
+  Cost best_cost = 0;
+};
+
+DpRun run_dp(const Instance& instance, int m, std::int64_t max_states) {
+  RRS_REQUIRE(m >= 1, "optimal offline DP needs m >= 1");
+
+  DpRun run;
+  State initial;
+  initial.cache.assign(static_cast<std::size_t>(m), kBlack);
+  initial.profile.resize(static_cast<std::size_t>(instance.num_colors()));
+  run.rounds.push_back({std::move(initial)});
+
+  std::int64_t visited = 0;
+  for (Round k = 0; k < instance.horizon(); ++k) {
+    const std::vector<State>& current = run.rounds.back();
+    std::map<Key, std::size_t> index;  // key -> position in next
+    std::vector<State> next;
+    const std::span<const Job> arrivals = instance.arrivals_in_round(k);
+
+    for (std::size_t si = 0; si < current.size(); ++si) {
+      const State& state = current[si];
+      Profile profile = state.profile;
+
+      // Phase 1: drop.  Phase 2: arrival.
+      const Cost dropped = expire(profile, k, instance);
+      for (const Job& job : arrivals) {
+        auto& buckets = profile[static_cast<std::size_t>(job.color)];
+        if (!buckets.empty() && buckets.back().first == job.deadline()) {
+          ++buckets.back().second;
+        } else {
+          buckets.emplace_back(job.deadline(), 1);
+        }
+      }
+
+      // Candidates: colors with pending jobs + currently configured ones.
+      std::vector<ColorId> candidates;
+      for (ColorId c = 0; c < instance.num_colors(); ++c) {
+        if (!profile[static_cast<std::size_t>(c)].empty()) {
+          candidates.push_back(c);
+        }
+      }
+      for (const ColorId c : state.cache) {
+        if (c != kBlack &&
+            std::find(candidates.begin(), candidates.end(), c) ==
+                candidates.end()) {
+          candidates.push_back(c);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+
+      // Phases 3+4: enumerate configurations; execution is deterministic
+      // (earliest deadline first within each configured color).  Branches
+      // that "keep" old colors are enumerated explicitly and dominate
+      // every black-slot branch, so exactness is preserved.
+      std::vector<ColorId> scratch;
+      enumerate_multisets(
+          candidates, m, scratch,
+          [&](const std::vector<ColorId>& config) {
+            const Cost reconf = reconfig_cost_between(state.cache, config);
+            Profile after = profile;
+            for (const ColorId c : config) {
+              if (c != kBlack) execute_one(after, c);
+            }
+            const Cost cost =
+                state.cost + dropped + reconf * instance.delta();
+            Key key = encode(config, after);
+            const auto it = index.find(key);
+            if (it == index.end()) {
+              index.emplace(std::move(key), next.size());
+              State s;
+              s.cost = cost;
+              s.cache = config;
+              s.profile = std::move(after);
+              s.parent = static_cast<std::int32_t>(si);
+              next.push_back(std::move(s));
+            } else if (cost < next[it->second].cost) {
+              State& s = next[it->second];
+              s.cost = cost;
+              s.cache = config;
+              s.profile = std::move(after);
+              s.parent = static_cast<std::int32_t>(si);
+            }
+          });
+    }
+    visited += static_cast<std::int64_t>(next.size());
+    RRS_REQUIRE(visited <= max_states,
+                "optimal offline DP: state budget exceeded ("
+                    << visited << " > " << max_states
+                    << "); instance too large for exact DP");
+    run.rounds.push_back(std::move(next));
+  }
+
+  const std::vector<State>& final_states = run.rounds.back();
+  RRS_CHECK(!final_states.empty());
+  for (std::size_t i = 0; i < final_states.size(); ++i) {
+    const Cost final_cost =
+        final_states[i].cost +
+        total_pending_weight(final_states[i].profile, instance);
+    if (run.best_final < 0 || final_cost < run.best_cost) {
+      run.best_final = static_cast<std::int32_t>(i);
+      run.best_cost = final_cost;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+Cost optimal_offline_cost(const Instance& instance, int m,
+                          std::int64_t max_states) {
+  return run_dp(instance, m, max_states).best_cost;
+}
+
+OptimalResult optimal_offline_schedule(const Instance& instance, int m,
+                                       std::int64_t max_states) {
+  const DpRun run = run_dp(instance, m, max_states);
+  OptimalResult result;
+  result.cost = run.best_cost;
+  result.schedule.num_resources = m;
+  result.schedule.speed = 1;
+  if (instance.horizon() == 0) return result;
+
+  // Backtrack the chosen configuration multiset of every round.
+  std::vector<std::vector<ColorId>> configs(
+      static_cast<std::size_t>(instance.horizon()));
+  std::int32_t state_index = run.best_final;
+  for (Round k = instance.horizon(); k-- > 0;) {
+    const State& state =
+        run.rounds[static_cast<std::size_t>(k) + 1]
+                  [static_cast<std::size_t>(state_index)];
+    configs[static_cast<std::size_t>(k)] = state.cache;
+    state_index = state.parent;
+  }
+
+  // Replay forward, assigning multiset slots to concrete resources with
+  // minimal movement (colors keep their resource while still configured).
+  std::vector<ColorId> resource_color(static_cast<std::size_t>(m), kBlack);
+  PendingJobs pending;
+  pending.reset(instance.num_colors());
+  for (Round k = 0; k < instance.horizon(); ++k) {
+    (void)pending.drop_expired(k);
+    for (const Job& job : instance.arrivals_in_round(k)) pending.add(job);
+
+    // Match the target multiset against current resource colors.
+    std::vector<ColorId> want = configs[static_cast<std::size_t>(k)];
+    std::vector<char> keep(static_cast<std::size_t>(m), 0);
+    for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
+      const auto it =
+          std::find(want.begin(), want.end(), resource_color[r]);
+      if (it != want.end() && resource_color[r] != kBlack) {
+        keep[r] = 1;
+        want.erase(it);
+      }
+    }
+    // Remaining wanted colors (non-black) take the unkept resources.
+    std::size_t next_resource = 0;
+    for (const ColorId color : want) {
+      if (color == kBlack) continue;
+      while (keep[next_resource]) ++next_resource;
+      resource_color[next_resource] = color;
+      keep[next_resource] = 1;
+      result.schedule.reconfigs.push_back(
+          {k, 0, static_cast<std::int32_t>(next_resource), color});
+    }
+    // Unkept resources logically hold black this round (the DP charged no
+    // execution for them); physically we leave them as-is, executing
+    // nothing, which the model permits ("up to one job").
+    for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
+      if (!keep[r]) resource_color[r] = kBlack;
+    }
+
+    // Execution: one earliest-deadline job per configured resource.
+    for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
+      const ColorId color = resource_color[r];
+      if (color == kBlack || pending.idle(color)) continue;
+      result.schedule.execs.push_back(
+          {k, 0, static_cast<std::int32_t>(r),
+           pending.pop_earliest(color)});
+    }
+  }
+  return result;
+}
+
+}  // namespace rrs

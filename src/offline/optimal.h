@@ -1,0 +1,46 @@
+// Exact offline optimum by dynamic programming (tiny instances only).
+//
+// State per round: the multiset of configured colors (resources are
+// interchangeable, so order is irrelevant) plus the pending-job profile
+// (per color, counts bucketed by deadline).  Transitions enumerate every
+// next configuration multiset; two prunings are safe:
+//   * a resource is only reconfigured to a color with pending jobs (delaying
+//     a reconfiguration to the round where it first executes never costs
+//     more);
+//   * within a configured color, executing the earliest-deadline pending
+//     job is optimal (exchange argument), so the execution phase is
+//     deterministic given the configuration.
+//
+// Complexity is exponential in colors/resources and linear-ish in rounds;
+// intended for cross-checking algorithms and lower bounds in tests
+// (<= ~6 colors, <= ~3 resources, short horizons).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+
+/// Exact minimum total cost over all offline schedules with `m` resources.
+///
+/// Throws InputError if the search would exceed `max_states` distinct
+/// states (default guards tests against accidental blowups).
+[[nodiscard]] Cost optimal_offline_cost(const Instance& instance, int m,
+                                        std::int64_t max_states = 2'000'000);
+
+/// An exact optimum together with a witness schedule achieving it.
+struct OptimalResult {
+  Cost cost = 0;
+  Schedule schedule;  ///< validates against `instance` at exactly `cost`
+};
+
+/// Exact optimum with backtracking: reconstructs one optimal schedule
+/// (resources are assigned to the sorted configuration multiset
+/// position-by-position, colors keeping their slot across rounds where
+/// possible).  Same state budget semantics as optimal_offline_cost.
+[[nodiscard]] OptimalResult optimal_offline_schedule(
+    const Instance& instance, int m, std::int64_t max_states = 2'000'000);
+
+}  // namespace rrs

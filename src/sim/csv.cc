@@ -1,0 +1,59 @@
+#include "sim/csv.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace {
+
+void write_field(std::ostream& out, const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char ch : field) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+void write_row(std::ostream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ',';
+    write_field(out, row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RRS_REQUIRE(!header_.empty(), "CSV needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  RRS_REQUIRE(row.size() == header_.size(),
+              "CSV row width mismatch: " << row.size() << " vs "
+                                         << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  write_row(out, header_);
+  for (const auto& row : rows_) write_row(out, row);
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  RRS_REQUIRE(out.good(), "cannot open CSV for writing: " << path);
+  write(out);
+  out.flush();
+  RRS_REQUIRE(out.good(), "I/O error writing CSV: " << path);
+}
+
+}  // namespace rrs

@@ -1,0 +1,28 @@
+// Minimal CSV emission for benchmark series (plotting-friendly output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrs {
+
+/// Collects rows and writes RFC-4180-ish CSV (fields quoted when needed).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Writes header + rows to `out`.
+  void write(std::ostream& out) const;
+
+  /// Writes to `path`; throws InputError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rrs

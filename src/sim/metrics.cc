@@ -1,0 +1,94 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+DistributionSummary summarize(std::vector<Round> samples) {
+  DistributionSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = static_cast<std::int64_t>(samples.size());
+  double total = 0.0;
+  for (const Round v : samples) total += static_cast<double>(v);
+  s.mean = total / static_cast<double>(samples.size());
+  const auto at = [&](double q) {
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return samples[index];
+  };
+  s.min = samples.front();
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  s.max = samples.back();
+  return s;
+}
+
+ScheduleMetrics compute_metrics(const Instance& instance,
+                                const Schedule& schedule) {
+  ScheduleMetrics m;
+  m.per_color.resize(static_cast<std::size_t>(instance.num_colors()));
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    auto& pc = m.per_color[static_cast<std::size_t>(c)];
+    pc.color = c;
+    pc.jobs = instance.jobs_of_color(c);
+  }
+
+  std::vector<Round> waits, slacks;
+  waits.reserve(schedule.execs.size());
+  slacks.reserve(schedule.execs.size());
+  std::vector<double> wait_sum(
+      static_cast<std::size_t>(instance.num_colors()), 0.0);
+
+  Round first_round = -1, last_round = -1;
+  for (const ExecEvent& e : schedule.execs) {
+    const Job& job = instance.jobs()[static_cast<std::size_t>(e.job)];
+    const Round wait = e.round - job.arrival;
+    RRS_CHECK_MSG(wait >= 0 && e.round < job.deadline(),
+                  "compute_metrics on an invalid schedule (job " << e.job
+                                                                 << ")");
+    waits.push_back(wait);
+    slacks.push_back(job.deadline() - 1 - e.round);
+    auto& pc = m.per_color[static_cast<std::size_t>(job.color)];
+    ++pc.executed;
+    wait_sum[static_cast<std::size_t>(job.color)] +=
+        static_cast<double>(wait);
+    if (first_round < 0 || e.round < first_round) first_round = e.round;
+    if (e.round > last_round) last_round = e.round;
+  }
+  for (const ReconfigEvent& e : schedule.reconfigs) {
+    if (first_round < 0 || e.round < first_round) first_round = e.round;
+    if (e.round > last_round) last_round = e.round;
+  }
+
+  for (auto& pc : m.per_color) {
+    pc.dropped = pc.jobs - pc.executed;
+    pc.dropped_weight = pc.dropped * instance.drop_cost(pc.color);
+    pc.mean_wait = pc.executed > 0
+                       ? wait_sum[static_cast<std::size_t>(pc.color)] /
+                             static_cast<double>(pc.executed)
+                       : 0.0;
+  }
+
+  m.wait = summarize(std::move(waits));
+  m.slack = summarize(std::move(slacks));
+  m.service_rate =
+      instance.jobs().empty()
+          ? 1.0
+          : static_cast<double>(schedule.execs.size()) /
+                static_cast<double>(instance.jobs().size());
+  if (first_round >= 0 && schedule.num_resources > 0) {
+    const double span =
+        static_cast<double>(last_round - first_round + 1) *
+        static_cast<double>(schedule.num_resources) *
+        static_cast<double>(schedule.speed);
+    m.utilization =
+        span > 0 ? static_cast<double>(schedule.execs.size()) / span : 0.0;
+  }
+  return m;
+}
+
+}  // namespace rrs

@@ -1,0 +1,64 @@
+// Schedule metrics: latency and utilization statistics beyond raw cost.
+//
+// The paper's objective is cost (reconfigurations + drops), but the
+// motivating applications care about richer QoS signals: how long jobs
+// wait before executing, how close to their deadlines they run, how busy
+// the resources are, and how the damage distributes across colors.  This
+// module derives all of that from an (Instance, Schedule) pair, so every
+// algorithm — online, offline, reduction pipeline — is measured with the
+// same instrument.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+
+/// Summary statistics of a set of integer samples.
+struct DistributionSummary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  Round min = 0;
+  Round p50 = 0;   ///< median
+  Round p95 = 0;
+  Round p99 = 0;
+  Round max = 0;
+};
+
+/// Computes min/mean/percentiles of `samples` (takes a copy to sort).
+/// Empty input yields an all-zero summary.
+[[nodiscard]] DistributionSummary summarize(std::vector<Round> samples);
+
+/// Per-color outcome accounting.
+struct ColorMetrics {
+  ColorId color = 0;
+  std::int64_t jobs = 0;
+  std::int64_t executed = 0;
+  std::int64_t dropped = 0;
+  Cost dropped_weight = 0;
+  /// Mean rounds between arrival and execution, over executed jobs.
+  double mean_wait = 0.0;
+};
+
+/// Full metrics for one schedule on one instance.
+struct ScheduleMetrics {
+  /// Rounds each executed job waited (execution round - arrival).
+  DistributionSummary wait;
+  /// Slack at execution (deadline - 1 - execution round): 0 = just-in-time.
+  DistributionSummary slack;
+  /// Fraction of resource-mini-round slots that executed a job, over the
+  /// span [first event round, last event round].
+  double utilization = 0.0;
+  /// Service rate: executed / total jobs.
+  double service_rate = 1.0;
+  std::vector<ColorMetrics> per_color;
+};
+
+/// Derives metrics from a recorded schedule.  The schedule is assumed
+/// valid (run the validator first if in doubt).
+[[nodiscard]] ScheduleMetrics compute_metrics(const Instance& instance,
+                                              const Schedule& schedule);
+
+}  // namespace rrs

@@ -1,0 +1,41 @@
+#include "sim/ratio.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "offline/greedy_offline.h"
+#include "offline/lower_bound.h"
+#include "util/check.h"
+
+namespace rrs {
+
+RatioReport measure_ratio(const Instance& instance,
+                          const std::string& algorithm, int n, int m,
+                          Cost known_off_cost) {
+  RRS_REQUIRE(m >= 1, "measure_ratio needs m >= 1");
+  RatioReport report;
+  report.online = run_algorithm(instance, algorithm, n);
+  report.m = m;
+  report.lower_bound = offline_lower_bound(instance, m).best();
+  report.heuristic_ub = known_off_cost > 0
+                            ? known_off_cost
+                            : best_offline_heuristic_cost(instance, m);
+  // The bracket must be consistent; a heuristic below a certified lower
+  // bound indicates a bug in one of them.
+  RRS_CHECK_MSG(report.heuristic_ub >= report.lower_bound,
+                "offline bracket inverted: UB " << report.heuristic_ub
+                                                << " < LB "
+                                                << report.lower_bound);
+  const auto online_cost = static_cast<double>(report.online.cost.total());
+  report.ratio_vs_lb =
+      report.lower_bound > 0
+          ? online_cost / static_cast<double>(report.lower_bound)
+          : (online_cost > 0 ? std::numeric_limits<double>::infinity() : 1.0);
+  report.ratio_vs_ub =
+      report.heuristic_ub > 0
+          ? online_cost / static_cast<double>(report.heuristic_ub)
+          : (online_cost > 0 ? std::numeric_limits<double>::infinity() : 1.0);
+  return report;
+}
+
+}  // namespace rrs

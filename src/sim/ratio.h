@@ -1,0 +1,38 @@
+// Competitive-ratio measurement methodology (see DESIGN.md).
+//
+// The true offline optimum is bracketed:
+//   lower_bound <= OPT(m) <= heuristic_ub
+// so for an online cost C the true ratio C / OPT(m) satisfies
+//   C / heuristic_ub  <=  C / OPT(m)  <=  C / lower_bound.
+// Experiments report both ends of the bracket; "constant competitive"
+// claims are confirmed when even the conservative end (vs. the lower
+// bound) stays flat, and "not competitive" claims when even the optimistic
+// end (vs. the heuristic) grows.
+#pragma once
+
+#include <string>
+
+#include "core/instance.h"
+#include "sim/runner.h"
+
+namespace rrs {
+
+/// A bracketed competitive-ratio measurement.
+struct RatioReport {
+  RunRecord online;        ///< the online algorithm's run (n resources)
+  int m = 0;               ///< offline resource count
+  Cost lower_bound = 0;    ///< certified LB on OPT(m)
+  Cost heuristic_ub = 0;   ///< best demand-greedy cost with m resources
+  double ratio_vs_lb = 0;  ///< online / LB   (upper bound on true ratio)
+  double ratio_vs_ub = 0;  ///< online / UB   (lower bound on true ratio)
+};
+
+/// Runs `algorithm` with n resources and brackets its ratio against an
+/// offline optimum with m resources.  `known_off_cost`, if positive,
+/// overrides the heuristic upper bound (e.g. the explicit appendix OFF
+/// schedules).
+[[nodiscard]] RatioReport measure_ratio(const Instance& instance,
+                                        const std::string& algorithm, int n,
+                                        int m, Cost known_off_cost = -1);
+
+}  // namespace rrs

@@ -1,0 +1,25 @@
+#include "sim/runner.h"
+
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace rrs {
+
+RunRecord run_algorithm(const Instance& instance, const std::string& name,
+                        int n, Schedule* schedule_out) {
+  const AlgorithmInfo& info = find_algorithm(name);
+  Stopwatch watch;
+  RunOutcome outcome = info.run(instance, n, schedule_out != nullptr);
+  RunRecord record;
+  record.seconds = watch.seconds();
+  record.algorithm = outcome.algorithm;
+  record.n = n;
+  record.cost = outcome.cost;
+  record.executed = outcome.executed;
+  record.stats = std::move(outcome.stats);
+  if (schedule_out != nullptr) *schedule_out = std::move(outcome.schedule);
+  return record;
+}
+
+}  // namespace rrs

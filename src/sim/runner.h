@@ -1,0 +1,28 @@
+// One-call experiment runner: algorithm name + instance -> measured record.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "algs/registry.h"
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Outcome of one (algorithm, instance, n) cell.
+struct RunRecord {
+  std::string algorithm;
+  int n = 0;
+  CostBreakdown cost;
+  std::int64_t executed = 0;
+  double seconds = 0.0;  ///< wall-clock of the run
+  std::vector<std::pair<std::string, std::int64_t>> stats;
+};
+
+/// Runs the registered algorithm `name` with `n` resources on `instance`.
+/// If `schedule_out` is non-null the event schedule is recorded there.
+[[nodiscard]] RunRecord run_algorithm(const Instance& instance,
+                                      const std::string& name, int n,
+                                      Schedule* schedule_out = nullptr);
+
+}  // namespace rrs

@@ -1,0 +1,45 @@
+// Aligned text tables for benchmark output.
+//
+// Every bench binary prints its experiment as one or more of these tables
+// (the repository's equivalent of the paper's — nonexistent — result
+// tables), plus optional CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrs {
+
+/// A simple right-padded text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with aligned columns, a header underline, and two-space gaps.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals (fixed notation).
+[[nodiscard]] std::string fmt_double(double value, int digits = 3);
+
+/// Formats "x1.23" style multipliers used in ratio columns.
+[[nodiscard]] std::string fmt_ratio(double value);
+
+}  // namespace rrs

@@ -1,0 +1,78 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace rrs {
+
+std::vector<TimelineBucket> compute_timeline(const Instance& instance,
+                                             const Schedule& schedule,
+                                             Round bucket_width) {
+  RRS_REQUIRE(bucket_width >= 1, "bucket width must be >= 1");
+  const Round horizon = instance.horizon();
+  const auto num_buckets = static_cast<std::size_t>(
+      horizon == 0 ? 0 : (horizon + bucket_width - 1) / bucket_width);
+  std::vector<TimelineBucket> timeline(num_buckets);
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    timeline[b].start = static_cast<Round>(b) * bucket_width;
+  }
+  if (num_buckets == 0) return timeline;
+
+  const auto bucket_of = [&](Round round) {
+    return static_cast<std::size_t>(
+        std::min<Round>(round, horizon - 1) / bucket_width);
+  };
+
+  std::vector<char> executed(instance.jobs().size(), 0);
+  for (const ExecEvent& e : schedule.execs) {
+    executed[static_cast<std::size_t>(e.job)] = 1;
+    ++timeline[bucket_of(e.round)].executions;
+  }
+  for (const Job& job : instance.jobs()) {
+    ++timeline[bucket_of(job.arrival)].arrivals;
+    if (!executed[static_cast<std::size_t>(job.id)]) {
+      // The job is dropped in the drop phase of its deadline round (or at
+      // the horizon, whichever comes first).
+      auto& bucket = timeline[bucket_of(job.deadline())];
+      ++bucket.drops;
+      bucket.drop_weight += job.drop_cost;
+    }
+  }
+
+  // Reconfiguration counts and end-of-bucket distinct configured colors.
+  std::map<ColorId, int> configured;  // color -> #resources holding it
+  std::vector<ColorId> resource_color(
+      static_cast<std::size_t>(std::max(schedule.num_resources, 0)), kBlack);
+  std::size_t ri = 0;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    const Round bucket_end = timeline[b].start + bucket_width;
+    for (; ri < schedule.reconfigs.size() &&
+           schedule.reconfigs[ri].round < bucket_end;
+         ++ri) {
+      const ReconfigEvent& e = schedule.reconfigs[ri];
+      ++timeline[b].reconfigs;
+      auto& slot = resource_color[static_cast<std::size_t>(e.resource)];
+      if (slot != kBlack && --configured[slot] == 0) configured.erase(slot);
+      slot = e.color;
+      if (e.color != kBlack) ++configured[e.color];
+    }
+    timeline[b].distinct_colors = static_cast<int>(configured.size());
+  }
+  return timeline;
+}
+
+CsvWriter timeline_csv(const std::vector<TimelineBucket>& timeline) {
+  CsvWriter csv({"start", "arrivals", "executions", "drops", "drop_weight",
+                 "reconfigs", "distinct_colors"});
+  for (const TimelineBucket& b : timeline) {
+    csv.add_row({std::to_string(b.start), std::to_string(b.arrivals),
+                 std::to_string(b.executions), std::to_string(b.drops),
+                 std::to_string(b.drop_weight), std::to_string(b.reconfigs),
+                 std::to_string(b.distinct_colors)});
+  }
+  return csv;
+}
+
+}  // namespace rrs

@@ -1,0 +1,69 @@
+// Always-on invariant checking for the RRS library.
+//
+// The simulator is the substrate for every competitive-analysis experiment in
+// this repository, so internal invariants are enforced in all build types:
+// a silent invariant violation would corrupt measured competitive ratios.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rrs {
+
+/// Thrown when an internal invariant of the library is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when user-supplied input (an instance, a schedule, a parameter)
+/// is malformed.
+class InputError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'R') throw InvariantError(os.str());
+  throw InputError(os.str());
+}
+
+}  // namespace detail
+}  // namespace rrs
+
+/// Internal invariant; violation indicates a bug in this library.
+#define RRS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rrs::detail::check_failed("RRS_CHECK", #cond, __FILE__, __LINE__,   \
+                                  "");                                      \
+  } while (false)
+
+#define RRS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream rrs_check_os_;                                     \
+      rrs_check_os_ << msg;                                                 \
+      ::rrs::detail::check_failed("RRS_CHECK", #cond, __FILE__, __LINE__,   \
+                                  rrs_check_os_.str());                     \
+    }                                                                       \
+  } while (false)
+
+/// Validation of user-supplied input; violation is the caller's error.
+#define RRS_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream rrs_check_os_;                                     \
+      rrs_check_os_ << msg;                                                 \
+      ::rrs::detail::check_failed("INPUT_REQUIRE", #cond, __FILE__,         \
+                                  __LINE__, rrs_check_os_.str());           \
+    }                                                                       \
+  } while (false)

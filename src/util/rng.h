@@ -1,0 +1,101 @@
+// Deterministic, seedable random number generation for workload synthesis.
+//
+// All workload generators take an explicit 64-bit seed so every experiment
+// in bench/ and every property test in tests/ is exactly reproducible.
+// We use xoshiro256** (public domain, Blackman & Vigna) seeded through
+// SplitMix64, rather than std::mt19937, because its state is trivially
+// copyable and its output is identical across standard library
+// implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace rrs {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    RRS_CHECK(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    // Unbiased rejection sampling (Lemire's method without multiplication
+    // tricks; the rejection loop terminates quickly for all spans).
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw;
+    do {
+      draw = (*this)();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Geometric-ish Poisson sampler (Knuth's algorithm), adequate for the
+  /// small means (< 64) used by workload generators.
+  [[nodiscard]] std::int64_t poisson(double mean) {
+    RRS_CHECK(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    double threshold = 1.0;
+    const double bound = std::exp(-mean);
+    std::int64_t count = -1;
+    do {
+      ++count;
+      threshold *= uniform01();
+    } while (threshold > bound);
+    return count;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace rrs

@@ -1,0 +1,57 @@
+// Dense per-key scratch map with O(1) bulk clear via generation stamps.
+//
+// Policies rebuild per-color scratch data (rank positions, membership
+// flags) every round; resetting a vector of size num_colors each round
+// would cost O(num_colors) even when few colors are active.  StampedMap
+// invalidates all entries by bumping a generation counter instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+/// Map from dense non-negative integer keys to V with O(1) clear().
+template <typename V>
+class StampedMap {
+ public:
+  /// Ensures keys [0, n) are addressable.
+  void ensure_size(std::size_t n) {
+    if (values_.size() < n) {
+      values_.resize(n);
+      stamps_.resize(n, 0);
+    }
+  }
+
+  /// Invalidates every entry.  O(1).
+  void clear() { ++generation_; }
+
+  /// True iff `key` was set since the last clear().
+  [[nodiscard]] bool contains(std::int64_t key) const {
+    const auto k = static_cast<std::size_t>(key);
+    return k < stamps_.size() && stamps_[k] == generation_;
+  }
+
+  /// Sets key -> value.
+  void set(std::int64_t key, V value) {
+    const auto k = static_cast<std::size_t>(key);
+    RRS_CHECK(k < values_.size());
+    values_[k] = value;
+    stamps_[k] = generation_;
+  }
+
+  /// Value at `key`; requires contains(key).
+  [[nodiscard]] const V& at(std::int64_t key) const {
+    RRS_CHECK(contains(key));
+    return values_[static_cast<std::size_t>(key)];
+  }
+
+ private:
+  std::vector<V> values_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t generation_ = 1;
+};
+
+}  // namespace rrs

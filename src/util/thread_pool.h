@@ -1,0 +1,63 @@
+// A small fixed-size thread pool with a parallel-for helper.
+//
+// The experiment sweeps in bench/ evaluate many independent (workload,
+// algorithm, parameter) cells; ThreadPool::parallel_for distributes those
+// cells across hardware threads.  Determinism is preserved because every
+// cell owns its own seeded Rng and writes to its own result slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rrs {
+
+/// Fixed-size worker pool.  Tasks are arbitrary void() callables.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count), distributing across the pool and
+  /// blocking until all iterations finish.  Exceptions from `body`
+  /// propagate to the caller (the first one thrown, by index order being
+  /// unspecified).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Convenience: run body(i) for i in [0, count) on a transient pool sized to
+/// the host, or inline when count <= 1.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace rrs

@@ -1,0 +1,54 @@
+#include "workload/adversary_dlru.h"
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace rrs {
+
+AdversaryAInstance make_adversary_a(AdversaryAParams params) {
+  RRS_REQUIRE(params.n >= 2 && params.n % 2 == 0,
+              "Appendix A needs even n >= 2, got " << params.n);
+  RRS_REQUIRE(params.delta >= 1, "Delta must be positive");
+
+  if (params.j == 0) {
+    // Smallest j with 2^{j+1} > n * Delta.
+    int j = 1;
+    while ((Round{1} << (j + 1)) <= Round{params.n} * params.delta) ++j;
+    params.j = j;
+  }
+  if (params.k == 0) params.k = params.j + 2;
+
+  const Round short_delay = Round{1} << params.j;
+  const Round long_delay = Round{1} << params.k;
+  RRS_REQUIRE(long_delay > 2 * short_delay &&
+                  2 * short_delay > Round{params.n} * params.delta,
+              "Appendix A requires 2^k > 2^{j+1} > n * Delta; got k="
+                  << params.k << " j=" << params.j << " n=" << params.n
+                  << " Delta=" << params.delta);
+
+  AdversaryAInstance out;
+  out.params = params;
+  InstanceBuilder builder;
+  builder.delta(params.delta);
+
+  for (int s = 0; s < params.n / 2; ++s) {
+    out.short_colors.push_back(builder.add_color(short_delay));
+  }
+  out.long_color = builder.add_color(long_delay);
+
+  // Long-term backlog: 2^k jobs at round 0 (deadline 2^k).
+  builder.add_jobs(out.long_color, 0, long_delay);
+  // Short-term churn: Delta jobs per short color at every multiple of 2^j
+  // within [0, 2^k).
+  for (Round t = 0; t < long_delay; t += short_delay) {
+    for (const ColorId c : out.short_colors) {
+      builder.add_jobs(c, t, params.delta);
+    }
+  }
+
+  out.instance = builder.build();
+  RRS_CHECK(out.instance.is_rate_limited());
+  return out;
+}
+
+}  // namespace rrs

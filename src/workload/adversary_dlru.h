@@ -1,0 +1,41 @@
+// The Appendix A adversary: defeats pure recency caching (dLRU).
+//
+// Construction (paper, Appendix A): n/2 "short-term" colors with delay
+// bound 2^j and one "long-term" color with delay bound 2^k, where
+// 2^k > 2^{j+1} > n * Delta.  Every short-term color receives Delta jobs at
+// every multiple of 2^j; the long-term color receives 2^k jobs at round 0.
+//
+// dLRU keeps the short-term colors cached forever (their timestamps are
+// always at least as recent as the long-term color's) and drops all 2^k
+// long-term jobs, while OFF simply caches the long-term color on one
+// resource; the ratio grows as Omega(2^{j+1} / (n Delta)).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Parameters of the Appendix A construction.
+struct AdversaryAParams {
+  int n = 8;       ///< online resource count (even; n/2 short-term colors)
+  Cost delta = 2;  ///< reconfiguration cost
+  int j = 0;       ///< short-term delay bound = 2^j; 0 = auto (minimal legal)
+  int k = 0;       ///< long-term delay bound = 2^k; 0 = auto (minimal legal)
+};
+
+/// The generated instance plus the color roles the OFF schedule needs.
+struct AdversaryAInstance {
+  Instance instance;
+  std::vector<ColorId> short_colors;  ///< delay 2^j
+  ColorId long_color = 0;             ///< delay 2^k
+  AdversaryAParams params;            ///< with j/k auto-filled
+};
+
+/// Builds the Appendix A instance.  Auto-fills j (smallest with
+/// 2^{j+1} > n * Delta) and k (= j + 2) when left 0; validates the paper's
+/// constraint 2^k > 2^{j+1} > n * Delta.
+[[nodiscard]] AdversaryAInstance make_adversary_a(AdversaryAParams params);
+
+}  // namespace rrs

@@ -1,0 +1,53 @@
+#include "workload/adversary_edf.h"
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace rrs {
+
+AdversaryBInstance make_adversary_b(AdversaryBParams params) {
+  RRS_REQUIRE(params.n >= 2 && params.n % 2 == 0,
+              "Appendix B needs even n >= 2, got " << params.n);
+  if (params.delta == 0) params.delta = params.n + 1;
+  if (params.j == 0) {
+    int j = 1;
+    while ((Round{1} << j) <= params.delta) ++j;
+    params.j = j;
+  }
+  if (params.k == 0) params.k = params.j + 1;
+
+  const Round short_delay = Round{1} << params.j;
+  const Round base_long_delay = Round{1} << params.k;
+  RRS_REQUIRE(base_long_delay > short_delay &&
+                  short_delay > params.delta && params.delta > params.n,
+              "Appendix B requires 2^k > 2^j > Delta > n; got k=" << params.k
+                  << " j=" << params.j << " Delta=" << params.delta
+                  << " n=" << params.n);
+
+  AdversaryBInstance out;
+  out.params = params;
+  InstanceBuilder builder;
+  builder.delta(params.delta);
+
+  out.short_color = builder.add_color(short_delay);
+  for (int p = 0; p < params.n / 2; ++p) {
+    out.long_colors.push_back(builder.add_color(base_long_delay << p));
+  }
+
+  // Short color: Delta jobs at every multiple of 2^j until round 2^{k-1}.
+  const Round short_until = base_long_delay / 2;
+  for (Round t = 0; t < short_until; t += short_delay) {
+    builder.add_jobs(out.short_color, t, params.delta);
+  }
+  // Long color p: 2^{k+p-1} jobs at round 0 (deadline 2^{k+p}).
+  for (int p = 0; p < params.n / 2; ++p) {
+    builder.add_jobs(out.long_colors[static_cast<std::size_t>(p)], 0,
+                     (base_long_delay << p) / 2);
+  }
+
+  out.instance = builder.build();
+  RRS_CHECK(out.instance.is_rate_limited());
+  return out;
+}
+
+}  // namespace rrs

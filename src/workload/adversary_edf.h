@@ -1,0 +1,43 @@
+// The Appendix B adversary: defeats pure deadline caching (EDF).
+//
+// Construction (paper, Appendix B): one color with delay bound 2^j and n/2
+// colors with delay bounds 2^k, 2^{k+1}, ..., 2^{k + n/2 - 1}, where
+// 2^k > 2^j > Delta > n.  The short color receives Delta jobs at every
+// multiple of 2^j until round 2^{k-1}; long color p receives 2^{k+p-1} jobs
+// at round 0.
+//
+// EDF thrashes: whenever the short color goes idle mid-block, the
+// longest-delay backlog color is pulled in, then pushed out again when
+// fresh short jobs arrive — at least 2^{k-j-1} * Delta reconfiguration cost
+// — while OFF serves the short color first and then each backlog color in
+// one stretch, paying only (n/2 + 1) * Delta.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Parameters of the Appendix B construction.
+struct AdversaryBParams {
+  int n = 8;       ///< online resource count (even; n/2 long colors)
+  Cost delta = 0;  ///< reconfiguration cost; 0 = auto (n + 1)
+  int j = 0;       ///< short delay = 2^j; 0 = auto (minimal legal)
+  int k = 0;       ///< smallest long delay = 2^k; 0 = auto (j + 1)
+};
+
+/// The generated instance plus the color roles the OFF schedule needs.
+struct AdversaryBInstance {
+  Instance instance;
+  ColorId short_color = 0;           ///< delay 2^j
+  std::vector<ColorId> long_colors;  ///< delay 2^{k+p}, ascending p
+  AdversaryBParams params;           ///< with delta/j/k auto-filled
+};
+
+/// Builds the Appendix B instance.  Auto-fills delta (= n + 1), j
+/// (smallest with 2^j > delta), and k (= j + 1) when left 0; validates the
+/// paper's constraint 2^k > 2^j > Delta > n.
+[[nodiscard]] AdversaryBInstance make_adversary_b(AdversaryBParams params);
+
+}  // namespace rrs

@@ -1,0 +1,84 @@
+#include "workload/datacenter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrs {
+
+std::vector<ServiceSpec> default_service_mix() {
+  // Loosely modeled on a shared hosting mix: latency-sensitive frontends,
+  // mid-tier APIs, and slack-rich batch/analytics tiers.
+  // Drop costs follow business value: interactive tiers lose the most per
+  // missed job, background tiers the least (weighted extension; all-1 in
+  // the paper's unit-cost reading).
+  return {
+      {.delay_bound = 8, .drop_cost = 8, .hot_rate = 1.2, .cold_rate = 0.05,
+       .mean_hot_length = 128, .mean_cold_length = 384},   // web frontend A
+      {.delay_bound = 8, .drop_cost = 8, .hot_rate = 1.0, .cold_rate = 0.05,
+       .mean_hot_length = 192, .mean_cold_length = 320},   // web frontend B
+      {.delay_bound = 32, .drop_cost = 4, .hot_rate = 0.8, .cold_rate = 0.1,
+       .mean_hot_length = 256, .mean_cold_length = 256},   // API tier A
+      {.delay_bound = 32, .drop_cost = 4, .hot_rate = 0.6, .cold_rate = 0.1,
+       .mean_hot_length = 320, .mean_cold_length = 448},   // API tier B
+      {.delay_bound = 128, .drop_cost = 2, .hot_rate = 0.5, .cold_rate = 0.2,
+       .mean_hot_length = 512, .mean_cold_length = 512},   // media encode
+      {.delay_bound = 512, .drop_cost = 1, .hot_rate = 0.4, .cold_rate = 0.2,
+       .mean_hot_length = 768, .mean_cold_length = 512},   // batch ETL
+      {.delay_bound = 2048, .drop_cost = 1, .hot_rate = 0.3,
+       .cold_rate = 0.25, .mean_hot_length = 1024,
+       .mean_cold_length = 1024},                           // analytics
+      {.delay_bound = 4096, .drop_cost = 1, .hot_rate = 0.25,
+       .cold_rate = 0.25, .mean_hot_length = 2048,
+       .mean_cold_length = 1024},                           // backup/repl
+  };
+}
+
+Instance make_datacenter(const DatacenterParams& params) {
+  RRS_REQUIRE(params.horizon >= 1, "horizon must be >= 1");
+  const std::vector<ServiceSpec> services =
+      params.services.empty() ? default_service_mix() : params.services;
+
+  Rng rng(params.seed);
+  InstanceBuilder builder;
+  builder.delta(params.delta);
+  for (const ServiceSpec& s : services) {
+    builder.add_color(s.delay_bound, s.drop_cost);
+  }
+
+  // Geometric phase lengths approximate exponential on/off processes and
+  // keep the generator integer-only.
+  const auto geometric = [&rng](Round mean) {
+    RRS_REQUIRE(mean >= 1, "phase mean must be >= 1");
+    const double p = 1.0 / static_cast<double>(mean);
+    Round length = 1;
+    while (!rng.bernoulli(p)) ++length;
+    return length;
+  };
+
+  for (std::size_t c = 0; c < services.size(); ++c) {
+    const ServiceSpec& s = services[c];
+    bool hot = rng.bernoulli(0.5);
+    Round phase_left = geometric(hot ? s.mean_hot_length
+                                     : s.mean_cold_length);
+    for (Round t = 0; t < params.horizon; ++t) {
+      if (phase_left == 0) {
+        hot = !hot;
+        phase_left = geometric(hot ? s.mean_hot_length : s.mean_cold_length);
+      }
+      --phase_left;
+      const double rate = hot ? s.hot_rate : s.cold_rate;
+      const std::int64_t count = rng.poisson(rate);
+      if (count > 0) {
+        builder.add_jobs(static_cast<ColorId>(c), t, count);
+      }
+    }
+  }
+
+  builder.min_horizon(params.horizon);
+  return builder.build();
+}
+
+}  // namespace rrs

@@ -1,0 +1,43 @@
+// Shared-datacenter workload: services with shifting demand phases.
+//
+// The applications motivating the paper (shared data centers, multi-service
+// routers) see workload *composition* change over time: a service is hot
+// for a stretch, then cold while others take over.  This generator models
+// each service (color) as an on/off phase process — exponential-ish phase
+// lengths, service-specific delay bounds and intensities — so resource
+// allocations must follow the demand mix, exactly the regime where
+// reconfiguration-vs-drop tradeoffs bite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// One service class in the datacenter mix.
+struct ServiceSpec {
+  Round delay_bound = 64;     ///< QoS delay tolerance of this service
+  Cost drop_cost = 1;         ///< value lost per dropped job (weighted ext.)
+  double hot_rate = 0.8;      ///< mean jobs/round while hot
+  double cold_rate = 0.02;    ///< mean jobs/round while cold
+  Round mean_hot_length = 256;   ///< mean hot-phase length (rounds)
+  Round mean_cold_length = 768;  ///< mean cold-phase length (rounds)
+};
+
+/// Parameters of the datacenter generator.
+struct DatacenterParams {
+  Cost delta = 32;
+  std::vector<ServiceSpec> services;  ///< empty = default 8-service mix
+  Round horizon = 8192;
+  std::uint64_t seed = 1;
+};
+
+/// A default heterogeneous 8-service mix (web, API, batch, analytics, ...).
+[[nodiscard]] std::vector<ServiceSpec> default_service_mix();
+
+/// Builds the (unbatched) datacenter instance.
+[[nodiscard]] Instance make_datacenter(const DatacenterParams& params);
+
+}  // namespace rrs

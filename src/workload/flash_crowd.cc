@@ -1,0 +1,44 @@
+#include "workload/flash_crowd.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrs {
+
+FlashCrowdInstance make_flash_crowd(const FlashCrowdParams& params) {
+  RRS_REQUIRE(params.background_colors >= 0, "negative color count");
+  RRS_REQUIRE(params.spike_factor >= 1.0, "spike_factor must be >= 1");
+  RRS_REQUIRE(0 <= params.spike_start &&
+                  params.spike_start <= params.spike_end &&
+                  params.spike_end <= params.horizon,
+              "need 0 <= spike_start <= spike_end <= horizon");
+
+  Rng rng(params.seed);
+  InstanceBuilder builder;
+  builder.delta(params.delta);
+
+  FlashCrowdInstance out;
+  out.spike_color = builder.add_color(params.spike_delay);
+  std::vector<ColorId> background;
+  for (int c = 0; c < params.background_colors; ++c) {
+    background.push_back(builder.add_color(params.background_delay));
+  }
+
+  for (Round t = 0; t < params.horizon; ++t) {
+    const bool in_spike = t >= params.spike_start && t < params.spike_end;
+    const double rate =
+        params.base_rate * (in_spike ? params.spike_factor : 1.0);
+    const std::int64_t spike_jobs = rng.poisson(rate);
+    if (spike_jobs > 0) builder.add_jobs(out.spike_color, t, spike_jobs);
+    for (const ColorId c : background) {
+      const std::int64_t jobs = rng.poisson(params.background_rate);
+      if (jobs > 0) builder.add_jobs(c, t, jobs);
+    }
+  }
+
+  builder.min_horizon(params.horizon);
+  out.instance = builder.build();
+  return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,42 @@
+// Flash-crowd workload: a sudden demand spike over steady background load.
+//
+// The motivating systems (shared data centers, routers) fear exactly this
+// shape: a stable mix, then one service's demand multiplies for a stretch
+// (breaking news, a viral object, a DDoS) and the allocator must decide
+// how much capacity to reassign — and how fast — before the spike ends.
+// The generator produces steady Poisson baselines plus one spike color
+// whose rate jumps by `spike_factor` during [spike_start, spike_end).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Parameters of the flash-crowd generator.
+struct FlashCrowdParams {
+  Cost delta = 16;
+  int background_colors = 6;
+  Round background_delay = 32;   ///< delay bound of background services
+  double background_rate = 0.2;  ///< jobs/round/color, steady
+  Round spike_delay = 8;         ///< delay bound of the spiking service
+  double base_rate = 0.2;        ///< spike color's rate outside the spike
+  double spike_factor = 20.0;    ///< rate multiplier during the spike
+  Round spike_start = 1024;
+  Round spike_end = 1536;
+  Round horizon = 4096;
+  std::uint64_t seed = 1;
+};
+
+/// The generated instance plus the spiking color.
+struct FlashCrowdInstance {
+  Instance instance;
+  ColorId spike_color = 0;
+};
+
+/// Builds the (unbatched) flash-crowd instance.
+[[nodiscard]] FlashCrowdInstance make_flash_crowd(
+    const FlashCrowdParams& params);
+
+}  // namespace rrs

@@ -1,0 +1,58 @@
+#include "workload/intro_scenario.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrs {
+
+IntroScenarioInstance make_intro_scenario(const IntroScenarioParams& params) {
+  RRS_REQUIRE(is_pow2(params.short_delay) && is_pow2(params.background_delay),
+              "intro scenario uses power-of-two delay bounds");
+  RRS_REQUIRE(params.background_delay >= params.short_delay,
+              "background delay must dominate short delay");
+  RRS_REQUIRE(params.num_short_colors >= 1, "need >= 1 short color");
+  RRS_REQUIRE(params.burst_jobs >= 0 && params.background_jobs >= 0,
+              "negative job counts");
+
+  IntroScenarioInstance out;
+  InstanceBuilder builder;
+  builder.delta(params.delta);
+
+  out.background_color = builder.add_color(params.background_delay);
+  for (int c = 0; c < params.num_short_colors; ++c) {
+    out.short_colors.push_back(builder.add_color(params.short_delay));
+  }
+
+  // Background backlog spread over multiples of its delay bound so the
+  // instance stays rate-limited (<= D jobs per batch).
+  Rng rng(params.seed);
+  std::int64_t backlog = params.background_jobs;
+  for (Round t = 0; backlog > 0; t += params.background_delay) {
+    const std::int64_t batch = std::min(backlog, params.background_delay);
+    builder.add_jobs(out.background_color, t, batch);
+    backlog -= batch;
+  }
+
+  // Short-term colors: at each multiple of short_delay, each color is
+  // active with burst_probability and then contributes burst_jobs jobs
+  // (capped by the rate limit).
+  const std::int64_t burst =
+      std::min<std::int64_t>(params.burst_jobs, params.short_delay);
+  for (Round t = 0; t < params.horizon; t += params.short_delay) {
+    for (const ColorId c : out.short_colors) {
+      if (rng.bernoulli(params.burst_probability)) {
+        builder.add_jobs(c, t, burst);
+      }
+    }
+  }
+
+  builder.min_horizon(params.horizon);
+  out.instance = builder.build();
+  RRS_CHECK(out.instance.is_rate_limited());
+  return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,44 @@
+// The introduction's motivating dilemma: background vs. short-term jobs.
+//
+// Section 1 of the paper motivates the problem with a scenario of
+// "background" jobs (deadlines far in the future) competing with
+// intermittently arriving "short-term" jobs on scarce resources: eagerly
+// filling idle cycles with background work thrashes, while waiting for a
+// long idle period underutilizes.  This generator reproduces that shape:
+// a large background backlog plus short-term colors that alternate between
+// bursty activity and silence, with randomized burst/gap lengths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Parameters of the intro background-vs-short-term scenario.
+struct IntroScenarioParams {
+  Cost delta = 16;              ///< reconfiguration cost
+  int num_short_colors = 3;     ///< intermittent short-term colors
+  Round short_delay = 16;       ///< delay bound of short-term colors (pow2)
+  Round background_delay = 4096;  ///< delay bound of the background color
+  std::int64_t background_jobs = 4096;  ///< backlog size at round 0
+  double burst_probability = 0.5;  ///< P(short color active in a block)
+  std::int64_t burst_jobs = 8;     ///< jobs per active block per color
+  Round horizon = 4096;            ///< rounds of short-term activity
+  std::uint64_t seed = 1;
+};
+
+/// The generated instance plus color roles.
+struct IntroScenarioInstance {
+  Instance instance;
+  ColorId background_color = 0;
+  std::vector<ColorId> short_colors;
+};
+
+/// Builds the scenario (batched: short bursts land on multiples of
+/// short_delay, the backlog on round 0).
+[[nodiscard]] IntroScenarioInstance make_intro_scenario(
+    const IntroScenarioParams& params);
+
+}  // namespace rrs

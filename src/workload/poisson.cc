@@ -1,0 +1,45 @@
+#include "workload/poisson.h"
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrs {
+
+Instance make_poisson(const PoissonParams& params) {
+  RRS_REQUIRE(params.num_colors >= 1, "need >= 1 color");
+  RRS_REQUIRE(params.min_delay >= 1 && params.min_delay <= params.max_delay,
+              "need 1 <= min_delay <= max_delay");
+  RRS_REQUIRE(params.mean_rate >= 0.0, "mean_rate must be >= 0");
+  RRS_REQUIRE(params.horizon >= 1, "horizon must be >= 1");
+
+  Rng rng(params.seed);
+  InstanceBuilder builder;
+  builder.delta(params.delta);
+
+  for (int c = 0; c < params.num_colors; ++c) {
+    Round delay;
+    if (params.arbitrary_delays) {
+      delay = rng.uniform(params.min_delay, params.max_delay);
+    } else {
+      const int lo = floor_log2(ceil_pow2(params.min_delay));
+      const int hi = floor_log2(floor_pow2(params.max_delay));
+      delay = Round{1} << rng.uniform(lo, hi);
+    }
+    builder.add_color(delay);
+  }
+
+  // Per-color per-round Poisson counts.  Iterating color-major keeps the
+  // builder's per-color arrival order ascending, which is required.
+  for (int c = 0; c < params.num_colors; ++c) {
+    for (Round t = 0; t < params.horizon; ++t) {
+      const std::int64_t count = rng.poisson(params.mean_rate);
+      if (count > 0) builder.add_jobs(static_cast<ColorId>(c), t, count);
+    }
+  }
+
+  builder.min_horizon(params.horizon);
+  return builder.build();
+}
+
+}  // namespace rrs

@@ -1,0 +1,31 @@
+// Unbatched Poisson arrivals: the general [Delta | 1 | D_l | 1] regime.
+//
+// Jobs of every color arrive in every round with Poisson-distributed
+// counts; nothing is aligned to delay-bound multiples, so these instances
+// exercise the full VarBatch pipeline (Theorem 3).  Delay bounds can be
+// powers of two or arbitrary (Section 5.3 extension) depending on
+// `arbitrary_delays`.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Parameters of the Poisson generator.
+struct PoissonParams {
+  Cost delta = 8;
+  int num_colors = 12;
+  Round min_delay = 4;     ///< smallest delay bound
+  Round max_delay = 128;   ///< largest delay bound
+  bool arbitrary_delays = false;  ///< false: powers of two only
+  double mean_rate = 0.25;  ///< mean jobs per color per round
+  Round horizon = 1024;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a random unbatched instance.
+[[nodiscard]] Instance make_poisson(const PoissonParams& params);
+
+}  // namespace rrs

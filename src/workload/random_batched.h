@@ -1,0 +1,37 @@
+// Randomized batched workloads over a spectrum of delay bounds.
+//
+// The Theorem 1 / Theorem 2 experiments need families of batched
+// instances: rate-limited ones (Section 3's core problem) and over-limit
+// ones whose bursts exceed D_l jobs per batch (exercising Distribute's
+// splitting).  Colors draw power-of-two delay bounds uniformly from
+// [2^min_scale, 2^max_scale]; at each multiple of its delay bound a color
+// is active with `activity` probability and receives a uniform batch of
+// size up to `burst_factor * D_l` (factor <= 1 keeps the rate limit).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Parameters of the random batched generator.
+struct RandomBatchedParams {
+  Cost delta = 8;
+  int num_colors = 16;
+  int min_scale = 2;   ///< smallest delay bound = 2^min_scale
+  int max_scale = 6;   ///< largest delay bound = 2^max_scale
+  Round horizon = 1024;
+  double activity = 0.7;      ///< P(color active at a given batch round)
+  double burst_factor = 1.0;  ///< max batch size = burst_factor * D_l
+  /// Per-job drop costs drawn uniformly from [min_drop_cost,
+  /// max_drop_cost] per color (1/1 = the paper's unit-cost setting).
+  Cost min_drop_cost = 1;
+  Cost max_drop_cost = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a random batched instance (rate-limited iff burst_factor <= 1).
+[[nodiscard]] Instance make_random_batched(const RandomBatchedParams& params);
+
+}  // namespace rrs

@@ -1,0 +1,108 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace {
+
+constexpr const char* kHeader = "# rrs-trace v1";
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+std::int64_t parse_int(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    RRS_REQUIRE(pos == s.size(), "trailing junk in " << what << ": " << s);
+    return v;
+  } catch (const std::logic_error&) {
+    throw InputError(std::string("bad integer for ") + what + ": " + s);
+  }
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Instance& instance) {
+  out << kHeader << "\n";
+  out << "delta," << instance.delta() << "\n";
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    out << "color," << c << "," << instance.delay_bound(c) << ","
+        << instance.drop_cost(c) << "\n";
+  }
+  // Aggregate jobs by (arrival, color) to keep traces compact.
+  const auto& jobs = instance.jobs();
+  std::size_t i = 0;
+  while (i < jobs.size()) {
+    const Round arrival = jobs[i].arrival;
+    std::map<ColorId, std::int64_t> counts;
+    for (; i < jobs.size() && jobs[i].arrival == arrival; ++i) {
+      ++counts[jobs[i].color];
+    }
+    for (const auto& [color, count] : counts) {
+      out << "job," << color << "," << arrival << "," << count << "\n";
+    }
+  }
+}
+
+void write_trace_file(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  RRS_REQUIRE(out.good(), "cannot open trace file for writing: " << path);
+  write_trace(out, instance);
+  out.flush();
+  RRS_REQUIRE(out.good(), "I/O error writing trace file: " << path);
+}
+
+Instance read_trace(std::istream& in) {
+  std::string line;
+  RRS_REQUIRE(std::getline(in, line) && line == kHeader,
+              "missing trace header '" << kHeader << "'");
+  InstanceBuilder builder;
+  ColorId colors_declared = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> f = split_csv(line);
+    RRS_REQUIRE(!f.empty(), "empty trace record");
+    if (f[0] == "delta") {
+      RRS_REQUIRE(f.size() == 2, "delta record needs 1 field");
+      builder.delta(parse_int(f[1], "delta"));
+    } else if (f[0] == "color") {
+      RRS_REQUIRE(f.size() == 3 || f.size() == 4,
+                  "color record needs 2 or 3 fields");
+      const ColorId id = static_cast<ColorId>(parse_int(f[1], "color id"));
+      RRS_REQUIRE(id == colors_declared,
+                  "color ids must be dense and ascending; got " << id);
+      const Cost drop_cost =
+          f.size() == 4 ? parse_int(f[3], "drop cost") : 1;
+      builder.add_color(parse_int(f[2], "delay bound"), drop_cost);
+      ++colors_declared;
+    } else if (f[0] == "job") {
+      RRS_REQUIRE(f.size() == 4, "job record needs 3 fields");
+      builder.add_jobs(static_cast<ColorId>(parse_int(f[1], "job color")),
+                       parse_int(f[2], "arrival"),
+                       parse_int(f[3], "count"));
+    } else {
+      throw InputError("unknown trace record type: " + f[0]);
+    }
+  }
+  return builder.build();
+}
+
+Instance read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  RRS_REQUIRE(in.good(), "cannot open trace file: " << path);
+  return read_trace(in);
+}
+
+}  // namespace rrs

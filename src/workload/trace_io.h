@@ -1,0 +1,34 @@
+// CSV trace persistence for instances.
+//
+// Format (one file per instance):
+//   # rrs-trace v1
+//   delta,<Delta>
+//   color,<id>,<delay_bound>[,<drop_cost>]   (one per color, ascending id;
+//                                             drop cost defaults to 1)
+//   job,<color>,<arrival>,<count>            (aggregated arrivals)
+//
+// Traces round-trip exactly (same colors, same job multiset), letting
+// experiments be archived and replayed, and letting users feed their own
+// workloads to the examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+/// Writes `instance` as a v1 trace to `out`.
+void write_trace(std::ostream& out, const Instance& instance);
+
+/// Writes `instance` to `path`; throws InputError on I/O failure.
+void write_trace_file(const std::string& path, const Instance& instance);
+
+/// Parses a v1 trace; throws InputError on malformed input.
+[[nodiscard]] Instance read_trace(std::istream& in);
+
+/// Reads a trace file; throws InputError on I/O failure or bad content.
+[[nodiscard]] Instance read_trace_file(const std::string& path);
+
+}  // namespace rrs

@@ -1,0 +1,92 @@
+// Tests for offline/appendix_off: the explicit OFF schedules match the
+// closed-form costs the paper states.
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "util/check.h"
+#include "offline/appendix_off.h"
+#include "workload/adversary_dlru.h"
+#include "workload/adversary_edf.h"
+
+namespace rrs {
+namespace {
+
+TEST(AppendixAOff, ValidatesAndMatchesClosedForm) {
+  for (int j = 4; j <= 6; ++j) {
+    AdversaryAParams params;
+    params.n = 4;
+    params.delta = 2;
+    params.j = j;
+    params.k = j + 2;
+    const AdversaryAInstance adv = make_adversary_a(params);
+    const Schedule off = appendix_a_off_schedule(adv);
+    const CostBreakdown cost = validate_or_throw(adv.instance, off);
+
+    // OFF configures the long-term color once and executes all 2^k of its
+    // jobs; every short-term job drops.
+    EXPECT_EQ(cost.reconfig_cost, params.delta);
+    const Cost short_jobs = Cost{params.n / 2} * params.delta *
+                            (Round{1} << (params.k - params.j));
+    EXPECT_EQ(cost.drops, short_jobs);
+    // Paper's closed form: drop cost = 2^{k-j-1} * n * Delta.
+    EXPECT_EQ(cost.drops, (Round{1} << (params.k - params.j - 1)) *
+                              params.n * params.delta);
+  }
+}
+
+TEST(AppendixAOff, ExecutesEntireLongBacklog) {
+  const AdversaryAInstance adv = make_adversary_a({.n = 4, .delta = 2});
+  const Schedule off = appendix_a_off_schedule(adv);
+  const Round long_jobs = Round{1} << adv.params.k;
+  EXPECT_EQ(static_cast<Round>(off.execs.size()), long_jobs);
+  for (const ExecEvent& e : off.execs) {
+    EXPECT_EQ(adv.instance.jobs()[static_cast<std::size_t>(e.job)].color,
+              adv.long_color);
+  }
+}
+
+TEST(AppendixBOff, ValidatesDropFreeAtStatedCost) {
+  for (int bump = 1; bump <= 3; ++bump) {
+    AdversaryBParams params;
+    params.n = 4;
+    params.delta = params.n + 1;
+    params.j = 3;
+    params.k = params.j + bump;
+    const AdversaryBInstance adv = make_adversary_b(params);
+    const Schedule off = appendix_b_off_schedule(adv);
+    const CostBreakdown cost = validate_or_throw(adv.instance, off);
+    EXPECT_EQ(cost.drops, 0);
+    EXPECT_EQ(cost.reconfig_cost,
+              Cost{params.n / 2 + 1} * params.delta);
+  }
+}
+
+TEST(AppendixBOff, SegmentsServeTheirColors) {
+  const AdversaryBInstance adv = make_adversary_b({.n = 4});
+  const Schedule off = appendix_b_off_schedule(adv);
+  const Round switch_round = (Round{1} << adv.params.k) / 2;
+  for (const ExecEvent& e : off.execs) {
+    const ColorId color =
+        adv.instance.jobs()[static_cast<std::size_t>(e.job)].color;
+    if (e.round < switch_round) {
+      EXPECT_EQ(color, adv.short_color);
+    } else {
+      EXPECT_NE(color, adv.short_color);
+    }
+  }
+}
+
+TEST(AdversaryGenerators, ConstraintViolationsRejected) {
+  // Appendix A needs 2^k > 2^{j+1} > n * Delta.
+  EXPECT_THROW((void)make_adversary_a({.n = 8, .delta = 8, .j = 3, .k = 9}),
+               InputError);
+  EXPECT_THROW((void)make_adversary_a({.n = 4, .delta = 2, .j = 5, .k = 6}),
+               InputError);
+  // Appendix B needs 2^k > 2^j > Delta > n.
+  EXPECT_THROW((void)make_adversary_b({.n = 8, .delta = 4}), InputError);
+  EXPECT_THROW((void)make_adversary_b({.n = 4, .delta = 5, .j = 2, .k = 4}),
+               InputError);
+}
+
+}  // namespace
+}  // namespace rrs

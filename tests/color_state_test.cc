@@ -1,0 +1,223 @@
+// Unit tests for core/color_state: the Section 3.1 per-color state machine
+// (counters, wraps, eligibility, timestamps, epoch/drop accounting).
+#include <gtest/gtest.h>
+
+#include "core/cache.h"
+#include "core/color_state.h"
+#include "core/instance.h"
+
+namespace rrs {
+namespace {
+
+/// Drives an EligibilityTracker round by round the way the engine would.
+class TrackerHarness {
+ public:
+  explicit TrackerHarness(Instance instance)
+      : instance_(std::move(instance)), cache_(4, 2) {
+    cache_.ensure_colors(instance_.num_colors());
+    tracker_.begin(instance_);
+  }
+
+  /// Runs rounds [next_, until) with no cache changes and no drops.
+  void advance_to(Round until) {
+    for (; next_ < until; ++next_) {
+      tracker_.drop_phase(next_, PendingJobs::DropResult{}, cache_);
+      tracker_.arrival_phase(next_, instance_.arrivals_in_round(next_));
+    }
+  }
+
+  /// Caches `color` (so boundary resets skip it).
+  void cache_color(ColorId color) {
+    cache_.begin_phase();
+    cache_.insert(color);
+    (void)cache_.finish_phase();
+  }
+  void uncache_color(ColorId color) {
+    cache_.begin_phase();
+    cache_.erase(color);
+    (void)cache_.finish_phase();
+  }
+
+  EligibilityTracker& tracker() { return tracker_; }
+  [[nodiscard]] Round now() const { return next_; }
+
+ private:
+  Instance instance_;
+  CacheAssignment cache_;
+  EligibilityTracker tracker_;
+  Round next_ = 0;
+};
+
+/// One color, delay 4, Delta 3; batches of `batch` jobs at given rounds.
+Instance one_color_instance(Cost delta, Round delay,
+                            std::vector<std::pair<Round, std::int64_t>>
+                                batches) {
+  InstanceBuilder builder;
+  builder.delta(delta);
+  const ColorId c = builder.add_color(delay);
+  Round max_round = 0;
+  for (const auto& [round, count] : batches) {
+    builder.add_jobs(c, round, count);
+    max_round = std::max(max_round, round);
+  }
+  builder.min_horizon(max_round + 4 * delay);
+  return builder.build();
+}
+
+TEST(EligibilityTracker, ColorStartsIneligible) {
+  TrackerHarness h(one_color_instance(3, 4, {{0, 1}}));
+  h.advance_to(1);
+  EXPECT_FALSE(h.tracker().eligible(0));
+  EXPECT_TRUE(h.tracker().eligible_colors().empty());
+}
+
+TEST(EligibilityTracker, WrapMakesEligible) {
+  // Delta = 3; 3 jobs at round 0 wrap the counter immediately.
+  TrackerHarness h(one_color_instance(3, 4, {{0, 3}}));
+  h.advance_to(1);
+  EXPECT_TRUE(h.tracker().eligible(0));
+  EXPECT_EQ(h.tracker().eligible_colors().size(), 1u);
+}
+
+TEST(EligibilityTracker, CounterAccumulatesAcrossBatches) {
+  // 2 jobs at round 0, 2 at round 4: wrap happens at round 4 (2+2 >= 3).
+  TrackerHarness h(one_color_instance(3, 4, {{0, 2}, {4, 2}}));
+  h.advance_to(4);
+  EXPECT_FALSE(h.tracker().eligible(0));
+  h.advance_to(5);
+  EXPECT_TRUE(h.tracker().eligible(0));
+}
+
+TEST(EligibilityTracker, UncachedEligibleColorResetsAtBoundary) {
+  TrackerHarness h(one_color_instance(3, 4, {{0, 3}}));
+  h.advance_to(4);  // rounds 0..3: eligible since the round-0 wrap
+  ASSERT_TRUE(h.tracker().eligible(0));
+  h.advance_to(5);  // boundary at round 4: not cached -> ineligible
+  EXPECT_FALSE(h.tracker().eligible(0));
+  EXPECT_EQ(h.tracker().num_epochs(), 2);  // 1 completed + 1 incomplete
+}
+
+TEST(EligibilityTracker, CachedColorStaysEligibleAtBoundary) {
+  TrackerHarness h(one_color_instance(3, 4, {{0, 3}}));
+  h.advance_to(1);
+  h.cache_color(0);
+  h.advance_to(9);  // two boundaries pass while cached
+  EXPECT_TRUE(h.tracker().eligible(0));
+  h.uncache_color(0);
+  h.advance_to(13);  // next boundary: uncached -> ineligible
+  EXPECT_FALSE(h.tracker().eligible(0));
+}
+
+TEST(EligibilityTracker, TimestampLagsWrapByOneBoundary) {
+  // Wrap at round 0.  Within block [0, 4) the most recent multiple is 0 and
+  // no wrap happened strictly before it, so timestamp stays 0 (the paper's
+  // "no such round" default); from round 4 the wrap at 0 becomes visible.
+  TrackerHarness h(one_color_instance(3, 4, {{0, 3}, {8, 3}}));
+  h.advance_to(1);
+  EXPECT_EQ(h.tracker().timestamp(0, 1), 0);
+  h.cache_color(0);  // keep it eligible across boundaries
+  h.advance_to(5);
+  EXPECT_EQ(h.tracker().timestamp(0, 5), 0);  // wrap at 0 now < boundary 4
+  h.advance_to(9);  // wrap at 8 happened; within [8,12) it is not visible
+  EXPECT_EQ(h.tracker().timestamp(0, 9), 0);  // still the round-0 wrap
+  h.advance_to(13);
+  EXPECT_EQ(h.tracker().timestamp(0, 13), 8);  // now the round-8 wrap shows
+}
+
+TEST(EligibilityTracker, ColorDeadlineAdvancesAtBoundaries) {
+  TrackerHarness h(one_color_instance(3, 4, {{0, 3}}));
+  h.advance_to(1);
+  EXPECT_EQ(h.tracker().color_deadline(0), 4);
+  h.advance_to(5);
+  EXPECT_EQ(h.tracker().color_deadline(0), 8);
+  h.advance_to(9);
+  EXPECT_EQ(h.tracker().color_deadline(0), 12);
+}
+
+TEST(EligibilityTracker, DropClassificationUsesPreResetStatus) {
+  InstanceBuilder builder;
+  builder.delta(2);
+  const ColorId c = builder.add_color(4);
+  builder.add_jobs(c, 0, 3);  // wraps (3 >= 2), 1 leftover counted
+  builder.min_horizon(16);
+  const Instance inst = builder.build();
+
+  CacheAssignment cache(4, 2);
+  cache.ensure_colors(1);
+  EligibilityTracker tracker;
+  tracker.begin(inst);
+  tracker.drop_phase(0, {}, cache);
+  tracker.arrival_phase(0, inst.arrivals_in_round(0));
+  ASSERT_TRUE(tracker.eligible(c));
+
+  // Boundary at round 4: the 3 jobs expire while the color is STILL
+  // eligible, so they are eligible drops; the color then goes ineligible.
+  PendingJobs::DropResult dropped;
+  dropped.total = 3;
+  dropped.by_color = {{c, 3}};
+  tracker.drop_phase(4, dropped, cache);
+  EXPECT_EQ(tracker.eligible_drops(), 3);
+  EXPECT_EQ(tracker.ineligible_drops(), 0);
+  EXPECT_FALSE(tracker.eligible(c));
+
+  // A later drop while ineligible classifies the other way.
+  PendingJobs::DropResult dropped2;
+  dropped2.total = 1;
+  dropped2.by_color = {{c, 1}};
+  tracker.drop_phase(8, dropped2, cache);
+  EXPECT_EQ(tracker.ineligible_drops(), 1);
+}
+
+TEST(EligibilityTracker, EpochCountingMultipleCycles) {
+  // Delta 2, delay 4; 2 jobs at rounds 0, 8, 16 -> three eligibility
+  // cycles, each ending at the next boundary (uncached throughout).
+  TrackerHarness h(one_color_instance(2, 4, {{0, 2}, {8, 2}, {16, 2}}));
+  h.advance_to(21);
+  // 3 completed epochs + the current incomplete one.
+  EXPECT_EQ(h.tracker().num_epochs(), 4);
+}
+
+TEST(EligibilityTracker, ActiveColorsCountedOnce) {
+  InstanceBuilder builder;
+  builder.delta(100);  // never wraps
+  const ColorId c = builder.add_color(4);
+  builder.add_jobs(c, 0, 1).add_jobs(c, 4, 1).add_jobs(c, 8, 1);
+  builder.min_horizon(32);
+  TrackerHarness h(builder.build());
+  h.advance_to(12);
+  EXPECT_EQ(h.tracker().num_epochs(), 1);  // one incomplete epoch only
+  EXPECT_FALSE(h.tracker().eligible(c));
+}
+
+TEST(EligibilityTracker, CounterWrapsModuloDelta) {
+  // Delta 3, 7 jobs at once: cnt -> 7 mod 3 = 1; another 2 jobs at the
+  // next boundary wrap again (1 + 2 = 3).
+  TrackerHarness h(one_color_instance(3, 4, {{0, 7}, {4, 2}}));
+  h.advance_to(1);
+  EXPECT_TRUE(h.tracker().eligible(0));
+  h.cache_color(0);
+  h.advance_to(5);
+  // Second wrap at round 4 is recorded: from round 8 both wraps are past
+  // boundaries and timestamp shows round 4.
+  h.advance_to(9);
+  EXPECT_EQ(h.tracker().timestamp(0, 9), 4);
+}
+
+TEST(EligibilityTracker, MultipleDelayGroupsTouchOnlyAtOwnBoundaries) {
+  InstanceBuilder builder;
+  builder.delta(1);  // every job wraps instantly
+  const ColorId fast = builder.add_color(2);
+  const ColorId slow = builder.add_color(8);
+  builder.add_jobs(fast, 0, 1).add_jobs(slow, 0, 1);
+  builder.min_horizon(24);
+  TrackerHarness h(builder.build());
+  h.advance_to(3);
+  // fast reset at its boundary (round 2, uncached); slow still eligible.
+  EXPECT_FALSE(h.tracker().eligible(fast));
+  EXPECT_TRUE(h.tracker().eligible(slow));
+  h.advance_to(9);
+  EXPECT_FALSE(h.tracker().eligible(slow));  // reset at round 8
+}
+
+}  // namespace
+}  // namespace rrs

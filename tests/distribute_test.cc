@@ -1,0 +1,165 @@
+// Tests for algs/distribute: the batched -> rate-limited reduction.
+#include <gtest/gtest.h>
+
+#include "algs/distribute.h"
+#include "core/validator.h"
+#include "offline/optimal.h"
+#include "util/rng.h"
+#include "util/check.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+/// Batched instance whose bursts exceed the rate limit.
+Instance bursty_batched(std::uint64_t seed = 1) {
+  RandomBatchedParams params;
+  params.seed = seed;
+  params.burst_factor = 3.0;  // up to 3 * D_l jobs per batch
+  params.horizon = 256;
+  params.num_colors = 8;
+  return make_random_batched(params);
+}
+
+TEST(Distribute, TransformProducesRateLimitedInstance) {
+  const Instance inst = bursty_batched();
+  ASSERT_TRUE(inst.is_batched());
+  ASSERT_FALSE(inst.is_rate_limited());
+
+  const DistributeTransform t = distribute_transform(inst);
+  EXPECT_TRUE(t.rate_limited.is_batched());
+  EXPECT_TRUE(t.rate_limited.is_rate_limited());
+  EXPECT_EQ(t.rate_limited.jobs().size(), inst.jobs().size());
+  EXPECT_GE(t.rate_limited.num_colors(), inst.num_colors());
+  EXPECT_EQ(static_cast<ColorId>(t.virtual_to_real.size()),
+            t.rate_limited.num_colors());
+}
+
+TEST(Distribute, VirtualColorsPreserveDelayBounds) {
+  const Instance inst = bursty_batched(2);
+  const DistributeTransform t = distribute_transform(inst);
+  for (ColorId v = 0; v < t.rate_limited.num_colors(); ++v) {
+    const ColorId real = t.virtual_to_real[static_cast<std::size_t>(v)];
+    EXPECT_EQ(t.rate_limited.delay_bound(v), inst.delay_bound(real));
+  }
+}
+
+TEST(Distribute, JobIdsCorrespondOneToOne) {
+  const Instance inst = bursty_batched(3);
+  const DistributeTransform t = distribute_transform(inst);
+  for (std::size_t i = 0; i < inst.jobs().size(); ++i) {
+    const Job& original = inst.jobs()[i];
+    const Job& renamed = t.rate_limited.jobs()[i];
+    EXPECT_EQ(renamed.arrival, original.arrival);
+    EXPECT_EQ(renamed.delay_bound, original.delay_bound);
+    EXPECT_EQ(t.virtual_to_real[static_cast<std::size_t>(renamed.color)],
+              original.color);
+  }
+}
+
+TEST(Distribute, SplitsBigBatchesAcrossVirtualColors) {
+  InstanceBuilder builder;
+  builder.delta(2);
+  const ColorId c = builder.add_color(4);
+  builder.add_jobs(c, 0, 10);  // 10 jobs, D = 4 -> 3 virtual colors
+  const Instance inst = builder.build();
+  const DistributeTransform t = distribute_transform(inst);
+  EXPECT_EQ(t.rate_limited.num_colors(), 3);
+  EXPECT_EQ(t.rate_limited.jobs_of_color(0), 4);
+  EXPECT_EQ(t.rate_limited.jobs_of_color(1), 4);
+  EXPECT_EQ(t.rate_limited.jobs_of_color(2), 2);
+}
+
+TEST(Distribute, RequiresBatchedInput) {
+  InstanceBuilder builder;
+  const ColorId c = builder.add_color(4);
+  builder.add_jobs(c, 1, 1);  // unbatched
+  const Instance inst = builder.build();
+  EXPECT_THROW((void)distribute_transform(inst), InputError);
+}
+
+TEST(Distribute, MapBackElidesSiblingReconfigs) {
+  // A hand-built virtual schedule that flips one resource between two
+  // virtual colors of the same real color: the mapped schedule must carry
+  // only the first reconfiguration.
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(2);
+  builder.add_jobs(c, 0, 4);  // virtual colors (c,0), (c,1)
+  const Instance inst = builder.build();
+  const DistributeTransform t = distribute_transform(inst);
+  ASSERT_EQ(t.rate_limited.num_colors(), 2);
+
+  Schedule virtual_schedule;
+  virtual_schedule.num_resources = 1;
+  virtual_schedule.reconfigs = {{0, 0, 0, 0}, {1, 0, 0, 1}};
+  virtual_schedule.execs = {{0, 0, 0, 0}, {1, 0, 0, 2}};
+  const Schedule mapped = distribute_map_back(t, virtual_schedule);
+  EXPECT_EQ(mapped.reconfigs.size(), 1u);
+  EXPECT_EQ(mapped.reconfigs[0].color, c);
+  EXPECT_EQ(mapped.execs.size(), 2u);
+  EXPECT_TRUE(validate(inst, mapped).ok);
+}
+
+TEST(Distribute, EndToEndScheduleValidAndCostAtMostVirtual) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Instance inst = bursty_batched(seed);
+    const DistributeResult r = run_distribute(inst, 8);
+    const CostBreakdown mapped_cost = validate_or_throw(inst, r.schedule);
+    EXPECT_EQ(mapped_cost, r.cost);
+    // Lemma 4.2: mapping back never increases cost.
+    EXPECT_LE(r.cost.total(), r.virtual_run.cost.total()) << "seed " << seed;
+    // Executions are preserved exactly.
+    EXPECT_EQ(static_cast<std::int64_t>(r.schedule.execs.size()),
+              r.virtual_run.executed);
+  }
+}
+
+TEST(Distribute, Lemma41_VirtualInstanceAdmitsCheapOfflineSchedule) {
+  // Lemma 4.1 (proved via the Aggregate construction with 3x resources):
+  // any offline schedule T for I yields an offline schedule T' for I'
+  // that is resource competitive with T.  Checked exactly on tiny bursty
+  // instances with the DP:  OPT_{I'}(3m) <= K * OPT_I(m)  at m = 1.
+  Rng rng(55);
+  for (int trial = 0; trial < 6; ++trial) {
+    InstanceBuilder builder;
+    builder.delta(2);
+    const ColorId a = builder.add_color(2);
+    const ColorId b = builder.add_color(4);
+    for (Round t = 0; t < 12; t += 2) {
+      if (rng.bernoulli(0.6)) builder.add_jobs(a, t, rng.uniform(1, 5));
+      if (t % 4 == 0 && rng.bernoulli(0.6)) {
+        builder.add_jobs(b, t, rng.uniform(1, 9));
+      }
+    }
+    const Instance instance = builder.build();
+    if (instance.jobs().empty()) continue;
+    const Instance virtual_instance =
+        distribute_transform(instance).rate_limited;
+
+    const Cost opt_original = optimal_offline_cost(instance, 1);
+    const Cost opt_virtual = optimal_offline_cost(virtual_instance, 3);
+    EXPECT_LE(opt_virtual, 8 * std::max<Cost>(1, opt_original))
+        << "trial " << trial;
+  }
+}
+
+TEST(Distribute, RateLimitedInputPassesThroughUnchanged) {
+  RandomBatchedParams params;
+  params.seed = 9;
+  params.burst_factor = 1.0;
+  params.horizon = 128;
+  const Instance inst = make_random_batched(params);
+  ASSERT_TRUE(inst.is_rate_limited());
+  const DistributeTransform t = distribute_transform(inst);
+  // Already rate-limited: one virtual color per active real color.
+  EXPECT_LE(t.rate_limited.num_colors(), inst.num_colors());
+  for (std::size_t i = 0; i < inst.jobs().size(); ++i) {
+    EXPECT_EQ(t.virtual_to_real[static_cast<std::size_t>(
+                  t.rate_limited.jobs()[i].color)],
+              inst.jobs()[i].color);
+  }
+}
+
+}  // namespace
+}  // namespace rrs

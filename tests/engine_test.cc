@@ -1,0 +1,194 @@
+// Unit tests for core/engine: phase ordering, cost accounting, recording.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "core/validator.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace {
+
+/// Policy that pins a fixed set of colors from round 0 onward.
+class PinPolicy : public Policy {
+ public:
+  explicit PinPolicy(std::vector<ColorId> colors)
+      : colors_(std::move(colors)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "pin"; }
+
+  void reconfigure(Round, int, const EngineView&,
+                   CacheAssignment& cache) override {
+    for (const ColorId c : colors_) {
+      if (!cache.contains(c)) cache.insert(c);
+    }
+  }
+
+ private:
+  std::vector<ColorId> colors_;
+};
+
+/// Policy that never configures anything.
+class IdlePolicy : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "idle"; }
+  void reconfigure(Round, int, const EngineView&, CacheAssignment&) override {
+  }
+};
+
+Instance two_color_instance() {
+  InstanceBuilder builder;
+  builder.delta(2);
+  const ColorId a = builder.add_color(4);
+  const ColorId b = builder.add_color(4);
+  builder.add_jobs(a, 0, 4).add_jobs(b, 0, 2);
+  return builder.build();
+}
+
+TEST(Engine, IdlePolicyDropsEverything) {
+  const Instance inst = two_color_instance();
+  IdlePolicy policy;
+  EngineOptions options;
+  options.num_resources = 2;
+  const EngineResult r = run_policy(inst, policy, options);
+  EXPECT_EQ(r.executed, 0);
+  EXPECT_EQ(r.cost.drops, 6);
+  EXPECT_EQ(r.cost.reconfig_cost, 0);
+  EXPECT_EQ(r.cost.total(), 6);
+}
+
+TEST(Engine, PinnedColorExecutesOnePerRoundPerLocation) {
+  const Instance inst = two_color_instance();
+  PinPolicy policy({0});
+  EngineOptions options;
+  options.num_resources = 1;
+  options.replication = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  // 4 rounds, 1 resource on color 0 -> exactly the 4 color-0 jobs run.
+  EXPECT_EQ(r.executed, 4);
+  EXPECT_EQ(r.cost.drops, 2);
+  EXPECT_EQ(r.cost.reconfig_events, 1);
+  EXPECT_EQ(r.cost.reconfig_cost, 2);  // Delta = 2
+}
+
+TEST(Engine, ReplicationExecutesTwicePerRound) {
+  const Instance inst = two_color_instance();
+  PinPolicy policy({0});
+  EngineOptions options;
+  options.num_resources = 2;
+  options.replication = 2;
+  const EngineResult r = run_policy(inst, policy, options);
+  // Color 0 in two locations: its 4 jobs finish in 2 rounds.
+  EXPECT_EQ(r.executed, 4);
+  EXPECT_EQ(r.cost.reconfig_events, 2);  // two locations colored once
+}
+
+TEST(Engine, DoubleSpeedExecutesTwoMiniRounds) {
+  const Instance inst = two_color_instance();
+  PinPolicy policy({0, 1});
+  EngineOptions options;
+  options.num_resources = 2;
+  options.replication = 1;
+  options.speed = 2;
+  const EngineResult r = run_policy(inst, policy, options);
+  EXPECT_EQ(r.executed, 6);  // all jobs fit: 2 res x 2 mini x 4 rounds
+  EXPECT_EQ(r.cost.drops, 0);
+}
+
+TEST(Engine, RecordedScheduleValidatesAndMatchesCost) {
+  const Instance inst = two_color_instance();
+  PinPolicy policy({0, 1});
+  EngineOptions options;
+  options.num_resources = 2;
+  options.replication = 1;
+  options.record_schedule = true;
+  const EngineResult r = run_policy(inst, policy, options);
+  const CostBreakdown validated = validate_or_throw(inst, r.schedule);
+  EXPECT_EQ(validated, r.cost);
+}
+
+TEST(Engine, RecordingOffProducesSameCost) {
+  const Instance inst = two_color_instance();
+  EngineOptions options;
+  options.num_resources = 2;
+  options.replication = 1;
+  PinPolicy p1({0, 1});
+  options.record_schedule = true;
+  const EngineResult with = run_policy(inst, p1, options);
+  PinPolicy p2({0, 1});
+  options.record_schedule = false;
+  const EngineResult without = run_policy(inst, p2, options);
+  EXPECT_EQ(with.cost, without.cost);
+  EXPECT_EQ(with.executed, without.executed);
+  EXPECT_TRUE(without.schedule.execs.empty());
+}
+
+TEST(Engine, ExecutionIsEarliestDeadlineFirstWithinColor) {
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(8);
+  builder.add_jobs(c, 0, 1);  // job 0, deadline 8
+  builder.add_jobs(c, 8, 1);  // job 1, deadline 16
+  const Instance inst = builder.build();
+
+  PinPolicy policy({c});
+  EngineOptions options;
+  options.num_resources = 1;
+  options.replication = 1;
+  options.record_schedule = true;
+  const EngineResult r = run_policy(inst, policy, options);
+  ASSERT_EQ(r.schedule.execs.size(), 2u);
+  EXPECT_EQ(r.schedule.execs[0].job, 0);
+  EXPECT_EQ(r.schedule.execs[1].job, 1);
+}
+
+TEST(Engine, DropPhasePrecedesExecutionInSameRound) {
+  // Job with deadline exactly at round k is dropped in round k's drop
+  // phase and cannot be executed in round k.
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(1);  // deadline = arrival + 1
+  builder.add_jobs(c, 0, 2);               // only 1 can run (round 0)
+  const Instance inst = builder.build();
+
+  PinPolicy policy({c});
+  EngineOptions options;
+  options.num_resources = 1;
+  options.replication = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  EXPECT_EQ(r.executed, 1);
+  EXPECT_EQ(r.cost.drops, 1);
+}
+
+TEST(Engine, InvalidOptionsRejected) {
+  const Instance inst = two_color_instance();
+  IdlePolicy policy;
+  EngineOptions options;
+  options.num_resources = 0;
+  EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
+  options.num_resources = 2;
+  options.speed = 0;
+  EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
+}
+
+TEST(Engine, PolicyStatsSurfaced) {
+  class StatPolicy : public IdlePolicy {
+   public:
+    [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
+        const override {
+      return {{"touched", 7}};
+    }
+  };
+  const Instance inst = two_color_instance();
+  StatPolicy policy;
+  EngineOptions options;
+  options.num_resources = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  ASSERT_EQ(r.policy_stats.size(), 1u);
+  EXPECT_EQ(r.policy_stats[0].first, "touched");
+  EXPECT_EQ(r.policy_stats[0].second, 7);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,141 @@
+// Fuzz-style tests: random policies and random workloads exercise the
+// engine / cache / validator stack far off the happy path.
+//
+// A RandomPolicy performs arbitrary (but API-legal) cache mutations every
+// round — random inserts of random colors, random evictions, sometimes
+// nothing.  Whatever it does, the engine must produce a schedule the
+// validator accepts with exactly the engine's cost.  This pins down the
+// engine's contract: ANY policy yields a legal schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "core/validator.h"
+#include "util/rng.h"
+#include "workload/poisson.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+/// A policy that mutates the cache randomly but legally.
+class RandomPolicy : public Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+
+  void begin(const Instance& instance, int, int) override {
+    num_colors_ = instance.num_colors();
+  }
+
+  void reconfigure(Round, int, const EngineView&,
+                   CacheAssignment& cache) override {
+    if (num_colors_ == 0) return;
+    const std::int64_t actions = rng_.uniform(0, 3);
+    for (std::int64_t a = 0; a < actions; ++a) {
+      const bool evict = rng_.bernoulli(0.4);
+      if (evict && cache.num_cached() > 0) {
+        const auto& cached = cache.cached_colors();
+        cache.erase(cached[static_cast<std::size_t>(rng_.uniform(
+            0, static_cast<std::int64_t>(cached.size()) - 1))]);
+      } else if (!cache.full()) {
+        const auto color =
+            static_cast<ColorId>(rng_.uniform(0, num_colors_ - 1));
+        if (!cache.contains(color)) cache.insert(color);
+      }
+    }
+  }
+
+ private:
+  Rng rng_;
+  ColorId num_colors_ = 0;
+};
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, RandomPolicyYieldsValidSchedule) {
+  RandomBatchedParams params;
+  params.seed = GetParam();
+  params.horizon = 128;
+  params.num_colors = 6;
+  params.min_drop_cost = 1;
+  params.max_drop_cost = 4;
+  const Instance inst = make_random_batched(params);
+
+  for (const int replication : {1, 2}) {
+    for (const int speed : {1, 2}) {
+      RandomPolicy policy(GetParam() * 31 +
+                          static_cast<std::uint64_t>(replication * 2 + speed));
+      EngineOptions options;
+      options.num_resources = 4;
+      options.replication = replication;
+      options.speed = speed;
+      options.record_schedule = true;
+      const EngineResult r = run_policy(inst, policy, options);
+      const ValidationResult check = validate(inst, r.schedule);
+      ASSERT_TRUE(check.ok)
+          << "repl " << replication << " speed " << speed << ": "
+          << (check.errors.empty() ? "?" : check.errors[0]);
+      EXPECT_EQ(check.cost, r.cost);
+    }
+  }
+}
+
+TEST_P(EngineFuzz, RandomPolicyOnUnbatchedInput) {
+  PoissonParams params;
+  params.seed = GetParam();
+  params.horizon = 128;
+  params.num_colors = 5;
+  params.arbitrary_delays = true;
+  params.min_delay = 2;
+  params.max_delay = 40;
+  const Instance inst = make_poisson(params);
+
+  RandomPolicy policy(GetParam() + 99);
+  EngineOptions options;
+  options.num_resources = 3;
+  options.replication = 1;
+  options.record_schedule = true;
+  const EngineResult r = run_policy(inst, policy, options);
+  EXPECT_EQ(validate_or_throw(inst, r.schedule), r.cost);
+}
+
+TEST_P(EngineFuzz, ChurnPolicyNetsOutInCache) {
+  // A policy that evicts and reinserts the same color each round must not
+  // accumulate reconfiguration cost: CacheAssignment's phase diffing
+  // collapses no-op churn.
+  class ChurnPolicy : public Policy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "churn"; }
+    void reconfigure(Round, int, const EngineView&,
+                     CacheAssignment& cache) override {
+      if (cache.contains(0)) {
+        cache.erase(0);
+        cache.insert(0);  // reclaims the same still-colored locations
+      } else {
+        cache.insert(0);
+      }
+    }
+  };
+
+  RandomBatchedParams params;
+  params.seed = GetParam();
+  params.horizon = 64;
+  params.num_colors = 2;
+  const Instance inst = make_random_batched(params);
+  ChurnPolicy policy;
+  EngineOptions options;
+  options.num_resources = 2;
+  options.replication = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  EXPECT_EQ(r.cost.reconfig_events, 1) << "only the initial insert costs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{17}));
+
+}  // namespace
+}  // namespace rrs

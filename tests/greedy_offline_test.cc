@@ -1,0 +1,105 @@
+// Tests for offline/greedy_offline: the demand-greedy OPT upper bounds.
+#include <gtest/gtest.h>
+
+#include "offline/greedy_offline.h"
+#include "offline/lower_bound.h"
+#include "offline/optimal.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+TEST(DemandGreedy, ServesSingleBacklog) {
+  InstanceBuilder builder;
+  builder.delta(2);
+  const ColorId c = builder.add_color(8);
+  builder.add_jobs(c, 0, 8);
+  const Instance inst = builder.build();
+  const EngineResult r = run_demand_greedy(inst, 1);
+  EXPECT_EQ(r.cost.drops, 0);
+  EXPECT_EQ(r.cost.reconfig_cost, 2);
+}
+
+TEST(DemandGreedy, SkipSmallColorsAvoidsWastedConfigs) {
+  InstanceBuilder builder;
+  builder.delta(10);
+  const ColorId tiny = builder.add_color(4);
+  builder.add_jobs(tiny, 0, 2);  // 2 < Delta: cheaper to drop
+  const Instance inst = builder.build();
+
+  DemandGreedyParams skip;
+  skip.skip_small_colors = true;
+  EXPECT_EQ(run_demand_greedy(inst, 1, skip).cost.total(), 2);
+
+  DemandGreedyParams eager;
+  eager.skip_small_colors = false;
+  EXPECT_EQ(run_demand_greedy(inst, 1, eager).cost.total(), 10);
+}
+
+TEST(DemandGreedy, HysteresisPreventsFlipFlop) {
+  // Two colors with near-equal small backlogs: with threshold Delta the
+  // incumbent is kept instead of ping-ponging.
+  InstanceBuilder builder;
+  builder.delta(6);
+  const ColorId a = builder.add_color(4);
+  const ColorId b = builder.add_color(4);
+  for (Round t = 0; t < 32; t += 4) {
+    builder.add_jobs(a, t, 2);
+    builder.add_jobs(b, t, 2);
+  }
+  const Instance inst = builder.build();
+  DemandGreedyParams gated;
+  gated.replace_idle_freely = false;
+  const EngineResult r = run_demand_greedy(inst, 1, gated);
+  // One configuration, then stick: reconfig cost exactly Delta.
+  EXPECT_EQ(r.cost.reconfig_cost, 6);
+  // The eager variant thrashes here — the paper's Section 1 dilemma — and
+  // the best-of family must therefore never exceed the gated variant.
+  const EngineResult eager = run_demand_greedy(inst, 1);
+  EXPECT_GT(eager.cost.reconfig_cost, r.cost.reconfig_cost);
+  EXPECT_LE(best_offline_heuristic_cost(inst, 1), r.cost.total());
+}
+
+TEST(DemandGreedy, IdleIncumbentReplacedFreely) {
+  InstanceBuilder builder;
+  builder.delta(4);
+  const ColorId a = builder.add_color(4);
+  const ColorId b = builder.add_color(4);
+  builder.add_jobs(a, 0, 2);
+  builder.add_jobs(b, 8, 2);
+  const Instance inst = builder.build();
+  const EngineResult r = run_demand_greedy(inst, 1);
+  EXPECT_EQ(r.cost.drops, 0);  // a finishes, goes idle, b replaces it
+}
+
+TEST(BestHeuristic, UpperBoundsRespectBracket) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    RandomBatchedParams params;
+    params.seed = seed;
+    params.num_colors = 3;
+    params.min_scale = 1;
+    params.max_scale = 3;
+    params.horizon = 16;
+    params.delta = 2;
+    const Instance inst = make_random_batched(params);
+    const Cost opt = optimal_offline_cost(inst, 1);
+    const Cost ub = best_offline_heuristic_cost(inst, 1);
+    const Cost lb = offline_lower_bound(inst, 1).best();
+    EXPECT_LE(lb, opt) << "seed " << seed;
+    EXPECT_LE(opt, ub) << "seed " << seed;
+  }
+}
+
+TEST(BestHeuristic, ReasonablyTightOnEasyInstances) {
+  // On a single-color backlog the heuristic should match the optimum.
+  InstanceBuilder builder;
+  builder.delta(3);
+  const ColorId c = builder.add_color(8);
+  builder.add_jobs(c, 0, 8).add_jobs(c, 8, 8);
+  const Instance inst = builder.build();
+  EXPECT_EQ(best_offline_heuristic_cost(inst, 1),
+            optimal_offline_cost(inst, 1));
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,104 @@
+// Tests for offline/lower_bound: certified lower bounds on OPT.
+#include <gtest/gtest.h>
+
+#include "offline/lower_bound.h"
+#include "offline/optimal.h"
+#include "util/check.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+TEST(LowerBound, ConfigureOrDropSumsPerColorMinima) {
+  InstanceBuilder builder;
+  builder.delta(10);
+  const ColorId small = builder.add_color(4);   // 3 jobs < Delta
+  const ColorId large = builder.add_color(4);   // 25 jobs > Delta
+  builder.add_jobs(small, 0, 3);
+  builder.add_jobs(large, 0, 4).add_jobs(large, 4, 4);
+  builder.add_jobs(large, 8, 4).add_jobs(large, 12, 4);
+  builder.add_jobs(large, 16, 4).add_jobs(large, 20, 4);
+  builder.add_jobs(large, 24, 1);
+  const Instance inst = builder.build();
+  const LowerBound lb = offline_lower_bound(inst, 1);
+  EXPECT_EQ(lb.configure_or_drop, 3 + 10);
+}
+
+TEST(LowerBound, CapacityDetectsOverload) {
+  // 10 jobs must finish within 2 rounds on m = 1: at least 8 drop.
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(2);
+  builder.add_jobs(c, 0, 10);
+  const Instance inst = builder.build();
+  const LowerBound lb = offline_lower_bound(inst, 1);
+  EXPECT_GE(lb.capacity, 8);
+}
+
+TEST(LowerBound, CapacityScalesWithM) {
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(2);
+  builder.add_jobs(c, 0, 10);
+  const Instance inst = builder.build();
+  EXPECT_GT(offline_lower_bound(inst, 1).capacity,
+            offline_lower_bound(inst, 4).capacity);
+}
+
+TEST(LowerBound, CapacitySumsDisjointWindows) {
+  // Two overloaded windows far apart: the per-scale sum must count both.
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(2);
+  builder.add_jobs(c, 0, 6);    // 4 forced drops at m = 1
+  builder.add_jobs(c, 64, 6);   // 4 more
+  const Instance inst = builder.build();
+  EXPECT_GE(offline_lower_bound(inst, 1).capacity, 8);
+}
+
+TEST(LowerBound, ZeroForEmptyInstance) {
+  InstanceBuilder builder;
+  builder.add_color(4);
+  const Instance inst = builder.build();
+  const LowerBound lb = offline_lower_bound(inst, 1);
+  EXPECT_EQ(lb.best(), 0);
+}
+
+TEST(LowerBound, RejectsBadM) {
+  InstanceBuilder builder;
+  builder.add_color(4);
+  const Instance inst = builder.build();
+  EXPECT_THROW((void)offline_lower_bound(inst, 0), InputError);
+}
+
+TEST(LowerBound, NeverExceedsExactOptimum) {
+  // The defining soundness property, cross-checked against the DP on a
+  // grid of small random instances.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    RandomBatchedParams params;
+    params.seed = seed;
+    params.num_colors = 3;
+    params.min_scale = 1;
+    params.max_scale = 3;
+    params.horizon = 16;
+    params.delta = 2;
+    const Instance inst = make_random_batched(params);
+    for (const int m : {1, 2}) {
+      const Cost opt = optimal_offline_cost(inst, m);
+      const LowerBound lb = offline_lower_bound(inst, m);
+      EXPECT_LE(lb.best(), opt) << "seed " << seed << " m " << m;
+    }
+  }
+}
+
+TEST(LowerBound, BestTakesMax) {
+  LowerBound lb;
+  lb.configure_or_drop = 5;
+  lb.capacity = 9;
+  EXPECT_EQ(lb.best(), 9);
+  lb.capacity = 2;
+  EXPECT_EQ(lb.best(), 5);
+}
+
+}  // namespace
+}  // namespace rrs

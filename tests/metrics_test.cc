@@ -1,0 +1,123 @@
+// Tests for sim/metrics: latency/utilization statistics from schedules.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "util/check.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const DistributionSummary s = summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0);
+}
+
+TEST(Summarize, SingleSample) {
+  const DistributionSummary s = summarize({7});
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.min, 7);
+  EXPECT_EQ(s.p50, 7);
+  EXPECT_EQ(s.p99, 7);
+  EXPECT_EQ(s.max, 7);
+}
+
+TEST(Summarize, PercentilesOrdered) {
+  std::vector<Round> samples;
+  for (Round v = 100; v >= 1; --v) samples.push_back(v);  // unsorted input
+  const DistributionSummary s = summarize(samples);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_EQ(s.p50, 50);
+}
+
+TEST(ComputeMetrics, HandBuiltSchedule) {
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(8, 3);
+  builder.add_jobs(c, 0, 3);
+  const Instance inst = builder.build();
+
+  Schedule schedule;
+  schedule.num_resources = 1;
+  schedule.reconfigs = {{0, 0, 0, c}};
+  schedule.execs = {{0, 0, 0, 0}, {4, 0, 0, 1}};  // job 2 dropped
+  const ScheduleMetrics m = compute_metrics(inst, schedule);
+
+  EXPECT_EQ(m.wait.count, 2);
+  EXPECT_EQ(m.wait.min, 0);
+  EXPECT_EQ(m.wait.max, 4);
+  EXPECT_NEAR(m.wait.mean, 2.0, 1e-9);
+  EXPECT_EQ(m.slack.max, 7);  // executed at round 0, deadline 8
+  EXPECT_EQ(m.slack.min, 3);  // executed at round 4
+  EXPECT_NEAR(m.service_rate, 2.0 / 3.0, 1e-9);
+  // Span rounds 0..4 on one uni-speed resource: 2 of 5 slots used.
+  EXPECT_NEAR(m.utilization, 0.4, 1e-9);
+
+  ASSERT_EQ(m.per_color.size(), 1u);
+  EXPECT_EQ(m.per_color[0].executed, 2);
+  EXPECT_EQ(m.per_color[0].dropped, 1);
+  EXPECT_EQ(m.per_color[0].dropped_weight, 3);
+  EXPECT_NEAR(m.per_color[0].mean_wait, 2.0, 1e-9);
+}
+
+TEST(ComputeMetrics, EmptySchedule) {
+  InstanceBuilder builder;
+  const ColorId c = builder.add_color(4);
+  builder.add_jobs(c, 0, 2);
+  const Instance inst = builder.build();
+  Schedule schedule;
+  schedule.num_resources = 2;
+  const ScheduleMetrics m = compute_metrics(inst, schedule);
+  EXPECT_EQ(m.wait.count, 0);
+  EXPECT_EQ(m.service_rate, 0.0);
+  EXPECT_EQ(m.utilization, 0.0);
+  EXPECT_EQ(m.per_color[0].dropped, 2);
+}
+
+TEST(ComputeMetrics, RealRunIsConsistent) {
+  RandomBatchedParams params;
+  params.seed = 6;
+  params.horizon = 256;
+  const Instance inst = make_random_batched(params);
+  Schedule schedule;
+  const RunRecord r = run_algorithm(inst, "dlru-edf", 8, &schedule);
+  const ScheduleMetrics m = compute_metrics(inst, schedule);
+
+  EXPECT_EQ(m.wait.count, r.executed);
+  std::int64_t executed = 0, dropped = 0;
+  for (const auto& pc : m.per_color) {
+    executed += pc.executed;
+    dropped += pc.dropped;
+  }
+  EXPECT_EQ(executed, r.executed);
+  EXPECT_EQ(executed + dropped,
+            static_cast<std::int64_t>(inst.jobs().size()));
+  EXPECT_GT(m.utilization, 0.0);
+  EXPECT_LE(m.utilization, 1.0);
+  // Every wait respects the color's delay bound.
+  EXPECT_GE(m.slack.min, 0);
+}
+
+TEST(ComputeMetrics, RejectsInvalidExecution) {
+  InstanceBuilder builder;
+  const ColorId c = builder.add_color(4);
+  builder.add_jobs(c, 4, 1);
+  const Instance inst = builder.build();
+  Schedule schedule;
+  schedule.num_resources = 1;
+  schedule.execs = {{0, 0, 0, 0}};  // before arrival
+  EXPECT_THROW((void)compute_metrics(inst, schedule), InvariantError);
+}
+
+}  // namespace
+}  // namespace rrs

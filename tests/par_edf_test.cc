@@ -1,0 +1,130 @@
+// Tests for algs/par_edf: the m-jobs-per-round EDF drop-cost yardstick.
+#include <gtest/gtest.h>
+
+#include "algs/par_edf.h"
+#include "core/instance.h"
+#include "offline/optimal.h"
+#include "util/check.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+TEST(ParEdf, ExecutesEverythingWhenFeasible) {
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId a = builder.add_color(4);
+  const ColorId b = builder.add_color(4);
+  builder.add_jobs(a, 0, 2).add_jobs(b, 0, 2);
+  const Instance inst = builder.build();
+  const ParEdfResult r = run_par_edf(inst, 1);
+  EXPECT_EQ(r.executed, 4);  // 4 jobs, 4 rounds of capacity 1
+  EXPECT_EQ(r.drops, 0);
+  EXPECT_TRUE(r.nice());
+}
+
+TEST(ParEdf, DropsExactExcess) {
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId c = builder.add_color(2);
+  builder.add_jobs(c, 0, 5);  // 5 jobs, window of 2 rounds, m = 2
+  const Instance inst = builder.build();
+  const ParEdfResult r = run_par_edf(inst, 2);
+  EXPECT_EQ(r.executed, 4);
+  EXPECT_EQ(r.drops, 1);
+  EXPECT_FALSE(r.nice());
+}
+
+TEST(ParEdf, PrioritizesEarlierDeadlines) {
+  // Urgent jobs (deadline 1) must preempt relaxed ones that still fit.
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId urgent = builder.add_color(1);
+  const ColorId relaxed = builder.add_color(8);
+  builder.add_jobs(relaxed, 0, 4);
+  builder.add_jobs(urgent, 0, 1);
+  const Instance inst = builder.build();
+  const ParEdfResult r = run_par_edf(inst, 1);
+  EXPECT_EQ(r.drops, 0);  // urgent runs round 0; relaxed fits afterwards
+}
+
+TEST(ParEdf, TieBreaksBySmallerDelayBound) {
+  // Same deadline, different delay bounds: the smaller bound ranks first.
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId wide = builder.add_color(8);    // arrives 0, deadline 8
+  const ColorId narrow = builder.add_color(4);  // arrives 4, deadline 8
+  builder.add_jobs(wide, 0, 8);
+  builder.add_jobs(narrow, 4, 4);
+  const Instance inst = builder.build();
+  // m = 1: rounds 0..3 serve wide; rounds 4..7 must prefer narrow (same
+  // deadline 8, smaller delay bound), dropping 4 wide jobs.
+  const ParEdfResult r = run_par_edf(inst, 1);
+  EXPECT_EQ(r.executed, 8);
+  EXPECT_EQ(r.drops, 4);
+}
+
+TEST(ParEdf, DropCostLowerBoundsOptimal) {
+  // Par-EDF's drop cost never exceeds the drop cost of ANY m-resource
+  // schedule; in particular OPT's total cost is an upper bound once
+  // reconfigurations are free for Par-EDF.  (Lemma 3.7 direction.)
+  for (const std::uint64_t seed : {5u, 6u, 7u, 8u}) {
+    RandomBatchedParams params;
+    params.seed = seed;
+    params.num_colors = 3;
+    params.min_scale = 1;
+    params.max_scale = 3;
+    params.horizon = 24;
+    params.delta = 2;
+    const Instance inst = make_random_batched(params);
+    const ParEdfResult par = run_par_edf(inst, 1);
+    const Cost opt = optimal_offline_cost(inst, 1);
+    EXPECT_LE(par.drops, opt) << "seed " << seed;
+  }
+}
+
+TEST(ParEdf, MoreResourcesNeverDropMore) {
+  RandomBatchedParams params;
+  params.seed = 3;
+  params.horizon = 256;
+  const Instance inst = make_random_batched(params);
+  std::int64_t previous = -1;
+  for (const int m : {1, 2, 4, 8}) {
+    const ParEdfResult r = run_par_edf(inst, m);
+    if (previous >= 0) {
+      EXPECT_LE(r.drops, previous);
+    }
+    previous = r.drops;
+  }
+}
+
+TEST(ParEdf, SubsequenceMonotonicity) {
+  // Lemma 3.9 flavour: removing jobs never increases the number executed.
+  InstanceBuilder big_builder;
+  big_builder.delta(1);
+  const ColorId a = big_builder.add_color(2);
+  const ColorId b = big_builder.add_color(4);
+  big_builder.add_jobs(a, 0, 2).add_jobs(a, 2, 2).add_jobs(b, 0, 4);
+  const Instance big = big_builder.build();
+
+  InstanceBuilder small_builder;
+  small_builder.delta(1);
+  const ColorId a2 = small_builder.add_color(2);
+  const ColorId b2 = small_builder.add_color(4);
+  small_builder.add_jobs(a2, 0, 2).add_jobs(b2, 0, 4);
+  const Instance small = small_builder.build();
+
+  const std::int64_t executed_small = run_par_edf(small, 1).executed;
+  const std::int64_t executed_big = run_par_edf(big, 1).executed;
+  EXPECT_GE(executed_big, executed_small);
+}
+
+TEST(ParEdf, RejectsBadM) {
+  InstanceBuilder builder;
+  builder.add_color(2);
+  const Instance inst = builder.build();
+  EXPECT_THROW((void)run_par_edf(inst, 0), InputError);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,130 @@
+// Unit tests for core/pending: deadline-ordered pending job bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pending.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace {
+
+Job make_job(JobId id, ColorId color, Round arrival, Round delay) {
+  Job job;
+  job.id = id;
+  job.color = color;
+  job.arrival = arrival;
+  job.delay_bound = delay;
+  return job;
+}
+
+TEST(PendingJobs, AddCountIdleTotal) {
+  PendingJobs pending;
+  pending.reset(2);
+  EXPECT_TRUE(pending.idle(0));
+  EXPECT_EQ(pending.total(), 0);
+  pending.add(make_job(0, 0, 0, 4));
+  pending.add(make_job(1, 0, 0, 4));
+  pending.add(make_job(2, 1, 0, 8));
+  EXPECT_EQ(pending.count(0), 2);
+  EXPECT_EQ(pending.count(1), 1);
+  EXPECT_FALSE(pending.idle(0));
+  EXPECT_EQ(pending.total(), 3);
+}
+
+TEST(PendingJobs, PopEarliestIsFifoPerColor) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 4));
+  pending.add(make_job(1, 0, 2, 4));
+  EXPECT_EQ(pending.earliest_deadline(0), 4);
+  EXPECT_EQ(pending.pop_earliest(0), 0);
+  EXPECT_EQ(pending.earliest_deadline(0), 6);
+  EXPECT_EQ(pending.pop_earliest(0), 1);
+  EXPECT_TRUE(pending.idle(0));
+}
+
+TEST(PendingJobs, DropExpiredByDeadline) {
+  PendingJobs pending;
+  pending.reset(2);
+  pending.add(make_job(0, 0, 0, 2));  // deadline 2
+  pending.add(make_job(1, 0, 2, 2));  // deadline 4
+  pending.add(make_job(2, 1, 0, 8));  // deadline 8
+
+  const auto at2 = pending.drop_expired(2);
+  EXPECT_EQ(at2.total, 1);
+  ASSERT_EQ(at2.by_color.size(), 1u);
+  EXPECT_EQ(at2.by_color[0].first, 0);
+  EXPECT_EQ(at2.by_color[0].second, 1);
+  EXPECT_EQ(at2.job_ids, std::vector<JobId>{0});
+  EXPECT_EQ(pending.total(), 2);
+
+  const auto at10 = pending.drop_expired(10);
+  EXPECT_EQ(at10.total, 2);
+  EXPECT_EQ(pending.total(), 0);
+}
+
+TEST(PendingJobs, DropExpiredNothingToDo) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 4, 4));
+  const auto result = pending.drop_expired(3);
+  EXPECT_EQ(result.total, 0);
+  EXPECT_TRUE(result.by_color.empty());
+}
+
+TEST(PendingJobs, DropAfterPopDoesNotDoubleCount) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 2));
+  pending.add(make_job(1, 0, 0, 2));
+  EXPECT_EQ(pending.pop_earliest(0), 0);
+  const auto result = pending.drop_expired(2);
+  EXPECT_EQ(result.total, 1);  // only job 1 remains to drop
+  EXPECT_EQ(pending.total(), 0);
+}
+
+TEST(PendingJobs, ResetClearsEverything) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 2));
+  pending.reset(3);
+  EXPECT_EQ(pending.total(), 0);
+  EXPECT_TRUE(pending.idle(0));
+  EXPECT_EQ(pending.drop_expired(100).total, 0);
+}
+
+TEST(PendingJobs, NonMonotoneDeadlinesWithinColorRejected) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 4, 4));  // deadline 8
+  EXPECT_THROW(pending.add(make_job(1, 0, 0, 4)), InvariantError);
+}
+
+TEST(PendingJobs, PopFromIdleColorRejected) {
+  PendingJobs pending;
+  pending.reset(1);
+  EXPECT_THROW((void)pending.pop_earliest(0), InvariantError);
+  EXPECT_THROW((void)pending.earliest_deadline(0), InvariantError);
+}
+
+TEST(PendingJobs, ManyColorsInterleaved) {
+  PendingJobs pending;
+  pending.reset(64);
+  for (ColorId c = 0; c < 64; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      pending.add(make_job(c * 3 + i, c, i * 2, 16));
+    }
+  }
+  EXPECT_EQ(pending.total(), 192);
+  const auto dropped = pending.drop_expired(17);  // deadlines 16/18/20
+  EXPECT_EQ(dropped.total, 64);
+  EXPECT_EQ(pending.total(), 128);
+  for (ColorId c = 0; c < 64; ++c) {
+    EXPECT_EQ(pending.count(c), 2);
+    EXPECT_EQ(pending.earliest_deadline(c), 18);
+  }
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,227 @@
+// Unit tests for src/util: bit helpers, RNG, stamped map, thread pool,
+// check macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "core/types.h"
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stamped_map.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rrs {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(Round{1} << 40));
+  EXPECT_FALSE(is_pow2((Round{1} << 40) + 1));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(Bits, FloorPow2) {
+  EXPECT_EQ(floor_pow2(1), 1);
+  EXPECT_EQ(floor_pow2(2), 2);
+  EXPECT_EQ(floor_pow2(3), 2);
+  EXPECT_EQ(floor_pow2(4), 4);
+  EXPECT_EQ(floor_pow2(1023), 512);
+  EXPECT_EQ(floor_pow2(1024), 1024);
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1);
+  EXPECT_EQ(ceil_pow2(3), 4);
+  EXPECT_EQ(ceil_pow2(4), 4);
+  EXPECT_EQ(ceil_pow2(5), 8);
+  EXPECT_EQ(ceil_pow2(1025), 2048);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(1025), 10);
+}
+
+TEST(Bits, Multiples) {
+  EXPECT_EQ(floor_multiple(0, 8), 0);
+  EXPECT_EQ(floor_multiple(7, 8), 0);
+  EXPECT_EQ(floor_multiple(8, 8), 8);
+  EXPECT_EQ(floor_multiple(17, 8), 16);
+  EXPECT_EQ(ceil_multiple(0, 8), 0);
+  EXPECT_EQ(ceil_multiple(1, 8), 8);
+  EXPECT_EQ(ceil_multiple(8, 8), 8);
+  EXPECT_EQ(ceil_multiple(17, 8), 24);
+}
+
+TEST(Bits, InvalidInputsThrow) {
+  EXPECT_THROW((void)floor_pow2(0), InvariantError);
+  EXPECT_THROW((void)floor_log2(0), InvariantError);
+  EXPECT_THROW((void)floor_multiple(-1, 4), InvariantError);
+  EXPECT_THROW((void)floor_multiple(4, 0), InvariantError);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  std::vector<std::uint64_t> xs, ys, zs;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(a());
+    ys.push_back(b());
+    zs.push_back(c());
+  }
+  EXPECT_EQ(xs, ys);
+  EXPECT_NE(xs, zs);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 2000 draws
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, PoissonMeanRoughlyCorrect) {
+  Rng rng(11);
+  const double mean = 3.0;
+  std::int64_t total = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) total += rng.poisson(mean);
+  const double observed = static_cast<double>(total) / samples;
+  EXPECT_NEAR(observed, mean, 0.1);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(StampedMap, SetGetClear) {
+  StampedMap<int> map;
+  map.ensure_size(10);
+  EXPECT_FALSE(map.contains(3));
+  map.set(3, 42);
+  EXPECT_TRUE(map.contains(3));
+  EXPECT_EQ(map.at(3), 42);
+  map.clear();
+  EXPECT_FALSE(map.contains(3));
+  map.set(3, 7);
+  EXPECT_EQ(map.at(3), 7);
+}
+
+TEST(StampedMap, OutOfRangeContainsIsFalse) {
+  StampedMap<int> map;
+  map.ensure_size(4);
+  EXPECT_FALSE(map.contains(100));
+}
+
+TEST(StampedMap, GrowsPreservingEntries) {
+  StampedMap<int> map;
+  map.ensure_size(2);
+  map.set(1, 5);
+  map.ensure_size(100);
+  EXPECT_TRUE(map.contains(1));
+  EXPECT_EQ(map.at(1), 5);
+  map.set(99, 9);
+  EXPECT_EQ(map.at(99), 9);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<int> hits(257, 0);
+  pool.parallel_for(hits.size(),
+                    [&hits](std::size_t i) { hits[i] = 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, FreeFunctionParallelForInlineForSmallCounts) {
+  std::vector<int> hits(1, 0);
+  parallel_for(1, [&hits](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(hits[0], 1);
+  parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(Stopwatch, MonotonicNonNegative) {
+  Stopwatch watch;
+  EXPECT_GE(watch.seconds(), 0.0);
+  const double first = watch.seconds();
+  EXPECT_GE(watch.seconds(), first);
+  watch.reset();
+  EXPECT_GE(watch.seconds(), 0.0);
+}
+
+TEST(Check, MacrosThrowTypedErrors) {
+  EXPECT_THROW(RRS_CHECK(false), InvariantError);
+  EXPECT_THROW(RRS_CHECK_MSG(false, "boom " << 3), InvariantError);
+  EXPECT_THROW(RRS_REQUIRE(false, "bad input " << 7), InputError);
+  EXPECT_NO_THROW(RRS_CHECK(true));
+  EXPECT_NO_THROW(RRS_REQUIRE(true, "fine"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    RRS_REQUIRE(false, "value was " << 41);
+    FAIL();
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 41"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rrs

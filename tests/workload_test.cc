@@ -1,0 +1,213 @@
+// Tests for src/workload: generator classification, determinism, trace IO.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+#include "workload/adversary_dlru.h"
+#include "workload/adversary_edf.h"
+#include "workload/datacenter.h"
+#include "workload/intro_scenario.h"
+#include "workload/poisson.h"
+#include "workload/random_batched.h"
+#include "workload/trace_io.h"
+
+namespace rrs {
+namespace {
+
+TEST(AdversaryA, ShapeMatchesConstruction) {
+  const AdversaryAInstance adv =
+      make_adversary_a({.n = 8, .delta = 2, .j = 5, .k = 7});
+  EXPECT_EQ(adv.instance.num_colors(), 8 / 2 + 1);
+  EXPECT_EQ(adv.short_colors.size(), 4u);
+  EXPECT_EQ(adv.instance.delay_bound(adv.long_color), 128);
+  EXPECT_EQ(adv.instance.jobs_of_color(adv.long_color), 128);
+  // Delta jobs per short color per multiple of 2^j in [0, 2^k).
+  EXPECT_EQ(adv.instance.jobs_of_color(adv.short_colors[0]), 2 * (128 / 32));
+  EXPECT_TRUE(adv.instance.is_rate_limited());
+  EXPECT_TRUE(adv.instance.all_delays_pow2());
+}
+
+TEST(AdversaryA, AutoParametersSatisfyConstraints) {
+  const AdversaryAInstance adv = make_adversary_a({.n = 16, .delta = 3});
+  const Round short_delay = Round{1} << adv.params.j;
+  const Round long_delay = Round{1} << adv.params.k;
+  EXPECT_GT(long_delay, 2 * short_delay);
+  EXPECT_GT(2 * short_delay, Round{16} * 3);
+}
+
+TEST(AdversaryB, ShapeMatchesConstruction) {
+  const AdversaryBInstance adv = make_adversary_b({.n = 6});
+  EXPECT_EQ(adv.params.delta, 7);  // auto n + 1
+  EXPECT_EQ(adv.long_colors.size(), 3u);
+  // Long color p has 2^{k+p-1} jobs, delay 2^{k+p}.
+  for (std::size_t p = 0; p < adv.long_colors.size(); ++p) {
+    const Round delay = adv.instance.delay_bound(adv.long_colors[p]);
+    EXPECT_EQ(delay, Round{1} << (adv.params.k + static_cast<int>(p)));
+    EXPECT_EQ(adv.instance.jobs_of_color(adv.long_colors[p]), delay / 2);
+  }
+  EXPECT_TRUE(adv.instance.is_rate_limited());
+}
+
+TEST(IntroScenario, RateLimitedWithBackgroundBacklog) {
+  IntroScenarioParams params;
+  params.seed = 5;
+  const IntroScenarioInstance s = make_intro_scenario(params);
+  EXPECT_TRUE(s.instance.is_rate_limited());
+  EXPECT_EQ(s.instance.jobs_of_color(s.background_color),
+            params.background_jobs);
+  EXPECT_EQ(static_cast<int>(s.short_colors.size()),
+            params.num_short_colors);
+}
+
+TEST(IntroScenario, DeterministicBySeed) {
+  IntroScenarioParams params;
+  params.seed = 7;
+  const auto a = make_intro_scenario(params);
+  const auto b = make_intro_scenario(params);
+  EXPECT_EQ(a.instance.jobs().size(), b.instance.jobs().size());
+  EXPECT_EQ(a.instance.jobs(), b.instance.jobs());
+}
+
+TEST(RandomBatched, ClassificationFollowsBurstFactor) {
+  RandomBatchedParams params;
+  params.seed = 1;
+  params.burst_factor = 1.0;
+  EXPECT_TRUE(make_random_batched(params).is_rate_limited());
+  params.burst_factor = 4.0;
+  const Instance bursty = make_random_batched(params);
+  EXPECT_TRUE(bursty.is_batched());
+  EXPECT_FALSE(bursty.is_rate_limited());
+}
+
+TEST(RandomBatched, DelayScalesRespected) {
+  RandomBatchedParams params;
+  params.seed = 2;
+  params.min_scale = 3;
+  params.max_scale = 5;
+  const Instance inst = make_random_batched(params);
+  for (ColorId c = 0; c < inst.num_colors(); ++c) {
+    EXPECT_GE(inst.delay_bound(c), 8);
+    EXPECT_LE(inst.delay_bound(c), 32);
+  }
+}
+
+TEST(Poisson, UnbatchedWithRequestedDelays) {
+  PoissonParams params;
+  params.seed = 3;
+  params.min_delay = 4;
+  params.max_delay = 64;
+  const Instance inst = make_poisson(params);
+  EXPECT_FALSE(inst.is_batched());
+  EXPECT_TRUE(inst.all_delays_pow2());
+  for (ColorId c = 0; c < inst.num_colors(); ++c) {
+    EXPECT_GE(inst.delay_bound(c), 4);
+    EXPECT_LE(inst.delay_bound(c), 64);
+  }
+}
+
+TEST(Poisson, ArbitraryDelaysMode) {
+  PoissonParams params;
+  params.seed = 4;
+  params.arbitrary_delays = true;
+  params.min_delay = 3;
+  params.max_delay = 50;
+  params.num_colors = 40;
+  const Instance inst = make_poisson(params);
+  EXPECT_FALSE(inst.all_delays_pow2()) << "40 draws should hit a non-pow2";
+}
+
+TEST(Datacenter, DefaultMixProducesWork) {
+  DatacenterParams params;
+  params.seed = 6;
+  params.horizon = 2048;
+  const Instance inst = make_datacenter(params);
+  EXPECT_EQ(inst.num_colors(),
+            static_cast<ColorId>(default_service_mix().size()));
+  EXPECT_GT(inst.jobs().size(), 100u);
+  // Phase structure: at least one service sees both hot and cold stretches
+  // (hard to assert directly; proxy: job counts differ across services).
+  std::int64_t lo = inst.jobs_of_color(0), hi = lo;
+  for (ColorId c = 1; c < inst.num_colors(); ++c) {
+    lo = std::min(lo, inst.jobs_of_color(c));
+    hi = std::max(hi, inst.jobs_of_color(c));
+  }
+  EXPECT_LT(lo, hi);
+}
+
+TEST(Datacenter, DeterministicBySeed) {
+  DatacenterParams params;
+  params.seed = 8;
+  params.horizon = 512;
+  EXPECT_EQ(make_datacenter(params).jobs(), make_datacenter(params).jobs());
+}
+
+TEST(TraceIo, RoundTripsExactly) {
+  RandomBatchedParams params;
+  params.seed = 9;
+  params.horizon = 64;
+  const Instance original = make_random_batched(params);
+
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const Instance reread = read_trace(in);
+
+  EXPECT_EQ(reread.delta(), original.delta());
+  EXPECT_EQ(reread.num_colors(), original.num_colors());
+  for (ColorId c = 0; c < original.num_colors(); ++c) {
+    EXPECT_EQ(reread.delay_bound(c), original.delay_bound(c));
+  }
+  EXPECT_EQ(reread.jobs(), original.jobs());
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("not a trace\n");
+    EXPECT_THROW((void)read_trace(in), InputError);
+  }
+  {
+    std::istringstream in("# rrs-trace v1\nwhat,1\n");
+    EXPECT_THROW((void)read_trace(in), InputError);
+  }
+  {
+    std::istringstream in("# rrs-trace v1\ncolor,1,4\n");  // non-dense id
+    EXPECT_THROW((void)read_trace(in), InputError);
+  }
+  {
+    std::istringstream in("# rrs-trace v1\ndelta,abc\n");
+    EXPECT_THROW((void)read_trace(in), InputError);
+  }
+  {
+    std::istringstream in("# rrs-trace v1\ncolor,0,4\njob,0,0\n");
+    EXPECT_THROW((void)read_trace(in), InputError);  // missing field
+  }
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# rrs-trace v1\n"
+      "delta,3\n"
+      "\n"
+      "# a comment\n"
+      "color,0,8\n"
+      "job,0,0,2\n");
+  const Instance inst = read_trace(in);
+  EXPECT_EQ(inst.delta(), 3);
+  EXPECT_EQ(inst.jobs().size(), 2u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  RandomBatchedParams params;
+  params.seed = 10;
+  params.horizon = 32;
+  const Instance original = make_random_batched(params);
+  const std::string path = ::testing::TempDir() + "/rrs_trace_test.csv";
+  write_trace_file(path, original);
+  const Instance reread = read_trace_file(path);
+  EXPECT_EQ(reread.jobs(), original.jobs());
+  EXPECT_THROW((void)read_trace_file("/nonexistent/dir/x.csv"), InputError);
+}
+
+}  // namespace
+}  // namespace rrs
