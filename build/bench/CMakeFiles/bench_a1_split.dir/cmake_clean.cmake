@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_split.dir/bench_a1_split.cc.o"
+  "CMakeFiles/bench_a1_split.dir/bench_a1_split.cc.o.d"
+  "bench_a1_split"
+  "bench_a1_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_replication.dir/bench_a2_replication.cc.o"
+  "CMakeFiles/bench_a2_replication.dir/bench_a2_replication.cc.o.d"
+  "bench_a2_replication"
+  "bench_a2_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

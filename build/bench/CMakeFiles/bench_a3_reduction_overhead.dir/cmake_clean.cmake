@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_reduction_overhead.dir/bench_a3_reduction_overhead.cc.o"
+  "CMakeFiles/bench_a3_reduction_overhead.dir/bench_a3_reduction_overhead.cc.o.d"
+  "bench_a3_reduction_overhead"
+  "bench_a3_reduction_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_reduction_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

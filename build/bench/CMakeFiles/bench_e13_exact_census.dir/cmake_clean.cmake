@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_exact_census.dir/bench_e13_exact_census.cc.o"
+  "CMakeFiles/bench_e13_exact_census.dir/bench_e13_exact_census.cc.o.d"
+  "bench_e13_exact_census"
+  "bench_e13_exact_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_exact_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

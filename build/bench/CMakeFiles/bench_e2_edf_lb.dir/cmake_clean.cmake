@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_edf_lb.dir/bench_e2_edf_lb.cc.o"
+  "CMakeFiles/bench_e2_edf_lb.dir/bench_e2_edf_lb.cc.o.d"
+  "bench_e2_edf_lb"
+  "bench_e2_edf_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_edf_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_dlru_edf.dir/bench_e3_dlru_edf.cc.o"
+  "CMakeFiles/bench_e3_dlru_edf.dir/bench_e3_dlru_edf.cc.o.d"
+  "bench_e3_dlru_edf"
+  "bench_e3_dlru_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_dlru_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

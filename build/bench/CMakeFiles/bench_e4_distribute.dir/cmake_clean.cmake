@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_distribute.dir/bench_e4_distribute.cc.o"
+  "CMakeFiles/bench_e4_distribute.dir/bench_e4_distribute.cc.o.d"
+  "bench_e4_distribute"
+  "bench_e4_distribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_distribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_varbatch.dir/bench_e5_varbatch.cc.o"
+  "CMakeFiles/bench_e5_varbatch.dir/bench_e5_varbatch.cc.o.d"
+  "bench_e5_varbatch"
+  "bench_e5_varbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_varbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_lemmas.dir/bench_e6_lemmas.cc.o"
+  "CMakeFiles/bench_e6_lemmas.dir/bench_e6_lemmas.cc.o.d"
+  "bench_e6_lemmas"
+  "bench_e6_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

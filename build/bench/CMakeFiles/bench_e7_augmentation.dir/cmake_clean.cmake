@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_augmentation.dir/bench_e7_augmentation.cc.o"
+  "CMakeFiles/bench_e7_augmentation.dir/bench_e7_augmentation.cc.o.d"
+  "bench_e7_augmentation"
+  "bench_e7_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_dilemma.dir/bench_e8_dilemma.cc.o"
+  "CMakeFiles/bench_e8_dilemma.dir/bench_e8_dilemma.cc.o.d"
+  "bench_e8_dilemma"
+  "bench_e8_dilemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_dilemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

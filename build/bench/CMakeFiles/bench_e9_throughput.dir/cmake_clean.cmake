@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_throughput.dir/bench_e9_throughput.cc.o"
+  "CMakeFiles/bench_e9_throughput.dir/bench_e9_throughput.cc.o.d"
+  "bench_e9_throughput"
+  "bench_e9_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priorities.dir/priorities.cpp.o"
+  "CMakeFiles/priorities.dir/priorities.cpp.o.d"
+  "priorities"
+  "priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algs/adaptive.cc" "src/CMakeFiles/rrs_algs.dir/algs/adaptive.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/adaptive.cc.o.d"
+  "/root/repo/src/algs/distribute.cc" "src/CMakeFiles/rrs_algs.dir/algs/distribute.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/distribute.cc.o.d"
+  "/root/repo/src/algs/dlru.cc" "src/CMakeFiles/rrs_algs.dir/algs/dlru.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/dlru.cc.o.d"
+  "/root/repo/src/algs/dlru_edf.cc" "src/CMakeFiles/rrs_algs.dir/algs/dlru_edf.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/dlru_edf.cc.o.d"
+  "/root/repo/src/algs/edf.cc" "src/CMakeFiles/rrs_algs.dir/algs/edf.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/edf.cc.o.d"
+  "/root/repo/src/algs/par_edf.cc" "src/CMakeFiles/rrs_algs.dir/algs/par_edf.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/par_edf.cc.o.d"
+  "/root/repo/src/algs/ranked_cache.cc" "src/CMakeFiles/rrs_algs.dir/algs/ranked_cache.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/ranked_cache.cc.o.d"
+  "/root/repo/src/algs/registry.cc" "src/CMakeFiles/rrs_algs.dir/algs/registry.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/registry.cc.o.d"
+  "/root/repo/src/algs/seq_edf.cc" "src/CMakeFiles/rrs_algs.dir/algs/seq_edf.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/seq_edf.cc.o.d"
+  "/root/repo/src/algs/varbatch.cc" "src/CMakeFiles/rrs_algs.dir/algs/varbatch.cc.o" "gcc" "src/CMakeFiles/rrs_algs.dir/algs/varbatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

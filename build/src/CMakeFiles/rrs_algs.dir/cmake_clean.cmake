@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_algs.dir/algs/adaptive.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/adaptive.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/distribute.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/distribute.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/dlru.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/dlru.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/dlru_edf.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/dlru_edf.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/edf.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/edf.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/par_edf.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/par_edf.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/ranked_cache.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/ranked_cache.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/registry.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/registry.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/seq_edf.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/seq_edf.cc.o.d"
+  "CMakeFiles/rrs_algs.dir/algs/varbatch.cc.o"
+  "CMakeFiles/rrs_algs.dir/algs/varbatch.cc.o.d"
+  "librrs_algs.a"
+  "librrs_algs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_algs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

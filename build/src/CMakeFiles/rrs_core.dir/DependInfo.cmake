@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cc" "src/CMakeFiles/rrs_core.dir/core/cache.cc.o" "gcc" "src/CMakeFiles/rrs_core.dir/core/cache.cc.o.d"
+  "/root/repo/src/core/color_state.cc" "src/CMakeFiles/rrs_core.dir/core/color_state.cc.o" "gcc" "src/CMakeFiles/rrs_core.dir/core/color_state.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/rrs_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/rrs_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/rrs_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/rrs_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/pending.cc" "src/CMakeFiles/rrs_core.dir/core/pending.cc.o" "gcc" "src/CMakeFiles/rrs_core.dir/core/pending.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/CMakeFiles/rrs_core.dir/core/schedule.cc.o" "gcc" "src/CMakeFiles/rrs_core.dir/core/schedule.cc.o.d"
+  "/root/repo/src/core/validator.cc" "src/CMakeFiles/rrs_core.dir/core/validator.cc.o" "gcc" "src/CMakeFiles/rrs_core.dir/core/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

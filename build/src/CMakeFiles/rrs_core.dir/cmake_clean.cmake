@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_core.dir/core/cache.cc.o"
+  "CMakeFiles/rrs_core.dir/core/cache.cc.o.d"
+  "CMakeFiles/rrs_core.dir/core/color_state.cc.o"
+  "CMakeFiles/rrs_core.dir/core/color_state.cc.o.d"
+  "CMakeFiles/rrs_core.dir/core/engine.cc.o"
+  "CMakeFiles/rrs_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/rrs_core.dir/core/instance.cc.o"
+  "CMakeFiles/rrs_core.dir/core/instance.cc.o.d"
+  "CMakeFiles/rrs_core.dir/core/pending.cc.o"
+  "CMakeFiles/rrs_core.dir/core/pending.cc.o.d"
+  "CMakeFiles/rrs_core.dir/core/schedule.cc.o"
+  "CMakeFiles/rrs_core.dir/core/schedule.cc.o.d"
+  "CMakeFiles/rrs_core.dir/core/validator.cc.o"
+  "CMakeFiles/rrs_core.dir/core/validator.cc.o.d"
+  "librrs_core.a"
+  "librrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

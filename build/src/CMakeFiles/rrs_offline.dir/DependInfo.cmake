@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/appendix_off.cc" "src/CMakeFiles/rrs_offline.dir/offline/appendix_off.cc.o" "gcc" "src/CMakeFiles/rrs_offline.dir/offline/appendix_off.cc.o.d"
+  "/root/repo/src/offline/greedy_offline.cc" "src/CMakeFiles/rrs_offline.dir/offline/greedy_offline.cc.o" "gcc" "src/CMakeFiles/rrs_offline.dir/offline/greedy_offline.cc.o.d"
+  "/root/repo/src/offline/lower_bound.cc" "src/CMakeFiles/rrs_offline.dir/offline/lower_bound.cc.o" "gcc" "src/CMakeFiles/rrs_offline.dir/offline/lower_bound.cc.o.d"
+  "/root/repo/src/offline/optimal.cc" "src/CMakeFiles/rrs_offline.dir/offline/optimal.cc.o" "gcc" "src/CMakeFiles/rrs_offline.dir/offline/optimal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_offline.dir/offline/appendix_off.cc.o"
+  "CMakeFiles/rrs_offline.dir/offline/appendix_off.cc.o.d"
+  "CMakeFiles/rrs_offline.dir/offline/greedy_offline.cc.o"
+  "CMakeFiles/rrs_offline.dir/offline/greedy_offline.cc.o.d"
+  "CMakeFiles/rrs_offline.dir/offline/lower_bound.cc.o"
+  "CMakeFiles/rrs_offline.dir/offline/lower_bound.cc.o.d"
+  "CMakeFiles/rrs_offline.dir/offline/optimal.cc.o"
+  "CMakeFiles/rrs_offline.dir/offline/optimal.cc.o.d"
+  "librrs_offline.a"
+  "librrs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/csv.cc" "src/CMakeFiles/rrs_sim.dir/sim/csv.cc.o" "gcc" "src/CMakeFiles/rrs_sim.dir/sim/csv.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/rrs_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/rrs_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/ratio.cc" "src/CMakeFiles/rrs_sim.dir/sim/ratio.cc.o" "gcc" "src/CMakeFiles/rrs_sim.dir/sim/ratio.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/rrs_sim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/rrs_sim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/rrs_sim.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/rrs_sim.dir/sim/sweep.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/rrs_sim.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/rrs_sim.dir/sim/table.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/CMakeFiles/rrs_sim.dir/sim/timeline.cc.o" "gcc" "src/CMakeFiles/rrs_sim.dir/sim/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrs_algs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_sim.dir/sim/csv.cc.o"
+  "CMakeFiles/rrs_sim.dir/sim/csv.cc.o.d"
+  "CMakeFiles/rrs_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/rrs_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/rrs_sim.dir/sim/ratio.cc.o"
+  "CMakeFiles/rrs_sim.dir/sim/ratio.cc.o.d"
+  "CMakeFiles/rrs_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/rrs_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/rrs_sim.dir/sim/sweep.cc.o"
+  "CMakeFiles/rrs_sim.dir/sim/sweep.cc.o.d"
+  "CMakeFiles/rrs_sim.dir/sim/table.cc.o"
+  "CMakeFiles/rrs_sim.dir/sim/table.cc.o.d"
+  "CMakeFiles/rrs_sim.dir/sim/timeline.cc.o"
+  "CMakeFiles/rrs_sim.dir/sim/timeline.cc.o.d"
+  "librrs_sim.a"
+  "librrs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/rrs_util.dir/util/thread_pool.cc.o.d"
+  "librrs_util.a"
+  "librrs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rrs_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/adversary_dlru.cc" "src/CMakeFiles/rrs_workload.dir/workload/adversary_dlru.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/adversary_dlru.cc.o.d"
+  "/root/repo/src/workload/adversary_edf.cc" "src/CMakeFiles/rrs_workload.dir/workload/adversary_edf.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/adversary_edf.cc.o.d"
+  "/root/repo/src/workload/datacenter.cc" "src/CMakeFiles/rrs_workload.dir/workload/datacenter.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/datacenter.cc.o.d"
+  "/root/repo/src/workload/flash_crowd.cc" "src/CMakeFiles/rrs_workload.dir/workload/flash_crowd.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/flash_crowd.cc.o.d"
+  "/root/repo/src/workload/intro_scenario.cc" "src/CMakeFiles/rrs_workload.dir/workload/intro_scenario.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/intro_scenario.cc.o.d"
+  "/root/repo/src/workload/poisson.cc" "src/CMakeFiles/rrs_workload.dir/workload/poisson.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/poisson.cc.o.d"
+  "/root/repo/src/workload/random_batched.cc" "src/CMakeFiles/rrs_workload.dir/workload/random_batched.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/random_batched.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/rrs_workload.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/rrs_workload.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

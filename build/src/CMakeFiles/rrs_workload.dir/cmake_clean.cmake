@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_workload.dir/workload/adversary_dlru.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/adversary_dlru.cc.o.d"
+  "CMakeFiles/rrs_workload.dir/workload/adversary_edf.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/adversary_edf.cc.o.d"
+  "CMakeFiles/rrs_workload.dir/workload/datacenter.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/datacenter.cc.o.d"
+  "CMakeFiles/rrs_workload.dir/workload/flash_crowd.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/flash_crowd.cc.o.d"
+  "CMakeFiles/rrs_workload.dir/workload/intro_scenario.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/intro_scenario.cc.o.d"
+  "CMakeFiles/rrs_workload.dir/workload/poisson.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/poisson.cc.o.d"
+  "CMakeFiles/rrs_workload.dir/workload/random_batched.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/random_batched.cc.o.d"
+  "CMakeFiles/rrs_workload.dir/workload/trace_io.cc.o"
+  "CMakeFiles/rrs_workload.dir/workload/trace_io.cc.o.d"
+  "librrs_workload.a"
+  "librrs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_off_test.dir/appendix_off_test.cc.o"
+  "CMakeFiles/appendix_off_test.dir/appendix_off_test.cc.o.d"
+  "appendix_off_test"
+  "appendix_off_test.pdb"
+  "appendix_off_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_off_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

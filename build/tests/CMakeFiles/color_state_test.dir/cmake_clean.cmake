@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_state_test.dir/color_state_test.cc.o"
+  "CMakeFiles/color_state_test.dir/color_state_test.cc.o.d"
+  "color_state_test"
+  "color_state_test.pdb"
+  "color_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

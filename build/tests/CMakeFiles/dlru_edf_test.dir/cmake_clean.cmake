@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlru_edf_test.dir/dlru_edf_test.cc.o"
+  "CMakeFiles/dlru_edf_test.dir/dlru_edf_test.cc.o.d"
+  "dlru_edf_test"
+  "dlru_edf_test.pdb"
+  "dlru_edf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlru_edf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

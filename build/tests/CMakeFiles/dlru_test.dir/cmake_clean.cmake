@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlru_test.dir/dlru_test.cc.o"
+  "CMakeFiles/dlru_test.dir/dlru_test.cc.o.d"
+  "dlru_test"
+  "dlru_test.pdb"
+  "dlru_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

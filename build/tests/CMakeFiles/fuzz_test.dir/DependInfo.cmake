@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_algs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_edf_test.dir/par_edf_test.cc.o"
+  "CMakeFiles/par_edf_test.dir/par_edf_test.cc.o.d"
+  "par_edf_test"
+  "par_edf_test.pdb"
+  "par_edf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_edf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pending_test.dir/pending_test.cc.o"
+  "CMakeFiles/pending_test.dir/pending_test.cc.o.d"
+  "pending_test"
+  "pending_test.pdb"
+  "pending_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pending_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

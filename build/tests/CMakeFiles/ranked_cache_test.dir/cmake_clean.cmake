@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranked_cache_test.dir/ranked_cache_test.cc.o"
+  "CMakeFiles/ranked_cache_test.dir/ranked_cache_test.cc.o.d"
+  "ranked_cache_test"
+  "ranked_cache_test.pdb"
+  "ranked_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranked_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varbatch_test.dir/varbatch_test.cc.o"
+  "CMakeFiles/varbatch_test.dir/varbatch_test.cc.o.d"
+  "varbatch_test"
+  "varbatch_test.pdb"
+  "varbatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varbatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
