@@ -15,10 +15,10 @@ AdaptiveSplitPolicy::AdaptiveSplitPolicy(Options options)
               "need 0 <= min_fraction <= max_fraction < 1");
 }
 
-void AdaptiveSplitPolicy::begin(const Instance& instance, int num_resources,
+void AdaptiveSplitPolicy::begin(const ArrivalSource& source, int num_resources,
                                 int speed) {
-  DLruEdfPolicy::begin(instance, num_resources, speed);
-  delta_ = instance.delta();
+  DLruEdfPolicy::begin(source, num_resources, speed);
+  delta_ = source.delta();
   window_drop_cost_ = 0;
   window_reconfig_cost_ = 0;
   window_end_ = options_.window;

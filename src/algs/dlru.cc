@@ -7,11 +7,11 @@
 
 namespace rrs {
 
-void DLruPolicy::begin(const Instance& instance, int num_resources,
+void DLruPolicy::begin(const ArrivalSource& source, int num_resources,
                        int speed) {
   (void)num_resources;
   (void)speed;
-  tracker_.begin(instance);
+  tracker_.begin(source);
 }
 
 void DLruPolicy::on_drop_phase(Round k, const PendingJobs::DropResult& dropped,

@@ -18,7 +18,7 @@ class DLruPolicy : public Policy {
  public:
   [[nodiscard]] std::string_view name() const override { return "dlru"; }
 
-  void begin(const Instance& instance, int num_resources,
+  void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
   void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
                      const EngineView& view) override;

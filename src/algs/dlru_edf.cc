@@ -7,7 +7,7 @@
 
 namespace rrs {
 
-void DLruEdfPolicy::begin(const Instance& instance, int num_resources,
+void DLruEdfPolicy::begin(const ArrivalSource& source, int num_resources,
                           int speed) {
   (void)speed;
   RRS_REQUIRE(lru_fraction_ >= 0.0 && lru_fraction_ < 1.0,
@@ -16,8 +16,8 @@ void DLruEdfPolicy::begin(const Instance& instance, int num_resources,
               "dLRU-EDF needs n divisible by 4 (n/4 LRU colors + n/4 EDF "
               "colors, each in 2 locations); got n="
                   << num_resources);
-  tracker_.begin(instance);
-  const auto colors = static_cast<std::size_t>(instance.num_colors());
+  tracker_.begin(source);
+  const auto colors = static_cast<std::size_t>(source.num_colors());
   is_lru_.ensure_size(colors);
   is_protected_.ensure_size(colors);
   rank_pos_.ensure_size(colors);
@@ -77,7 +77,7 @@ void DLruEdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
   for (const ColorId c : tracker_.eligible_colors()) {
     if (!is_lru_.contains(c)) edf_ranked_.push_back(c);
   }
-  edf_sort(edf_ranked_, view.instance(), tracker_, view.pending());
+  edf_sort(edf_ranked_, view.source(), tracker_, view.pending());
   rank_pos_.clear();
   for (std::size_t i = 0; i < edf_ranked_.size(); ++i) {
     rank_pos_.set(edf_ranked_[i], static_cast<std::int32_t>(i));

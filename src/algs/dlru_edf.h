@@ -36,7 +36,7 @@ class DLruEdfPolicy : public Policy {
 
   [[nodiscard]] std::string_view name() const override { return "dlru-edf"; }
 
-  void begin(const Instance& instance, int num_resources,
+  void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
   void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
                      const EngineView& view) override;
@@ -58,6 +58,10 @@ class DLruEdfPolicy : public Policy {
   void enable_super_epoch_analysis(int m) {
     tracker_.enable_super_epoch_analysis(m);
   }
+
+  /// Turns on ineligible-drop id recording (the Lemma 3.2 alpha
+  /// construction).  Off by default — the id list grows with the run.
+  void enable_drop_id_recording() { tracker_.enable_drop_id_recording(); }
 
  protected:
   /// For adaptive derivatives (see algs/adaptive.h): retune the capacity

@@ -7,12 +7,12 @@
 
 namespace rrs {
 
-void EdfPolicy::begin(const Instance& instance, int num_resources,
+void EdfPolicy::begin(const ArrivalSource& source, int num_resources,
                       int speed) {
   (void)num_resources;
   (void)speed;
-  tracker_.begin(instance);
-  rank_pos_.ensure_size(static_cast<std::size_t>(instance.num_colors()));
+  tracker_.begin(source);
+  rank_pos_.ensure_size(static_cast<std::size_t>(source.num_colors()));
 }
 
 void EdfPolicy::on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
@@ -31,7 +31,7 @@ void EdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
   (void)k;
   (void)mini;
   ranked_ = tracker_.eligible_colors();
-  edf_sort(ranked_, view.instance(), tracker_, view.pending());
+  edf_sort(ranked_, view.source(), tracker_, view.pending());
 
   rank_pos_.clear();
   for (std::size_t i = 0; i < ranked_.size(); ++i) {

@@ -26,7 +26,7 @@ class EdfPolicy : public Policy {
  public:
   [[nodiscard]] std::string_view name() const override { return "edf"; }
 
-  void begin(const Instance& instance, int num_resources,
+  void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
   void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
                      const EngineView& view) override;

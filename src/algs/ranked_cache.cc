@@ -4,11 +4,11 @@
 
 namespace rrs {
 
-void edf_sort(std::vector<ColorId>& colors, const Instance& instance,
+void edf_sort(std::vector<ColorId>& colors, const ArrivalSource& source,
               const EligibilityTracker& tracker, const PendingJobs& pending) {
   std::sort(colors.begin(), colors.end(), [&](ColorId a, ColorId b) {
-    return edf_key(a, instance, tracker, pending) <
-           edf_key(b, instance, tracker, pending);
+    return edf_key(a, source, tracker, pending) <
+           edf_key(b, source, tracker, pending);
   });
 }
 

@@ -12,8 +12,8 @@
 
 #include <vector>
 
+#include "core/arrival_source.h"
 #include "core/color_state.h"
-#include "core/instance.h"
 #include "core/pending.h"
 #include "core/types.h"
 
@@ -36,15 +36,15 @@ struct EdfKey {
 };
 
 /// Builds the EDF key of `color` from tracker + pending state.
-[[nodiscard]] inline EdfKey edf_key(ColorId color, const Instance& instance,
+[[nodiscard]] inline EdfKey edf_key(ColorId color, const ArrivalSource& source,
                                     const EligibilityTracker& tracker,
                                     const PendingJobs& pending) {
   return EdfKey{pending.idle(color), tracker.color_deadline(color),
-                instance.delay_bound(color), color};
+                source.delay_bound(color), color};
 }
 
 /// Sorts `colors` best-rank-first by the EDF color ranking.
-void edf_sort(std::vector<ColorId>& colors, const Instance& instance,
+void edf_sort(std::vector<ColorId>& colors, const ArrivalSource& source,
               const EligibilityTracker& tracker, const PendingJobs& pending);
 
 /// Sorts `colors` most-recent-timestamp-first (dLRU order) as of round

@@ -1,0 +1,60 @@
+#include "core/arrival_source.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rrs {
+
+const std::map<Round, std::vector<ColorId>>& ArrivalSource::colors_by_delay()
+    const {
+  if (!delay_index_built_) {
+    for (ColorId c = 0; c < num_colors(); ++c) {
+      colors_by_delay_[delay_bound(c)].push_back(c);
+    }
+    delay_index_built_ = true;
+  }
+  return colors_by_delay_;
+}
+
+std::string ArrivalSource::summary() const {
+  std::ostringstream os;
+  os << num_colors() << " colors, ";
+  if (finite()) {
+    os << horizon() << " rounds";
+  } else {
+    os << "infinite horizon";
+  }
+  os << ", Delta=" << delta() << " (streaming)";
+  return os.str();
+}
+
+Instance materialize(ArrivalSource& source, Round rounds) {
+  Round end = rounds;
+  if (end == kInfiniteHorizon) {
+    end = source.horizon();
+    RRS_REQUIRE(end != kInfiniteHorizon,
+                "materializing an infinite source needs an explicit round "
+                "count; got "
+                    << source.summary());
+  } else if (source.finite()) {
+    end = std::min(end, source.horizon());
+  }
+  RRS_REQUIRE(end >= 0, "materialize: negative round count " << end);
+
+  InstanceBuilder builder;
+  builder.delta(source.delta());
+  for (ColorId c = 0; c < source.num_colors(); ++c) {
+    builder.add_color(source.delay_bound(c), source.drop_cost(c));
+  }
+  for (Round k = 0; k < end; ++k) {
+    for (const Job& job : source.arrivals_in_round(k)) {
+      builder.add_jobs(job.color, k, 1);
+    }
+  }
+  builder.min_horizon(end);
+  return builder.build();
+}
+
+}  // namespace rrs

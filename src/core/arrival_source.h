@@ -1,0 +1,143 @@
+// Arrival sources: the engine's pull-based input abstraction.
+//
+// An ArrivalSource answers two kinds of questions:
+//   * static problem metadata, fixed before round 0 — the reconfiguration
+//     cost Delta, the color set with its delay bounds D_l and drop costs;
+//   * the request sequence, one round at a time: arrivals_in_round(k)
+//     yields the round-k request as a span valid until the next pull.
+//
+// Sources follow a finite/infinite *horizon contract*: horizon() returns
+// the number of rounds carrying arrivals, or kInfiniteHorizon for an
+// unbounded stream (callers must then bound runs via
+// EngineOptions::max_rounds).  Streaming sources synthesize each round on
+// demand, so a run's memory footprint is O(pending jobs + colors) no
+// matter how long the horizon; MaterializedSource adapts an in-memory
+// Instance so all offline machinery keeps working unchanged.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/job.h"
+#include "core/types.h"
+
+namespace rrs {
+
+/// Sentinel horizon of an unbounded stream.
+inline constexpr Round kInfiniteHorizon = -1;
+
+/// Abstract pull-based arrival stream plus problem metadata.
+///
+/// Pull contract: the engine (and materialize()) call arrivals_in_round()
+/// with consecutive rounds k = 0, 1, 2, ...; the returned span is valid
+/// only until the next pull.  Jobs must carry dense ids in pull order,
+/// arrival == k, and per-color constant delay_bound/drop_cost matching the
+/// metadata accessors (exactly what InstanceBuilder would produce for the
+/// same sequence).
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+
+  // --- static problem metadata ---
+
+  /// Reconfiguration cost Delta (>= 1).
+  [[nodiscard]] virtual Cost delta() const = 0;
+
+  /// Number of colors; valid ColorIds are [0, num_colors()).
+  [[nodiscard]] virtual ColorId num_colors() const = 0;
+
+  /// Category-specific delay bound D_l of `color`.
+  [[nodiscard]] virtual Round delay_bound(ColorId color) const = 0;
+
+  /// Drop cost of one `color` job (1 in the paper's unit-cost setting).
+  [[nodiscard]] virtual Cost drop_cost(ColorId color) const = 0;
+
+  /// Distinct delay bounds, ascending, with the colors that carry each
+  /// (the index EligibilityTracker walks at block boundaries).  The base
+  /// implementation derives it lazily from the metadata accessors.
+  [[nodiscard]] virtual const std::map<Round, std::vector<ColorId>>&
+  colors_by_delay() const;
+
+  // --- horizon contract ---
+
+  /// Number of rounds that may carry arrivals: arrivals_in_round(k) is
+  /// empty for k >= horizon().  kInfiniteHorizon for unbounded streams.
+  [[nodiscard]] virtual Round horizon() const = 0;
+
+  /// True iff the source ends (horizon() != kInfiniteHorizon).
+  [[nodiscard]] bool finite() const { return horizon() != kInfiniteHorizon; }
+
+  // --- the pull interface ---
+
+  /// Jobs arriving in round `k`, synthesized on demand.  Must be called
+  /// with consecutive k starting at 0; the span is valid until the next
+  /// call.  (MaterializedSource additionally supports random access.)
+  [[nodiscard]] virtual std::span<const Job> arrivals_in_round(Round k) = 0;
+
+  /// The backing Instance when the whole sequence is in memory, nullptr
+  /// for true streams.  Policies needing whole-sequence knowledge (e.g.
+  /// offline heuristics) must check this.
+  [[nodiscard]] virtual const Instance* materialized() const {
+    return nullptr;
+  }
+
+  /// Human-readable one-line summary for diagnostics.
+  [[nodiscard]] virtual std::string summary() const;
+
+ private:
+  mutable std::map<Round, std::vector<ColorId>> colors_by_delay_;
+  mutable bool delay_index_built_ = false;
+};
+
+/// Adapter presenting an Instance as an ArrivalSource.  Random access is
+/// supported (the instance is already materialized), so the sequential
+/// pull contract is not enforced here.
+class MaterializedSource final : public ArrivalSource {
+ public:
+  explicit MaterializedSource(const Instance& instance)
+      : instance_(&instance) {}
+
+  [[nodiscard]] Cost delta() const override { return instance_->delta(); }
+  [[nodiscard]] ColorId num_colors() const override {
+    return instance_->num_colors();
+  }
+  [[nodiscard]] Round delay_bound(ColorId color) const override {
+    return instance_->delay_bound(color);
+  }
+  [[nodiscard]] Cost drop_cost(ColorId color) const override {
+    return instance_->drop_cost(color);
+  }
+  [[nodiscard]] const std::map<Round, std::vector<ColorId>>& colors_by_delay()
+      const override {
+    return instance_->colors_by_delay();
+  }
+  [[nodiscard]] Round horizon() const override {
+    return instance_->horizon();
+  }
+  [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
+    return instance_->arrivals_in_round(k);
+  }
+  [[nodiscard]] const Instance* materialized() const override {
+    return instance_;
+  }
+  [[nodiscard]] std::string summary() const override {
+    return instance_->summary();
+  }
+
+ private:
+  const Instance* instance_;
+};
+
+/// Drains `source` into an Instance: pulls rounds [0, rounds) and rebuilds
+/// the sequence through InstanceBuilder (so classification flags, job ids,
+/// and horizon semantics match a directly built instance).  `rounds`
+/// defaults to the source's own horizon, which must then be finite; an
+/// infinite source needs an explicit round count.  The builder's horizon
+/// is forced to at least `rounds`, mirroring the one-shot generators.
+[[nodiscard]] Instance materialize(ArrivalSource& source,
+                                   Round rounds = kInfiniteHorizon);
+
+}  // namespace rrs

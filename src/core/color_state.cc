@@ -7,9 +7,9 @@
 
 namespace rrs {
 
-void EligibilityTracker::begin(const Instance& instance) {
-  inst_ = &instance;
-  state_.assign(static_cast<std::size_t>(instance.num_colors()), {});
+void EligibilityTracker::begin(const ArrivalSource& source) {
+  src_ = &source;
+  state_.assign(static_cast<std::size_t>(source.num_colors()), {});
   eligible_colors_.clear();
   super_epochs_ = 0;
   super_generation_ = 1;
@@ -34,19 +34,23 @@ void EligibilityTracker::drop_phase(Round k,
   for (const auto& [color, count] : dropped.by_color) {
     if (state_[idx(color)].eligible) {
       eligible_drops_ += count;
-      eligible_drop_weight_ += count * inst_->drop_cost(color);
+      eligible_drop_weight_ += count * src_->drop_cost(color);
     } else {
       ineligible_drops_ += count;
-      ineligible_drop_weight_ += count * inst_->drop_cost(color);
+      ineligible_drop_weight_ += count * src_->drop_cost(color);
     }
   }
-  for (const JobId id : dropped.job_ids) {
-    const ColorId color = inst_->jobs()[static_cast<std::size_t>(id)].color;
-    if (!state_[idx(color)].eligible) ineligible_drop_ids_.push_back(id);
+  if (record_drop_ids_) {
+    for (std::size_t i = 0; i < dropped.job_ids.size(); ++i) {
+      const ColorId color = dropped.job_colors[i];
+      if (!state_[idx(color)].eligible) {
+        ineligible_drop_ids_.push_back(dropped.job_ids[i]);
+      }
+    }
   }
   // Epoch ends: every eligible, uncached color at a multiple of its delay
   // bound becomes ineligible with cnt = 0.
-  for (const auto& [delay, colors] : inst_->colors_by_delay()) {
+  for (const auto& [delay, colors] : src_->colors_by_delay()) {
     if (k % delay != 0) continue;
     for (const ColorId color : colors) {
       ColorState& s = state_[idx(color)];
@@ -66,7 +70,7 @@ void EligibilityTracker::arrival_phase(Round k,
   // empty — at every multiple of D_l).  With super-epoch analysis on,
   // block boundaries are also where timestamps become visible, so detect
   // timestamp update events here.
-  for (const auto& [delay, colors] : inst_->colors_by_delay()) {
+  for (const auto& [delay, colors] : src_->colors_by_delay()) {
     if (k % delay != 0) continue;
     for (const ColorId color : colors) {
       ColorState& s = state_[idx(color)];
@@ -93,9 +97,9 @@ void EligibilityTracker::arrival_phase(Round k,
       s.seen_job = true;
       ++active_colors_;
     }
-    s.cnt += count * inst_->drop_cost(color);
-    if (s.cnt >= inst_->delta()) {
-      s.cnt %= inst_->delta();  // counter wrapping event
+    s.cnt += count * src_->drop_cost(color);
+    if (s.cnt >= src_->delta()) {
+      s.cnt %= src_->delta();  // counter wrapping event
       s.prev_wrap = s.last_wrap;
       s.last_wrap = k;
       if (!s.eligible) make_eligible(color);
@@ -105,7 +109,7 @@ void EligibilityTracker::arrival_phase(Round k,
 
 Round EligibilityTracker::timestamp(ColorId color, Round now) const {
   const ColorState& s = state_[idx(color)];
-  const Round block_start = floor_multiple(now, inst_->delay_bound(color));
+  const Round block_start = floor_multiple(now, src_->delay_bound(color));
   // Wraps happen only at multiples of D_l, so the latest wrap strictly
   // before the current block start is last_wrap unless last_wrap is the
   // current boundary itself, in which case it is prev_wrap.

@@ -25,8 +25,8 @@
 #include <span>
 #include <vector>
 
+#include "core/arrival_source.h"
 #include "core/cache.h"
-#include "core/instance.h"
 #include "core/pending.h"
 #include "core/types.h"
 
@@ -35,8 +35,9 @@ namespace rrs {
 /// Shared Section 3.1 per-color state machine.
 class EligibilityTracker {
  public:
-  /// Resets all state for `instance`.
-  void begin(const Instance& instance);
+  /// Resets all state for `source` (only its metadata accessors are used,
+  /// so streaming sources work — the tracker never touches the job table).
+  void begin(const ArrivalSource& source);
 
   /// Drop phase of round `k`: classifies this round's drops as eligible or
   /// ineligible (Section 3.2), then, for every color l with k a multiple of
@@ -94,10 +95,17 @@ class EligibilityTracker {
 
   /// Ids of every job dropped while its color was ineligible — the jobs
   /// removed from sigma to form the eligible subsequence alpha of the
-  /// Lemma 3.2 analysis.
+  /// Lemma 3.2 analysis.  Empty unless enable_drop_id_recording() was
+  /// called: the list grows with the run, so it is opt-in analysis state
+  /// (streamed runs must stay O(pending + colors)).
   [[nodiscard]] const std::vector<JobId>& ineligible_drop_ids() const {
     return ineligible_drop_ids_;
   }
+
+  /// Records ineligible-drop job ids for the Lemma 3.2 subsequence
+  /// construction.  Call before the run starts (begin() keeps the
+  /// setting).
+  void enable_drop_id_recording() { record_drop_ids_ = true; }
 
   // --- super-epoch analysis (Section 3.4) ---
   //
@@ -154,7 +162,8 @@ class EligibilityTracker {
   void note_timestamp_update(ColorId color);
   void note_epoch_end(ColorId color);
 
-  const Instance* inst_ = nullptr;
+  const ArrivalSource* src_ = nullptr;
+  bool record_drop_ids_ = false;
   int analysis_m_ = 0;  // 0 = super-epoch analysis disabled
   std::int64_t super_epochs_ = 0;
   std::int64_t super_generation_ = 1;

@@ -1,37 +1,65 @@
 #include "core/engine.h"
 
+#include <algorithm>
+
 #include "core/pending.h"
 #include "util/check.h"
 
 namespace rrs {
 
-EngineResult run_policy(const Instance& instance, Policy& policy,
+EngineResult run_policy(ArrivalSource& source, Policy& policy,
                         const EngineOptions& options) {
   RRS_REQUIRE(options.num_resources >= 1, "need at least one resource");
   RRS_REQUIRE(options.speed >= 1, "speed must be >= 1");
 
+  // Rounds carrying arrivals: the source's horizon, clipped by max_rounds.
+  Round arrival_end = options.max_rounds;
+  if (arrival_end == kInfiniteHorizon) {
+    arrival_end = source.horizon();
+    RRS_REQUIRE(arrival_end != kInfiniteHorizon,
+                "running an infinite source needs EngineOptions::max_rounds; "
+                "got " << source.summary());
+  } else if (source.finite()) {
+    arrival_end = std::min(arrival_end, source.horizon());
+  }
+  RRS_REQUIRE(arrival_end >= 0, "negative round count " << arrival_end);
+
   PendingJobs pending;
-  pending.reset(instance.num_colors());
+  pending.reset(source.num_colors());
   CacheAssignment cache(options.num_resources, options.replication);
-  cache.ensure_colors(instance.num_colors());
-  EngineView view(instance, pending, cache);
+  cache.ensure_colors(source.num_colors());
+  EngineView view(source, pending, cache);
 
   EngineResult result;
   result.schedule.num_resources = options.num_resources;
   result.schedule.speed = options.speed;
 
-  Cost executed_weight = 0;
-  policy.begin(instance, options.num_resources, options.speed);
+  policy.begin(source, options.num_resources, options.speed);
 
-  const Round horizon = instance.horizon();
-  for (Round k = 0; k < horizon; ++k) {
+  PendingJobs::DropResult dropped;  // reused across rounds: no per-round
+                                    // allocation once capacities settle
+  // High-water mark over ingested deadlines: once arrivals end, draining
+  // runs until every pending job has executed or expired (deadline <= k).
+  Round max_deadline = 0;
+  Round k = 0;
+  while (k < arrival_end ||
+         (options.drain_pending && pending.total() > 0 && max_deadline > k)) {
     // Phase 1: drop.
-    const PendingJobs::DropResult dropped = pending.drop_expired(k);
+    pending.drop_expired(k, dropped);
+    for (const auto& [color, count] : dropped.by_color) {
+      result.cost.drops += static_cast<Cost>(count) * source.drop_cost(color);
+    }
     policy.on_drop_phase(k, dropped, view);
 
     // Phase 2: arrival.
-    const std::span<const Job> arrivals = instance.arrivals_in_round(k);
-    for (const Job& job : arrivals) pending.add(job);
+    std::span<const Job> arrivals;
+    if (k < arrival_end) arrivals = source.arrivals_in_round(k);
+    for (const Job& job : arrivals) {
+      pending.add(job);
+      max_deadline = std::max(max_deadline, job.deadline());
+    }
+    result.arrived += static_cast<std::int64_t>(arrivals.size());
+    result.peak_pending = std::max(result.peak_pending, pending.total());
     policy.on_arrival_phase(k, arrivals, view);
 
     for (int mini = 0; mini < options.speed; ++mini) {
@@ -53,28 +81,34 @@ EngineResult run_policy(const Instance& instance, Policy& policy,
         if (color == kBlack || pending.idle(color)) continue;
         const JobId job = pending.pop_earliest(color);
         ++result.executed;
-        executed_weight +=
-            instance.jobs()[static_cast<std::size_t>(job)].drop_cost;
         if (options.record_schedule) {
           result.schedule.execs.push_back({k, mini, r, job});
         }
       }
     }
+    ++k;
   }
 
-  // Final drop phase at round `horizon`: every remaining pending job has
-  // deadline exactly horizon (the loop's drop phases handled everything
-  // earlier), so they expire now.  Policies see this sweep so their drop
-  // accounting matches the engine's.
-  const PendingJobs::DropResult final_drops = pending.drop_expired(horizon);
-  policy.on_drop_phase(horizon, final_drops, view);
+  // Final drop phase at round `k`: without draining every remaining pending
+  // job has deadline exactly arrival_end == k; with draining the loop exits
+  // once all deadlines are <= k.  Either way they expire now, and policies
+  // see this sweep so their drop accounting matches the engine's.
+  pending.drop_expired(k, dropped);
+  for (const auto& [color, count] : dropped.by_color) {
+    result.cost.drops += static_cast<Cost>(count) * source.drop_cost(color);
+  }
+  policy.on_drop_phase(k, dropped, view);
 
-  result.cost.reconfig_cost = result.cost.reconfig_events * instance.delta();
-  // Drop cost = total drop weight of jobs never executed (equals the job
-  // count difference in the paper's unit-cost setting).
-  result.cost.drops = instance.total_weight() - executed_weight;
+  result.rounds = k;
+  result.cost.reconfig_cost = result.cost.reconfig_events * source.delta();
   result.policy_stats = policy.stats();
   return result;
+}
+
+EngineResult run_policy(const Instance& instance, Policy& policy,
+                        const EngineOptions& options) {
+  MaterializedSource source(instance);
+  return run_policy(source, policy, options);
 }
 
 }  // namespace rrs

@@ -9,10 +9,14 @@
 //        phase (each configured resource executes one pending job of its
 //        color, earliest deadline first).
 //
-// The engine is the single place cost is accounted for online algorithms,
-// and optionally records a full event Schedule for validation.
+// The engine consumes a pull-based ArrivalSource, so memory stays
+// O(pending jobs + colors) even on unbounded streams; run_policy on an
+// Instance is a thin MaterializedSource wrapper.  The engine is the single
+// place cost is accounted for online algorithms (incrementally, per drop
+// phase), and optionally records a full event Schedule for validation.
 #pragma once
 
+#include "core/arrival_source.h"
 #include "core/instance.h"
 #include "core/policy.h"
 #include "core/schedule.h"
@@ -27,18 +31,36 @@ struct EngineOptions {
   /// replication invariant, 1 for Seq-EDF).
   int replication = 1;
   bool record_schedule = true;  ///< disable for large benchmark runs
+  /// Cap on rounds pulled from the source.  Required (finite) when the
+  /// source is infinite; kInfiniteHorizon means "the source's horizon".
+  Round max_rounds = kInfiniteHorizon;
+  /// After arrivals end, keep running rounds until the pending set empties
+  /// (every job executes or expires).  Off by default: the materialized
+  /// wrapper preserves the historical contract of exactly horizon() rounds
+  /// plus one final expiry sweep.
+  bool drain_pending = false;
 };
 
 /// Result of one engine run.
 struct EngineResult {
   CostBreakdown cost;
   std::int64_t executed = 0;  ///< jobs executed
+  std::int64_t arrived = 0;   ///< jobs pulled from the source
+  Round rounds = 0;           ///< rounds actually run
+  std::int64_t peak_pending = 0;  ///< max pending-set size observed
   Schedule schedule;          ///< events iff options.record_schedule
   /// Policy-specific counters captured after the run.
   std::vector<std::pair<std::string, std::int64_t>> policy_stats;
 };
 
-/// Runs `policy` on `instance` under `options`.
+/// Runs `policy` against `source` under `options`, pulling rounds
+/// sequentially.  For infinite sources options.max_rounds must be set.
+[[nodiscard]] EngineResult run_policy(ArrivalSource& source, Policy& policy,
+                                      const EngineOptions& options);
+
+/// Runs `policy` on a materialized `instance` (wraps it in a
+/// MaterializedSource; exactly instance.horizon() rounds plus the final
+/// expiry sweep, as before the streaming refactor).
 [[nodiscard]] EngineResult run_policy(const Instance& instance,
                                       Policy& policy,
                                       const EngineOptions& options);

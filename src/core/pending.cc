@@ -37,25 +37,25 @@ JobId PendingJobs::pop_earliest(ColorId color) {
   return id;
 }
 
-PendingJobs::DropResult PendingJobs::drop_expired(Round round) {
-  DropResult result;
+void PendingJobs::drop_expired(Round round, DropResult& out) {
+  out.clear();
   while (!expiry_hints_.empty() && expiry_hints_.top().first <= round) {
     const ColorId color = expiry_hints_.top().second;
     expiry_hints_.pop();
     auto& dq = per_color_[idx(color)];
     std::int64_t dropped_here = 0;
     while (!dq.empty() && dq.front().deadline <= round) {
-      result.job_ids.push_back(dq.front().id);
+      out.job_ids.push_back(dq.front().id);
+      out.job_colors.push_back(color);
       dq.pop_front();
       ++dropped_here;
     }
     if (dropped_here > 0) {
-      result.by_color.emplace_back(color, dropped_here);
-      result.total += dropped_here;
+      out.by_color.emplace_back(color, dropped_here);
+      out.total += dropped_here;
       total_ -= dropped_here;
     }
   }
-  return result;
 }
 
 }  // namespace rrs

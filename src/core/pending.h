@@ -53,11 +53,31 @@ class PendingJobs {
     std::vector<std::pair<ColorId, std::int64_t>> by_color;
     /// Ids of every dropped job, unordered.
     std::vector<JobId> job_ids;
+    /// Color of each dropped job, parallel to `job_ids` (so consumers
+    /// never need the full job table — streaming runs have none).
+    std::vector<ColorId> job_colors;
+
+    /// Empties the result, keeping allocated capacity for reuse.
+    void clear() {
+      total = 0;
+      by_color.clear();
+      job_ids.clear();
+      job_colors.clear();
+    }
   };
 
   /// Drops every pending job with deadline <= `round` (the round-`round`
-  /// drop phase).  Amortized O(log) per dropped job.
-  DropResult drop_expired(Round round);
+  /// drop phase) into `out`, which is cleared first; its buffers are
+  /// reused, so a caller-held DropResult makes the per-round sweep
+  /// allocation-free.  Amortized O(log) per dropped job.
+  void drop_expired(Round round, DropResult& out);
+
+  /// Convenience overload returning a fresh DropResult.
+  [[nodiscard]] DropResult drop_expired(Round round) {
+    DropResult result;
+    drop_expired(round, result);
+    return result;
+  }
 
  private:
   struct Entry {

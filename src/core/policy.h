@@ -15,8 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/arrival_source.h"
 #include "core/cache.h"
-#include "core/instance.h"
 #include "core/pending.h"
 
 namespace rrs {
@@ -24,16 +24,16 @@ namespace rrs {
 /// Read-only view of engine state offered to policies.
 class EngineView {
  public:
-  EngineView(const Instance& instance, const PendingJobs& pending,
+  EngineView(const ArrivalSource& source, const PendingJobs& pending,
              const CacheAssignment& cache)
-      : instance_(&instance), pending_(&pending), cache_(&cache) {}
+      : source_(&source), pending_(&pending), cache_(&cache) {}
 
-  [[nodiscard]] const Instance& instance() const { return *instance_; }
+  [[nodiscard]] const ArrivalSource& source() const { return *source_; }
   [[nodiscard]] const PendingJobs& pending() const { return *pending_; }
   [[nodiscard]] const CacheAssignment& cache() const { return *cache_; }
 
  private:
-  const Instance* instance_;
+  const ArrivalSource* source_;
   const PendingJobs* pending_;
   const CacheAssignment* cache_;
 };
@@ -46,10 +46,13 @@ class Policy {
   /// Algorithm name for tables and registries (e.g. "dlru-edf").
   [[nodiscard]] virtual std::string_view name() const = 0;
 
-  /// Called once before round 0.  `num_resources` is the online resource
-  /// count n; `speed` is mini-rounds per round (1 unless double-speed).
-  virtual void begin(const Instance& instance, int num_resources, int speed) {
-    (void)instance;
+  /// Called once before round 0.  `source` carries the problem metadata
+  /// (and, for materialized inputs, the whole sequence via
+  /// source.materialized()); `num_resources` is the online resource count
+  /// n; `speed` is mini-rounds per round (1 unless double-speed).
+  virtual void begin(const ArrivalSource& source, int num_resources,
+                     int speed) {
+    (void)source;
     (void)num_resources;
     (void)speed;
   }

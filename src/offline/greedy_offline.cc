@@ -6,16 +6,22 @@
 
 namespace rrs {
 
-void DemandGreedyPolicy::begin(const Instance& instance, int num_resources,
+void DemandGreedyPolicy::begin(const ArrivalSource& source, int num_resources,
                                int speed) {
   (void)num_resources;
   (void)speed;
   threshold_ = params_.switch_threshold > 0 ? params_.switch_threshold
-                                            : instance.delta();
-  skip_color_.assign(static_cast<std::size_t>(instance.num_colors()), 0);
+                                            : source.delta();
+  skip_color_.assign(static_cast<std::size_t>(source.num_colors()), 0);
   if (params_.skip_small_colors) {
-    for (ColorId c = 0; c < instance.num_colors(); ++c) {
-      if (instance.weight_of_color(c) < instance.delta()) {
+    // Needs whole-sequence knowledge (per-color total weight), so this
+    // variant only runs on materialized inputs.
+    const Instance* instance = source.materialized();
+    RRS_REQUIRE(instance != nullptr,
+                "demand-greedy with skip_small_colors needs a materialized "
+                "instance, got streaming source: " << source.summary());
+    for (ColorId c = 0; c < source.num_colors(); ++c) {
+      if (instance->weight_of_color(c) < source.delta()) {
         skip_color_[static_cast<std::size_t>(c)] = 1;
       }
     }
@@ -28,19 +34,19 @@ void DemandGreedyPolicy::reconfigure(Round k, int mini,
   (void)k;
   (void)mini;
   const PendingJobs& pending = view.pending();
-  const Instance& instance = view.instance();
+  const ArrivalSource& source = view.source();
 
   // Candidate colors: nonidle, not skipped; ranked by backlog descending,
   // then earliest front deadline, then color id.
   scratch_.clear();
-  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+  for (ColorId c = 0; c < source.num_colors(); ++c) {
     if (skip_color_[static_cast<std::size_t>(c)]) continue;
     if (!pending.idle(c)) scratch_.push_back(c);
   }
   // Backlogs are compared by droppable VALUE (count x per-job drop cost),
   // which reduces to plain counts in the unit-cost setting.
   const auto backlog = [&](ColorId c) {
-    return pending.count(c) * instance.drop_cost(c);
+    return pending.count(c) * source.drop_cost(c);
   };
   std::sort(scratch_.begin(), scratch_.end(), [&](ColorId a, ColorId b) {
     const Cost ca = backlog(a);

@@ -41,7 +41,7 @@ class DemandGreedyPolicy : public Policy {
     return "demand-greedy";
   }
 
-  void begin(const Instance& instance, int num_resources,
+  void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
   void reconfigure(Round k, int mini, const EngineView& view,
                    CacheAssignment& cache) override;

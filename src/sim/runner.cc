@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "algs/edf.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace rrs {
@@ -19,6 +21,42 @@ RunRecord run_algorithm(const Instance& instance, const std::string& name,
   record.executed = outcome.executed;
   record.stats = std::move(outcome.stats);
   if (schedule_out != nullptr) *schedule_out = std::move(outcome.schedule);
+  return record;
+}
+
+StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
+                              int n, Round max_rounds) {
+  EngineOptions options;
+  options.num_resources = n;
+  options.record_schedule = false;
+  options.max_rounds = max_rounds;
+  // Let in-flight jobs execute or expire after arrivals end, matching a
+  // materialized run whose horizon extends to the last deadline.
+  options.drain_pending = true;
+
+  std::unique_ptr<Policy> policy;
+  if (name == "seq-edf" || name == "ds-seq-edf") {
+    policy = std::make_unique<EdfPolicy>();
+    options.replication = 1;
+    options.speed = name == "ds-seq-edf" ? 2 : 1;
+  } else {
+    policy = make_policy(name);  // throws InputError on unknown names
+    options.replication = 2;
+    options.speed = 1;
+  }
+
+  Stopwatch watch;
+  EngineResult result = run_policy(source, *policy, options);
+  StreamRunRecord record;
+  record.seconds = watch.seconds();
+  record.algorithm = name;
+  record.n = n;
+  record.cost = result.cost;
+  record.executed = result.executed;
+  record.arrived = result.arrived;
+  record.rounds = result.rounds;
+  record.peak_pending = result.peak_pending;
+  record.stats = std::move(result.policy_stats);
   return record;
 }
 

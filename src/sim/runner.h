@@ -5,6 +5,7 @@
 #include <string>
 
 #include "algs/registry.h"
+#include "core/arrival_source.h"
 #include "core/instance.h"
 
 namespace rrs {
@@ -24,5 +25,29 @@ struct RunRecord {
 [[nodiscard]] RunRecord run_algorithm(const Instance& instance,
                                       const std::string& name, int n,
                                       Schedule* schedule_out = nullptr);
+
+/// Outcome of one streaming run.
+struct StreamRunRecord {
+  std::string algorithm;
+  int n = 0;
+  CostBreakdown cost;
+  std::int64_t executed = 0;
+  std::int64_t arrived = 0;       ///< jobs pulled from the source
+  Round rounds = 0;               ///< rounds actually run
+  std::int64_t peak_pending = 0;  ///< max pending-set size observed
+  double seconds = 0.0;           ///< wall-clock of the run
+  std::vector<std::pair<std::string, std::int64_t>> stats;
+};
+
+/// Runs the engine-driven algorithm `name` ("dlru", "edf", "dlru-edf",
+/// "adaptive", "seq-edf", "ds-seq-edf") with `n` resources against
+/// `source`, pulling rounds lazily: no schedule recording, no
+/// materialization, memory O(pending + colors).  `max_rounds` caps the
+/// pull (required for infinite sources).  The reduction pipelines
+/// ("distribute", "varbatch") are whole-instance transforms and are not
+/// available here.
+[[nodiscard]] StreamRunRecord run_streaming(
+    ArrivalSource& source, const std::string& name, int n,
+    Round max_rounds = kInfiniteHorizon);
 
 }  // namespace rrs

@@ -1,8 +1,5 @@
 #include "workload/datacenter.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -36,49 +33,53 @@ std::vector<ServiceSpec> default_service_mix() {
   };
 }
 
-Instance make_datacenter(const DatacenterParams& params) {
-  RRS_REQUIRE(params.horizon >= 1, "horizon must be >= 1");
-  const std::vector<ServiceSpec> services =
-      params.services.empty() ? default_service_mix() : params.services;
+// Geometric phase lengths approximate exponential on/off processes and
+// keep the generator integer-only.
+Round DatacenterSource::geometric(Rng& rng, Round mean) {
+  RRS_REQUIRE(mean >= 1, "phase mean must be >= 1");
+  const double p = 1.0 / static_cast<double>(mean);
+  Round length = 1;
+  while (!rng.bernoulli(p)) ++length;
+  return length;
+}
 
-  Rng rng(params.seed);
-  InstanceBuilder builder;
-  builder.delta(params.delta);
-  for (const ServiceSpec& s : services) {
-    builder.add_color(s.delay_bound, s.drop_cost);
+DatacenterSource::DatacenterSource(const DatacenterParams& params)
+    : GeneratorSource(params.delta, params.horizon),
+      services_(params.services.empty() ? default_service_mix()
+                                        : params.services) {
+  state_.reserve(services_.size());
+  for (std::size_t c = 0; c < services_.size(); ++c) {
+    const ServiceSpec& s = services_[c];
+    add_color(s.delay_bound, s.drop_cost);
+    ServiceState st{derive_rng(params.seed, c), false, 0};
+    st.hot = st.stream.bernoulli(0.5);
+    st.phase_left = geometric(st.stream, st.hot ? s.mean_hot_length
+                                                : s.mean_cold_length);
+    state_.push_back(st);
   }
+}
 
-  // Geometric phase lengths approximate exponential on/off processes and
-  // keep the generator integer-only.
-  const auto geometric = [&rng](Round mean) {
-    RRS_REQUIRE(mean >= 1, "phase mean must be >= 1");
-    const double p = 1.0 / static_cast<double>(mean);
-    Round length = 1;
-    while (!rng.bernoulli(p)) ++length;
-    return length;
-  };
-
-  for (std::size_t c = 0; c < services.size(); ++c) {
-    const ServiceSpec& s = services[c];
-    bool hot = rng.bernoulli(0.5);
-    Round phase_left = geometric(hot ? s.mean_hot_length
-                                     : s.mean_cold_length);
-    for (Round t = 0; t < params.horizon; ++t) {
-      if (phase_left == 0) {
-        hot = !hot;
-        phase_left = geometric(hot ? s.mean_hot_length : s.mean_cold_length);
-      }
-      --phase_left;
-      const double rate = hot ? s.hot_rate : s.cold_rate;
-      const std::int64_t count = rng.poisson(rate);
-      if (count > 0) {
-        builder.add_jobs(static_cast<ColorId>(c), t, count);
-      }
+void DatacenterSource::synthesize(Round k) {
+  for (std::size_t c = 0; c < services_.size(); ++c) {
+    const ServiceSpec& s = services_[c];
+    ServiceState& st = state_[c];
+    if (st.phase_left == 0) {
+      st.hot = !st.hot;
+      st.phase_left = geometric(st.stream, st.hot ? s.mean_hot_length
+                                                  : s.mean_cold_length);
     }
+    --st.phase_left;
+    const double rate = st.hot ? s.hot_rate : s.cold_rate;
+    const std::int64_t count = st.stream.poisson(rate);
+    if (count > 0) emit(static_cast<ColorId>(c), k, count);
   }
+}
 
-  builder.min_horizon(params.horizon);
-  return builder.build();
+Instance make_datacenter(const DatacenterParams& params) {
+  RRS_REQUIRE(params.horizon >= 1,
+              "materializing needs a finite horizon >= 1");
+  DatacenterSource source(params);
+  return materialize(source);
 }
 
 }  // namespace rrs

@@ -7,12 +7,17 @@
 // lengths, service-specific delay bounds and intensities — so resource
 // allocations must follow the demand mix, exactly the regime where
 // reconfiguration-vs-drop tradeoffs bite.
+//
+// DatacenterSource streams the workload lazily (one round at a time,
+// per-service RNG streams and phase state); make_datacenter materializes
+// it.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/instance.h"
+#include "workload/generator_source.h"
 
 namespace rrs {
 
@@ -30,6 +35,7 @@ struct ServiceSpec {
 struct DatacenterParams {
   Cost delta = 32;
   std::vector<ServiceSpec> services;  ///< empty = default 8-service mix
+  /// Arrival-carrying rounds; kInfiniteHorizon streams forever.
   Round horizon = 8192;
   std::uint64_t seed = 1;
 };
@@ -37,7 +43,28 @@ struct DatacenterParams {
 /// A default heterogeneous 8-service mix (web, API, batch, analytics, ...).
 [[nodiscard]] std::vector<ServiceSpec> default_service_mix();
 
-/// Builds the (unbatched) datacenter instance.
+/// Lazy streaming datacenter workload: per-service on/off phase processes
+/// advanced one round at a time.
+class DatacenterSource final : public GeneratorSource {
+ public:
+  explicit DatacenterSource(const DatacenterParams& params);
+
+ private:
+  struct ServiceState {
+    Rng stream;          // the service's private RNG stream
+    bool hot = false;
+    Round phase_left = 0;
+  };
+
+  void synthesize(Round k) override;
+  [[nodiscard]] static Round geometric(Rng& rng, Round mean);
+
+  std::vector<ServiceSpec> services_;
+  std::vector<ServiceState> state_;
+};
+
+/// Builds the (unbatched) datacenter instance (materializes the streaming
+/// source; params.horizon must be finite).
 [[nodiscard]] Instance make_datacenter(const DatacenterParams& params);
 
 }  // namespace rrs

@@ -5,39 +5,45 @@
 
 namespace rrs {
 
-FlashCrowdInstance make_flash_crowd(const FlashCrowdParams& params) {
+FlashCrowdSource::FlashCrowdSource(const FlashCrowdParams& params)
+    : GeneratorSource(params.delta, params.horizon), params_(params) {
   RRS_REQUIRE(params.background_colors >= 0, "negative color count");
   RRS_REQUIRE(params.spike_factor >= 1.0, "spike_factor must be >= 1");
   RRS_REQUIRE(0 <= params.spike_start &&
                   params.spike_start <= params.spike_end &&
-                  params.spike_end <= params.horizon,
+                  (params.horizon == kInfiniteHorizon ||
+                   params.spike_end <= params.horizon),
               "need 0 <= spike_start <= spike_end <= horizon");
 
-  Rng rng(params.seed);
-  InstanceBuilder builder;
-  builder.delta(params.delta);
-
-  FlashCrowdInstance out;
-  out.spike_color = builder.add_color(params.spike_delay);
-  std::vector<ColorId> background;
+  spike_color_ = add_color(params.spike_delay);
+  streams_.push_back(derive_rng(params.seed, 0));
   for (int c = 0; c < params.background_colors; ++c) {
-    background.push_back(builder.add_color(params.background_delay));
+    const ColorId color = add_color(params.background_delay);
+    streams_.push_back(derive_rng(params.seed,
+                                  static_cast<std::uint64_t>(color)));
   }
+}
 
-  for (Round t = 0; t < params.horizon; ++t) {
-    const bool in_spike = t >= params.spike_start && t < params.spike_end;
+void FlashCrowdSource::synthesize(Round k) {
+  const bool in_spike = k >= params_.spike_start && k < params_.spike_end;
+  const double spike_rate =
+      params_.base_rate * (in_spike ? params_.spike_factor : 1.0);
+  for (ColorId c = 0; c < num_colors(); ++c) {
     const double rate =
-        params.base_rate * (in_spike ? params.spike_factor : 1.0);
-    const std::int64_t spike_jobs = rng.poisson(rate);
-    if (spike_jobs > 0) builder.add_jobs(out.spike_color, t, spike_jobs);
-    for (const ColorId c : background) {
-      const std::int64_t jobs = rng.poisson(params.background_rate);
-      if (jobs > 0) builder.add_jobs(c, t, jobs);
-    }
+        c == spike_color_ ? spike_rate : params_.background_rate;
+    const std::int64_t count =
+        streams_[static_cast<std::size_t>(c)].poisson(rate);
+    if (count > 0) emit(c, k, count);
   }
+}
 
-  builder.min_horizon(params.horizon);
-  out.instance = builder.build();
+FlashCrowdInstance make_flash_crowd(const FlashCrowdParams& params) {
+  RRS_REQUIRE(params.horizon >= 1,
+              "materializing needs a finite horizon >= 1");
+  FlashCrowdSource source(params);
+  FlashCrowdInstance out;
+  out.spike_color = source.spike_color();
+  out.instance = materialize(source);
   return out;
 }
 

@@ -6,11 +6,16 @@
 // how much capacity to reassign — and how fast — before the spike ends.
 // The generator produces steady Poisson baselines plus one spike color
 // whose rate jumps by `spike_factor` during [spike_start, spike_end).
+//
+// FlashCrowdSource streams the workload lazily (one round at a time,
+// per-color RNG streams); make_flash_crowd materializes it.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/instance.h"
+#include "workload/generator_source.h"
 
 namespace rrs {
 
@@ -25,8 +30,25 @@ struct FlashCrowdParams {
   double spike_factor = 20.0;    ///< rate multiplier during the spike
   Round spike_start = 1024;
   Round spike_end = 1536;
+  /// Arrival-carrying rounds; kInfiniteHorizon streams forever.
   Round horizon = 4096;
   std::uint64_t seed = 1;
+};
+
+/// Lazy streaming flash-crowd workload.  The spike color is always
+/// color 0; background colors follow.
+class FlashCrowdSource final : public GeneratorSource {
+ public:
+  explicit FlashCrowdSource(const FlashCrowdParams& params);
+
+  [[nodiscard]] ColorId spike_color() const { return spike_color_; }
+
+ private:
+  void synthesize(Round k) override;
+
+  std::vector<Rng> streams_;  // one RNG stream per color
+  FlashCrowdParams params_;
+  ColorId spike_color_ = 0;
 };
 
 /// The generated instance plus the spiking color.
@@ -35,7 +57,8 @@ struct FlashCrowdInstance {
   ColorId spike_color = 0;
 };
 
-/// Builds the (unbatched) flash-crowd instance.
+/// Builds the (unbatched) flash-crowd instance (materializes the streaming
+/// source; params.horizon must be finite).
 [[nodiscard]] FlashCrowdInstance make_flash_crowd(
     const FlashCrowdParams& params);
 

@@ -1,0 +1,110 @@
+// Shared scaffold for lazy streaming workload generators.
+//
+// A GeneratorSource synthesizes each round's arrivals on demand from
+// seeded RNG, so a run touches O(pending + colors) memory no matter how
+// long the horizon.  Two conventions make a streamed run and its
+// materialization (materialize()) produce byte-identical job sequences:
+//   * per-color RNG streams (derive_rng) — a color's draws do not depend
+//     on how other colors interleave, so round-major streaming and
+//     color-major one-shot generation agree;
+//   * emit() assigns dense ids in emission order, ascending color within
+//     a round — exactly the id/order InstanceBuilder produces when the
+//     same sequence is pulled round-major into add_jobs().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arrival_source.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrs {
+
+/// Independent RNG for stream index `stream` of a seeded generator.
+/// Distinct (seed, stream) pairs give decorrelated xoshiro states.
+[[nodiscard]] inline Rng derive_rng(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t sm = seed + (stream + 1) * 0xd1b54a32d192ed03ULL;
+  return Rng(splitmix64(sm));
+}
+
+/// Base class for streaming workload generators.  Subclasses register
+/// colors in their constructor (add_color) and implement synthesize(k),
+/// calling emit() once per (color, batch) in ascending color order.
+class GeneratorSource : public ArrivalSource {
+ public:
+  [[nodiscard]] Cost delta() const override { return delta_; }
+  [[nodiscard]] ColorId num_colors() const override {
+    return static_cast<ColorId>(delay_bounds_.size());
+  }
+  [[nodiscard]] Round delay_bound(ColorId color) const override {
+    return delay_bounds_[checked(color)];
+  }
+  [[nodiscard]] Cost drop_cost(ColorId color) const override {
+    return drop_costs_[checked(color)];
+  }
+  [[nodiscard]] Round horizon() const override { return horizon_; }
+
+  [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
+    RRS_REQUIRE(k == next_round_, "streaming sources are sequential: "
+                                  "expected round "
+                                      << next_round_ << ", got " << k);
+    ++next_round_;
+    buffer_.clear();
+    if (!finite() || k < horizon_) synthesize(k);
+    return buffer_;
+  }
+
+ protected:
+  /// `horizon` is the number of arrival-carrying rounds, or
+  /// kInfiniteHorizon for an unbounded stream.
+  GeneratorSource(Cost delta, Round horizon) : delta_(delta),
+                                               horizon_(horizon) {
+    RRS_REQUIRE(delta >= 1, "Delta must be a positive integer, got "
+                                << delta);
+    RRS_REQUIRE(horizon >= 1 || horizon == kInfiniteHorizon,
+                "horizon must be >= 1 or kInfiniteHorizon, got " << horizon);
+  }
+
+  /// Registers a color; returns its ColorId.  Constructor-time only.
+  ColorId add_color(Round delay, Cost drop_cost = 1) {
+    RRS_REQUIRE(delay >= 1, "delay bound must be >= 1, got " << delay);
+    RRS_REQUIRE(drop_cost >= 1, "drop cost must be >= 1, got " << drop_cost);
+    delay_bounds_.push_back(delay);
+    drop_costs_.push_back(drop_cost);
+    return static_cast<ColorId>(delay_bounds_.size() - 1);
+  }
+
+  /// Appends `count` jobs of `color` arriving in round `k` to this round's
+  /// buffer.  Call in ascending color order within one synthesize().
+  void emit(ColorId color, Round k, std::int64_t count) {
+    const std::size_t c = checked(color);
+    for (std::int64_t i = 0; i < count; ++i) {
+      buffer_.push_back(Job{next_id_++, color, k, delay_bounds_[c],
+                            drop_costs_[c]});
+    }
+  }
+
+  /// Produces round `k`'s arrivals via emit().  Called once per round, in
+  /// order, only for rounds inside the horizon.
+  virtual void synthesize(Round k) = 0;
+
+ private:
+  [[nodiscard]] std::size_t checked(ColorId color) const {
+    RRS_REQUIRE(color >= 0 &&
+                    static_cast<std::size_t>(color) < delay_bounds_.size(),
+                "color " << color << " out of range [0, "
+                         << delay_bounds_.size() << ")");
+    return static_cast<std::size_t>(color);
+  }
+
+  Cost delta_;
+  Round horizon_;
+  std::vector<Round> delay_bounds_;
+  std::vector<Cost> drop_costs_;
+  std::vector<Job> buffer_;
+  Round next_round_ = 0;
+  JobId next_id_ = 0;
+};
+
+}  // namespace rrs

@@ -6,17 +6,18 @@
 
 namespace rrs {
 
-Instance make_poisson(const PoissonParams& params) {
+PoissonSource::PoissonSource(const PoissonParams& params)
+    : GeneratorSource(params.delta, params.horizon),
+      mean_rate_(params.mean_rate) {
   RRS_REQUIRE(params.num_colors >= 1, "need >= 1 color");
   RRS_REQUIRE(params.min_delay >= 1 && params.min_delay <= params.max_delay,
               "need 1 <= min_delay <= max_delay");
   RRS_REQUIRE(params.mean_rate >= 0.0, "mean_rate must be >= 0");
-  RRS_REQUIRE(params.horizon >= 1, "horizon must be >= 1");
 
+  // Static per-color delay bounds come from the base seed; job streams use
+  // one derived RNG per color so round-major synthesis is deterministic.
   Rng rng(params.seed);
-  InstanceBuilder builder;
-  builder.delta(params.delta);
-
+  streams_.reserve(static_cast<std::size_t>(params.num_colors));
   for (int c = 0; c < params.num_colors; ++c) {
     Round delay;
     if (params.arbitrary_delays) {
@@ -26,20 +27,25 @@ Instance make_poisson(const PoissonParams& params) {
       const int hi = floor_log2(floor_pow2(params.max_delay));
       delay = Round{1} << rng.uniform(lo, hi);
     }
-    builder.add_color(delay);
+    add_color(delay);
+    streams_.push_back(derive_rng(params.seed,
+                                  static_cast<std::uint64_t>(c)));
   }
+}
 
-  // Per-color per-round Poisson counts.  Iterating color-major keeps the
-  // builder's per-color arrival order ascending, which is required.
-  for (int c = 0; c < params.num_colors; ++c) {
-    for (Round t = 0; t < params.horizon; ++t) {
-      const std::int64_t count = rng.poisson(params.mean_rate);
-      if (count > 0) builder.add_jobs(static_cast<ColorId>(c), t, count);
-    }
+void PoissonSource::synthesize(Round k) {
+  for (ColorId c = 0; c < num_colors(); ++c) {
+    const std::int64_t count =
+        streams_[static_cast<std::size_t>(c)].poisson(mean_rate_);
+    if (count > 0) emit(c, k, count);
   }
+}
 
-  builder.min_horizon(params.horizon);
-  return builder.build();
+Instance make_poisson(const PoissonParams& params) {
+  RRS_REQUIRE(params.horizon >= 1,
+              "materializing needs a finite horizon >= 1");
+  PoissonSource source(params);
+  return materialize(source);
 }
 
 }  // namespace rrs

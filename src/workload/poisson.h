@@ -5,11 +5,16 @@
 // exercise the full VarBatch pipeline (Theorem 3).  Delay bounds can be
 // powers of two or arbitrary (Section 5.3 extension) depending on
 // `arbitrary_delays`.
+//
+// PoissonSource streams the workload lazily (one round at a time,
+// per-color RNG streams); make_poisson materializes it.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/instance.h"
+#include "workload/generator_source.h"
 
 namespace rrs {
 
@@ -21,11 +26,25 @@ struct PoissonParams {
   Round max_delay = 128;   ///< largest delay bound
   bool arbitrary_delays = false;  ///< false: powers of two only
   double mean_rate = 0.25;  ///< mean jobs per color per round
+  /// Arrival-carrying rounds; kInfiniteHorizon streams forever.
   Round horizon = 1024;
   std::uint64_t seed = 1;
 };
 
-/// Builds a random unbatched instance.
+/// Lazy streaming unbatched Poisson workload.
+class PoissonSource final : public GeneratorSource {
+ public:
+  explicit PoissonSource(const PoissonParams& params);
+
+ private:
+  void synthesize(Round k) override;
+
+  std::vector<Rng> streams_;  // one RNG stream per color
+  double mean_rate_;
+};
+
+/// Builds a random unbatched instance (materializes the streaming source;
+/// params.horizon must be finite).
 [[nodiscard]] Instance make_poisson(const PoissonParams& params);
 
 }  // namespace rrs

@@ -7,45 +7,52 @@
 
 namespace rrs {
 
-Instance make_random_batched(const RandomBatchedParams& params) {
+RandomBatchedSource::RandomBatchedSource(const RandomBatchedParams& params)
+    : GeneratorSource(params.delta, params.horizon),
+      activity_(params.activity) {
   RRS_REQUIRE(params.num_colors >= 1, "need >= 1 color");
   RRS_REQUIRE(params.min_scale >= 0 && params.min_scale <= params.max_scale,
               "need 0 <= min_scale <= max_scale");
   RRS_REQUIRE(params.burst_factor > 0.0, "burst_factor must be positive");
-  RRS_REQUIRE(params.horizon >= 1, "horizon must be >= 1");
   RRS_REQUIRE(params.min_drop_cost >= 1 &&
                   params.min_drop_cost <= params.max_drop_cost,
               "need 1 <= min_drop_cost <= max_drop_cost");
 
+  // Static per-color attributes come from the base seed; job streams use
+  // one derived RNG per color so round-major synthesis is deterministic.
   Rng rng(params.seed);
-  InstanceBuilder builder;
-  builder.delta(params.delta);
-
-  std::vector<Round> delays;
-  delays.reserve(static_cast<std::size_t>(params.num_colors));
+  streams_.reserve(static_cast<std::size_t>(params.num_colors));
+  max_batch_.reserve(static_cast<std::size_t>(params.num_colors));
   for (int c = 0; c < params.num_colors; ++c) {
     const int scale = static_cast<int>(
         rng.uniform(params.min_scale, params.max_scale));
     const Round delay = Round{1} << scale;
-    builder.add_color(delay, rng.uniform(params.min_drop_cost,
-                                         params.max_drop_cost));
-    delays.push_back(delay);
-  }
-
-  for (int c = 0; c < params.num_colors; ++c) {
-    const Round delay = delays[static_cast<std::size_t>(c)];
-    const auto max_batch = std::max<std::int64_t>(
+    add_color(delay, rng.uniform(params.min_drop_cost,
+                                 params.max_drop_cost));
+    max_batch_.push_back(std::max<std::int64_t>(
         1, static_cast<std::int64_t>(params.burst_factor *
-                                     static_cast<double>(delay)));
-    for (Round t = 0; t < params.horizon; t += delay) {
-      if (!rng.bernoulli(params.activity)) continue;
-      const std::int64_t batch = rng.uniform(1, max_batch);
-      builder.add_jobs(static_cast<ColorId>(c), t, batch);
-    }
+                                     static_cast<double>(delay))));
+    streams_.push_back(derive_rng(params.seed,
+                                  static_cast<std::uint64_t>(c)));
   }
+}
 
-  builder.min_horizon(params.horizon);
-  return builder.build();
+void RandomBatchedSource::synthesize(Round k) {
+  for (ColorId c = 0; c < num_colors(); ++c) {
+    if (k % delay_bound(c) != 0) continue;
+    Rng& stream = streams_[static_cast<std::size_t>(c)];
+    if (!stream.bernoulli(activity_)) continue;
+    const std::int64_t batch =
+        stream.uniform(1, max_batch_[static_cast<std::size_t>(c)]);
+    emit(c, k, batch);
+  }
+}
+
+Instance make_random_batched(const RandomBatchedParams& params) {
+  RRS_REQUIRE(params.horizon >= 1,
+              "materializing needs a finite horizon >= 1");
+  RandomBatchedSource source(params);
+  return materialize(source);
 }
 
 }  // namespace rrs

@@ -7,11 +7,16 @@
 // [2^min_scale, 2^max_scale]; at each multiple of its delay bound a color
 // is active with `activity` probability and receives a uniform batch of
 // size up to `burst_factor * D_l` (factor <= 1 keeps the rate limit).
+//
+// RandomBatchedSource streams the workload lazily (one round at a time,
+// per-color RNG streams); make_random_batched materializes it.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/instance.h"
+#include "workload/generator_source.h"
 
 namespace rrs {
 
@@ -21,6 +26,7 @@ struct RandomBatchedParams {
   int num_colors = 16;
   int min_scale = 2;   ///< smallest delay bound = 2^min_scale
   int max_scale = 6;   ///< largest delay bound = 2^max_scale
+  /// Arrival-carrying rounds; kInfiniteHorizon streams forever.
   Round horizon = 1024;
   double activity = 0.7;      ///< P(color active at a given batch round)
   double burst_factor = 1.0;  ///< max batch size = burst_factor * D_l
@@ -31,7 +37,22 @@ struct RandomBatchedParams {
   std::uint64_t seed = 1;
 };
 
-/// Builds a random batched instance (rate-limited iff burst_factor <= 1).
+/// Lazy streaming random batched workload (rate-limited iff
+/// burst_factor <= 1).
+class RandomBatchedSource final : public GeneratorSource {
+ public:
+  explicit RandomBatchedSource(const RandomBatchedParams& params);
+
+ private:
+  void synthesize(Round k) override;
+
+  std::vector<Rng> streams_;           // one RNG stream per color
+  std::vector<std::int64_t> max_batch_;
+  double activity_;
+};
+
+/// Builds a random batched instance (materializes the streaming source;
+/// params.horizon must be finite).
 [[nodiscard]] Instance make_random_batched(const RandomBatchedParams& params);
 
 }  // namespace rrs

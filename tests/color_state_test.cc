@@ -2,6 +2,7 @@
 // (counters, wraps, eligibility, timestamps, epoch/drop accounting).
 #include <gtest/gtest.h>
 
+#include "core/arrival_source.h"
 #include "core/cache.h"
 #include "core/color_state.h"
 #include "core/instance.h"
@@ -13,9 +14,9 @@ namespace {
 class TrackerHarness {
  public:
   explicit TrackerHarness(Instance instance)
-      : instance_(std::move(instance)), cache_(4, 2) {
+      : instance_(std::move(instance)), source_(instance_), cache_(4, 2) {
     cache_.ensure_colors(instance_.num_colors());
-    tracker_.begin(instance_);
+    tracker_.begin(source_);
   }
 
   /// Runs rounds [next_, until) with no cache changes and no drops.
@@ -43,6 +44,7 @@ class TrackerHarness {
 
  private:
   Instance instance_;
+  MaterializedSource source_;
   CacheAssignment cache_;
   EligibilityTracker tracker_;
   Round next_ = 0;
@@ -144,8 +146,9 @@ TEST(EligibilityTracker, DropClassificationUsesPreResetStatus) {
 
   CacheAssignment cache(4, 2);
   cache.ensure_colors(1);
+  const MaterializedSource source(inst);
   EligibilityTracker tracker;
-  tracker.begin(inst);
+  tracker.begin(source);
   tracker.drop_phase(0, {}, cache);
   tracker.arrival_phase(0, inst.arrivals_in_round(0));
   ASSERT_TRUE(tracker.eligible(c));

@@ -26,8 +26,8 @@ class RandomPolicy : public Policy {
 
   [[nodiscard]] std::string_view name() const override { return "random"; }
 
-  void begin(const Instance& instance, int, int) override {
-    num_colors_ = instance.num_colors();
+  void begin(const ArrivalSource& source, int, int) override {
+    num_colors_ = source.num_colors();
   }
 
   void reconfigure(Round, int, const EngineView&,

@@ -1,7 +1,10 @@
 // Tests for algs/ranked_cache: the shared EDF and dLRU orderings.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "algs/ranked_cache.h"
+#include "core/arrival_source.h"
 #include "core/cache.h"
 #include "core/color_state.h"
 #include "core/instance.h"
@@ -42,8 +45,9 @@ class RankingFixture : public ::testing::Test {
     builder.min_horizon(16);
     inst_ = builder.build();
 
+    source_.emplace(inst_);
     cache_.ensure_colors(inst_.num_colors());
-    tracker_.begin(inst_);
+    tracker_.begin(*source_);
     pending_.reset(inst_.num_colors());
     // Keep every color cached so eligibility persists across boundaries.
     cache_.begin_phase();
@@ -60,6 +64,7 @@ class RankingFixture : public ::testing::Test {
   }
 
   Instance inst_;
+  std::optional<MaterializedSource> source_;
   ColorId fast_ = 0, medium_ = 0, slow_ = 0;
   EligibilityTracker tracker_;
   PendingJobs pending_;
@@ -72,7 +77,7 @@ TEST_F(RankingFixture, EdfSortFollowsColorDeadlines) {
   // slow's 8.  fast re-batched at 2 -> deadline 4; medium still 4 but
   // larger delay bound; slow latest.
   std::vector<ColorId> colors{slow_, medium_, fast_};
-  edf_sort(colors, inst_, tracker_, pending_);
+  edf_sort(colors, *source_, tracker_, pending_);
   EXPECT_EQ(colors[0], fast_);   // deadline 4, delay 2
   EXPECT_EQ(colors[1], medium_); // deadline 4, delay 4
   EXPECT_EQ(colors[2], slow_);   // deadline 8
@@ -83,7 +88,7 @@ TEST_F(RankingFixture, IdleColorsSinkToTheBottom) {
   // Drain fast's pending jobs: it becomes idle and must rank last.
   while (!pending_.idle(fast_)) (void)pending_.pop_earliest(fast_);
   std::vector<ColorId> colors{fast_, medium_, slow_};
-  edf_sort(colors, inst_, tracker_, pending_);
+  edf_sort(colors, *source_, tracker_, pending_);
   EXPECT_EQ(colors.back(), fast_);
 }
 

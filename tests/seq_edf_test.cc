@@ -97,6 +97,7 @@ TEST(DropChain, Lemma32_EligibleDropsAtMostParEdfOnAlpha) {
 
     const int m = 1;
     DLruEdfPolicy policy;
+    policy.enable_drop_id_recording();
     EngineOptions options;
     options.num_resources = 8 * m;
     options.replication = 2;
