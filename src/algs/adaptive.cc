@@ -25,44 +25,47 @@ void AdaptiveSplitPolicy::begin(const ArrivalSource& source, int num_resources,
   adaptations_ = 0;
 }
 
-void AdaptiveSplitPolicy::on_drop_phase(Round k,
-                                        const PendingJobs::DropResult& dropped,
-                                        const EngineView& view) {
-  DLruEdfPolicy::on_drop_phase(k, dropped, view);
-  window_drop_cost_ += dropped.total;
+void AdaptiveSplitPolicy::on_round(RoundContext& ctx) {
+  const Round k = ctx.round();
+  if (ctx.first_mini()) {
+    // Window accounting rides the drop phase (independent of the base
+    // tracker's classification, so order against it does not matter).
+    window_drop_cost_ += ctx.dropped().total;
 
-  if (k >= window_end_) {
-    // Thrashing pressure -> pin more (grow the LRU share); drop pressure
-    // -> utilize more (grow the EDF share).  Ties leave the split alone.
-    double fraction = lru_fraction();
-    if (window_reconfig_cost_ > window_drop_cost_) {
-      fraction += options_.step;
-    } else if (window_drop_cost_ > window_reconfig_cost_) {
-      fraction -= options_.step;
+    if (k >= window_end_) {
+      // Thrashing pressure -> pin more (grow the LRU share); drop pressure
+      // -> utilize more (grow the EDF share).  Ties leave the split alone.
+      double fraction = lru_fraction();
+      if (window_reconfig_cost_ > window_drop_cost_) {
+        fraction += options_.step;
+      } else if (window_drop_cost_ > window_reconfig_cost_) {
+        fraction -= options_.step;
+      }
+      fraction = std::clamp(fraction, options_.min_fraction,
+                            options_.max_fraction);
+      if (fraction != lru_fraction()) {
+        set_lru_fraction(fraction);
+        ++adaptations_;
+      }
+      window_drop_cost_ = 0;
+      window_reconfig_cost_ = 0;
+      window_end_ = k + options_.window;
     }
-    fraction = std::clamp(fraction, options_.min_fraction,
-                          options_.max_fraction);
-    if (fraction != lru_fraction()) {
-      set_lru_fraction(fraction);
-      ++adaptations_;
-    }
-    window_drop_cost_ = 0;
-    window_reconfig_cost_ = 0;
-    window_end_ = k + options_.window;
   }
-}
+  if (ctx.final_sweep()) {
+    DLruEdfPolicy::on_round(ctx);  // tracker classification only
+    return;
+  }
 
-void AdaptiveSplitPolicy::reconfigure(Round k, int mini,
-                                      const EngineView& view,
-                                      CacheAssignment& cache) {
   // Count this phase's insertions (each costs replication * Delta) by
-  // diffing the logical cached set around the base reconfiguration.
-  before_ = cache.cached_colors();
+  // diffing the logical cached set around the base round (the base tracker
+  // updates never touch the cache).
+  before_ = ctx.cache().cached_colors();
   std::sort(before_.begin(), before_.end());
-  DLruEdfPolicy::reconfigure(k, mini, view, cache);
-  for (const ColorId c : cache.cached_colors()) {
+  DLruEdfPolicy::on_round(ctx);
+  for (const ColorId c : ctx.cache().cached_colors()) {
     if (!std::binary_search(before_.begin(), before_.end(), c)) {
-      window_reconfig_cost_ += Cost{cache.replication()} * delta_;
+      window_reconfig_cost_ += Cost{ctx.cache().replication()} * delta_;
     }
   }
 }

@@ -39,10 +39,7 @@ class AdaptiveSplitPolicy : public DLruEdfPolicy {
 
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
-  void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
-                     const EngineView& view) override;
-  void reconfigure(Round k, int mini, const EngineView& view,
-                   CacheAssignment& cache) override;
+  void on_round(RoundContext& ctx) override;
 
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;

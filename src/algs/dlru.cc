@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "algs/ranked_cache.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -12,38 +11,33 @@ void DLruPolicy::begin(const ArrivalSource& source, int num_resources,
   (void)num_resources;
   (void)speed;
   tracker_.begin(source);
+  in_target_.ensure_size(static_cast<std::size_t>(source.num_colors()));
 }
 
-void DLruPolicy::on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
-                               const EngineView& view) {
-  tracker_.drop_phase(k, dropped, view.cache());
-}
+void DLruPolicy::on_round(RoundContext& ctx) {
+  const Round k = ctx.round();
+  if (ctx.first_mini()) {
+    tracker_.drop_phase(k, ctx.dropped(), ctx.cache());
+    if (ctx.final_sweep()) return;
+    tracker_.arrival_phase(k, ctx.arrivals());
+  }
+  CacheAssignment& cache = ctx.cache();
 
-void DLruPolicy::on_arrival_phase(Round k, std::span<const Job> arrivals,
-                                  const EngineView& view) {
-  (void)view;
-  tracker_.arrival_phase(k, arrivals);
-}
-
-void DLruPolicy::reconfigure(Round k, int mini, const EngineView& view,
-                             CacheAssignment& cache) {
-  (void)mini;
-  (void)view;
   // Invariant: the cache holds exactly the top min(n/2, |eligible|)
   // eligible colors by timestamp recency.
   scratch_ = tracker_.eligible_colors();
-  lru_sort(scratch_, tracker_, k);
+  lru_sort(scratch_, lru_keys_, tracker_, k);
   const auto capacity = static_cast<std::size_t>(cache.max_distinct());
   if (scratch_.size() > capacity) scratch_.resize(capacity);
 
   // Evict cached colors outside the target set, then insert the rest.
-  std::vector<ColorId> to_evict;
+  in_target_.clear();
+  for (const ColorId c : scratch_) in_target_.set(c, 1);
+  evict_scratch_.clear();
   for (const ColorId c : cache.cached_colors()) {
-    if (std::find(scratch_.begin(), scratch_.end(), c) == scratch_.end()) {
-      to_evict.push_back(c);
-    }
+    if (!in_target_.contains(c)) evict_scratch_.push_back(c);
   }
-  for (const ColorId c : to_evict) cache.erase(c);
+  for (const ColorId c : evict_scratch_) cache.erase(c);
   for (const ColorId c : scratch_) {
     if (!cache.contains(c)) cache.insert(c);
   }

@@ -8,8 +8,10 @@
 // artifact and as the LRU half reused by dLRU-EDF.
 #pragma once
 
+#include "algs/ranked_cache.h"
 #include "core/color_state.h"
 #include "core/policy.h"
+#include "util/stamped_map.h"
 
 namespace rrs {
 
@@ -20,12 +22,7 @@ class DLruPolicy : public Policy {
 
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
-  void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
-                     const EngineView& view) override;
-  void on_arrival_phase(Round k, std::span<const Job> arrivals,
-                        const EngineView& view) override;
-  void reconfigure(Round k, int mini, const EngineView& view,
-                   CacheAssignment& cache) override;
+  void on_round(RoundContext& ctx) override;
 
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
@@ -33,6 +30,9 @@ class DLruPolicy : public Policy {
  private:
   EligibilityTracker tracker_;
   std::vector<ColorId> scratch_;
+  std::vector<LruKey> lru_keys_;
+  std::vector<ColorId> evict_scratch_;
+  StampedMap<char> in_target_;  // member of this round's LRU target set
 };
 
 }  // namespace rrs

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "algs/ranked_cache.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -23,16 +22,13 @@ void DLruEdfPolicy::begin(const ArrivalSource& source, int num_resources,
   rank_pos_.ensure_size(colors);
 }
 
-void DLruEdfPolicy::on_drop_phase(Round k,
-                                  const PendingJobs::DropResult& dropped,
-                                  const EngineView& view) {
-  tracker_.drop_phase(k, dropped, view.cache());
-}
-
-void DLruEdfPolicy::on_arrival_phase(Round k, std::span<const Job> arrivals,
-                                     const EngineView& view) {
-  (void)view;
-  tracker_.arrival_phase(k, arrivals);
+void DLruEdfPolicy::on_round(RoundContext& ctx) {
+  if (ctx.first_mini()) {
+    tracker_.drop_phase(ctx.round(), ctx.dropped(), ctx.cache());
+    if (ctx.final_sweep()) return;
+    tracker_.arrival_phase(ctx.round(), ctx.arrivals());
+  }
+  reconfigure(ctx);
 }
 
 void DLruEdfPolicy::evict_worst_non_lru(CacheAssignment& cache) {
@@ -53,9 +49,10 @@ void DLruEdfPolicy::evict_worst_non_lru(CacheAssignment& cache) {
   cache.erase(victim);
 }
 
-void DLruEdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
-                                CacheAssignment& cache) {
-  (void)mini;
+void DLruEdfPolicy::reconfigure(RoundContext& ctx) {
+  CacheAssignment& cache = ctx.cache();
+  const PendingJobs& pending = ctx.pending();
+  const Round k = ctx.round();
   const auto max_distinct = static_cast<std::size_t>(cache.max_distinct());
   // The paper's split is half/half; lru_fraction generalizes it, clamped
   // so the non-LRU pool is never empty (evictions need a victim).
@@ -67,7 +64,7 @@ void DLruEdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
 
   // --- LRU half: the top lru_cap eligible colors by timestamp recency. ---
   lru_target_ = tracker_.eligible_colors();
-  lru_sort(lru_target_, tracker_, k);
+  lru_sort(lru_target_, lru_keys_, tracker_, k);
   if (lru_target_.size() > lru_cap) lru_target_.resize(lru_cap);
   is_lru_.clear();
   for (const ColorId c : lru_target_) is_lru_.set(c, 1);
@@ -77,7 +74,7 @@ void DLruEdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
   for (const ColorId c : tracker_.eligible_colors()) {
     if (!is_lru_.contains(c)) edf_ranked_.push_back(c);
   }
-  edf_sort(edf_ranked_, view.source(), tracker_, view.pending());
+  edf_sort(edf_ranked_, edf_keys_, tracker_, pending);
   rank_pos_.clear();
   for (std::size_t i = 0; i < edf_ranked_.size(); ++i) {
     rank_pos_.set(edf_ranked_[i], static_cast<std::int32_t>(i));
@@ -98,7 +95,7 @@ void DLruEdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
   const auto top = std::min(edf_ranked_.size(), edf_cap);
   for (std::size_t i = 0; i < top; ++i) {
     const ColorId color = edf_ranked_[i];
-    if (view.pending().idle(color) || cache.contains(color)) continue;
+    if (pending.idle(color) || cache.contains(color)) continue;
     if (cache.full()) evict_worst_non_lru(cache);
     cache.insert(color);
     is_protected_.set(color, 1);

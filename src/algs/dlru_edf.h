@@ -14,6 +14,7 @@
 // [Delta | 1 | D_l | D_l] with power-of-two delay bounds when n = 8m.
 #pragma once
 
+#include "algs/ranked_cache.h"
 #include "core/color_state.h"
 #include "core/policy.h"
 #include "util/stamped_map.h"
@@ -38,12 +39,7 @@ class DLruEdfPolicy : public Policy {
 
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
-  void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
-                     const EngineView& view) override;
-  void on_arrival_phase(Round k, std::span<const Job> arrivals,
-                        const EngineView& view) override;
-  void reconfigure(Round k, int mini, const EngineView& view,
-                   CacheAssignment& cache) override;
+  void on_round(RoundContext& ctx) override;
 
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
@@ -69,6 +65,11 @@ class DLruEdfPolicy : public Policy {
   void set_lru_fraction(double fraction) { lru_fraction_ = fraction; }
   [[nodiscard]] double lru_fraction() const { return lru_fraction_; }
 
+  /// The reconfiguration decision alone (no tracker updates): recompute
+  /// the LRU/EDF targets and mutate the cache.  Exposed so derivatives
+  /// can wrap it; on_round() calls it every non-final mini-round.
+  void reconfigure(RoundContext& ctx);
+
  private:
   /// Evicts the worst-EDF-ranked cached color that is not an LRU color and
   /// not protected (just inserted by the EDF half this phase).
@@ -78,6 +79,8 @@ class DLruEdfPolicy : public Policy {
   EligibilityTracker tracker_;
   std::vector<ColorId> lru_target_;
   std::vector<ColorId> edf_ranked_;
+  std::vector<LruKey> lru_keys_;
+  std::vector<EdfKey> edf_keys_;
   StampedMap<char> is_lru_;        // member of this round's LRU target set
   StampedMap<char> is_protected_;  // inserted by the EDF half this phase
   StampedMap<std::int32_t> rank_pos_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "algs/ranked_cache.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -15,23 +14,17 @@ void EdfPolicy::begin(const ArrivalSource& source, int num_resources,
   rank_pos_.ensure_size(static_cast<std::size_t>(source.num_colors()));
 }
 
-void EdfPolicy::on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
-                              const EngineView& view) {
-  tracker_.drop_phase(k, dropped, view.cache());
-}
+void EdfPolicy::on_round(RoundContext& ctx) {
+  if (ctx.first_mini()) {
+    tracker_.drop_phase(ctx.round(), ctx.dropped(), ctx.cache());
+    if (ctx.final_sweep()) return;
+    tracker_.arrival_phase(ctx.round(), ctx.arrivals());
+  }
+  CacheAssignment& cache = ctx.cache();
+  const PendingJobs& pending = ctx.pending();
 
-void EdfPolicy::on_arrival_phase(Round k, std::span<const Job> arrivals,
-                                 const EngineView& view) {
-  (void)view;
-  tracker_.arrival_phase(k, arrivals);
-}
-
-void EdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
-                            CacheAssignment& cache) {
-  (void)k;
-  (void)mini;
   ranked_ = tracker_.eligible_colors();
-  edf_sort(ranked_, view.source(), tracker_, view.pending());
+  edf_sort(ranked_, edf_keys_, tracker_, pending);
 
   rank_pos_.clear();
   for (std::size_t i = 0; i < ranked_.size(); ++i) {
@@ -46,7 +39,7 @@ void EdfPolicy::reconfigure(Round k, int mini, const EngineView& view,
                             static_cast<std::size_t>(cache.max_distinct()));
   for (std::size_t i = 0; i < top; ++i) {
     const ColorId color = ranked_[i];
-    if (view.pending().idle(color) || cache.contains(color)) continue;
+    if (pending.idle(color) || cache.contains(color)) continue;
     if (cache.full()) {
       ColorId victim = kBlack;
       std::int32_t worst = -1;

@@ -13,6 +13,7 @@
 // speed 2.
 #pragma once
 
+#include "algs/ranked_cache.h"
 #include "core/color_state.h"
 #include "core/policy.h"
 #include "util/stamped_map.h"
@@ -28,12 +29,7 @@ class EdfPolicy : public Policy {
 
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
-  void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
-                     const EngineView& view) override;
-  void on_arrival_phase(Round k, std::span<const Job> arrivals,
-                        const EngineView& view) override;
-  void reconfigure(Round k, int mini, const EngineView& view,
-                   CacheAssignment& cache) override;
+  void on_round(RoundContext& ctx) override;
 
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
@@ -41,6 +37,7 @@ class EdfPolicy : public Policy {
  private:
   EligibilityTracker tracker_;
   std::vector<ColorId> ranked_;
+  std::vector<EdfKey> edf_keys_;
   StampedMap<std::int32_t> rank_pos_;
 };
 

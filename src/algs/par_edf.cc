@@ -23,11 +23,12 @@ ParEdfResult run_par_edf(const Instance& instance, int m) {
   };
 
   ParEdfResult result;
+  PendingJobs::DropResult dropped;  // reused sweep buffer
   for (Round k = 0; k < instance.horizon(); ++k) {
     // Drop phase.  Colors whose front job expires leave a stale key in
     // `active`; stale keys sort no later than the color's true key and are
     // refreshed lazily when they reach the front of the set below.
-    const auto dropped = pending.drop_expired(k);
+    pending.drop_expired(k, dropped);
     result.drops += dropped.total;
 
     // Arrival phase.

@@ -4,22 +4,44 @@
 
 namespace rrs {
 
+void edf_sort(std::vector<ColorId>& colors, std::vector<EdfKey>& scratch,
+              const EligibilityTracker& tracker, const PendingJobs& pending) {
+  scratch.clear();
+  scratch.reserve(colors.size());
+  for (const ColorId c : colors) {
+    scratch.push_back(EdfKey{pending.idle(c), tracker.color_deadline(c),
+                             tracker.delay_bound(c), c});
+  }
+  std::sort(scratch.begin(), scratch.end());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    colors[i] = scratch[i].color;
+  }
+}
+
 void edf_sort(std::vector<ColorId>& colors, const ArrivalSource& source,
               const EligibilityTracker& tracker, const PendingJobs& pending) {
-  std::sort(colors.begin(), colors.end(), [&](ColorId a, ColorId b) {
-    return edf_key(a, source, tracker, pending) <
-           edf_key(b, source, tracker, pending);
-  });
+  (void)source;
+  std::vector<EdfKey> scratch;
+  edf_sort(colors, scratch, tracker, pending);
+}
+
+void lru_sort(std::vector<ColorId>& colors, std::vector<LruKey>& scratch,
+              const EligibilityTracker& tracker, Round now) {
+  scratch.clear();
+  scratch.reserve(colors.size());
+  for (const ColorId c : colors) {
+    scratch.push_back(LruKey{tracker.timestamp(c, now), c});
+  }
+  std::sort(scratch.begin(), scratch.end());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    colors[i] = scratch[i].color;
+  }
 }
 
 void lru_sort(std::vector<ColorId>& colors, const EligibilityTracker& tracker,
               Round now) {
-  std::sort(colors.begin(), colors.end(), [&](ColorId a, ColorId b) {
-    const Round ta = tracker.timestamp(a, now);
-    const Round tb = tracker.timestamp(b, now);
-    if (ta != tb) return ta > tb;  // most recent first
-    return a < b;
-  });
+  std::vector<LruKey> scratch;
+  lru_sort(colors, scratch, tracker, now);
 }
 
 }  // namespace rrs

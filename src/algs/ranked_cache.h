@@ -8,6 +8,12 @@
 //     order across all algorithms);
 //   * the dLRU recency ranking (Section 3.1.1): descending timestamp,
 //     ties broken by the same consistent order.
+//
+// The hot-path overloads precompute each color's key once into a
+// caller-held scratch buffer and sort the flat key array — no per
+// comparison key construction, timestamp division, or virtual metadata
+// lookup.  The source-taking overloads remain for callers that have not
+// begun a tracker of their own.
 #pragma once
 
 #include <vector>
@@ -35,6 +41,18 @@ struct EdfKey {
   }
 };
 
+/// Sort key for the dLRU recency ranking; smaller compares as better rank.
+struct LruKey {
+  Round timestamp = 0;
+  ColorId color = 0;
+
+  friend bool operator<(const LruKey& a, const LruKey& b) {
+    if (a.timestamp != b.timestamp)
+      return a.timestamp > b.timestamp;  // most recent first
+    return a.color < b.color;
+  }
+};
+
 /// Builds the EDF key of `color` from tracker + pending state.
 [[nodiscard]] inline EdfKey edf_key(ColorId color, const ArrivalSource& source,
                                     const EligibilityTracker& tracker,
@@ -43,12 +61,25 @@ struct EdfKey {
                 source.delay_bound(color), color};
 }
 
-/// Sorts `colors` best-rank-first by the EDF color ranking.
+/// Sorts `colors` best-rank-first by the EDF color ranking, building each
+/// color's key once into `scratch` (cleared; capacity reused).
+void edf_sort(std::vector<ColorId>& colors, std::vector<EdfKey>& scratch,
+              const EligibilityTracker& tracker, const PendingJobs& pending);
+
+/// Convenience overload with its own scratch buffer (allocates; tests and
+/// cold paths only).  `source` is unused beyond the historical signature —
+/// the tracker caches the same delay bounds.
 void edf_sort(std::vector<ColorId>& colors, const ArrivalSource& source,
               const EligibilityTracker& tracker, const PendingJobs& pending);
 
 /// Sorts `colors` most-recent-timestamp-first (dLRU order) as of round
-/// `now`, ties by ascending ColorId.
+/// `now`, ties by ascending ColorId, evaluating each timestamp once into
+/// `scratch` (cleared; capacity reused).
+void lru_sort(std::vector<ColorId>& colors, std::vector<LruKey>& scratch,
+              const EligibilityTracker& tracker, Round now);
+
+/// Convenience overload with its own scratch buffer (allocates; tests and
+/// cold paths only).
 void lru_sort(std::vector<ColorId>& colors, const EligibilityTracker& tracker,
               Round now);
 

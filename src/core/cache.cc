@@ -17,24 +17,36 @@ CacheAssignment::CacheAssignment(int num_resources, int replication)
   physical_.assign(static_cast<std::size_t>(num_resources), kBlack);
   phase_start_ = physical_;
   dirty_flag_.assign(static_cast<std::size_t>(num_resources), 0);
-  free_locations_.resize(static_cast<std::size_t>(num_resources));
+  rebuild_free_locations();
+}
+
+void CacheAssignment::rebuild_free_locations() {
+  const int n = num_resources();
+  free_locations_.resize(static_cast<std::size_t>(n));
   // Keep low-numbered locations on top of the stack so the layout matches
   // the paper's "first half of the cache" narration for fresh inserts.
-  for (int i = 0; i < num_resources; ++i) {
-    free_locations_[static_cast<std::size_t>(num_resources - 1 - i)] = i;
+  for (int i = 0; i < n; ++i) {
+    free_locations_[static_cast<std::size_t>(n - 1 - i)] = i;
   }
 }
 
 void CacheAssignment::ensure_colors(ColorId num_colors) {
-  if (static_cast<std::size_t>(num_colors) > cached_pos_.size()) {
-    cached_pos_.resize(static_cast<std::size_t>(num_colors), -1);
-    locations_.resize(static_cast<std::size_t>(num_colors));
+  if (static_cast<std::size_t>(num_colors) > stamp_.size()) {
+    stamp_.resize(static_cast<std::size_t>(num_colors), 0);
+    slot_of_.resize(static_cast<std::size_t>(num_colors), -1);
   }
 }
 
-bool CacheAssignment::contains(ColorId color) const {
-  return color >= 0 && idx(color) < cached_pos_.size() &&
-         cached_pos_[idx(color)] >= 0;
+void CacheAssignment::reset() {
+  RRS_CHECK(!in_phase_);
+  ++epoch_;  // invalidates every color's stamp in O(1)
+  cached_.clear();
+  locations_.clear();
+  std::fill(physical_.begin(), physical_.end(), kBlack);
+  phase_start_ = physical_;
+  std::fill(dirty_flag_.begin(), dirty_flag_.end(), 0);
+  dirty_.clear();
+  rebuild_free_locations();
 }
 
 ColorId CacheAssignment::color_at(int location) const {
@@ -55,8 +67,7 @@ void CacheAssignment::insert(ColorId color) {
   RRS_CHECK_MSG(!contains(color), "insert of already-cached color " << color);
   RRS_CHECK_MSG(!full(), "cache full inserting color " << color);
 
-  auto& locs = locations_[idx(color)];
-  RRS_CHECK(locs.empty());
+  const auto slot = static_cast<std::int32_t>(cached_.size());
   for (int r = 0; r < replication_; ++r) {
     // Prefer a free location still physically colored `color`: reclaiming it
     // costs nothing.
@@ -83,42 +94,50 @@ void CacheAssignment::insert(ColorId color) {
       }
       physical_[loc] = color;
     }
-    locs.push_back(chosen);
+    locations_.push_back(chosen);
   }
-  cached_pos_[idx(color)] = static_cast<std::int32_t>(cached_.size());
+  stamp_[idx(color)] = epoch_;
+  slot_of_[idx(color)] = slot;
   cached_.push_back(color);
 }
 
 void CacheAssignment::erase(ColorId color) {
   RRS_CHECK(in_phase_);
   RRS_CHECK_MSG(contains(color), "erase of non-cached color " << color);
-  auto& locs = locations_[idx(color)];
-  for (const int loc : locs) free_locations_.push_back(loc);
-  locs.clear();
-  // Swap-remove from the logical set.
-  const auto pos = static_cast<std::size_t>(cached_pos_[idx(color)]);
-  const ColorId moved = cached_.back();
-  cached_[pos] = moved;
-  cached_pos_[idx(moved)] = static_cast<std::int32_t>(pos);
+  const auto slot = static_cast<std::size_t>(slot_of_[idx(color)]);
+  const auto rep = static_cast<std::size_t>(replication_);
+  for (std::size_t i = 0; i < rep; ++i) {
+    free_locations_.push_back(locations_[slot * rep + i]);
+  }
+  // Swap-remove: the last slot's color and location block move into the
+  // vacated slot.
+  const std::size_t last = cached_.size() - 1;
+  const ColorId moved = cached_[last];
+  cached_[slot] = moved;
+  slot_of_[idx(moved)] = static_cast<std::int32_t>(slot);
+  for (std::size_t i = 0; i < rep; ++i) {
+    locations_[slot * rep + i] = locations_[last * rep + i];
+  }
   cached_.pop_back();
-  cached_pos_[idx(color)] = -1;
+  locations_.resize(last * rep);
+  stamp_[idx(color)] = 0;
+  slot_of_[idx(color)] = -1;
 }
 
-std::vector<std::pair<int, ColorId>> CacheAssignment::finish_phase() {
+std::span<const std::pair<int, ColorId>> CacheAssignment::finish_phase() {
   RRS_CHECK(in_phase_);
   in_phase_ = false;
-  std::vector<std::pair<int, ColorId>> events;
-  events.reserve(dirty_.size());
+  events_.clear();
   for (const int loc : dirty_) {
     const auto l = static_cast<std::size_t>(loc);
     dirty_flag_[l] = 0;
     if (physical_[l] != phase_start_[l]) {
-      events.emplace_back(loc, physical_[l]);
+      events_.emplace_back(loc, physical_[l]);
     }
     phase_start_[l] = physical_[l];
   }
-  std::sort(events.begin(), events.end());
-  return events;
+  std::sort(events_.begin(), events_.end());
+  return events_;
 }
 
 }  // namespace rrs

@@ -8,8 +8,17 @@
 // costs Delta to change): evicting a color frees its locations without
 // recoloring them, and re-inserting a color whose old locations are still
 // free costs nothing.
+//
+// The logical set is an epoch-stamped color->slot table: membership is one
+// stamp comparison, and reset() invalidates every color by bumping the
+// epoch — O(1) in the number of colors, however large the color space.
+// Claimed locations live in one flat slot-major array (slot s owns the
+// `replication` entries starting at s * replication), so the whole logical
+// state is three flat arrays with no per-color heap nodes.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -37,8 +46,11 @@ class CacheAssignment {
     return num_resources() / replication_;
   }
 
-  /// True iff `color` is in the logical cached set.
-  [[nodiscard]] bool contains(ColorId color) const;
+  /// True iff `color` is in the logical cached set.  One stamp compare.
+  [[nodiscard]] bool contains(ColorId color) const {
+    return color >= 0 && idx(color) < stamp_.size() &&
+           stamp_[idx(color)] == epoch_;
+  }
 
   /// The logical cached set, in unspecified order.
   [[nodiscard]] const std::vector<ColorId>& cached_colors() const {
@@ -66,27 +78,45 @@ class CacheAssignment {
   void erase(ColorId color);
 
   /// Ends the phase: returns (location, new_color) for every location whose
-  /// physical color changed since begin_phase().  Each entry is one
-  /// reconfiguration costing Delta.
-  [[nodiscard]] std::vector<std::pair<int, ColorId>> finish_phase();
+  /// physical color changed since begin_phase(), sorted by location.  Each
+  /// entry is one reconfiguration costing Delta.  The span aliases an
+  /// internal buffer valid until the next finish_phase().
+  [[nodiscard]] std::span<const std::pair<int, ColorId>> finish_phase();
 
   /// Ensures per-color tables cover ColorIds < num_colors.
   void ensure_colors(ColorId num_colors);
+
+  /// Empties the logical set and restores every location to kBlack, as if
+  /// freshly constructed.  Per-color state is invalidated by bumping the
+  /// epoch stamp — O(num_resources), not O(num_colors).  Must be called
+  /// outside a phase.
+  void reset();
 
  private:
   [[nodiscard]] static std::size_t idx(ColorId c) {
     return static_cast<std::size_t>(c);
   }
 
+  void rebuild_free_locations();
+
   int replication_;
-  std::vector<ColorId> physical_;            // location -> color
-  std::vector<ColorId> phase_start_;         // snapshot of touched locations
-  std::vector<int> dirty_;                   // locations touched this phase
-  std::vector<char> dirty_flag_;             // location -> touched?
-  std::vector<int> free_locations_;          // stack of unclaimed locations
-  std::vector<ColorId> cached_;              // logical set
-  std::vector<std::int32_t> cached_pos_;     // color -> index in cached_, -1
-  std::vector<std::vector<int>> locations_;  // color -> claimed locations
+  std::vector<ColorId> physical_;     // location -> color
+  std::vector<ColorId> phase_start_;  // snapshot of touched locations
+  std::vector<int> dirty_;            // locations touched this phase
+  std::vector<char> dirty_flag_;      // location -> touched?
+  std::vector<int> free_locations_;   // stack of unclaimed locations
+
+  // Logical set: cached_[slot] holds the color occupying slot `slot`, and
+  // its claimed locations are locations_[slot * replication_ ...].  A color
+  // is a member iff its stamp equals the current epoch; its slot is then
+  // slot_of_[color].
+  std::vector<ColorId> cached_;
+  std::vector<int> locations_;             // slot-major claimed locations
+  std::vector<std::uint64_t> stamp_;       // color -> epoch stamp
+  std::vector<std::int32_t> slot_of_;      // color -> slot (when stamped)
+  std::uint64_t epoch_ = 1;
+
+  std::vector<std::pair<int, ColorId>> events_;  // finish_phase() buffer
   bool in_phase_ = false;
 };
 

@@ -8,8 +8,17 @@
 namespace rrs {
 
 void EligibilityTracker::begin(const ArrivalSource& source) {
-  src_ = &source;
-  state_.assign(static_cast<std::size_t>(source.num_colors()), {});
+  const auto num_colors = static_cast<std::size_t>(source.num_colors());
+  state_.assign(num_colors, {});
+  delta_ = source.delta();
+  delay_bounds_.resize(num_colors);
+  drop_costs_.resize(num_colors);
+  for (ColorId c = 0; c < source.num_colors(); ++c) {
+    delay_bounds_[idx(c)] = source.delay_bound(c);
+    drop_costs_[idx(c)] = source.drop_cost(c);
+  }
+  delay_classes_.assign(source.colors_by_delay().begin(),
+                        source.colors_by_delay().end());
   eligible_colors_.clear();
   super_epochs_ = 0;
   super_generation_ = 1;
@@ -34,10 +43,10 @@ void EligibilityTracker::drop_phase(Round k,
   for (const auto& [color, count] : dropped.by_color) {
     if (state_[idx(color)].eligible) {
       eligible_drops_ += count;
-      eligible_drop_weight_ += count * src_->drop_cost(color);
+      eligible_drop_weight_ += count * drop_costs_[idx(color)];
     } else {
       ineligible_drops_ += count;
-      ineligible_drop_weight_ += count * src_->drop_cost(color);
+      ineligible_drop_weight_ += count * drop_costs_[idx(color)];
     }
   }
   if (record_drop_ids_) {
@@ -50,7 +59,7 @@ void EligibilityTracker::drop_phase(Round k,
   }
   // Epoch ends: every eligible, uncached color at a multiple of its delay
   // bound becomes ineligible with cnt = 0.
-  for (const auto& [delay, colors] : src_->colors_by_delay()) {
+  for (const auto& [delay, colors] : delay_classes_) {
     if (k % delay != 0) continue;
     for (const ColorId color : colors) {
       ColorState& s = state_[idx(color)];
@@ -70,7 +79,7 @@ void EligibilityTracker::arrival_phase(Round k,
   // empty — at every multiple of D_l).  With super-epoch analysis on,
   // block boundaries are also where timestamps become visible, so detect
   // timestamp update events here.
-  for (const auto& [delay, colors] : src_->colors_by_delay()) {
+  for (const auto& [delay, colors] : delay_classes_) {
     if (k % delay != 0) continue;
     for (const ColorId color : colors) {
       ColorState& s = state_[idx(color)];
@@ -97,9 +106,9 @@ void EligibilityTracker::arrival_phase(Round k,
       s.seen_job = true;
       ++active_colors_;
     }
-    s.cnt += count * src_->drop_cost(color);
-    if (s.cnt >= src_->delta()) {
-      s.cnt %= src_->delta();  // counter wrapping event
+    s.cnt += count * drop_costs_[idx(color)];
+    if (s.cnt >= delta_) {
+      s.cnt %= delta_;  // counter wrapping event
       s.prev_wrap = s.last_wrap;
       s.last_wrap = k;
       if (!s.eligible) make_eligible(color);
@@ -109,7 +118,7 @@ void EligibilityTracker::arrival_phase(Round k,
 
 Round EligibilityTracker::timestamp(ColorId color, Round now) const {
   const ColorState& s = state_[idx(color)];
-  const Round block_start = floor_multiple(now, src_->delay_bound(color));
+  const Round block_start = floor_multiple(now, delay_bounds_[idx(color)]);
   // Wraps happen only at multiples of D_l, so the latest wrap strictly
   // before the current block start is last_wrap unless last_wrap is the
   // current boundary itself, in which case it is prev_wrap.

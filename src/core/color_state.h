@@ -23,6 +23,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/arrival_source.h"
@@ -58,6 +59,12 @@ class EligibilityTracker {
   /// Color deadline l.dd (start-of-time value 0 before the first multiple).
   [[nodiscard]] Round color_deadline(ColorId color) const {
     return state_[idx(color)].dd;
+  }
+
+  /// Delay bound D_l of `color`, cached flat at begin() so ranking loops
+  /// skip the source's virtual dispatch.
+  [[nodiscard]] Round delay_bound(ColorId color) const {
+    return delay_bounds_[idx(color)];
   }
 
   /// dLRU timestamp of `color` as of round `now` (lazy evaluation).
@@ -162,7 +169,13 @@ class EligibilityTracker {
   void note_timestamp_update(ColorId color);
   void note_epoch_end(ColorId color);
 
-  const ArrivalSource* src_ = nullptr;
+  // Flat copies of the source's per-color metadata, filled at begin():
+  // the drop/arrival/timestamp paths run every round and must not pay a
+  // virtual call (or a std::map walk) per color.
+  Cost delta_ = 1;
+  std::vector<Round> delay_bounds_;
+  std::vector<Cost> drop_costs_;
+  std::vector<std::pair<Round, std::vector<ColorId>>> delay_classes_;
   bool record_drop_ids_ = false;
   int analysis_m_ = 0;  // 0 = super-epoch analysis disabled
   std::int64_t super_epochs_ = 0;

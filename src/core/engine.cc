@@ -9,8 +9,15 @@ namespace rrs {
 
 EngineResult run_policy(ArrivalSource& source, Policy& policy,
                         const EngineOptions& options) {
+  // Validate every option up front: a bad combination must fail loudly
+  // here, not as silent misbehavior rounds later.
   RRS_REQUIRE(options.num_resources >= 1, "need at least one resource");
   RRS_REQUIRE(options.speed >= 1, "speed must be >= 1");
+  RRS_REQUIRE(options.replication >= 1, "replication must be >= 1");
+  RRS_REQUIRE(options.num_resources % options.replication == 0,
+              "num_resources (" << options.num_resources
+                                << ") must be divisible by replication ("
+                                << options.replication << ")");
 
   // Rounds carrying arrivals: the source's horizon, clipped by max_rounds.
   Round arrival_end = options.max_rounds;
@@ -22,13 +29,14 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
   } else if (source.finite()) {
     arrival_end = std::min(arrival_end, source.horizon());
   }
-  RRS_REQUIRE(arrival_end >= 0, "negative round count " << arrival_end);
+  RRS_REQUIRE(arrival_end >= 0,
+              "EngineOptions::max_rounds must be >= 0, resolved to "
+                  << arrival_end);
 
   PendingJobs pending;
   pending.reset(source.num_colors());
   CacheAssignment cache(options.num_resources, options.replication);
   cache.ensure_colors(source.num_colors());
-  EngineView view(source, pending, cache);
 
   EngineResult result;
   result.schedule.num_resources = options.num_resources;
@@ -49,7 +57,6 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
     for (const auto& [color, count] : dropped.by_color) {
       result.cost.drops += static_cast<Cost>(count) * source.drop_cost(color);
     }
-    policy.on_drop_phase(k, dropped, view);
 
     // Phase 2: arrival.
     std::span<const Job> arrivals;
@@ -60,12 +67,14 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
     }
     result.arrived += static_cast<std::int64_t>(arrivals.size());
     result.peak_pending = std::max(result.peak_pending, pending.total());
-    policy.on_arrival_phase(k, arrivals, view);
 
     for (int mini = 0; mini < options.speed; ++mini) {
-      // Phase 3: reconfiguration.
+      // Phases 3+4 fused into one policy call: the policy ingests drops and
+      // arrivals (on mini 0) and mutates the cache, all in one dispatch.
       cache.begin_phase();
-      policy.reconfigure(k, mini, view, cache);
+      RoundContext ctx(k, mini, /*final_sweep=*/false, dropped, arrivals,
+                       source, pending, cache);
+      policy.on_round(ctx);
       for (const auto& [location, color] : cache.finish_phase()) {
         ++result.cost.reconfig_events;
         if (options.record_schedule) {
@@ -74,7 +83,7 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
         }
       }
 
-      // Phase 4: execution — one pending job (earliest deadline first) per
+      // Execution — one pending job (earliest deadline first) per
       // configured resource.
       for (int r = 0; r < options.num_resources; ++r) {
         const ColorId color = cache.color_at(r);
@@ -92,12 +101,15 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
   // Final drop phase at round `k`: without draining every remaining pending
   // job has deadline exactly arrival_end == k; with draining the loop exits
   // once all deadlines are <= k.  Either way they expire now, and policies
-  // see this sweep so their drop accounting matches the engine's.
+  // see this sweep (final_sweep() == true, cache read-only) so their drop
+  // accounting matches the engine's.
   pending.drop_expired(k, dropped);
   for (const auto& [color, count] : dropped.by_color) {
     result.cost.drops += static_cast<Cost>(count) * source.drop_cost(color);
   }
-  policy.on_drop_phase(k, dropped, view);
+  RoundContext final_ctx(k, 0, /*final_sweep=*/true, dropped, {}, source,
+                         pending, cache);
+  policy.on_round(final_ctx);
 
   result.rounds = k;
   result.cost.reconfig_cost = result.cost.reconfig_events * source.delta();

@@ -1,61 +1,183 @@
 #include "core/pending.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace rrs {
 
+namespace {
+
+/// Smallest power of two >= `value` (value >= 1).
+[[nodiscard]] std::size_t ring_size_for(Round value) {
+  std::size_t size = 64;  // floor: tiny rings re-grow immediately
+  while (size < static_cast<std::size_t>(value)) size *= 2;
+  return size;
+}
+
+}  // namespace
+
 void PendingJobs::reset(ColorId num_colors) {
   RRS_REQUIRE(num_colors >= 0, "negative color count");
-  per_color_.assign(static_cast<std::size_t>(num_colors), {});
-  expiry_hints_ = {};
+  slot_deadline_.clear();
+  slot_id_.clear();
+  slot_next_.clear();
+  free_head_ = -1;
+  queues_.assign(static_cast<std::size_t>(num_colors), {});
+  ring_.clear();
+  ring_mask_ = 0;
+  cursor_ = -1;
   total_ = 0;
 }
 
+std::int32_t PendingJobs::acquire_slot() {
+  if (free_head_ >= 0) {
+    const std::int32_t slot = free_head_;
+    free_head_ = slot_next_[static_cast<std::size_t>(slot)];
+    return slot;
+  }
+  const auto slot = static_cast<std::int64_t>(slot_deadline_.size());
+  RRS_CHECK_MSG(slot <= INT32_MAX, "pending slot pool exceeds 2^31 jobs");
+  slot_deadline_.emplace_back();
+  slot_id_.emplace_back();
+  slot_next_.emplace_back();
+  return static_cast<std::int32_t>(slot);
+}
+
+void PendingJobs::release_slot(std::int32_t slot) {
+  slot_next_[static_cast<std::size_t>(slot)] = free_head_;
+  free_head_ = slot;
+}
+
 void PendingJobs::add(const Job& job) {
-  auto& dq = per_color_[idx(job.color)];
+  ColorQueue& q = queues_[idx(job.color)];
   const Round deadline = job.deadline();
-  RRS_CHECK_MSG(dq.empty() || dq.back().deadline <= deadline,
-                "per-color deadlines must be nondecreasing (color "
-                    << job.color << ")");
-  dq.push_back({deadline, job.id});
-  expiry_hints_.emplace(deadline, job.color);
+  RRS_CHECK_MSG(
+      q.tail < 0 ||
+          slot_deadline_[static_cast<std::size_t>(q.tail)] <= deadline,
+      "per-color deadlines must be nondecreasing (color " << job.color
+                                                          << ")");
+  const std::int32_t slot = acquire_slot();
+  const auto s = static_cast<std::size_t>(slot);
+  slot_deadline_[s] = deadline;
+  slot_id_[s] = job.id;
+  slot_next_[s] = -1;
+  if (q.tail >= 0) {
+    slot_next_[static_cast<std::size_t>(q.tail)] = slot;
+  } else {
+    q.head = slot;
+  }
+  q.tail = slot;
+  ++q.count;
   ++total_;
+  // Deadlines are nondecreasing per color, so one hint per distinct
+  // deadline suffices; the latest hinted deadline is the largest.
+  if (q.last_bucketed != deadline) {
+    bucket_entry(job.color, deadline);
+    q.last_bucketed = deadline;
+  }
 }
 
 Round PendingJobs::earliest_deadline(ColorId color) const {
-  const auto& dq = per_color_[idx(color)];
-  RRS_CHECK(!dq.empty());
-  return dq.front().deadline;
+  const ColorQueue& q = queues_[idx(color)];
+  RRS_CHECK(q.head >= 0);
+  return slot_deadline_[static_cast<std::size_t>(q.head)];
 }
 
 JobId PendingJobs::pop_earliest(ColorId color) {
-  auto& dq = per_color_[idx(color)];
-  RRS_CHECK(!dq.empty());
-  const JobId id = dq.front().id;
-  dq.pop_front();
+  ColorQueue& q = queues_[idx(color)];
+  RRS_CHECK(q.head >= 0);
+  const std::int32_t slot = q.head;
+  const auto s = static_cast<std::size_t>(slot);
+  const JobId id = slot_id_[s];
+  q.head = slot_next_[s];
+  if (q.head < 0) q.tail = -1;
+  --q.count;
   --total_;
+  release_slot(slot);
   return id;
+}
+
+void PendingJobs::bucket_entry(ColorId color, Round deadline) {
+  // Past-deadline adds land in the next sweepable bucket so the following
+  // sweep still finds them.
+  const Round target = std::max(deadline, cursor_ + 1);
+  if (ring_.empty() ||
+      static_cast<std::size_t>(target - cursor_) > ring_.size()) {
+    grow_ring(target - cursor_);
+  }
+  ring_[static_cast<std::size_t>(target) & ring_mask_].push_back(
+      {color, deadline});
+}
+
+void PendingJobs::grow_ring(Round min_span) {
+  const std::size_t new_size =
+      std::max(ring_size_for(min_span), ring_.size() * 2);
+  std::vector<std::vector<CalendarEntry>> old = std::move(ring_);
+  ring_.assign(new_size, {});
+  ring_mask_ = new_size - 1;
+  for (std::vector<CalendarEntry>& bucket : old) {
+    for (const CalendarEntry& entry : bucket) {
+      const Round target = std::max(entry.deadline, cursor_ + 1);
+      ring_[static_cast<std::size_t>(target) & ring_mask_].push_back(entry);
+    }
+  }
+}
+
+void PendingJobs::drain_expired(const CalendarEntry& entry, Round round,
+                                DropResult& out) {
+  ColorQueue& q = queues_[idx(entry.color)];
+  // The hint is consumed; a later add with the same deadline (possible
+  // only for past-deadline adds) must re-bucket.
+  if (q.last_bucketed == entry.deadline) q.last_bucketed = -1;
+  std::int64_t dropped_here = 0;
+  while (q.head >= 0 &&
+         slot_deadline_[static_cast<std::size_t>(q.head)] <= round) {
+    const std::int32_t slot = q.head;
+    const auto s = static_cast<std::size_t>(slot);
+    out.job_ids.push_back(slot_id_[s]);
+    out.job_colors.push_back(entry.color);
+    q.head = slot_next_[s];
+    release_slot(slot);
+    ++dropped_here;
+  }
+  if (dropped_here > 0) {
+    if (q.head < 0) q.tail = -1;
+    q.count -= dropped_here;
+    out.by_color.emplace_back(entry.color, dropped_here);
+    out.total += dropped_here;
+    total_ -= dropped_here;
+  }
 }
 
 void PendingJobs::drop_expired(Round round, DropResult& out) {
   out.clear();
-  while (!expiry_hints_.empty() && expiry_hints_.top().first <= round) {
-    const ColorId color = expiry_hints_.top().second;
-    expiry_hints_.pop();
-    auto& dq = per_color_[idx(color)];
-    std::int64_t dropped_here = 0;
-    while (!dq.empty() && dq.front().deadline <= round) {
-      out.job_ids.push_back(dq.front().id);
-      out.job_colors.push_back(color);
-      dq.pop_front();
-      ++dropped_here;
-    }
-    if (dropped_here > 0) {
-      out.by_color.emplace_back(color, dropped_here);
-      out.total += dropped_here;
-      total_ -= dropped_here;
-    }
+  if (round <= cursor_) return;  // already swept (sweeps are monotone)
+  if (ring_.empty()) {
+    cursor_ = round;
+    return;
   }
+  // Sweep the buckets of rounds (cursor_, round]; past a full ring cycle
+  // every bucket has been visited once.
+  const Round gap = round - cursor_;
+  const Round buckets =
+      std::min(gap, static_cast<Round>(ring_.size()));
+  for (Round b = 0; b < buckets; ++b) {
+    std::vector<CalendarEntry>& bucket =
+        ring_[static_cast<std::size_t>(cursor_ + 1 + b) & ring_mask_];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const CalendarEntry entry = bucket[i];
+      if (entry.deadline > round) {
+        // A later ring cycle's hint: not due yet, keep it in place.
+        bucket[kept++] = entry;
+        continue;
+      }
+      drain_expired(entry, round, out);
+    }
+    bucket.resize(kept);
+  }
+  cursor_ = round;
 }
 
 }  // namespace rrs

@@ -2,13 +2,22 @@
 //
 // Tracks, per color, the not-yet-executed not-yet-dropped jobs, ordered by
 // deadline.  Within one color deadlines are nondecreasing in arrival order
-// (one fixed delay bound per color), so a deque suffices; expiry across
-// colors is found through a lazy global min-heap of (deadline, color) hints.
+// (one fixed delay bound per color), so a FIFO per color suffices.
+//
+// Storage is structure-of-arrays: one flat slot pool holds every pending
+// job's deadline and id, colors thread intrusive FIFO index lists through
+// the pool, and expiry across colors is found through a bucketed calendar
+// ring keyed by deadline round.  Deadlines are bounded by `now + max D_l`,
+// so a ring of at least max D_l buckets holds every live deadline in a
+// distinct bucket and the per-round expiry sweep inspects exactly one
+// bucket.  The calendar stores *hints* ({color, deadline} pairs, one per
+// distinct deadline per color): a hint whose jobs were already executed
+// drains nothing, exactly like the lazy heap entries it replaces — but a
+// sweep touches only the buckets of the rounds it covers instead of paying
+// a log-factor pop per hint.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -18,21 +27,26 @@
 namespace rrs {
 
 /// Multiset of pending jobs, keyed by color, ordered by deadline per color.
+///
+/// Expiry sweeps must use nondecreasing rounds (the engine sweeps every
+/// round in order); a sweep at or before the last swept round is a no-op.
 class PendingJobs {
  public:
   /// Prepares bookkeeping for colors [0, num_colors); discards any state.
   void reset(ColorId num_colors);
 
-  /// Adds a newly arrived job.  Amortized O(log #jobs).
+  /// Adds a newly arrived job.  Amortized O(1).
   void add(const Job& job);
 
   /// Number of pending jobs of `color`.
   [[nodiscard]] std::int64_t count(ColorId color) const {
-    return static_cast<std::int64_t>(per_color_[idx(color)].size());
+    return queues_[idx(color)].count;
   }
 
   /// True iff `color` has no pending jobs (the paper's "idle").
-  [[nodiscard]] bool idle(ColorId color) const { return count(color) == 0; }
+  [[nodiscard]] bool idle(ColorId color) const {
+    return queues_[idx(color)].head < 0;
+  }
 
   /// Total pending jobs across all colors.
   [[nodiscard]] std::int64_t total() const { return total_; }
@@ -69,32 +83,66 @@ class PendingJobs {
   /// Drops every pending job with deadline <= `round` (the round-`round`
   /// drop phase) into `out`, which is cleared first; its buffers are
   /// reused, so a caller-held DropResult makes the per-round sweep
-  /// allocation-free.  Amortized O(log) per dropped job.
+  /// allocation-free.  Sweeps inspect only the calendar buckets of rounds
+  /// (last swept, round]; `round` at or below the last swept round is a
+  /// no-op.
   void drop_expired(Round round, DropResult& out);
 
-  /// Convenience overload returning a fresh DropResult.
-  [[nodiscard]] DropResult drop_expired(Round round) {
-    DropResult result;
-    drop_expired(round, result);
-    return result;
-  }
-
  private:
-  struct Entry {
+  struct ColorQueue {
+    std::int32_t head = -1;  ///< slot of the earliest-deadline job
+    std::int32_t tail = -1;  ///< slot of the latest-deadline job
+    std::int64_t count = 0;
+    /// Largest deadline with an outstanding calendar hint for this color
+    /// (-1 if none): adds of an already-hinted deadline skip the calendar.
+    Round last_bucketed = -1;
+  };
+
+  /// Calendar hint: color may hold jobs expiring at `deadline`.
+  struct CalendarEntry {
+    ColorId color;
     Round deadline;
-    JobId id;
   };
 
   [[nodiscard]] static std::size_t idx(ColorId color) {
     return static_cast<std::size_t>(color);
   }
 
-  std::vector<std::deque<Entry>> per_color_;
-  // Lazy hints: one (deadline, color) per added job; stale entries (already
-  // executed/dropped jobs) are skipped during sweeps.
-  std::priority_queue<std::pair<Round, ColorId>,
-                      std::vector<std::pair<Round, ColorId>>, std::greater<>>
-      expiry_hints_;
+  [[nodiscard]] std::int32_t acquire_slot();
+  void release_slot(std::int32_t slot);
+
+  /// Records the hint {color, deadline} in the ring bucket of
+  /// max(deadline, cursor_ + 1), growing the ring when the deadline lies
+  /// beyond the current cycle.
+  void bucket_entry(ColorId color, Round deadline);
+
+  /// Re-buckets every outstanding hint into a ring of >= `min_span`
+  /// power-of-two buckets.
+  void grow_ring(Round min_span);
+
+  /// Drains every job of `entry.color` with deadline <= `round` into
+  /// `out`.
+  void drain_expired(const CalendarEntry& entry, Round round,
+                     DropResult& out);
+
+  // Slot pool (structure-of-arrays): parallel per-job attributes plus an
+  // intrusive "next job of the same color" chain; freed slots reuse the
+  // next-chain as a free list.
+  std::vector<Round> slot_deadline_;
+  std::vector<JobId> slot_id_;
+  std::vector<std::int32_t> slot_next_;
+  std::int32_t free_head_ = -1;
+
+  std::vector<ColorQueue> queues_;  // color -> FIFO through the slot pool
+
+  // Expiry calendar: power-of-two ring of hint buckets, indexed by
+  // deadline & (ring size - 1).  cursor_ is the last swept round; hints
+  // whose deadline lies beyond the covered rounds of a sweep belong to a
+  // later ring cycle and are kept in place.
+  std::vector<std::vector<CalendarEntry>> ring_;
+  std::size_t ring_mask_ = 0;
+  Round cursor_ = -1;
+
   std::int64_t total_ = 0;
 };
 

@@ -3,10 +3,31 @@
 // The paper's Section 2 model advances in rounds of four phases:
 //   drop -> arrival -> reconfiguration -> execution.
 // The engine owns the model-level bookkeeping (pending jobs, expiry, the
-// physical cache, cost) and calls the policy at each phase.  Policies only
-// decide *which colors to cache*; execution is model-defined (each resource
-// executes one pending job of its configured color, earliest deadline
-// first).
+// physical cache, cost) and hands the policy ONE fused callback per
+// mini-round: on_round(RoundContext&).  The context carries everything the
+// three historical callbacks (drop / arrival / reconfigure) used to
+// deliver — this round's drops, this round's arrivals, and the mutable
+// cache — so the engine pays a single virtual dispatch per mini-round and
+// policies can keep per-round state in registers across phases.
+//
+// on_round contract:
+//   * Called once per mini-round, mini() = 0 .. speed-1, with round()
+//     fixed within the round.  dropped() and arrivals() are identical for
+//     every mini of one round: process them when first_mini() is true,
+//     reconfigure on every call.
+//   * arrivals() have already been ingested into pending().
+//   * The cache is inside an open reconfiguration phase for the whole
+//     call; insert/erase freely.  The engine charges Delta per physical
+//     recoloring when the call returns.
+//   * After the last round the engine makes one extra call with
+//     final_sweep() == true (and mini() == 0) delivering the terminal
+//     expiry sweep, so drop accounting in policies matches the engine's.
+//     No reconfiguration phase is open then — the cache is read-only and
+//     policies must not mutate it (mutations throw InvariantError).
+//
+// Policies only decide *which colors to cache*; execution is model-defined
+// (each resource executes one pending job of its configured color,
+// earliest deadline first).
 #pragma once
 
 #include <span>
@@ -21,21 +42,60 @@
 
 namespace rrs {
 
-/// Read-only view of engine state offered to policies.
-class EngineView {
+/// Everything a policy sees in one fused per-mini-round callback.
+class RoundContext {
  public:
-  EngineView(const ArrivalSource& source, const PendingJobs& pending,
-             const CacheAssignment& cache)
-      : source_(&source), pending_(&pending), cache_(&cache) {}
+  RoundContext(Round round, int mini, bool final_sweep,
+               const PendingJobs::DropResult& dropped,
+               std::span<const Job> arrivals, const ArrivalSource& source,
+               const PendingJobs& pending, CacheAssignment& cache)
+      : round_(round),
+        mini_(mini),
+        final_sweep_(final_sweep),
+        dropped_(&dropped),
+        arrivals_(arrivals),
+        source_(&source),
+        pending_(&pending),
+        cache_(&cache) {}
+
+  /// Current round k.
+  [[nodiscard]] Round round() const { return round_; }
+
+  /// Mini-round within the round, 0 .. speed-1.
+  [[nodiscard]] int mini() const { return mini_; }
+
+  /// True on the first mini-round — the one where per-round (as opposed to
+  /// per-mini-round) processing of dropped()/arrivals() belongs.
+  [[nodiscard]] bool first_mini() const { return mini_ == 0; }
+
+  /// True on the one extra call after the last round: dropped() holds the
+  /// terminal expiry sweep, arrivals() is empty, and the cache must not be
+  /// mutated.
+  [[nodiscard]] bool final_sweep() const { return final_sweep_; }
+
+  /// Jobs the engine expired in this round's drop phase.
+  [[nodiscard]] const PendingJobs::DropResult& dropped() const {
+    return *dropped_;
+  }
+
+  /// This round's arrivals (already added to pending()).
+  [[nodiscard]] std::span<const Job> arrivals() const { return arrivals_; }
 
   [[nodiscard]] const ArrivalSource& source() const { return *source_; }
   [[nodiscard]] const PendingJobs& pending() const { return *pending_; }
-  [[nodiscard]] const CacheAssignment& cache() const { return *cache_; }
+
+  /// The cache, open for mutation except when final_sweep() is true.
+  [[nodiscard]] CacheAssignment& cache() const { return *cache_; }
 
  private:
+  Round round_;
+  int mini_;
+  bool final_sweep_;
+  const PendingJobs::DropResult* dropped_;
+  std::span<const Job> arrivals_;
   const ArrivalSource* source_;
   const PendingJobs* pending_;
-  const CacheAssignment* cache_;
+  CacheAssignment* cache_;
 };
 
 /// Base class for online reconfiguration policies.
@@ -57,29 +117,9 @@ class Policy {
     (void)speed;
   }
 
-  /// Drop phase of round `k`: `dropped` lists the jobs the engine just
-  /// expired.  Policies update per-color eligibility state here.
-  virtual void on_drop_phase(Round k, const PendingJobs::DropResult& dropped,
-                             const EngineView& view) {
-    (void)k;
-    (void)dropped;
-    (void)view;
-  }
-
-  /// Arrival phase of round `k`: `arrivals` are this round's jobs (already
-  /// added to the pending set visible through `view`).
-  virtual void on_arrival_phase(Round k, std::span<const Job> arrivals,
-                                const EngineView& view) {
-    (void)k;
-    (void)arrivals;
-    (void)view;
-  }
-
-  /// Reconfiguration phase of mini-round `mini` of round `k`: mutate
-  /// `cache` (insert/erase colors).  The engine charges Delta per physical
-  /// recoloring that results.
-  virtual void reconfigure(Round k, int mini, const EngineView& view,
-                           CacheAssignment& cache) = 0;
+  /// The fused per-mini-round callback; see the contract at the top of
+  /// this header.
+  virtual void on_round(RoundContext& ctx) = 0;
 
   /// Optional policy-specific counters (epochs, classified drops, ...)
   /// surfaced to experiments.

@@ -19,11 +19,12 @@ Schedule run_single_resource_plan(const Instance& instance,
 
   PendingJobs pending;
   pending.reset(instance.num_colors());
+  PendingJobs::DropResult expired;  // reused sweep buffer
   std::size_t next_segment = 0;
   ColorId current = kBlack;
 
   for (Round k = 0; k < instance.horizon(); ++k) {
-    (void)pending.drop_expired(k);
+    pending.drop_expired(k, expired);
     for (const Job& job : instance.arrivals_in_round(k)) pending.add(job);
     while (next_segment < plan.size() && plan[next_segment].first == k) {
       const ColorId color = plan[next_segment].second;

@@ -28,13 +28,11 @@ void DemandGreedyPolicy::begin(const ArrivalSource& source, int num_resources,
   }
 }
 
-void DemandGreedyPolicy::reconfigure(Round k, int mini,
-                                     const EngineView& view,
-                                     CacheAssignment& cache) {
-  (void)k;
-  (void)mini;
-  const PendingJobs& pending = view.pending();
-  const ArrivalSource& source = view.source();
+void DemandGreedyPolicy::on_round(RoundContext& ctx) {
+  if (ctx.final_sweep()) return;
+  CacheAssignment& cache = ctx.cache();
+  const PendingJobs& pending = ctx.pending();
+  const ArrivalSource& source = ctx.source();
 
   // Candidate colors: nonidle, not skipped; ranked by backlog descending,
   // then earliest front deadline, then color id.

@@ -43,8 +43,7 @@ class DemandGreedyPolicy : public Policy {
 
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
-  void reconfigure(Round k, int mini, const EngineView& view,
-                   CacheAssignment& cache) override;
+  void on_round(RoundContext& ctx) override;
 
  private:
   DemandGreedyParams params_;

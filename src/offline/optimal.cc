@@ -272,8 +272,9 @@ OptimalResult optimal_offline_schedule(const Instance& instance, int m,
   std::vector<ColorId> resource_color(static_cast<std::size_t>(m), kBlack);
   PendingJobs pending;
   pending.reset(instance.num_colors());
+  PendingJobs::DropResult expired;  // reused sweep buffer
   for (Round k = 0; k < instance.horizon(); ++k) {
-    (void)pending.drop_expired(k);
+    pending.drop_expired(k, expired);
     for (const Job& job : instance.arrivals_in_round(k)) pending.add(job);
 
     // Match the target multiset against current resource colors.

@@ -18,10 +18,10 @@ class PinPolicy : public Policy {
 
   [[nodiscard]] std::string_view name() const override { return "pin"; }
 
-  void reconfigure(Round, int, const EngineView&,
-                   CacheAssignment& cache) override {
+  void on_round(RoundContext& ctx) override {
+    if (ctx.final_sweep()) return;
     for (const ColorId c : colors_) {
-      if (!cache.contains(c)) cache.insert(c);
+      if (!ctx.cache().contains(c)) ctx.cache().insert(c);
     }
   }
 
@@ -33,8 +33,7 @@ class PinPolicy : public Policy {
 class IdlePolicy : public Policy {
  public:
   [[nodiscard]] std::string_view name() const override { return "idle"; }
-  void reconfigure(Round, int, const EngineView&, CacheAssignment&) override {
-  }
+  void on_round(RoundContext&) override {}
 };
 
 Instance two_color_instance() {
@@ -167,8 +166,28 @@ TEST(Engine, InvalidOptionsRejected) {
   EngineOptions options;
   options.num_resources = 0;
   EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
+  options.num_resources = -3;
+  EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
   options.num_resources = 2;
   options.speed = 0;
+  EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
+  options.speed = 1;
+  options.replication = 0;
+  EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
+  options.replication = -1;
+  EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
+  // Replication must divide the resource count.
+  options.num_resources = 3;
+  options.replication = 2;
+  EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
+}
+
+TEST(Engine, NegativeMaxRoundsRejected) {
+  const Instance inst = two_color_instance();
+  IdlePolicy policy;
+  EngineOptions options;
+  options.num_resources = 2;
+  options.max_rounds = -5;
   EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
 }
 

@@ -30,8 +30,9 @@ class RandomPolicy : public Policy {
     num_colors_ = source.num_colors();
   }
 
-  void reconfigure(Round, int, const EngineView&,
-                   CacheAssignment& cache) override {
+  void on_round(RoundContext& ctx) override {
+    if (ctx.final_sweep()) return;
+    CacheAssignment& cache = ctx.cache();
     if (num_colors_ == 0) return;
     const std::int64_t actions = rng_.uniform(0, 3);
     for (std::int64_t a = 0; a < actions; ++a) {
@@ -109,8 +110,9 @@ TEST_P(EngineFuzz, ChurnPolicyNetsOutInCache) {
   class ChurnPolicy : public Policy {
    public:
     [[nodiscard]] std::string_view name() const override { return "churn"; }
-    void reconfigure(Round, int, const EngineView&,
-                     CacheAssignment& cache) override {
+    void on_round(RoundContext& ctx) override {
+      if (ctx.final_sweep()) return;
+      CacheAssignment& cache = ctx.cache();
       if (cache.contains(0)) {
         cache.erase(0);
         cache.insert(0);  // reclaims the same still-colored locations

@@ -1,10 +1,14 @@
-// Unit tests for core/pending: deadline-ordered pending job bookkeeping.
+// Unit tests for core/pending: deadline-ordered pending job bookkeeping
+// over the SoA slot pool and the bucketed expiry calendar.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <vector>
 
 #include "core/pending.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace rrs {
 namespace {
@@ -16,6 +20,13 @@ Job make_job(JobId id, ColorId color, Round arrival, Round delay) {
   job.arrival = arrival;
   job.delay_bound = delay;
   return job;
+}
+
+/// Sweep helper for tests that only care about the result of one sweep.
+PendingJobs::DropResult drop_at(PendingJobs& pending, Round round) {
+  PendingJobs::DropResult out;
+  pending.drop_expired(round, out);
+  return out;
 }
 
 TEST(PendingJobs, AddCountIdleTotal) {
@@ -51,7 +62,7 @@ TEST(PendingJobs, DropExpiredByDeadline) {
   pending.add(make_job(1, 0, 2, 2));  // deadline 4
   pending.add(make_job(2, 1, 0, 8));  // deadline 8
 
-  const auto at2 = pending.drop_expired(2);
+  const auto at2 = drop_at(pending, 2);
   EXPECT_EQ(at2.total, 1);
   ASSERT_EQ(at2.by_color.size(), 1u);
   EXPECT_EQ(at2.by_color[0].first, 0);
@@ -59,7 +70,7 @@ TEST(PendingJobs, DropExpiredByDeadline) {
   EXPECT_EQ(at2.job_ids, std::vector<JobId>{0});
   EXPECT_EQ(pending.total(), 2);
 
-  const auto at10 = pending.drop_expired(10);
+  const auto at10 = drop_at(pending, 10);
   EXPECT_EQ(at10.total, 2);
   EXPECT_EQ(pending.total(), 0);
 }
@@ -68,7 +79,7 @@ TEST(PendingJobs, DropExpiredNothingToDo) {
   PendingJobs pending;
   pending.reset(1);
   pending.add(make_job(0, 0, 4, 4));
-  const auto result = pending.drop_expired(3);
+  const auto result = drop_at(pending, 3);
   EXPECT_EQ(result.total, 0);
   EXPECT_TRUE(result.by_color.empty());
 }
@@ -79,7 +90,7 @@ TEST(PendingJobs, DropAfterPopDoesNotDoubleCount) {
   pending.add(make_job(0, 0, 0, 2));
   pending.add(make_job(1, 0, 0, 2));
   EXPECT_EQ(pending.pop_earliest(0), 0);
-  const auto result = pending.drop_expired(2);
+  const auto result = drop_at(pending, 2);
   EXPECT_EQ(result.total, 1);  // only job 1 remains to drop
   EXPECT_EQ(pending.total(), 0);
 }
@@ -91,7 +102,7 @@ TEST(PendingJobs, ResetClearsEverything) {
   pending.reset(3);
   EXPECT_EQ(pending.total(), 0);
   EXPECT_TRUE(pending.idle(0));
-  EXPECT_EQ(pending.drop_expired(100).total, 0);
+  EXPECT_EQ(drop_at(pending, 100).total, 0);
 }
 
 TEST(PendingJobs, NonMonotoneDeadlinesWithinColorRejected) {
@@ -117,7 +128,7 @@ TEST(PendingJobs, ManyColorsInterleaved) {
     }
   }
   EXPECT_EQ(pending.total(), 192);
-  const auto dropped = pending.drop_expired(17);  // deadlines 16/18/20
+  const auto dropped = drop_at(pending, 17);  // deadlines 16/18/20
   EXPECT_EQ(dropped.total, 64);
   EXPECT_EQ(pending.total(), 128);
   for (ColorId c = 0; c < 64; ++c) {
@@ -125,6 +136,240 @@ TEST(PendingJobs, ManyColorsInterleaved) {
     EXPECT_EQ(pending.earliest_deadline(c), 18);
   }
 }
+
+TEST(PendingJobs, SweepBufferIsClearedAndReused) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 1));
+  pending.add(make_job(1, 0, 1, 1));
+  PendingJobs::DropResult out;
+  pending.drop_expired(1, out);
+  EXPECT_EQ(out.total, 1);
+  pending.drop_expired(2, out);  // must clear the previous sweep's content
+  EXPECT_EQ(out.total, 1);
+  EXPECT_EQ(out.job_ids, std::vector<JobId>{1});
+}
+
+TEST(PendingJobs, StaleHintsAfterPopDrainNothing) {
+  // Executing every job of a hinted deadline leaves a stale calendar hint;
+  // the sweep that consumes it must drop nothing and not disturb later
+  // jobs of the same color.
+  PendingJobs pending;
+  pending.reset(2);
+  pending.add(make_job(0, 0, 0, 4));  // deadline 4 (hinted)
+  pending.add(make_job(1, 0, 2, 4));  // deadline 6 (hinted)
+  pending.add(make_job(2, 1, 0, 4));  // deadline 4 (hinted)
+  EXPECT_EQ(pending.pop_earliest(0), 0);  // deadline-4 hint for color 0 stale
+  EXPECT_EQ(pending.pop_earliest(1), 2);  // deadline-4 hint for color 1 stale
+
+  const auto at4 = drop_at(pending, 4);
+  EXPECT_EQ(at4.total, 0);
+  EXPECT_TRUE(at4.by_color.empty());
+  EXPECT_EQ(pending.count(0), 1);
+
+  const auto at6 = drop_at(pending, 6);
+  EXPECT_EQ(at6.total, 1);
+  EXPECT_EQ(at6.job_ids, std::vector<JobId>{1});
+  EXPECT_EQ(pending.total(), 0);
+}
+
+TEST(PendingJobs, InterleavedPopAndDropAcrossSweeps) {
+  // Pops between sweeps must never resurrect or double-drop jobs even when
+  // several deadlines of one color share sweep coverage.
+  PendingJobs pending;
+  pending.reset(1);
+  for (int i = 0; i < 6; ++i) {
+    pending.add(make_job(i, 0, i, 3));  // deadlines 3..8
+  }
+  EXPECT_EQ(pending.pop_earliest(0), 0);           // deadline 3 executed
+  EXPECT_EQ(drop_at(pending, 4).total, 1);         // job 1 (deadline 4)
+  EXPECT_EQ(pending.pop_earliest(0), 2);           // deadline 5 executed
+  EXPECT_EQ(pending.pop_earliest(0), 3);           // deadline 6 executed
+  const auto at7 = drop_at(pending, 7);            // job 4 (deadline 7)
+  EXPECT_EQ(at7.total, 1);
+  EXPECT_EQ(at7.job_ids, std::vector<JobId>{4});
+  EXPECT_EQ(pending.count(0), 1);
+  EXPECT_EQ(pending.earliest_deadline(0), 8);
+}
+
+TEST(PendingJobs, SweepsAtOrBeforeCursorAreNoOps) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 8));
+  EXPECT_EQ(drop_at(pending, 5).total, 0);  // cursor -> 5
+  // Re-sweeping covered rounds is a documented no-op, not an error.
+  EXPECT_EQ(drop_at(pending, 5).total, 0);
+  EXPECT_EQ(drop_at(pending, 3).total, 0);
+  EXPECT_EQ(pending.total(), 1);
+  EXPECT_EQ(drop_at(pending, 8).total, 1);
+}
+
+TEST(PendingJobs, DelayBoundOneExpiresNextRound) {
+  // D_l = 1: a job arriving in round k is droppable in round k+1, the
+  // tightest calendar bucket distance possible.
+  PendingJobs pending;
+  pending.reset(1);
+  PendingJobs::DropResult out;
+  for (Round k = 0; k < 40; ++k) {
+    pending.drop_expired(k, out);
+    EXPECT_EQ(out.total, k > 0 ? 1 : 0) << "round " << k;
+    pending.add(make_job(k, 0, k, 1));  // deadline k + 1
+    EXPECT_EQ(pending.count(0), 1);
+  }
+}
+
+TEST(PendingJobs, FarFutureDeadlinesSurviveRingGrowth) {
+  // A deadline far beyond the current ring span forces the calendar to
+  // grow and re-bucket; nearby jobs must still expire on time and the far
+  // job must only fall at its own deadline.
+  PendingJobs pending;
+  pending.reset(2);
+  pending.add(make_job(0, 0, 0, 3));        // deadline 3
+  pending.add(make_job(1, 1, 0, 100'000));  // deadline 100000 (grows ring)
+  pending.add(make_job(2, 0, 1, 3));        // deadline 4
+
+  EXPECT_EQ(drop_at(pending, 3).total, 1);
+  EXPECT_EQ(drop_at(pending, 4).total, 1);
+  EXPECT_EQ(drop_at(pending, 99'999).total, 0);
+  const auto at_far = drop_at(pending, 100'000);
+  EXPECT_EQ(at_far.total, 1);
+  EXPECT_EQ(at_far.job_ids, std::vector<JobId>{1});
+  EXPECT_EQ(pending.total(), 0);
+}
+
+TEST(PendingJobs, RingWraparoundKeepsLaterCycleEntries) {
+  // Two deadlines that collide in the same ring bucket (one full cycle
+  // apart): sweeping the earlier round must keep the later-cycle hint.
+  PendingJobs pending;
+  pending.reset(2);
+  // Default ring is 64 buckets; deadlines 10 and 74 share bucket 10.
+  pending.add(make_job(0, 0, 0, 10));  // deadline 10
+  pending.add(make_job(1, 1, 0, 74));  // deadline 74, same bucket
+
+  const auto at10 = drop_at(pending, 10);
+  EXPECT_EQ(at10.total, 1);
+  EXPECT_EQ(at10.job_ids, std::vector<JobId>{0});
+  EXPECT_EQ(pending.count(1), 1);
+
+  EXPECT_EQ(drop_at(pending, 73).total, 0);
+  EXPECT_EQ(drop_at(pending, 74).total, 1);
+  EXPECT_EQ(pending.total(), 0);
+}
+
+TEST(PendingJobs, LargeSweepGapCoversWholeRing) {
+  // A sweep jumping far past every live deadline (gap >> ring size) must
+  // drop everything in one call.
+  PendingJobs pending;
+  pending.reset(4);
+  for (ColorId c = 0; c < 4; ++c) {
+    pending.add(make_job(c, c, 0, 5 + c));
+  }
+  EXPECT_EQ(drop_at(pending, 1'000'000).total, 4);
+  EXPECT_EQ(pending.total(), 0);
+  // The store stays usable after the jump: new arrivals beyond the cursor.
+  pending.add(make_job(9, 0, 1'000'000, 7));
+  EXPECT_EQ(drop_at(pending, 1'000'007).total, 1);
+}
+
+/// Reference model: per-color deque of (deadline, id), linear-scan expiry.
+class NaivePending {
+ public:
+  explicit NaivePending(ColorId num_colors)
+      : queues_(static_cast<std::size_t>(num_colors)) {}
+
+  void add(const Job& job) {
+    queues_[static_cast<std::size_t>(job.color)].emplace_back(job.deadline(),
+                                                              job.id);
+  }
+
+  JobId pop_earliest(ColorId color) {
+    auto& q = queues_[static_cast<std::size_t>(color)];
+    const JobId id = q.front().second;
+    q.pop_front();
+    return id;
+  }
+
+  [[nodiscard]] std::int64_t count(ColorId color) const {
+    return static_cast<std::int64_t>(
+        queues_[static_cast<std::size_t>(color)].size());
+  }
+
+  /// Returns (total dropped, ids dropped sorted) for deadline <= round.
+  std::pair<std::int64_t, std::vector<JobId>> drop_expired(Round round) {
+    std::int64_t total = 0;
+    std::vector<JobId> ids;
+    for (auto& q : queues_) {
+      while (!q.empty() && q.front().first <= round) {
+        ids.push_back(q.front().second);
+        q.pop_front();
+        ++total;
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+    return {total, std::move(ids)};
+  }
+
+ private:
+  std::vector<std::deque<std::pair<Round, JobId>>> queues_;
+};
+
+class PendingDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PendingDifferential, MatchesNaiveReferenceUnderRandomOps) {
+  // Random interleaving of adds, pops, and monotone sweeps (with gaps that
+  // exercise wraparound and growth) must match the linear-scan reference
+  // exactly: same drop totals, same dropped ids, same per-color counts.
+  constexpr ColorId kColors = 8;
+  Rng rng(GetParam());
+  PendingJobs pending;
+  pending.reset(kColors);
+  NaivePending naive(kColors);
+  PendingJobs::DropResult out;
+
+  std::vector<Round> last_deadline(kColors, 0);
+  JobId next_id = 0;
+  Round now = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const std::int64_t action = rng.uniform(0, 9);
+    if (action < 5) {  // add
+      const auto color = static_cast<ColorId>(rng.uniform(0, kColors - 1));
+      // Delay chosen so the deadline stays nondecreasing within the color
+      // and occasionally lands far out (ring growth / wraparound).
+      const Round min_delay =
+          std::max<Round>(1, last_deadline[static_cast<std::size_t>(color)] -
+                                 now);
+      Round delay = min_delay + rng.uniform(0, 12);
+      if (rng.bernoulli(0.02)) delay += 300;  // past the default ring span
+      const Job job = make_job(next_id++, color, now, delay);
+      last_deadline[static_cast<std::size_t>(color)] = job.deadline();
+      pending.add(job);
+      naive.add(job);
+    } else if (action < 8) {  // pop
+      const auto color = static_cast<ColorId>(rng.uniform(0, kColors - 1));
+      if (!pending.idle(color)) {
+        EXPECT_EQ(pending.pop_earliest(color), naive.pop_earliest(color));
+      }
+    } else {  // sweep, strictly forward; sometimes a large gap
+      now += rng.bernoulli(0.1) ? rng.uniform(50, 400) : rng.uniform(1, 4);
+      pending.drop_expired(now, out);
+      const auto [naive_total, naive_ids] = naive.drop_expired(now);
+      EXPECT_EQ(out.total, naive_total) << "round " << now;
+      std::vector<JobId> got = out.job_ids;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, naive_ids) << "round " << now;
+      std::int64_t by_color_sum = 0;
+      for (const auto& [color, cnt] : out.by_color) by_color_sum += cnt;
+      EXPECT_EQ(by_color_sum, out.total);
+    }
+    for (ColorId c = 0; c < kColors; ++c) {
+      ASSERT_EQ(pending.count(c), naive.count(c)) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PendingDifferential,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{9}));
 
 }  // namespace
 }  // namespace rrs

@@ -63,16 +63,17 @@ TEST_P(SeededProperty, Lemma34_IneligibleDropsBoundedByEpochs) {
 /// Section 3.1.3 LRU invariant).
 class LruInvariantPolicy : public DLruEdfPolicy {
  public:
-  void reconfigure(Round k, int mini, const EngineView& view,
-                   CacheAssignment& cache) override {
-    DLruEdfPolicy::reconfigure(k, mini, view, cache);
+  void on_round(RoundContext& ctx) override {
+    DLruEdfPolicy::on_round(ctx);
+    if (ctx.final_sweep()) return;
+    const Round k = ctx.round();
     std::vector<ColorId> eligible = tracker().eligible_colors();
     lru_sort(eligible, tracker(), k);
     const auto lru_size =
         std::min(eligible.size(),
-                 static_cast<std::size_t>(cache.max_distinct() / 2));
+                 static_cast<std::size_t>(ctx.cache().max_distinct() / 2));
     for (std::size_t i = 0; i < lru_size; ++i) {
-      ASSERT_TRUE(cache.contains(eligible[i]))
+      ASSERT_TRUE(ctx.cache().contains(eligible[i]))
           << "LRU color " << eligible[i] << " not cached at round " << k;
     }
     violations_checked_ = true;

@@ -55,8 +55,9 @@ class RankingFixture : public ::testing::Test {
     cache_.insert(medium_);
     cache_.insert(slow_);
     (void)cache_.finish_phase();
+    PendingJobs::DropResult dropped;
     for (Round k = 0; k < 3; ++k) {
-      const auto dropped = pending_.drop_expired(k);
+      pending_.drop_expired(k, dropped);
       tracker_.drop_phase(k, dropped, cache_);
       for (const Job& job : inst_.arrivals_in_round(k)) pending_.add(job);
       tracker_.arrival_phase(k, inst_.arrivals_in_round(k));
