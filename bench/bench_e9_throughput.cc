@@ -7,10 +7,12 @@
 //
 // After the google-benchmark section, a streaming configuration sweeps
 // dLRU-EDF over 10M-round lazy sources (no materialization; override the
-// round count with RRS_STREAMING_ROUNDS) and emits a BENCH_streaming.json
-// baseline with rounds/sec and peak RSS.
+// round count with RRS_STREAMING_ROUNDS), then sweeps the sharded runner
+// over shard counts 1/2/4/#workers, and emits a BENCH_streaming.json
+// baseline with per-configuration rounds/sec and peak RSS.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +31,7 @@
 #include "offline/optimal.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
+#include "util/thread_pool.h"
 #include "workload/poisson.h"
 #include "workload/random_batched.h"
 
@@ -146,6 +149,11 @@ Round streaming_rounds() {
 struct StreamingCell {
   std::string family;
   StreamRunRecord record;
+  /// Arrival rounds this cell was asked to stream (its `record.rounds` may
+  /// exceed this while draining).
+  Round arrival_rounds = 0;
+  /// Shard count for run_streaming_sharded rows; 0 for plain streaming.
+  int shards = 0;
 };
 
 /// Extracts (family, rounds_per_sec) pairs from the BENCH_streaming.json
@@ -228,8 +236,7 @@ bool check_against_baseline(const std::vector<StreamingCell>& named) {
   return ok;
 }
 
-void append_json_record(std::string& json, const StreamingCell& cell,
-                        Round rounds) {
+void append_json_record(std::string& json, const StreamingCell& cell) {
   const double rounds_per_sec =
       cell.record.seconds > 0
           ? static_cast<double>(cell.record.rounds) / cell.record.seconds
@@ -242,7 +249,11 @@ void append_json_record(std::string& json, const StreamingCell& cell,
   json += "      \"family\": \"" + cell.family + "\",\n";
   json += "      \"algorithm\": \"" + cell.record.algorithm + "\",\n";
   json += "      \"n\": " + std::to_string(cell.record.n) + ",\n";
-  json += "      \"arrival_rounds\": " + std::to_string(rounds) + ",\n";
+  if (cell.shards > 0) {
+    json += "      \"shards\": " + std::to_string(cell.shards) + ",\n";
+  }
+  json += "      \"arrival_rounds\": " + std::to_string(cell.arrival_rounds) +
+          ",\n";
   json += "      \"rounds\": " + std::to_string(cell.record.rounds) + ",\n";
   json += "      \"arrived\": " + std::to_string(cell.record.arrived) + ",\n";
   json += "      \"executed\": " + std::to_string(cell.record.executed) + ",\n";
@@ -287,10 +298,41 @@ bool run_streaming_section() {
     return run_streaming(source, "dlru-edf", 8, rounds);
   });
   const std::vector<StreamRunRecord> records = run_streaming_sweep(cells);
-  const std::vector<StreamingCell> named = {
-      {"random-batched", records[0]},
-      {"poisson", records[1]},
-  };
+  std::vector<StreamingCell> named;
+  named.push_back({"random-batched", records[0], rounds, 0});
+  named.push_back({"poisson", records[1], rounds, 0});
+
+  // Shard-count scaling sweep: the same random-batched dLRU-EDF config at
+  // n = 16 (granularity 4 => four shardable blocks) through the sharded
+  // runner for K in {1, 2, 4, #workers}.  With fewer workers than shards
+  // the runner falls back to serial shard execution, which buffers the
+  // whole split stream; cap the round count there so the sweep stays in
+  // memory on single-core hosts.
+  const int workers = static_cast<int>(global_pool().size());
+  const Round shard_rounds =
+      workers >= 4 ? rounds : std::min<Round>(rounds, 1'000'000);
+  std::vector<int> shard_counts = {1, 2, 4, std::clamp(workers, 1, 4)};
+  std::sort(shard_counts.begin(), shard_counts.end());
+  shard_counts.erase(std::unique(shard_counts.begin(), shard_counts.end()),
+                     shard_counts.end());
+  std::cout << "  shard sweep: " << workers << " pool worker(s), "
+            << shard_rounds << " rounds per K\n";
+  const std::size_t first_shard_cell = named.size();
+  for (const int k : shard_counts) {
+    RandomBatchedParams params;
+    params.seed = 99;
+    params.num_colors = 32;
+    params.horizon = kInfiniteHorizon;
+    RandomBatchedSource source(params);
+    ShardedRunRecord sharded =
+        run_streaming_sharded(source, "dlru-edf", 16, k, shard_rounds);
+    StreamingCell cell;
+    cell.family = "random-batched-shards" + std::to_string(k);
+    cell.record = std::move(sharded.merged);
+    cell.arrival_rounds = shard_rounds;
+    cell.shards = k;
+    named.push_back(std::move(cell));
+  }
 
   const std::int64_t rss = peak_rss_bytes();
   const double rss_mb = static_cast<double>(rss) / (1024.0 * 1024.0);
@@ -306,20 +348,34 @@ bool run_streaming_section() {
               << static_cast<std::int64_t>(rps) << " rounds/s, "
               << cell.record.arrived << " jobs, peak_pending "
               << cell.record.peak_pending << ")\n";
-    ok = ok && cell.record.rounds >= rounds;
+    ok = ok && cell.record.rounds >= cell.arrival_rounds;
     // Bounded memory: the engine never holds more than the live pending
     // set, which the drop phase caps at ~(max delay * arrival rate).
     ok = ok && cell.record.peak_pending < cell.record.arrived;
   }
   std::cout << "  peak RSS: " << rss_mb << " MiB\n";
 
+  // Scaling summary: every K sees the identical arrival stream, so the
+  // arrived counts must agree and speedups are directly comparable.
+  const StreamingCell& one_shard = named[first_shard_cell];
+  for (std::size_t i = first_shard_cell; i < named.size(); ++i) {
+    const StreamingCell& cell = named[i];
+    ok = ok && cell.record.arrived == one_shard.record.arrived;
+    const double speedup = cell.record.seconds > 0
+                               ? one_shard.record.seconds / cell.record.seconds
+                               : 0.0;
+    std::cout << "  shards=" << cell.shards << ": " << speedup
+              << "x vs shards=1\n";
+  }
+
   std::string json = "{\n";
   json += "  \"bench\": \"E9-streaming\",\n";
   json += "  \"algorithm\": \"dlru-edf\",\n";
+  json += "  \"pool_workers\": " + std::to_string(workers) + ",\n";
   json += "  \"peak_rss_bytes\": " + std::to_string(rss) + ",\n";
   json += "  \"runs\": [\n";
   for (std::size_t i = 0; i < named.size(); ++i) {
-    append_json_record(json, named[i], rounds);
+    append_json_record(json, named[i]);
     json += i + 1 < named.size() ? ",\n" : "\n";
   }
   json += "  ]\n}\n";

@@ -41,6 +41,11 @@ class DLruEdfPolicy : public Policy {
              int speed) override;
   void on_round(RoundContext& ctx) override;
 
+  /// n must split into the LRU and EDF halves, each of replicated colors.
+  [[nodiscard]] int resource_granularity(int replication) const override {
+    return 2 * replication;
+  }
+
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 

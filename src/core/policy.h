@@ -121,6 +121,14 @@ class Policy {
   /// this header.
   virtual void on_round(RoundContext& ctx) = 0;
 
+  /// Smallest resource-count unit this policy accepts: any n it runs with
+  /// must be a positive multiple (e.g. 4 for dLRU-EDF's two replicated
+  /// cache halves).  The sharded runner splits the resource budget across
+  /// shards in these units.  Defaults to `replication`.
+  [[nodiscard]] virtual int resource_granularity(int replication) const {
+    return replication;
+  }
+
   /// Optional policy-specific counters (epochs, classified drops, ...)
   /// surfaced to experiments.
   [[nodiscard]] virtual std::vector<std::pair<std::string, std::int64_t>>

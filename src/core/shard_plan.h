@@ -1,0 +1,71 @@
+// Color partitioning for sharded streaming execution.
+//
+// The paper's Distribute reduction (Theorem 2) splits the color set across
+// resource groups that are then scheduled independently — a data-parallel
+// decomposition: because a job can only run on a resource configured to
+// its color, partitioning colors partitions the whole problem, with no
+// cross-shard coupling in pending sets, caches, or costs.  A ShardPlan is
+// that partition made explicit: K shards, each owning a disjoint set of
+// colors and a slice of the resource budget n proportional to the shard's
+// expected load.
+//
+// Plans are pure data and deterministic: make_shard_plan is a function of
+// (num_colors, num_shards, num_resources, replication, weights) only, so a
+// fixed seed + fixed K reproduce the identical sharded run.  With K = 1
+// the plan is the identity (all colors, all resources, in order), which
+// run_streaming_sharded relies on for bit-identity with run_streaming.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/arrival_source.h"
+#include "core/types.h"
+
+namespace rrs {
+
+/// A deterministic partition of colors (and the resource budget) into
+/// shards.  Shards are indexed [0, num_shards).
+struct ShardPlan {
+  int num_shards = 1;
+  /// Smallest resource block a shard may receive (the policy's resource
+  /// granularity, e.g. 4 for dLRU-EDF); every shard's slice is a positive
+  /// multiple of this.
+  int resource_unit = 1;
+  /// color -> owning shard.
+  std::vector<int> shard_of_color;
+  /// shard -> its colors, ascending global ColorIds.  A shard's stream
+  /// relabels global color c to its index in this list (the identity when
+  /// num_shards == 1).
+  std::vector<std::vector<ColorId>> shard_colors;
+  /// shard -> resources assigned (each >= resource_unit, each a multiple
+  /// of resource_unit, summing to the total budget n).
+  std::vector<int> shard_resources;
+
+  [[nodiscard]] int total_resources() const;
+  [[nodiscard]] ColorId num_colors() const {
+    return static_cast<ColorId>(shard_of_color.size());
+  }
+};
+
+/// Builds a load-balanced plan: colors are assigned greedily (heaviest
+/// weight first, ties by lower ColorId) to the least-loaded shard, and the
+/// `num_resources` budget is split across shards proportionally to shard
+/// weight in blocks of `resource_unit` (largest-remainder rounding, every
+/// shard getting at least one block).
+///
+/// `weights` holds one positive per-color rate (declared, or observed via
+/// observe_color_weights); empty means uniform.  Requires
+/// 1 <= num_shards <= num_colors and num_shards resource blocks.
+[[nodiscard]] ShardPlan make_shard_plan(ColorId num_colors, int num_shards,
+                                        int num_resources, int resource_unit,
+                                        std::span<const double> weights = {});
+
+/// Observes per-color arrival rates by pulling `sample_rounds` rounds from
+/// `probe` and counting jobs per color (plus one, so unseen colors keep a
+/// positive weight).  The probe is consumed: pass a fresh source built
+/// with the same seed as the one you will actually run.
+[[nodiscard]] std::vector<double> observe_color_weights(ArrivalSource& probe,
+                                                        Round sample_rounds);
+
+}  // namespace rrs

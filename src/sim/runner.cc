@@ -1,12 +1,49 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "algs/edf.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
+#include "workload/sharded_source.h"
 
 namespace rrs {
+
+namespace {
+
+/// Engine options + fresh policy for the streaming algorithm `name`
+/// ("seq-edf"/"ds-seq-edf" run EDF unreplicated at speed 1/2; everything
+/// else goes through the registry with the Section 3 replication of 2).
+std::unique_ptr<Policy> make_stream_policy(const std::string& name,
+                                           EngineOptions& options) {
+  if (name == "seq-edf" || name == "ds-seq-edf") {
+    options.replication = 1;
+    options.speed = name == "ds-seq-edf" ? 2 : 1;
+    return std::make_unique<EdfPolicy>();
+  }
+  options.replication = 2;
+  options.speed = 1;
+  return make_policy(name);  // throws InputError on unknown names
+}
+
+StreamRunRecord to_stream_record(const std::string& name, int n,
+                                 EngineResult&& result, double seconds) {
+  StreamRunRecord record;
+  record.seconds = seconds;
+  record.algorithm = name;
+  record.n = n;
+  record.cost = result.cost;
+  record.executed = result.executed;
+  record.arrived = result.arrived;
+  record.rounds = result.rounds;
+  record.peak_pending = result.peak_pending;
+  record.stats = std::move(result.policy_stats);
+  return record;
+}
+
+}  // namespace
 
 RunRecord run_algorithm(const Instance& instance, const std::string& name,
                         int n, Schedule* schedule_out) {
@@ -33,30 +70,102 @@ StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
   // Let in-flight jobs execute or expire after arrivals end, matching a
   // materialized run whose horizon extends to the last deadline.
   options.drain_pending = true;
-
-  std::unique_ptr<Policy> policy;
-  if (name == "seq-edf" || name == "ds-seq-edf") {
-    policy = std::make_unique<EdfPolicy>();
-    options.replication = 1;
-    options.speed = name == "ds-seq-edf" ? 2 : 1;
-  } else {
-    policy = make_policy(name);  // throws InputError on unknown names
-    options.replication = 2;
-    options.speed = 1;
-  }
+  std::unique_ptr<Policy> policy = make_stream_policy(name, options);
 
   Stopwatch watch;
   EngineResult result = run_policy(source, *policy, options);
-  StreamRunRecord record;
-  record.seconds = watch.seconds();
-  record.algorithm = name;
-  record.n = n;
-  record.cost = result.cost;
-  record.executed = result.executed;
-  record.arrived = result.arrived;
-  record.rounds = result.rounds;
-  record.peak_pending = result.peak_pending;
-  record.stats = std::move(result.policy_stats);
+  return to_stream_record(name, n, std::move(result), watch.seconds());
+}
+
+ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
+                                       const std::string& name, int n,
+                                       int num_shards, Round max_rounds,
+                                       const ShardedRunOptions& options) {
+  RRS_REQUIRE(num_shards >= 1, "num_shards must be >= 1, got " << num_shards);
+
+  // Resolve the arrival horizon up front (the engine's own resolution,
+  // hoisted): every shard engine and the splitter must agree on it.
+  Round arrival_end = max_rounds;
+  if (arrival_end == kInfiniteHorizon) {
+    arrival_end = source.horizon();
+    RRS_REQUIRE(arrival_end != kInfiniteHorizon,
+                "sharding an infinite source needs max_rounds; got "
+                    << source.summary());
+  } else if (source.finite()) {
+    arrival_end = std::min(arrival_end, source.horizon());
+  }
+  RRS_REQUIRE(arrival_end >= 0, "max_rounds must be >= 0, resolved to "
+                                    << arrival_end);
+
+  // The policy's resource granularity (e.g. 4 for dLRU-EDF's two
+  // replicated halves) fixes the units the plan may split n into; the
+  // engine itself only needs divisibility by the replication, which the
+  // granularity is a multiple of.
+  EngineOptions proto;
+  const int granularity =
+      make_stream_policy(name, proto)->resource_granularity(
+          proto.replication);
+
+  Stopwatch watch;
+  ShardedRunRecord record;
+  record.plan = make_shard_plan(source.num_colors(), num_shards, n,
+                                granularity, options.color_weights);
+
+  ThreadPool& pool = global_pool();
+  // Backpressure only helps when every shard consumer actually runs
+  // concurrently; with fewer workers than shards (or when already inside
+  // a pool worker) the engines run serially and waiting on a consumer
+  // that has not started would only burn the timeout per chunk.
+  const bool concurrent = !ThreadPool::in_worker() &&
+                          pool.size() >= static_cast<std::size_t>(num_shards);
+  ShardedSourceOptions split_options;
+  split_options.chunk_rounds = options.chunk_rounds;
+  split_options.max_buffered_chunks = options.max_buffered_chunks;
+  split_options.backpressure = concurrent;
+  ShardedSource sharded(source, record.plan, arrival_end, split_options);
+
+  record.shards.resize(static_cast<std::size_t>(num_shards));
+  pool.parallel_for(
+      static_cast<std::size_t>(num_shards), [&](std::size_t s) {
+        EngineOptions engine_options;
+        std::unique_ptr<Policy> policy =
+            make_stream_policy(name, engine_options);
+        engine_options.num_resources =
+            record.plan.shard_resources[s];
+        engine_options.record_schedule = false;
+        engine_options.max_rounds = arrival_end;
+        engine_options.drain_pending = true;
+        Stopwatch shard_watch;
+        EngineResult result = run_policy(sharded.stream(static_cast<int>(s)),
+                                         *policy, engine_options);
+        record.shards[s] =
+            to_stream_record(name, engine_options.num_resources,
+                             std::move(result), shard_watch.seconds());
+      });
+
+  // Merge: the color partition makes shard costs exactly additive.
+  record.merged.algorithm = name;
+  record.merged.n = n;
+  for (const StreamRunRecord& shard : record.shards) {
+    record.merged.cost.reconfig_events += shard.cost.reconfig_events;
+    record.merged.cost.reconfig_cost += shard.cost.reconfig_cost;
+    record.merged.cost.drops += shard.cost.drops;
+    record.merged.executed += shard.executed;
+    record.merged.arrived += shard.arrived;
+    record.merged.rounds = std::max(record.merged.rounds, shard.rounds);
+    record.merged.peak_pending += shard.peak_pending;
+    for (const auto& [key, value] : shard.stats) {
+      auto it =
+          std::find_if(record.merged.stats.begin(), record.merged.stats.end(),
+                       [&key](const auto& kv) { return kv.first == key; });
+      if (it == record.merged.stats.end()) {
+        record.merged.stats.emplace_back(key, value);
+      } else {
+        it->second += value;
+      }
+    }
+  }
+  record.merged.seconds = watch.seconds();
   return record;
 }
 

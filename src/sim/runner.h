@@ -7,6 +7,7 @@
 #include "algs/registry.h"
 #include "core/arrival_source.h"
 #include "core/instance.h"
+#include "core/shard_plan.h"
 
 namespace rrs {
 
@@ -49,5 +50,43 @@ struct StreamRunRecord {
 [[nodiscard]] StreamRunRecord run_streaming(
     ArrivalSource& source, const std::string& name, int n,
     Round max_rounds = kInfiniteHorizon);
+
+/// Knobs for a sharded streaming run.
+struct ShardedRunOptions {
+  /// Per-color load weights for the plan (see make_shard_plan); empty
+  /// means uniform.  Use observe_color_weights on a probe source to
+  /// balance shards by observed rate.
+  std::vector<double> color_weights;
+  /// Rounds demultiplexed per splitter lock acquisition.
+  Round chunk_rounds = 256;
+  /// Buffered chunks per shard before the splitter applies backpressure.
+  std::size_t max_buffered_chunks = 64;
+};
+
+/// Outcome of one sharded streaming run: the per-shard records plus their
+/// merge.  The merged CostBreakdown/executed/arrived are exact sums (the
+/// color partition makes shards independent); merged rounds is the
+/// maximum over shards and merged peak_pending the sum of per-shard peaks
+/// (shards run asynchronously, so the true global peak is unobservable —
+/// the sum is a deterministic upper bound).  Merged policy stats sum
+/// per-key over shards.
+struct ShardedRunRecord {
+  StreamRunRecord merged;                ///< n = total budget
+  std::vector<StreamRunRecord> shards;   ///< per-shard, n = shard slice
+  ShardPlan plan;                        ///< the partition that was run
+};
+
+/// Runs `name` against `source` split into `num_shards` independent
+/// engines (own PendingJobs, CacheAssignment, and policy instance per
+/// shard) over the shared global_pool().  The color partition mirrors the
+/// paper's Distribute reduction, so shards never contend: results are
+/// run-to-run deterministic for a fixed (source seed, num_shards), and
+/// num_shards == 1 is bit-identical to run_streaming.  When the pool has
+/// fewer workers than shards the engines run serially (same results; the
+/// splitter then buffers the full spread between shards in memory).
+[[nodiscard]] ShardedRunRecord run_streaming_sharded(
+    ArrivalSource& source, const std::string& name, int n, int num_shards,
+    Round max_rounds = kInfiniteHorizon,
+    const ShardedRunOptions& options = {});
 
 }  // namespace rrs

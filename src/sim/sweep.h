@@ -1,9 +1,10 @@
 // Parallel parameter sweeps for the benchmark harness.
 //
 // A sweep is a list of independent cells, each producing one table row;
-// cells run across the host's cores (each cell owns its own seeded
-// generators, so parallel execution is deterministic) and rows come back
-// in cell order regardless of completion order.
+// cells run across the shared process-wide thread pool (global_pool(),
+// sized once via RRS_THREADS or the hardware; each cell owns its own
+// seeded generators, so parallel execution is deterministic) and rows
+// come back in cell order regardless of completion order.
 #pragma once
 
 #include <functional>

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <utility>
 
@@ -8,11 +9,40 @@
 
 namespace rrs {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 1;
+namespace {
+
+// Set for the lifetime of every worker thread's loop; lets blocking pool
+// operations detect re-entrant use from inside a task.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+std::size_t parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || parsed <= 0) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t default_thread_count() {
+  if (const std::size_t env = parse_thread_count(std::getenv("RRS_THREADS"));
+      env > 0) {
+    return env;
   }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;  // sized once, on first use
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_thread_count();
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -38,11 +68,15 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  RRS_CHECK_MSG(!in_worker(),
+                "ThreadPool::wait_idle() called from a worker thread; the "
+                "worker would block on its own completion");
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -66,6 +100,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  if (in_worker()) {
+    // Re-entrant use: the caller is itself a pool task.  Blocking it on
+    // completion of further pool tasks can deadlock (every worker waiting
+    // on work only parked workers could run), so run inline instead.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
@@ -94,8 +135,7 @@ void parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  ThreadPool pool;
-  pool.parallel_for(count, body);
+  global_pool().parallel_for(count, body);
 }
 
 }  // namespace rrs

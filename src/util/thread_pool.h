@@ -1,9 +1,12 @@
 // A small fixed-size thread pool with a parallel-for helper.
 //
 // The experiment sweeps in bench/ evaluate many independent (workload,
-// algorithm, parameter) cells; ThreadPool::parallel_for distributes those
-// cells across hardware threads.  Determinism is preserved because every
-// cell owns its own seeded Rng and writes to its own result slot.
+// algorithm, parameter) cells, and the sharded streaming runner drives one
+// engine per shard; both distribute work through the shared process-wide
+// pool returned by global_pool() so concurrent callers do not fight over
+// cores with transient pools of their own.  Determinism is preserved
+// because every cell/shard owns its own seeded Rng and writes to its own
+// result slot.
 #pragma once
 
 #include <condition_variable>
@@ -19,7 +22,7 @@ namespace rrs {
 /// Fixed-size worker pool.  Tasks are arbitrary void() callables.
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  /// Creates `num_threads` workers; 0 means default_thread_count().
   explicit ThreadPool(std::size_t num_threads = 0);
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,15 +34,23 @@ class ThreadPool {
   /// Enqueue one task.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has completed.
+  /// Block until every submitted task has completed.  Must not be called
+  /// from a worker thread (the worker would wait on its own completion);
+  /// doing so throws InvariantError instead of deadlocking.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of any ThreadPool.  Used to
+  /// guard blocking pool operations against re-entrant use.
+  [[nodiscard]] static bool in_worker();
+
   /// Runs body(i) for i in [0, count), distributing across the pool and
   /// blocking until all iterations finish.  Exceptions from `body`
   /// propagate to the caller (the first one thrown, by index order being
-  /// unspecified).
+  /// unspecified).  When called from a worker thread (re-entrant use) the
+  /// iterations run inline on the caller, in index order — blocking a
+  /// worker on pool completion would deadlock the pool.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
@@ -55,8 +66,24 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Convenience: run body(i) for i in [0, count) on a transient pool sized to
-/// the host, or inline when count <= 1.
+/// Parses an RRS_THREADS-style value: a positive integer gives that many
+/// threads; null, empty, zero, negative, or non-numeric values return 0
+/// ("use the hardware default").
+[[nodiscard]] std::size_t parse_thread_count(const char* text);
+
+/// Worker count for new pools: the RRS_THREADS environment variable when
+/// it parses to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// The process-wide shared pool, created on first use and sized once via
+/// default_thread_count().  Sweeps and sharded streaming runs all draw
+/// from this pool so concurrent work shares the machine instead of
+/// oversubscribing it.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Convenience: run body(i) for i in [0, count) on the shared global pool,
+/// or inline when count <= 1.
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,234 @@
+#include "workload/sharded_source.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+namespace {
+
+/// `chunk_rounds` consecutive rounds of one shard's arrivals, flattened:
+/// round first_round + r spans jobs [begin[r], begin[r + 1]).
+struct Chunk {
+  Round first_round = 0;
+  Round rounds = 0;
+  std::vector<Job> jobs;
+  std::vector<std::uint32_t> begin;
+};
+
+}  // namespace
+
+/// Owns the underlying source; pulls and demultiplexes chunks under one
+/// mutex on behalf of whichever shard stream runs dry first.
+class ShardedSource::Splitter {
+ public:
+  Splitter(ArrivalSource& source, const ShardPlan& plan, Round arrival_end,
+           const ShardedSourceOptions& options)
+      : source_(&source),
+        shard_of_color_(plan.shard_of_color),
+        local_of_color_(plan.shard_of_color.size()),
+        arrival_end_(arrival_end),
+        chunk_rounds_(options.chunk_rounds),
+        max_buffered_(options.max_buffered_chunks),
+        backpressure_(options.backpressure),
+        queues_(static_cast<std::size_t>(plan.num_shards)) {
+    RRS_REQUIRE(chunk_rounds_ >= 1, "chunk_rounds must be >= 1, got "
+                                        << chunk_rounds_);
+    RRS_REQUIRE(max_buffered_ >= 1, "max_buffered_chunks must be >= 1");
+    for (const auto& colors : plan.shard_colors) {
+      for (std::size_t i = 0; i < colors.size(); ++i) {
+        local_of_color_[static_cast<std::size_t>(colors[i])] =
+            static_cast<ColorId>(i);
+      }
+    }
+  }
+
+  /// Hands shard `shard` its next chunk, which must start at `first`.
+  /// Produces (and buffers for the other shards) as needed.
+  Chunk take_chunk(int shard, Round first) {
+    const auto s = static_cast<std::size_t>(shard);
+    std::unique_lock<std::mutex> lock(mu_);
+    bool waited = false;
+    for (;;) {
+      if (!queues_[s].empty()) {
+        Chunk chunk = std::move(queues_[s].front());
+        queues_[s].pop_front();
+        RRS_CHECK(chunk.first_round == first);
+        space_.notify_all();
+        return chunk;
+      }
+      RRS_CHECK(cursor_ < arrival_end_);  // pulls past the horizon are bugs
+      if (backpressure_ && !waited && other_queue_full(s)) {
+        // Some shard is max_buffered_ chunks behind.  Wait once for it to
+        // drain; if it does not (its consumer is descheduled, serial, or
+        // gone), produce anyway — memory growth beats a deadlock.
+        space_.wait_for(lock, std::chrono::milliseconds(50));
+        waited = true;
+        continue;
+      }
+      produce_locked();
+    }
+  }
+
+ private:
+  [[nodiscard]] bool other_queue_full(std::size_t mine) const {
+    for (std::size_t s = 0; s < queues_.size(); ++s) {
+      if (s != mine && queues_[s].size() >= max_buffered_) return true;
+    }
+    return false;
+  }
+
+  /// Pulls the next chunk_rounds_ rounds from the underlying source and
+  /// appends one chunk to every shard's queue.  Caller holds mu_.
+  void produce_locked() {
+    const Round rounds = std::min(chunk_rounds_, arrival_end_ - cursor_);
+    std::vector<Chunk> staged(queues_.size());
+    for (auto& chunk : staged) {
+      chunk.first_round = cursor_;
+      chunk.rounds = rounds;
+      chunk.begin.reserve(static_cast<std::size_t>(rounds) + 1);
+      chunk.begin.push_back(0);
+    }
+    for (Round r = 0; r < rounds; ++r) {
+      for (const Job& job : source_->arrivals_in_round(cursor_ + r)) {
+        const auto c = static_cast<std::size_t>(job.color);
+        Job local = job;
+        local.color = local_of_color_[c];
+        staged[static_cast<std::size_t>(shard_of_color_[c])].jobs.push_back(
+            local);
+      }
+      for (auto& chunk : staged) {
+        chunk.begin.push_back(static_cast<std::uint32_t>(chunk.jobs.size()));
+      }
+    }
+    cursor_ += rounds;
+    for (std::size_t s = 0; s < queues_.size(); ++s) {
+      queues_[s].push_back(std::move(staged[s]));
+    }
+  }
+
+  ArrivalSource* source_;
+  std::vector<int> shard_of_color_;
+  std::vector<ColorId> local_of_color_;  // global color -> id in its shard
+  Round arrival_end_;
+  Round chunk_rounds_;
+  std::size_t max_buffered_;
+  bool backpressure_;
+
+  std::mutex mu_;
+  std::condition_variable space_;
+  std::vector<std::deque<Chunk>> queues_;  // shard -> buffered chunks
+  Round cursor_ = 0;                       // next round to pull
+};
+
+/// The shard-s view: serves rounds out of its current chunk, refilling
+/// from the splitter when the chunk runs out.
+class ShardedSource::Stream final : public ArrivalSource {
+ public:
+  Stream(std::shared_ptr<Splitter> splitter, const ArrivalSource& parent,
+         const ShardPlan& plan, int shard, Round arrival_end)
+      : splitter_(std::move(splitter)),
+        shard_(shard),
+        arrival_end_(arrival_end),
+        delta_(parent.delta()) {
+    const auto& colors = plan.shard_colors[static_cast<std::size_t>(shard)];
+    delay_bounds_.reserve(colors.size());
+    drop_costs_.reserve(colors.size());
+    for (const ColorId c : colors) {
+      delay_bounds_.push_back(parent.delay_bound(c));
+      drop_costs_.push_back(parent.drop_cost(c));
+    }
+  }
+
+  [[nodiscard]] Cost delta() const override { return delta_; }
+  [[nodiscard]] ColorId num_colors() const override {
+    return static_cast<ColorId>(delay_bounds_.size());
+  }
+  [[nodiscard]] Round delay_bound(ColorId color) const override {
+    return delay_bounds_[checked(color)];
+  }
+  [[nodiscard]] Cost drop_cost(ColorId color) const override {
+    return drop_costs_[checked(color)];
+  }
+  [[nodiscard]] Round horizon() const override { return arrival_end_; }
+
+  [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
+    RRS_REQUIRE(k == next_round_, "shard streams are sequential: expected "
+                                  "round "
+                                      << next_round_ << ", got " << k);
+    ++next_round_;
+    if (k >= arrival_end_) return {};
+    if (k >= chunk_.first_round + chunk_.rounds || chunk_.rounds == 0) {
+      chunk_ = splitter_->take_chunk(shard_, k);
+    }
+    const auto r = static_cast<std::size_t>(k - chunk_.first_round);
+    return std::span<const Job>(chunk_.jobs)
+        .subspan(chunk_.begin[r], chunk_.begin[r + 1] - chunk_.begin[r]);
+  }
+
+  [[nodiscard]] std::string summary() const override {
+    std::ostringstream os;
+    os << "shard " << shard_ << ": " << num_colors() << " colors, "
+       << arrival_end_ << " rounds, Delta=" << delta_ << " (split stream)";
+    return os.str();
+  }
+
+ private:
+  [[nodiscard]] std::size_t checked(ColorId color) const {
+    RRS_REQUIRE(color >= 0 &&
+                    static_cast<std::size_t>(color) < delay_bounds_.size(),
+                "local color " << color << " out of range [0, "
+                               << delay_bounds_.size() << ")");
+    return static_cast<std::size_t>(color);
+  }
+
+  std::shared_ptr<Splitter> splitter_;
+  int shard_;
+  Round arrival_end_;
+  Cost delta_;
+  std::vector<Round> delay_bounds_;
+  std::vector<Cost> drop_costs_;
+  Chunk chunk_;
+  Round next_round_ = 0;
+};
+
+ShardedSource::ShardedSource(ArrivalSource& source, const ShardPlan& plan,
+                             Round arrival_end, ShardedSourceOptions options) {
+  RRS_REQUIRE(arrival_end >= 0 && arrival_end != kInfiniteHorizon,
+              "a sharded split needs a finite arrival_end, got "
+                  << arrival_end);
+  RRS_REQUIRE(!source.finite() || arrival_end <= source.horizon(),
+              "arrival_end " << arrival_end << " exceeds the source horizon "
+                             << source.horizon());
+  RRS_REQUIRE(plan.num_colors() == source.num_colors(),
+              "plan covers " << plan.num_colors() << " colors but the source "
+                             << "has " << source.num_colors());
+  splitter_ = std::make_shared<Splitter>(source, plan, arrival_end, options);
+  streams_.reserve(static_cast<std::size_t>(plan.num_shards));
+  for (int s = 0; s < plan.num_shards; ++s) {
+    streams_.push_back(std::make_unique<Stream>(splitter_, source, plan, s,
+                                                arrival_end));
+  }
+}
+
+ShardedSource::~ShardedSource() = default;
+
+int ShardedSource::num_shards() const {
+  return static_cast<int>(streams_.size());
+}
+
+ArrivalSource& ShardedSource::stream(int shard) {
+  RRS_REQUIRE(shard >= 0 && shard < num_shards(),
+              "shard " << shard << " out of range [0, " << num_shards()
+                       << ")");
+  return *streams_[static_cast<std::size_t>(shard)];
+}
+
+}  // namespace rrs

@@ -1,0 +1,72 @@
+// Splits one ArrivalSource into per-shard streams without materializing.
+//
+// A ShardedSource wraps a single-consumer ArrivalSource and exposes K
+// single-consumer ArrivalSource views, one per shard of a ShardPlan: view
+// s yields exactly the jobs of shard s's colors, relabeled to the shard's
+// dense local ColorIds (the identity when K == 1), in the underlying
+// round/order.  Global job ids are preserved, so the union of the shard
+// streams is the original stream.
+//
+// The splitter pulls the underlying source in chunks of `chunk_rounds`
+// rounds under one mutex and demultiplexes each chunk into K per-shard
+// buffers; a shard stream then serves its rounds out of its current chunk
+// with no locking and no virtual dispatch into the underlying source, so
+// the splitter's overhead is amortized over the chunk.  Shard streams may
+// be pulled from different threads at different paces: chunks for
+// slower shards are buffered, with soft backpressure (a bounded wait,
+// then produce anyway) once a shard runs more than `max_buffered_chunks`
+// ahead — so memory stays bounded when all consumers run concurrently,
+// and progress is never blocked when they run serially.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/arrival_source.h"
+#include "core/shard_plan.h"
+
+namespace rrs {
+
+/// Knobs for the splitter.
+struct ShardedSourceOptions {
+  /// Rounds pulled from the underlying source per lock acquisition.
+  Round chunk_rounds = 256;
+  /// Buffered chunks per shard before backpressure kicks in.
+  std::size_t max_buffered_chunks = 64;
+  /// Apply backpressure (bounded waits) when a consumer runs ahead.  Turn
+  /// off when the shard streams are consumed serially (e.g. one worker
+  /// thread): every wait would time out, and the buffers must grow to the
+  /// full spread anyway.
+  bool backpressure = true;
+};
+
+/// K single-consumer shard views over one underlying ArrivalSource.
+class ShardedSource {
+ public:
+  /// Splits `source` (pulled for rounds [0, arrival_end)) according to
+  /// `plan`.  `source` must outlive this object and must not be pulled by
+  /// anyone else; `arrival_end` must be finite and within the source's
+  /// horizon.
+  ShardedSource(ArrivalSource& source, const ShardPlan& plan,
+                Round arrival_end, ShardedSourceOptions options = {});
+  ~ShardedSource();
+
+  ShardedSource(const ShardedSource&) = delete;
+  ShardedSource& operator=(const ShardedSource&) = delete;
+
+  [[nodiscard]] int num_shards() const;
+
+  /// The shard-`shard` view: a finite ArrivalSource with horizon
+  /// `arrival_end`, the shard's colors relabeled densely, and the global
+  /// metadata (delta) passed through.  Single consumer, sequential pull.
+  [[nodiscard]] ArrivalSource& stream(int shard);
+
+ private:
+  class Splitter;
+  class Stream;
+
+  std::shared_ptr<Splitter> splitter_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+}  // namespace rrs
