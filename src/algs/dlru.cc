@@ -43,10 +43,23 @@ void DLruPolicy::on_round(RoundContext& ctx) {
   }
 }
 
+void DLruPolicy::on_capacity_change(Round round, int up, int total,
+                                    std::span<const ColorId> evicted) {
+  (void)round;
+  (void)up;
+  (void)total;
+  (void)evicted;
+  // The target set is recomputed against the live max_distinct() every
+  // round; only the cross-round membership scratch needs invalidating.
+  in_target_.clear();
+  ++capacity_changes_;
+}
+
 std::vector<std::pair<std::string, std::int64_t>> DLruPolicy::stats() const {
   return {{"epochs", tracker_.num_epochs()},
           {"eligible_drops", tracker_.eligible_drops()},
-          {"ineligible_drops", tracker_.ineligible_drops()}};
+          {"ineligible_drops", tracker_.ineligible_drops()},
+          {"capacity_changes", capacity_changes_}};
 }
 
 }  // namespace rrs

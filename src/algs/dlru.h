@@ -23,6 +23,8 @@ class DLruPolicy : public Policy {
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
   void on_round(RoundContext& ctx) override;
+  void on_capacity_change(Round round, int up, int total,
+                          std::span<const ColorId> evicted) override;
 
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
@@ -33,6 +35,7 @@ class DLruPolicy : public Policy {
   std::vector<LruKey> lru_keys_;
   std::vector<ColorId> evict_scratch_;
   StampedMap<char> in_target_;  // member of this round's LRU target set
+  std::int64_t capacity_changes_ = 0;
 };
 
 }  // namespace rrs

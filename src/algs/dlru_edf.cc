@@ -102,11 +102,27 @@ void DLruEdfPolicy::reconfigure(RoundContext& ctx) {
   }
 }
 
+void DLruEdfPolicy::on_capacity_change(Round round, int up, int total,
+                                       std::span<const ColorId> evicted) {
+  (void)round;
+  (void)up;
+  (void)total;
+  (void)evicted;
+  // Both halves recompute their targets against the live max_distinct()
+  // every round; only the cross-round stamped scratch needs invalidating.
+  // AdaptiveSplitPolicy inherits this (its split stays valid at any n).
+  is_lru_.clear();
+  is_protected_.clear();
+  rank_pos_.clear();
+  ++capacity_changes_;
+}
+
 std::vector<std::pair<std::string, std::int64_t>> DLruEdfPolicy::stats()
     const {
   return {{"epochs", tracker_.num_epochs()},
           {"eligible_drops", tracker_.eligible_drops()},
-          {"ineligible_drops", tracker_.ineligible_drops()}};
+          {"ineligible_drops", tracker_.ineligible_drops()},
+          {"capacity_changes", capacity_changes_}};
 }
 
 }  // namespace rrs

@@ -40,6 +40,8 @@ class DLruEdfPolicy : public Policy {
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
   void on_round(RoundContext& ctx) override;
+  void on_capacity_change(Round round, int up, int total,
+                          std::span<const ColorId> evicted) override;
 
   /// n must split into the LRU and EDF halves, each of replicated colors.
   [[nodiscard]] int resource_granularity(int replication) const override {
@@ -89,6 +91,7 @@ class DLruEdfPolicy : public Policy {
   StampedMap<char> is_lru_;        // member of this round's LRU target set
   StampedMap<char> is_protected_;  // inserted by the EDF half this phase
   StampedMap<std::int32_t> rank_pos_;
+  std::int64_t capacity_changes_ = 0;
 };
 
 }  // namespace rrs

@@ -60,10 +60,23 @@ void EdfPolicy::on_round(RoundContext& ctx) {
   }
 }
 
+void EdfPolicy::on_capacity_change(Round round, int up, int total,
+                                   std::span<const ColorId> evicted) {
+  (void)round;
+  (void)up;
+  (void)total;
+  (void)evicted;
+  // The ranking is rebuilt from the tracker against the live max_distinct()
+  // every round; only the cross-round rank scratch needs invalidating.
+  rank_pos_.clear();
+  ++capacity_changes_;
+}
+
 std::vector<std::pair<std::string, std::int64_t>> EdfPolicy::stats() const {
   return {{"epochs", tracker_.num_epochs()},
           {"eligible_drops", tracker_.eligible_drops()},
-          {"ineligible_drops", tracker_.ineligible_drops()}};
+          {"ineligible_drops", tracker_.ineligible_drops()},
+          {"capacity_changes", capacity_changes_}};
 }
 
 }  // namespace rrs

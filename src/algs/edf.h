@@ -30,6 +30,8 @@ class EdfPolicy : public Policy {
   void begin(const ArrivalSource& source, int num_resources,
              int speed) override;
   void on_round(RoundContext& ctx) override;
+  void on_capacity_change(Round round, int up, int total,
+                          std::span<const ColorId> evicted) override;
 
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
@@ -39,6 +41,7 @@ class EdfPolicy : public Policy {
   std::vector<ColorId> ranked_;
   std::vector<EdfKey> edf_keys_;
   StampedMap<std::int32_t> rank_pos_;
+  std::int64_t capacity_changes_ = 0;
 };
 
 }  // namespace rrs

@@ -17,6 +17,7 @@ CacheAssignment::CacheAssignment(int num_resources, int replication)
   physical_.assign(static_cast<std::size_t>(num_resources), kBlack);
   phase_start_ = physical_;
   dirty_flag_.assign(static_cast<std::size_t>(num_resources), 0);
+  down_flag_.assign(static_cast<std::size_t>(num_resources), 0);
   rebuild_free_locations();
 }
 
@@ -45,8 +46,60 @@ void CacheAssignment::reset() {
   std::fill(physical_.begin(), physical_.end(), kBlack);
   phase_start_ = physical_;
   std::fill(dirty_flag_.begin(), dirty_flag_.end(), 0);
+  std::fill(down_flag_.begin(), down_flag_.end(), 0);
+  num_down_ = 0;
   dirty_.clear();
   rebuild_free_locations();
+}
+
+bool CacheAssignment::location_down(int location) const {
+  RRS_REQUIRE(location >= 0 && location < num_resources(),
+              "location out of range");
+  return down_flag_[static_cast<std::size_t>(location)] != 0;
+}
+
+ColorId CacheAssignment::fail_location(int location) {
+  RRS_CHECK(!in_phase_);
+  RRS_CHECK_MSG(!location_down(location),
+                "fail of already-down location " << location);
+  const auto loc = static_cast<std::size_t>(location);
+  ColorId evicted = kBlack;
+  auto free_it =
+      std::find(free_locations_.begin(), free_locations_.end(), location);
+  if (free_it != free_locations_.end()) {
+    free_locations_.erase(free_it);
+  } else {
+    // Claimed: evict the occupying color (its siblings are freed without
+    // recoloring), then pull the failed location back out of the pool.
+    const auto claim_it =
+        std::find(locations_.begin(), locations_.end(), location);
+    RRS_CHECK(claim_it != locations_.end());
+    const auto slot = static_cast<std::size_t>(claim_it - locations_.begin()) /
+                      static_cast<std::size_t>(replication_);
+    evicted = cached_[slot];
+    erase_from_set(evicted);
+    free_it =
+        std::find(free_locations_.begin(), free_locations_.end(), location);
+    RRS_CHECK(free_it != free_locations_.end());
+    free_locations_.erase(free_it);
+  }
+  down_flag_[loc] = 1;
+  ++num_down_;
+  // Contents are lost; outside a phase phase_start_ mirrors physical_.
+  physical_[loc] = kBlack;
+  phase_start_[loc] = kBlack;
+  return evicted;
+}
+
+void CacheAssignment::repair_location(int location) {
+  RRS_CHECK(!in_phase_);
+  RRS_CHECK_MSG(location_down(location),
+                "repair of up location " << location);
+  down_flag_[static_cast<std::size_t>(location)] = 0;
+  --num_down_;
+  // Rejoins the pool physically black: re-imaging it is a normal Delta
+  // recoloring, never a free reclaim.
+  free_locations_.push_back(location);
 }
 
 ColorId CacheAssignment::color_at(int location) const {
@@ -104,6 +157,10 @@ void CacheAssignment::insert(ColorId color) {
 void CacheAssignment::erase(ColorId color) {
   RRS_CHECK(in_phase_);
   RRS_CHECK_MSG(contains(color), "erase of non-cached color " << color);
+  erase_from_set(color);
+}
+
+void CacheAssignment::erase_from_set(ColorId color) {
   const auto slot = static_cast<std::size_t>(slot_of_[idx(color)]);
   const auto rep = static_cast<std::size_t>(replication_);
   for (std::size_t i = 0; i < rep; ++i) {

@@ -41,10 +41,18 @@ class CacheAssignment {
   }
   [[nodiscard]] int replication() const { return replication_; }
 
-  /// Maximum number of distinct cached colors (= n / replication).
+  /// Maximum number of distinct cached colors over the locations currently
+  /// in service (= (n - num_down()) / replication; n / replication with no
+  /// failures).
   [[nodiscard]] int max_distinct() const {
-    return num_resources() / replication_;
+    return (num_resources() - num_down_) / replication_;
   }
+
+  /// Locations currently failed (capacity churn; see fail_location).
+  [[nodiscard]] int num_down() const { return num_down_; }
+
+  /// True iff `location` is currently failed.
+  [[nodiscard]] bool location_down(int location) const;
 
   /// True iff `color` is in the logical cached set.  One stamp compare.
   [[nodiscard]] bool contains(ColorId color) const {
@@ -86,6 +94,22 @@ class CacheAssignment {
   /// Ensures per-color tables cover ColorIds < num_colors.
   void ensure_colors(ColorId num_colors);
 
+  /// Takes `location` out of service (capacity churn).  If a cached color
+  /// occupies it, that color is evicted — its sibling locations are freed
+  /// without recoloring, exactly like erase() — and returned; otherwise
+  /// returns kBlack.  The location's contents are lost (its physical color
+  /// becomes kBlack) and it leaves the free pool until repaired.  The
+  /// logical epoch is untouched, so surviving colors keep their membership.
+  /// Must be called outside a phase; requires !location_down(location).
+  ColorId fail_location(int location);
+
+  /// Returns a failed `location` to service: it rejoins the free pool,
+  /// still physically black — a repaired resource comes back blank, so
+  /// re-imaging it costs Delta like any other recoloring (reclaiming it is
+  /// never free).  Must be called outside a phase; requires
+  /// location_down(location).
+  void repair_location(int location);
+
   /// Empties the logical set and restores every location to kBlack, as if
   /// freshly constructed.  Per-color state is invalidated by bumping the
   /// epoch stamp — O(num_resources), not O(num_colors).  Must be called
@@ -98,6 +122,7 @@ class CacheAssignment {
   }
 
   void rebuild_free_locations();
+  void erase_from_set(ColorId color);  // erase() minus the phase check
 
   int replication_;
   std::vector<ColorId> physical_;     // location -> color
@@ -105,6 +130,8 @@ class CacheAssignment {
   std::vector<int> dirty_;            // locations touched this phase
   std::vector<char> dirty_flag_;      // location -> touched?
   std::vector<int> free_locations_;   // stack of unclaimed locations
+  std::vector<char> down_flag_;       // location -> failed?
+  int num_down_ = 0;
 
   // Logical set: cached_[slot] holds the color occupying slot `slot`, and
   // its claimed locations are locations_[slot * replication_ ...].  A color

@@ -1,11 +1,90 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/pending.h"
 #include "util/check.h"
 
 namespace rrs {
+
+namespace {
+
+/// Resolves kHottestResource: the up location whose configured color has
+/// the most pending jobs (black counts as zero; ties to the lowest
+/// location), or -1 when every location is already down.
+int pick_hottest(const CacheAssignment& cache, const PendingJobs& pending) {
+  int best = -1;
+  std::int64_t best_count = -1;
+  for (int r = 0; r < cache.num_resources(); ++r) {
+    if (cache.location_down(r)) continue;
+    const ColorId color = cache.color_at(r);
+    const std::int64_t count = color == kBlack ? 0 : pending.count(color);
+    if (count > best_count) {
+      best = r;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Cursor over a FaultPlan plus the state needed to apply its events.
+struct FaultCursor {
+  const FaultPlan* plan = nullptr;
+  std::size_t next = 0;
+  std::vector<ColorId> evicted;     // colors evicted by this round's events
+  std::vector<int> hottest_down;    // FIFO of kHottestResource failures
+  std::size_t hottest_head = 0;
+
+  /// Applies every event scheduled at or before round `k` and notifies
+  /// `policy` once if anything happened.
+  void apply(Round k, const EngineOptions& options, CacheAssignment& cache,
+             const PendingJobs& pending, Policy& policy,
+             EngineResult& result) {
+    if (plan == nullptr || next >= plan->events.size() ||
+        plan->events[next].round > k) {
+      return;
+    }
+    evicted.clear();
+    bool applied = false;
+    while (next < plan->events.size() && plan->events[next].round <= k) {
+      const FaultEvent& ev = plan->events[next++];
+      int r = ev.resource;
+      if (ev.fail) {
+        if (r == kHottestResource) {
+          r = pick_hottest(cache, pending);
+          if (r < 0) continue;  // nothing left up to fail
+          hottest_down.push_back(r);
+        }
+        const ColorId evicted_color = cache.fail_location(r);
+        ++result.degraded.fault_events;
+        if (evicted_color != kBlack) {
+          ++result.degraded.churn_evictions;
+          evicted.push_back(evicted_color);
+        }
+      } else {
+        if (r == kHottestResource) {
+          // Repair the oldest adversarially failed location, if any.
+          if (hottest_head >= hottest_down.size()) continue;
+          r = hottest_down[hottest_head++];
+        }
+        cache.repair_location(r);
+        ++result.degraded.repair_events;
+        if (options.charge_repair) {
+          ++result.cost.reconfig_events;
+          ++result.cost.churn_reconfigs;
+        }
+      }
+      applied = true;
+    }
+    if (applied) {
+      policy.on_capacity_change(k, options.num_resources - cache.num_down(),
+                                options.num_resources, evicted);
+    }
+  }
+};
+
+}  // namespace
 
 EngineResult run_policy(ArrivalSource& source, Policy& policy,
                         const EngineOptions& options) {
@@ -18,6 +97,9 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
               "num_resources (" << options.num_resources
                                 << ") must be divisible by replication ("
                                 << options.replication << ")");
+  if (options.fault_plan != nullptr) {
+    validate_fault_plan(*options.fault_plan, options.num_resources);
+  }
 
   // Rounds carrying arrivals: the source's horizon, clipped by max_rounds.
   Round arrival_end = options.max_rounds;
@@ -46,16 +128,29 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
 
   PendingJobs::DropResult dropped;  // reused across rounds: no per-round
                                     // allocation once capacities settle
+  FaultCursor faults;
+  faults.plan = options.fault_plan;
   // High-water mark over ingested deadlines: once arrivals end, draining
   // runs until every pending job has executed or expired (deadline <= k).
   Round max_deadline = 0;
   Round k = 0;
   while (k < arrival_end ||
          (options.drain_pending && pending.total() > 0 && max_deadline > k)) {
+    // Phase 0: capacity churn — failures apply before this round's drop
+    // and arrival phases.
+    faults.apply(k, options, cache, pending, policy, result);
+    const bool degraded_round = cache.num_down() > 0;
+    if (degraded_round) ++result.degraded.degraded_rounds;
+
     // Phase 1: drop.
     pending.drop_expired(k, dropped);
+    Cost round_drop_cost = 0;
     for (const auto& [color, count] : dropped.by_color) {
-      result.cost.drops += static_cast<Cost>(count) * source.drop_cost(color);
+      round_drop_cost += static_cast<Cost>(count) * source.drop_cost(color);
+    }
+    result.cost.drops += round_drop_cost;
+    if (degraded_round) {
+      result.degraded.drops_while_degraded += round_drop_cost;
     }
 
     // Phase 2: arrival.
@@ -104,8 +199,13 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
   // see this sweep (final_sweep() == true, cache read-only) so their drop
   // accounting matches the engine's.
   pending.drop_expired(k, dropped);
+  Cost final_drop_cost = 0;
   for (const auto& [color, count] : dropped.by_color) {
-    result.cost.drops += static_cast<Cost>(count) * source.drop_cost(color);
+    final_drop_cost += static_cast<Cost>(count) * source.drop_cost(color);
+  }
+  result.cost.drops += final_drop_cost;
+  if (cache.num_down() > 0) {
+    result.degraded.drops_while_degraded += final_drop_cost;
   }
   RoundContext final_ctx(k, 0, /*final_sweep=*/true, dropped, {}, source,
                          pending, cache);

@@ -1,6 +1,10 @@
 // The round engine: executes the Section 2 model for any online policy.
 //
 // Per round k:
+//   0. fault phase     — apply the FaultPlan's round-k capacity-churn
+//                        events (failures evict the affected location's
+//                        cached color; repairs return it blank); notify
+//                        policy via on_capacity_change;
 //   1. drop phase      — expire pending jobs with deadline k; notify policy;
 //   2. arrival phase   — ingest request k into the pending set; notify
 //                        policy;
@@ -17,6 +21,7 @@
 #pragma once
 
 #include "core/arrival_source.h"
+#include "core/fault_plan.h"
 #include "core/instance.h"
 #include "core/policy.h"
 #include "core/schedule.h"
@@ -39,6 +44,29 @@ struct EngineOptions {
   /// wrapper preserves the historical contract of exactly horizon() rounds
   /// plus one final expiry sweep.
   bool drain_pending = false;
+  /// Optional capacity-churn schedule (not owned; must outlive the run).
+  /// Events at round k apply at the start of round k, before the drop and
+  /// arrival phases.  nullptr — or an empty plan — leaves the run
+  /// bit-identical to a fault-free one.
+  const FaultPlan* fault_plan = nullptr;
+  /// Repair-cost accounting: when true, each repair is charged as one
+  /// reconfiguration event (the repaired resource comes back blank and must
+  /// be re-imaged); when false, churn itself is free and only the policy's
+  /// recolorings cost Delta.  Charged repairs are counted in
+  /// CostBreakdown::churn_reconfigs but never recorded in the schedule —
+  /// the validator only prices policy-driven events.
+  bool charge_repair = false;
+};
+
+/// Capacity-churn counters for one run; all zero without a fault plan.
+struct DegradedStats {
+  std::int64_t fault_events = 0;     ///< failures applied
+  std::int64_t repair_events = 0;    ///< repairs applied
+  std::int64_t churn_evictions = 0;  ///< cached colors evicted by failures
+  Round degraded_rounds = 0;  ///< rounds run with >= 1 location down
+  Cost drops_while_degraded = 0;  ///< drop cost incurred in degraded rounds
+
+  friend bool operator==(const DegradedStats&, const DegradedStats&) = default;
 };
 
 /// Result of one engine run.
@@ -48,6 +76,7 @@ struct EngineResult {
   std::int64_t arrived = 0;   ///< jobs pulled from the source
   Round rounds = 0;           ///< rounds actually run
   std::int64_t peak_pending = 0;  ///< max pending-set size observed
+  DegradedStats degraded;     ///< capacity-churn counters
   Schedule schedule;          ///< events iff options.record_schedule
   /// Policy-specific counters captured after the run.
   std::vector<std::pair<std::string, std::int64_t>> policy_stats;

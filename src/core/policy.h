@@ -121,6 +121,21 @@ class Policy {
   /// this header.
   virtual void on_round(RoundContext& ctx) = 0;
 
+  /// Called after the engine applies capacity-churn events at the start of
+  /// a round (before that round's drop phase): `up` of `total` locations
+  /// remain in service and `evicted` lists the cached colors the failures
+  /// evicted (already removed from the cache).  The ranked-cache policies
+  /// rebuild their targets from the live max_distinct() every round, so
+  /// their overrides invalidate cross-round scratch and count the event;
+  /// the default is a no-op.
+  virtual void on_capacity_change(Round round, int up, int total,
+                                  std::span<const ColorId> evicted) {
+    (void)round;
+    (void)up;
+    (void)total;
+    (void)evicted;
+  }
+
   /// Smallest resource-count unit this policy accepts: any n it runs with
   /// must be a positive multiple (e.g. 4 for dLRU-EDF's two replicated
   /// cache halves).  The sharded runner splits the resource budget across

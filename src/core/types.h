@@ -36,6 +36,11 @@ struct CostBreakdown {
   Cost reconfig_events = 0;  ///< number of single-resource recolorings
   Cost reconfig_cost = 0;    ///< reconfig_events * Delta
   Cost drops = 0;            ///< jobs never executed (unit cost each)
+  /// Churn-forced reconfigurations (repairs charged under
+  /// EngineOptions::charge_repair).  A subset of reconfig_events — already
+  /// included in reconfig_cost, so total() is unchanged.  Zero on
+  /// fault-free runs.
+  Cost churn_reconfigs = 0;
 
   [[nodiscard]] Cost total() const { return reconfig_cost + drops; }
 

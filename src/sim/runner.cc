@@ -39,6 +39,7 @@ StreamRunRecord to_stream_record(const std::string& name, int n,
   record.arrived = result.arrived;
   record.rounds = result.rounds;
   record.peak_pending = result.peak_pending;
+  record.degraded = result.degraded;
   record.stats = std::move(result.policy_stats);
   return record;
 }
@@ -62,7 +63,9 @@ RunRecord run_algorithm(const Instance& instance, const std::string& name,
 }
 
 StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
-                              int n, Round max_rounds) {
+                              int n, Round max_rounds,
+                              const FaultPlan* fault_plan,
+                              bool charge_repair) {
   EngineOptions options;
   options.num_resources = n;
   options.record_schedule = false;
@@ -70,6 +73,8 @@ StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
   // Let in-flight jobs execute or expire after arrivals end, matching a
   // materialized run whose horizon extends to the last deadline.
   options.drain_pending = true;
+  options.fault_plan = fault_plan;
+  options.charge_repair = charge_repair;
   std::unique_ptr<Policy> policy = make_stream_policy(name, options);
 
   Stopwatch watch;
@@ -124,6 +129,16 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
   split_options.backpressure = concurrent;
   ShardedSource sharded(source, record.plan, arrival_end, split_options);
 
+  // Map the global fault plan onto the shards' contiguous resource blocks
+  // (validated against the global pool first, so errors name global
+  // indices).  Hottest-resource events are copied to every shard.
+  std::vector<FaultPlan> shard_faults;
+  if (options.fault_plan != nullptr && !options.fault_plan->empty()) {
+    validate_fault_plan(*options.fault_plan, n);
+    shard_faults = split_fault_plan(*options.fault_plan,
+                                    record.plan.shard_resources);
+  }
+
   record.shards.resize(static_cast<std::size_t>(num_shards));
   pool.parallel_for(
       static_cast<std::size_t>(num_shards), [&](std::size_t s) {
@@ -135,6 +150,10 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
         engine_options.record_schedule = false;
         engine_options.max_rounds = arrival_end;
         engine_options.drain_pending = true;
+        if (!shard_faults.empty()) {
+          engine_options.fault_plan = &shard_faults[s];
+          engine_options.charge_repair = options.charge_repair;
+        }
         Stopwatch shard_watch;
         EngineResult result = run_policy(sharded.stream(static_cast<int>(s)),
                                          *policy, engine_options);
@@ -150,6 +169,13 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
     record.merged.cost.reconfig_events += shard.cost.reconfig_events;
     record.merged.cost.reconfig_cost += shard.cost.reconfig_cost;
     record.merged.cost.drops += shard.cost.drops;
+    record.merged.cost.churn_reconfigs += shard.cost.churn_reconfigs;
+    record.merged.degraded.fault_events += shard.degraded.fault_events;
+    record.merged.degraded.repair_events += shard.degraded.repair_events;
+    record.merged.degraded.churn_evictions += shard.degraded.churn_evictions;
+    record.merged.degraded.degraded_rounds += shard.degraded.degraded_rounds;
+    record.merged.degraded.drops_while_degraded +=
+        shard.degraded.drops_while_degraded;
     record.merged.executed += shard.executed;
     record.merged.arrived += shard.arrived;
     record.merged.rounds = std::max(record.merged.rounds, shard.rounds);

@@ -6,6 +6,7 @@
 
 #include "algs/registry.h"
 #include "core/arrival_source.h"
+#include "core/engine.h"
 #include "core/instance.h"
 #include "core/shard_plan.h"
 
@@ -36,6 +37,7 @@ struct StreamRunRecord {
   std::int64_t arrived = 0;       ///< jobs pulled from the source
   Round rounds = 0;               ///< rounds actually run
   std::int64_t peak_pending = 0;  ///< max pending-set size observed
+  DegradedStats degraded;         ///< capacity-churn counters
   double seconds = 0.0;           ///< wall-clock of the run
   std::vector<std::pair<std::string, std::int64_t>> stats;
 };
@@ -49,7 +51,8 @@ struct StreamRunRecord {
 /// available here.
 [[nodiscard]] StreamRunRecord run_streaming(
     ArrivalSource& source, const std::string& name, int n,
-    Round max_rounds = kInfiniteHorizon);
+    Round max_rounds = kInfiniteHorizon,
+    const FaultPlan* fault_plan = nullptr, bool charge_repair = false);
 
 /// Knobs for a sharded streaming run.
 struct ShardedRunOptions {
@@ -61,6 +64,12 @@ struct ShardedRunOptions {
   Round chunk_rounds = 256;
   /// Buffered chunks per shard before the splitter applies backpressure.
   std::size_t max_buffered_chunks = 64;
+  /// Optional capacity-churn schedule over the GLOBAL resource indices
+  /// [0, n); split_fault_plan maps it onto the shards' contiguous resource
+  /// blocks (kHottestResource events reach every shard).  Not owned.
+  const FaultPlan* fault_plan = nullptr;
+  /// Charge each repair as one reconfiguration (see EngineOptions).
+  bool charge_repair = false;
 };
 
 /// Outcome of one sharded streaming run: the per-shard records plus their

@@ -1,10 +1,12 @@
 #include "workload/sharded_source.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -38,6 +40,7 @@ class ShardedSource::Splitter {
         chunk_rounds_(options.chunk_rounds),
         max_buffered_(options.max_buffered_chunks),
         backpressure_(options.backpressure),
+        stall_limit_(options.stall_chunk_limit),
         queues_(static_cast<std::size_t>(plan.num_shards)) {
     RRS_REQUIRE(chunk_rounds_ >= 1, "chunk_rounds must be >= 1, got "
                                         << chunk_rounds_);
@@ -55,7 +58,15 @@ class ShardedSource::Splitter {
   Chunk take_chunk(int shard, Round first) {
     const auto s = static_cast<std::size_t>(shard);
     std::unique_lock<std::mutex> lock(mu_);
-    bool waited = false;
+    // Soft backpressure: yield once, then wait with capped exponential
+    // backoff for a lagging consumer to drain.  The total wait is bounded
+    // (the backpressure stays soft — produce anyway rather than deadlock),
+    // and the growing intervals keep a fast consumer from burning a core
+    // re-checking a peer that is merely slow.
+    std::chrono::microseconds backoff(500);
+    constexpr std::chrono::microseconds kMaxBackoff(16'000);
+    bool yielded = false;
+    int waits_left = 8;  // 0.5 + 1 + 2 + ... + 16 + 16 ms, ~57 ms total
     for (;;) {
       if (!queues_[s].empty()) {
         Chunk chunk = std::move(queues_[s].front());
@@ -65,13 +76,27 @@ class ShardedSource::Splitter {
         return chunk;
       }
       RRS_CHECK(cursor_ < arrival_end_);  // pulls past the horizon are bugs
-      if (backpressure_ && !waited && other_queue_full(s)) {
-        // Some shard is max_buffered_ chunks behind.  Wait once for it to
-        // drain; if it does not (its consumer is descheduled, serial, or
-        // gone), produce anyway — memory growth beats a deadlock.
-        space_.wait_for(lock, std::chrono::milliseconds(50));
-        waited = true;
-        continue;
+      if (backpressure_ && other_queue_full(s)) {
+        check_stall(s);
+        if (!yielded) {
+          // Cheapest first: give a descheduled consumer one scheduling
+          // quantum before sleeping at all.
+          yielded = true;
+          lock.unlock();
+          std::this_thread::yield();
+          lock.lock();
+          continue;
+        }
+        if (waits_left > 0) {
+          --waits_left;
+          space_.wait_for(lock, backoff);
+          backoff = std::min(backoff * 2, kMaxBackoff);
+          continue;
+        }
+        // Backoff exhausted: the consumer is descheduled, serial, or gone.
+        // Produce anyway — memory growth beats a deadlock — and let the
+        // stall watchdog abort if the queue keeps growing past any size a
+        // live consumer could explain.
       }
       produce_locked();
     }
@@ -83,6 +108,27 @@ class ShardedSource::Splitter {
       if (s != mine && queues_[s].size() >= max_buffered_) return true;
     }
     return false;
+  }
+
+  /// Aborts with a diagnostic when a peer queue has grown past the stall
+  /// limit: its consumer has not taken a chunk across many full backoff
+  /// cycles, so it is stalled or dead and the run would only hang (or run
+  /// out of memory) from here.  Caller holds mu_.
+  void check_stall(std::size_t mine) const {
+    if (stall_limit_ == 0) return;
+    for (std::size_t s = 0; s < queues_.size(); ++s) {
+      if (s == mine || queues_[s].size() < stall_limit_) continue;
+      std::ostringstream os;
+      os << "sharded-source stall watchdog: shard " << s
+         << " has not consumed for " << queues_[s].size()
+         << " buffered chunks (stall_chunk_limit " << stall_limit_
+         << "); its consumer looks stalled or dead.  Queue sizes:";
+      for (std::size_t q = 0; q < queues_.size(); ++q) {
+        os << " [" << q << "]=" << queues_[q].size();
+      }
+      os << ", cursor " << cursor_ << "/" << arrival_end_;
+      throw InvariantError(os.str());
+    }
   }
 
   /// Pulls the next chunk_rounds_ rounds from the underlying source and
@@ -121,6 +167,7 @@ class ShardedSource::Splitter {
   Round chunk_rounds_;
   std::size_t max_buffered_;
   bool backpressure_;
+  std::size_t stall_limit_;
 
   std::mutex mu_;
   std::condition_variable space_;

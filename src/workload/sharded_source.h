@@ -13,10 +13,14 @@
 // with no locking and no virtual dispatch into the underlying source, so
 // the splitter's overhead is amortized over the chunk.  Shard streams may
 // be pulled from different threads at different paces: chunks for
-// slower shards are buffered, with soft backpressure (a bounded wait,
-// then produce anyway) once a shard runs more than `max_buffered_chunks`
-// ahead — so memory stays bounded when all consumers run concurrently,
-// and progress is never blocked when they run serially.
+// slower shards are buffered, with soft backpressure (yield, then capped
+// exponential-backoff waits, then produce anyway) once a shard runs more
+// than `max_buffered_chunks` ahead — so memory stays bounded when all
+// consumers run concurrently, and progress is never blocked when they run
+// serially.  A stall watchdog turns a consumer that stops draining
+// entirely (crashed thread, logic bug) into a loud InvariantError with
+// per-shard queue diagnostics instead of an unbounded buffer or a hung
+// run.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +42,14 @@ struct ShardedSourceOptions {
   /// thread): every wait would time out, and the buffers must grow to the
   /// full spread anyway.
   bool backpressure = true;
+  /// Stall watchdog: with backpressure on, a shard queue that grows past
+  /// this many buffered chunks means its consumer has stalled or died (a
+  /// live one would have drained it through the backoff waits) — the
+  /// splitter then throws InvariantError with the per-shard queue sizes
+  /// instead of buffering without bound or hanging CI.  0 disables; no
+  /// effect without backpressure (serial consumption legitimately buffers
+  /// the full spread).
+  std::size_t stall_chunk_limit = 4096;
 };
 
 /// K single-consumer shard views over one underlying ArrivalSource.

@@ -12,6 +12,12 @@ namespace rrs {
 namespace {
 
 constexpr const char* kHeader = "# rrs-trace v1";
+constexpr const char* kTrailer = "# end";
+
+/// Instances materialize one Job per trace count, so a corrupt (or hostile)
+/// count field could demand terabytes at build().  Every real trace in this
+/// repo is orders of magnitude below this cap.
+constexpr std::int64_t kMaxTraceJobs = 10'000'000;
 
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> fields;
@@ -54,6 +60,8 @@ void write_trace(std::ostream& out, const Instance& instance) {
       out << "job," << color << "," << arrival << "," << count << "\n";
     }
   }
+  // Trailer: lets the reader tell a complete trace from a truncated one.
+  out << kTrailer << "\n";
 }
 
 void write_trace_file(const std::string& path, const Instance& instance) {
@@ -70,17 +78,31 @@ Instance read_trace(std::istream& in) {
               "missing trace header '" << kHeader << "'");
   InstanceBuilder builder;
   ColorId colors_declared = 0;
+  bool saw_delta = false;
+  bool saw_jobs = false;
+  bool saw_trailer = false;
+  Round last_arrival = 0;
+  std::int64_t total_jobs = 0;
   while (std::getline(in, line)) {
+    if (line == kTrailer) {
+      saw_trailer = true;
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
+    RRS_REQUIRE(!saw_trailer,
+                "record after the '" << kTrailer << "' trailer: " << line);
     const std::vector<std::string> f = split_csv(line);
     RRS_REQUIRE(!f.empty(), "empty trace record");
     if (f[0] == "delta") {
       RRS_REQUIRE(f.size() == 2, "delta record needs 1 field");
+      RRS_REQUIRE(!saw_delta, "duplicate delta record");
+      saw_delta = true;
       builder.delta(parse_int(f[1], "delta"));
     } else if (f[0] == "color") {
       RRS_REQUIRE(f.size() == 3 || f.size() == 4,
                   "color record needs 2 or 3 fields");
-      const ColorId id = static_cast<ColorId>(parse_int(f[1], "color id"));
+      RRS_REQUIRE(!saw_jobs, "color record after job records");
+      const std::int64_t id = parse_int(f[1], "color id");
       RRS_REQUIRE(id == colors_declared,
                   "color ids must be dense and ascending; got " << id);
       const Cost drop_cost =
@@ -89,13 +111,34 @@ Instance read_trace(std::istream& in) {
       ++colors_declared;
     } else if (f[0] == "job") {
       RRS_REQUIRE(f.size() == 4, "job record needs 3 fields");
-      builder.add_jobs(static_cast<ColorId>(parse_int(f[1], "job color")),
-                       parse_int(f[2], "arrival"),
-                       parse_int(f[3], "count"));
+      saw_jobs = true;
+      // Range-check before narrowing to ColorId: an overflowing id must be
+      // a structured error, not a wrapped-around valid-looking color.
+      const std::int64_t color = parse_int(f[1], "job color");
+      RRS_REQUIRE(color >= 0 && color < colors_declared,
+                  "job color " << color << " not declared (have "
+                               << colors_declared << " colors)");
+      const Round arrival = parse_int(f[2], "arrival");
+      RRS_REQUIRE(arrival >= 0, "job arrival must be >= 0, got " << arrival);
+      RRS_REQUIRE(arrival >= last_arrival,
+                  "job records out of round order: arrival "
+                      << arrival << " after " << last_arrival);
+      last_arrival = arrival;
+      const std::int64_t count = parse_int(f[3], "count");
+      RRS_REQUIRE(count >= 0, "job count must be >= 0, got " << count);
+      total_jobs += count;
+      RRS_REQUIRE(total_jobs <= kMaxTraceJobs,
+                  "trace declares more than " << kMaxTraceJobs
+                                              << " jobs; refusing to "
+                                                 "materialize it");
+      builder.add_jobs(static_cast<ColorId>(color), arrival, count);
     } else {
       throw InputError("unknown trace record type: " + f[0]);
     }
   }
+  RRS_REQUIRE(!in.bad(), "I/O error reading trace");
+  RRS_REQUIRE(saw_trailer, "truncated trace: missing '" << kTrailer
+                                                        << "' trailer");
   return builder.build();
 }
 

@@ -2,14 +2,22 @@
 //
 // Format (one file per instance):
 //   # rrs-trace v1
-//   delta,<Delta>
+//   delta,<Delta>                            (at most one)
 //   color,<id>,<delay_bound>[,<drop_cost>]   (one per color, ascending id;
 //                                             drop cost defaults to 1)
-//   job,<color>,<arrival>,<count>            (aggregated arrivals)
+//   job,<color>,<arrival>,<count>            (aggregated arrivals,
+//                                             nondecreasing arrival order)
+//   # end                                    (trailer; proves the file was
+//                                             written out in full)
 //
 // Traces round-trip exactly (same colors, same job multiset), letting
 // experiments be archived and replayed, and letting users feed their own
-// workloads to the examples.
+// workloads to the examples.  The reader validates structure, ordering,
+// and value ranges and throws InputError on anything malformed —
+// truncated files (missing trailer), out-of-range or undeclared color
+// ids, out-of-order rounds, junk fields, job totals too large to
+// materialize — rather than crashing or building a garbage instance.  The
+// trailer is a comment line, so v1 readers predating it skip it.
 #pragma once
 
 #include <iosfwd>

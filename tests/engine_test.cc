@@ -182,6 +182,34 @@ TEST(Engine, InvalidOptionsRejected) {
   EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
 }
 
+TEST(Engine, MalformedFaultPlansRejectedUpFront) {
+  const Instance inst = two_color_instance();
+  IdlePolicy policy;
+  EngineOptions options;
+  options.num_resources = 2;
+  const struct {
+    const char* label;
+    FaultPlan plan;
+  } kBad[] = {
+      {"unsorted rounds", {{{5, 0, true}, {3, 1, true}}}},
+      {"resource out of range", {{{0, 2, true}}}},
+      {"double failure", {{{0, 0, true}, {1, 0, true}}}},
+      {"repair while up", {{{0, 1, false}}}},
+      {"mixed explicit and hottest",
+       {{{0, 0, true}, {1, kHottestResource, true}}}},
+  };
+  for (const auto& [label, plan] : kBad) {
+    options.fault_plan = &plan;
+    EXPECT_THROW((void)run_policy(inst, policy, options), InputError) << label;
+  }
+  // A well-formed plan passes the same gate.
+  const FaultPlan good{{{0, 0, true}, {2, 0, false}}};
+  options.fault_plan = &good;
+  const EngineResult r = run_policy(inst, policy, options);
+  EXPECT_EQ(r.degraded.fault_events, 1);
+  EXPECT_EQ(r.degraded.repair_events, 1);
+}
+
 TEST(Engine, NegativeMaxRoundsRejected) {
   const Instance inst = two_color_instance();
   IdlePolicy policy;

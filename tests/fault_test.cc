@@ -1,0 +1,685 @@
+// Fault-injection coverage: plan generators, cache churn semantics, the
+// engine's fault phase, and the sharded runner under capacity churn.
+//
+// The two load-bearing guarantees are pinned here.  First, an absent or
+// empty FaultPlan leaves every run bit-identical to fault-free execution
+// (matrix over algorithms x families x seeds, streaming and sharded).
+// Second, churn events never enter the recorded Schedule, so the validator
+// replays only policy-driven reconfigurations: with free repairs the
+// validated cost equals the engine's exactly, and with charged repairs the
+// two differ by exactly churn_reconfigs * Delta.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algs/dlru_edf.h"
+#include "core/engine.h"
+#include "core/fault_plan.h"
+#include "core/shard_plan.h"
+#include "core/validator.h"
+#include "sim/runner.h"
+#include "workload/datacenter.h"
+#include "workload/poisson.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+const char* const kAlgorithms[] = {"dlru", "edf", "dlru-edf", "adaptive"};
+
+const char* const kFamilies[] = {"random-batched", "poisson", "datacenter"};
+
+/// Fresh streaming source for (family, seed); mirrors sharded_test.
+std::unique_ptr<ArrivalSource> make_source(const std::string& family,
+                                           std::uint64_t seed) {
+  if (family == "random-batched") {
+    RandomBatchedParams params;
+    params.horizon = 256;
+    params.seed = seed;
+    return std::make_unique<RandomBatchedSource>(params);
+  }
+  if (family == "poisson") {
+    PoissonParams params;
+    params.horizon = 256;
+    params.seed = seed;
+    return std::make_unique<PoissonSource>(params);
+  }
+  if (family == "datacenter") {
+    DatacenterParams params;
+    params.horizon = 1024;
+    params.seed = seed;
+    return std::make_unique<DatacenterSource>(params);
+  }
+  ADD_FAILURE() << "unknown family " << family;
+  return nullptr;
+}
+
+// --- generators ------------------------------------------------------------
+
+TEST(FaultPlanTest, MtbfPlanIsDeterministicSortedAndValid) {
+  MtbfParams params;
+  params.num_resources = 8;
+  params.horizon = 2048;
+  params.mean_up = 100;
+  params.mean_down = 20;
+  params.seed = 7;
+  const FaultPlan plan = make_mtbf_plan(params);
+  EXPECT_EQ(plan, make_mtbf_plan(params));
+  ASSERT_FALSE(plan.empty());
+  validate_fault_plan(plan, params.num_resources);
+  EXPECT_TRUE(std::is_sorted(
+      plan.events.begin(), plan.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.round < b.round; }));
+  for (const FaultEvent& ev : plan.events) {
+    EXPECT_GE(ev.round, 0);
+    EXPECT_LT(ev.round, params.horizon);
+    EXPECT_GE(ev.resource, 0);
+    EXPECT_LT(ev.resource, params.num_resources);
+  }
+
+  MtbfParams other = params;
+  other.seed = 8;
+  EXPECT_NE(plan, make_mtbf_plan(other));
+}
+
+TEST(FaultPlanTest, RackBurstFailsWholeRacksTogether) {
+  RackBurstParams params;
+  params.num_resources = 12;
+  params.rack_size = 4;
+  params.horizon = 3000;
+  params.period = 1000;
+  params.first = 100;
+  params.outage = 50;
+  params.seed = 3;
+  const FaultPlan plan = make_rack_burst_plan(params);
+  validate_fault_plan(plan, params.num_resources);
+  // Bursts at 100, 1100, 2100: each is rack_size failures at one round on a
+  // contiguous rack-aligned block, repaired in full `outage` rounds later.
+  std::map<Round, std::vector<int>> fails, repairs;
+  for (const FaultEvent& ev : plan.events) {
+    (ev.fail ? fails : repairs)[ev.round].push_back(ev.resource);
+  }
+  ASSERT_EQ(fails.size(), 3u);
+  ASSERT_EQ(repairs.size(), 3u);
+  for (const auto& [round, resources] : fails) {
+    EXPECT_EQ((round - params.first) % params.period, 0);
+    ASSERT_EQ(resources.size(), 4u);
+    EXPECT_EQ(resources.front() % params.rack_size, 0);
+    for (std::size_t i = 0; i < resources.size(); ++i) {
+      EXPECT_EQ(resources[i], resources.front() + static_cast<int>(i));
+    }
+    const auto repaired = repairs.find(round + params.outage);
+    ASSERT_NE(repaired, repairs.end());
+    EXPECT_EQ(repaired->second, resources);
+  }
+}
+
+TEST(FaultPlanTest, AdversarialPlanUsesTheHottestSentinel) {
+  AdversarialParams params;
+  params.horizon = 500;
+  params.period = 100;
+  params.first = 1;
+  params.outage = 10;
+  const FaultPlan plan = make_adversarial_plan(params);
+  validate_fault_plan(plan, 4);
+  int fail_count = 0, repair_count = 0;
+  for (const FaultEvent& ev : plan.events) {
+    EXPECT_EQ(ev.resource, kHottestResource);
+    ++(ev.fail ? fail_count : repair_count);
+  }
+  EXPECT_EQ(fail_count, 5);    // rounds 1, 101, 201, 301, 401
+  EXPECT_EQ(repair_count, 5);  // each + 10 is still inside the horizon
+}
+
+TEST(FaultPlanTest, GeneratorsRejectBadParameters) {
+  MtbfParams mtbf;
+  mtbf.num_resources = 0;
+  EXPECT_THROW((void)make_mtbf_plan(mtbf), InputError);
+  mtbf.num_resources = 4;
+  mtbf.mean_up = 0;
+  EXPECT_THROW((void)make_mtbf_plan(mtbf), InputError);
+
+  RackBurstParams rack;
+  rack.num_resources = 10;
+  rack.rack_size = 4;  // 10 % 4 != 0
+  EXPECT_THROW((void)make_rack_burst_plan(rack), InputError);
+  rack.num_resources = 8;
+  rack.period = 10;
+  rack.outage = 10;  // outage must be < period
+  EXPECT_THROW((void)make_rack_burst_plan(rack), InputError);
+
+  AdversarialParams adv;
+  adv.outage = 0;
+  EXPECT_THROW((void)make_adversarial_plan(adv), InputError);
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedPlans) {
+  const struct {
+    const char* label;
+    FaultPlan plan;
+  } kBad[] = {
+      {"negative round", {{{-1, 0, true}}}},
+      {"unsorted rounds", {{{5, 0, true}, {3, 1, true}}}},
+      {"resource out of range", {{{0, 8, true}}}},
+      {"resource below sentinel", {{{0, -2, true}}}},
+      {"double failure", {{{0, 0, true}, {1, 0, true}}}},
+      {"repair while up", {{{0, 0, false}}}},
+      {"hottest repair with nothing down", {{{0, kHottestResource, false}}}},
+      {"mixed explicit and hottest",
+       {{{0, 0, true}, {1, kHottestResource, true}}}},
+  };
+  for (const auto& [label, plan] : kBad) {
+    EXPECT_THROW(validate_fault_plan(plan, 8), InputError) << label;
+  }
+
+  // Sanity: well-formed explicit and sentinel plans both pass.
+  validate_fault_plan({{{0, 0, true}, {4, 0, false}, {4, 1, true}}}, 8);
+  validate_fault_plan(
+      {{{0, kHottestResource, true}, {2, kHottestResource, false}}}, 8);
+}
+
+TEST(FaultPlanTest, SplitMapsExplicitEventsToOwningShards) {
+  FaultPlan plan;
+  plan.events = {{0, 0, true}, {1, 3, true}, {2, 5, true}, {3, 7, true}};
+  const int shard_resources[] = {4, 4};
+  const std::vector<FaultPlan> shards = split_fault_plan(plan, shard_resources);
+  ASSERT_EQ(shards.size(), 2u);
+  const FaultPlan want0{{{0, 0, true}, {1, 3, true}}};
+  const FaultPlan want1{{{2, 1, true}, {3, 3, true}}};
+  EXPECT_EQ(shards[0], want0);
+  EXPECT_EQ(shards[1], want1);
+}
+
+TEST(FaultPlanTest, SplitCopiesHottestEventsToEveryShard) {
+  AdversarialParams params;
+  params.horizon = 300;
+  const FaultPlan plan = make_adversarial_plan(params);
+  const int shard_resources[] = {4, 8, 4};
+  const std::vector<FaultPlan> shards = split_fault_plan(plan, shard_resources);
+  ASSERT_EQ(shards.size(), 3u);
+  for (const FaultPlan& shard : shards) EXPECT_EQ(shard, plan);
+}
+
+// --- CacheAssignment churn -------------------------------------------------
+
+TEST(CacheChurn, FailingAFreeLocationShrinksCapacity) {
+  CacheAssignment cache(4, 2);
+  EXPECT_EQ(cache.max_distinct(), 2);
+  EXPECT_EQ(cache.fail_location(3), kBlack);
+  EXPECT_TRUE(cache.location_down(3));
+  EXPECT_EQ(cache.num_down(), 1);
+  EXPECT_EQ(cache.max_distinct(), 1);  // (4 - 1) / 2
+  EXPECT_EQ(cache.color_at(3), kBlack);
+}
+
+TEST(CacheChurn, FailingAClaimedLocationEvictsItsColor) {
+  CacheAssignment cache(4, 2);
+  cache.begin_phase();
+  cache.insert(0);
+  EXPECT_EQ(cache.finish_phase().size(), 2u);  // both replicas recolored
+
+  // Find one of color 0's locations and fail it.
+  int loc = -1;
+  for (int r = 0; r < 4; ++r) {
+    if (cache.color_at(r) == 0) loc = r;
+  }
+  ASSERT_GE(loc, 0);
+  EXPECT_EQ(cache.fail_location(loc), 0);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_EQ(cache.num_cached(), 0);
+
+  // The surviving replica still physically holds color 0, so re-inserting
+  // it reclaims that location for free: exactly zero or one recolorings
+  // depending on which free location fills the second replica slot -- but
+  // capacity is now 1, so insert takes 2 locations out of the 3 still up.
+  cache.begin_phase();
+  cache.insert(0);
+  EXPECT_LE(cache.finish_phase().size(), 1u);
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(CacheChurn, RepairedLocationComesBackBlank) {
+  CacheAssignment cache(4, 2);
+  cache.begin_phase();
+  cache.insert(0);
+  (void)cache.finish_phase();
+  int loc = -1;
+  for (int r = 0; r < 4; ++r) {
+    if (cache.color_at(r) == 0) loc = r;
+  }
+  ASSERT_GE(loc, 0);
+  EXPECT_EQ(cache.fail_location(loc), 0);
+  cache.repair_location(loc);
+  EXPECT_FALSE(cache.location_down(loc));
+  EXPECT_EQ(cache.num_down(), 0);
+  EXPECT_EQ(cache.max_distinct(), 2);
+  // Repair re-images the location: it is physically black, so unlike the
+  // surviving replica it cannot be reclaimed for free.
+  EXPECT_EQ(cache.color_at(loc), kBlack);
+  cache.begin_phase();
+  cache.insert(0);
+  const auto events = cache.finish_phase();
+  EXPECT_EQ(events.size(), 1u);  // one replica reclaimed free, one recolored
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(CacheChurn, SurvivorsKeepMembershipAcrossChurn) {
+  CacheAssignment cache(8, 2);
+  cache.begin_phase();
+  cache.insert(0);
+  cache.insert(1);
+  cache.insert(2);
+  (void)cache.finish_phase();
+
+  // Failing a free location leaves all cached colors intact but makes the
+  // cache full at the reduced capacity.
+  int free_loc = -1;
+  for (int r = 0; r < 8; ++r) {
+    if (cache.color_at(r) == kBlack) free_loc = r;
+  }
+  ASSERT_GE(free_loc, 0);
+  EXPECT_EQ(cache.fail_location(free_loc), kBlack);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_EQ(cache.max_distinct(), 3);
+  EXPECT_TRUE(cache.full());
+
+  // Failing one of color 2's locations evicts only color 2.
+  int loc2 = -1;
+  for (int r = 0; r < 8; ++r) {
+    if (!cache.location_down(r) && cache.color_at(r) == 2) loc2 = r;
+  }
+  ASSERT_GE(loc2, 0);
+  EXPECT_EQ(cache.fail_location(loc2), 2);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+
+  // reset() clears the down set along with everything else.
+  cache.reset();
+  EXPECT_EQ(cache.num_down(), 0);
+  EXPECT_EQ(cache.max_distinct(), 4);
+  EXPECT_EQ(cache.num_cached(), 0);
+}
+
+TEST(CacheChurn, ChurnCallsOutsidePhasesOnly) {
+  CacheAssignment cache(4, 2);
+  ASSERT_EQ(cache.fail_location(0), kBlack);
+  EXPECT_THROW((void)cache.fail_location(0), InvariantError);  // already down
+  EXPECT_THROW(cache.repair_location(1), InvariantError);      // still up
+  cache.begin_phase();
+  EXPECT_THROW((void)cache.fail_location(1), InvariantError);  // mid-phase
+  EXPECT_THROW(cache.repair_location(0), InvariantError);      // mid-phase
+  (void)cache.finish_phase();
+  cache.repair_location(0);
+  EXPECT_EQ(cache.num_down(), 0);
+}
+
+// --- engine: empty plan is the identity ------------------------------------
+
+/// Fields of a run that must be reproducible (seconds is wall clock).
+struct Reproducible {
+  CostBreakdown cost;
+  std::int64_t executed;
+  std::int64_t arrived;
+  Round rounds;
+  std::int64_t peak_pending;
+  DegradedStats degraded;
+  std::vector<std::pair<std::string, std::int64_t>> stats;
+
+  friend bool operator==(const Reproducible&, const Reproducible&) = default;
+};
+
+Reproducible reproducible(const StreamRunRecord& record) {
+  return {record.cost,         record.executed, record.arrived, record.rounds,
+          record.peak_pending, record.degraded, record.stats};
+}
+
+using Cell = std::tuple<std::string, std::string, std::uint64_t>;
+
+class EmptyPlanBitIdentity : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(EmptyPlanBitIdentity, StreamingAndShardedMatchFaultFreeRuns) {
+  const auto& [algorithm, family, seed] = GetParam();
+  const FaultPlan empty;
+
+  const auto plain_source = make_source(family, seed);
+  const StreamRunRecord plain = run_streaming(*plain_source, algorithm, 8);
+
+  // An empty plan -- even with charged repairs -- must not perturb a single
+  // bit of the run.
+  const auto faulty_source = make_source(family, seed);
+  const StreamRunRecord with_empty =
+      run_streaming(*faulty_source, algorithm, 8, kInfiniteHorizon, &empty,
+                    /*charge_repair=*/true);
+  EXPECT_EQ(reproducible(plain), reproducible(with_empty))
+      << family << " seed " << seed;
+  EXPECT_EQ(with_empty.degraded, DegradedStats{});
+
+  const auto plain_sharded = make_source(family, seed);
+  const ShardedRunRecord sharded =
+      run_streaming_sharded(*plain_sharded, algorithm, 8, 2);
+
+  const auto faulty_sharded = make_source(family, seed);
+  ShardedRunOptions options;
+  options.fault_plan = &empty;
+  options.charge_repair = true;
+  const ShardedRunRecord sharded_empty = run_streaming_sharded(
+      *faulty_sharded, algorithm, 8, 2, kInfiniteHorizon, options);
+  EXPECT_EQ(reproducible(sharded.merged), reproducible(sharded_empty.merged));
+  ASSERT_EQ(sharded.shards.size(), sharded_empty.shards.size());
+  for (std::size_t s = 0; s < sharded.shards.size(); ++s) {
+    EXPECT_EQ(reproducible(sharded.shards[s]),
+              reproducible(sharded_empty.shards[s]))
+        << "shard " << s;
+  }
+}
+
+std::vector<Cell> all_cells() {
+  std::vector<Cell> cells;
+  for (const char* const algorithm : kAlgorithms) {
+    for (const char* const family : kFamilies) {
+      for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        cells.emplace_back(algorithm, family, seed);
+      }
+    }
+  }
+  return cells;
+}
+
+std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param) +
+                     "_s" + std::to_string(std::get<2>(info.param));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EmptyPlanBitIdentity,
+                         ::testing::ValuesIn(all_cells()), cell_name);
+
+// --- engine: runs under churn ----------------------------------------------
+
+FaultPlan aggressive_mtbf(int num_resources, Round horizon) {
+  MtbfParams params;
+  params.num_resources = num_resources;
+  params.horizon = horizon;
+  params.mean_up = 20;
+  params.mean_down = 5;
+  params.seed = 2;
+  return make_mtbf_plan(params);
+}
+
+TEST(FaultRunTest, FaultRunsAreDeterministic) {
+  const FaultPlan plan = aggressive_mtbf(8, 256);
+  std::vector<Reproducible> runs;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const auto source = make_source("random-batched", 5);
+    runs.push_back(reproducible(
+        run_streaming(*source, "dlru-edf", 8, kInfiniteHorizon, &plan)));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_GT(runs[0].degraded.fault_events, 0);
+  EXPECT_GT(runs[0].degraded.degraded_rounds, 0);
+}
+
+TEST(FaultRunTest, DegradedCountersAreConsistent) {
+  const FaultPlan plan = aggressive_mtbf(8, 256);
+  const auto source = make_source("random-batched", 5);
+  const StreamRunRecord r =
+      run_streaming(*source, "dlru-edf", 8, kInfiniteHorizon, &plan);
+  EXPECT_GE(r.degraded.fault_events, r.degraded.repair_events);
+  EXPECT_LE(r.degraded.churn_evictions, r.degraded.fault_events);
+  EXPECT_LE(r.degraded.degraded_rounds, r.rounds);
+  EXPECT_LE(r.degraded.drops_while_degraded, r.cost.drops);
+  EXPECT_EQ(r.cost.churn_reconfigs, 0);  // free repairs by default
+  // random-batched drop costs are unit, so drops is a job count.
+  EXPECT_EQ(r.executed + r.cost.drops, r.arrived);
+  // The policy heard about every churn notification batch.
+  std::int64_t capacity_changes = -1;
+  for (const auto& [key, value] : r.stats) {
+    if (key == "capacity_changes") capacity_changes = value;
+  }
+  EXPECT_GT(capacity_changes, 0);
+}
+
+TEST(FaultRunTest, ValidatorAcceptsFreeChurnScheduleExactly) {
+  RandomBatchedParams params;
+  params.horizon = 128;
+  params.seed = 4;
+  const Instance inst = make_random_batched(params);
+  const FaultPlan plan = aggressive_mtbf(8, 128);
+
+  DLruEdfPolicy policy;
+  EngineOptions options;
+  options.num_resources = 8;
+  options.replication = 2;
+  options.fault_plan = &plan;
+  const EngineResult r = run_policy(inst, policy, options);
+  ASSERT_GT(r.degraded.fault_events, 0);
+
+  // Churn is not recorded in the schedule; the validator replays only the
+  // policy's reconfigurations, and with free repairs that is the whole cost.
+  const CostBreakdown validated = validate_or_throw(inst, r.schedule);
+  EXPECT_EQ(validated, r.cost);
+}
+
+TEST(FaultRunTest, ChargedRepairAddsExactlyTheChurnReconfigs) {
+  RandomBatchedParams params;
+  params.horizon = 128;
+  params.seed = 4;
+  const Instance inst = make_random_batched(params);
+  const FaultPlan plan = aggressive_mtbf(8, 128);
+
+  EngineOptions options;
+  options.num_resources = 8;
+  options.replication = 2;
+  options.fault_plan = &plan;
+  DLruEdfPolicy free_policy;
+  const EngineResult free_run = run_policy(inst, free_policy, options);
+
+  options.charge_repair = true;
+  DLruEdfPolicy charged_policy;
+  const EngineResult charged = run_policy(inst, charged_policy, options);
+
+  // Charging repairs changes accounting, never behavior.
+  EXPECT_EQ(charged.executed, free_run.executed);
+  EXPECT_EQ(charged.cost.drops, free_run.cost.drops);
+  EXPECT_EQ(charged.degraded, free_run.degraded);
+  EXPECT_EQ(charged.schedule.reconfigs, free_run.schedule.reconfigs);
+
+  ASSERT_GT(charged.cost.churn_reconfigs, 0);
+  EXPECT_EQ(charged.cost.churn_reconfigs, charged.degraded.repair_events);
+  EXPECT_EQ(charged.cost.reconfig_events,
+            free_run.cost.reconfig_events + charged.cost.churn_reconfigs);
+  const CostBreakdown validated = validate_or_throw(inst, charged.schedule);
+  EXPECT_EQ(validated.total(),
+            charged.cost.total() - charged.cost.churn_reconfigs * inst.delta());
+}
+
+TEST(FaultRunTest, AllResourcesDownDropsEverythingAndTerminates) {
+  FaultPlan plan;
+  for (int r = 0; r < 4; ++r) plan.events.push_back({0, r, true});
+  const auto source = make_source("random-batched", 3);
+  const StreamRunRecord r =
+      run_streaming(*source, "dlru-edf", 4, kInfiniteHorizon, &plan);
+  EXPECT_EQ(r.executed, 0);
+  EXPECT_EQ(r.cost.drops, r.arrived);
+  EXPECT_EQ(r.cost.reconfig_events, 0);
+  EXPECT_EQ(r.degraded.fault_events, 4);
+  EXPECT_EQ(r.degraded.churn_evictions, 0);  // nothing was cached yet
+  EXPECT_EQ(r.degraded.degraded_rounds, r.rounds);
+  EXPECT_EQ(r.degraded.drops_while_degraded, r.cost.drops);
+}
+
+TEST(FaultRunTest, AdversarialChurnRunsAreDeterministic) {
+  AdversarialParams params;
+  params.horizon = 256;
+  params.period = 32;
+  params.first = 8;
+  params.outage = 8;
+  const FaultPlan plan = make_adversarial_plan(params);
+  std::vector<Reproducible> runs;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const auto source = make_source("poisson", 6);
+    runs.push_back(reproducible(
+        run_streaming(*source, "dlru-edf", 8, kInfiniteHorizon, &plan)));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_GT(runs[0].degraded.fault_events, 0);
+  EXPECT_EQ(runs[0].degraded.fault_events, runs[0].degraded.repair_events);
+}
+
+/// Policy that pins colors 0 and 1 and records every capacity notification.
+class ProbePolicy : public Policy {
+ public:
+  struct Call {
+    Round round;
+    int up;
+    int total;
+    std::vector<ColorId> evicted;
+  };
+
+  [[nodiscard]] std::string_view name() const override { return "probe"; }
+
+  void on_round(RoundContext& ctx) override {
+    if (ctx.final_sweep()) return;
+    for (const ColorId c : {0, 1}) {
+      if (!ctx.cache().contains(c) && !ctx.cache().full()) {
+        ctx.cache().insert(c);
+      }
+    }
+  }
+
+  void on_capacity_change(Round round, int up, int total,
+                          std::span<const ColorId> evicted) override {
+    calls.push_back({round, up, total, {evicted.begin(), evicted.end()}});
+  }
+
+  std::vector<Call> calls;
+};
+
+TEST(FaultRunTest, HottestFailureEvictsTheBusiestColor) {
+  // Color 1 has the larger backlog at round 2, so the kHottestResource
+  // failure must land on one of its locations and surface it as evicted.
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId a = builder.add_color(8);
+  const ColorId b = builder.add_color(8);
+  builder.add_jobs(a, 0, 1).add_jobs(b, 0, 6);
+  const Instance inst = builder.build();
+
+  FaultPlan plan;
+  plan.events = {{2, kHottestResource, true}, {4, kHottestResource, false}};
+
+  ProbePolicy probe;
+  EngineOptions options;
+  options.num_resources = 4;
+  options.replication = 2;
+  options.fault_plan = &plan;
+  const EngineResult r = run_policy(inst, probe, options);
+
+  ASSERT_EQ(probe.calls.size(), 2u);
+  EXPECT_EQ(probe.calls[0].round, 2);
+  EXPECT_EQ(probe.calls[0].up, 3);
+  EXPECT_EQ(probe.calls[0].total, 4);
+  EXPECT_EQ(probe.calls[0].evicted, std::vector<ColorId>{b});
+  EXPECT_EQ(probe.calls[1].round, 4);
+  EXPECT_EQ(probe.calls[1].up, 4);
+  EXPECT_TRUE(probe.calls[1].evicted.empty());
+
+  EXPECT_EQ(r.degraded.fault_events, 1);
+  EXPECT_EQ(r.degraded.repair_events, 1);
+  EXPECT_EQ(r.degraded.churn_evictions, 1);
+  EXPECT_EQ(r.degraded.degraded_rounds, 2);  // rounds 2 and 3
+  // b's remaining jobs (deadline 8) still fit after the round-4 repair.
+  EXPECT_EQ(r.executed, 7);
+  EXPECT_EQ(r.cost.drops, 0);
+}
+
+// --- sharded runs under churn ----------------------------------------------
+
+TEST(ShardedFaultTest, CostsRemainExactlyAdditiveUnderChurn) {
+  const FaultPlan plan = aggressive_mtbf(16, 1024);
+  ShardedRunOptions options;
+  options.fault_plan = &plan;
+  options.charge_repair = true;
+
+  const auto source = make_source("datacenter", 5);
+  const ShardedRunRecord record = run_streaming_sharded(
+      *source, "dlru-edf", 16, 4, kInfiniteHorizon, options);
+  ASSERT_EQ(record.shards.size(), 4u);
+  EXPECT_GT(record.merged.degraded.fault_events, 0);
+
+  CostBreakdown cost_sum;
+  DegradedStats degraded_sum;
+  std::int64_t executed = 0, arrived = 0;
+  for (const StreamRunRecord& shard : record.shards) {
+    cost_sum.reconfig_events += shard.cost.reconfig_events;
+    cost_sum.reconfig_cost += shard.cost.reconfig_cost;
+    cost_sum.drops += shard.cost.drops;
+    cost_sum.churn_reconfigs += shard.cost.churn_reconfigs;
+    degraded_sum.fault_events += shard.degraded.fault_events;
+    degraded_sum.repair_events += shard.degraded.repair_events;
+    degraded_sum.churn_evictions += shard.degraded.churn_evictions;
+    degraded_sum.degraded_rounds += shard.degraded.degraded_rounds;
+    degraded_sum.drops_while_degraded += shard.degraded.drops_while_degraded;
+    executed += shard.executed;
+    arrived += shard.arrived;
+  }
+  EXPECT_EQ(record.merged.cost, cost_sum);
+  EXPECT_EQ(record.merged.degraded, degraded_sum);
+  EXPECT_EQ(record.merged.executed, executed);
+  EXPECT_EQ(record.merged.arrived, arrived);
+
+  // Determinism: the same churned run reproduces bit-for-bit.
+  const auto source2 = make_source("datacenter", 5);
+  const ShardedRunRecord again = run_streaming_sharded(
+      *source2, "dlru-edf", 16, 4, kInfiniteHorizon, options);
+  EXPECT_EQ(reproducible(record.merged), reproducible(again.merged));
+}
+
+TEST(ShardedFaultTest, FullShardFailureCompletesWithPendingAsDrops) {
+  // Learn the deterministic shard layout from a fault-free probe run, then
+  // kill shard 0's whole resource block at round 0.
+  const auto probe = make_source("random-batched", 7);
+  const ShardedRunRecord layout =
+      run_streaming_sharded(*probe, "dlru-edf", 16, 2);
+  ASSERT_EQ(layout.plan.shard_resources.size(), 2u);
+  const int dead_block = layout.plan.shard_resources[0];
+  ASSERT_GT(dead_block, 0);
+
+  FaultPlan plan;
+  for (int r = 0; r < dead_block; ++r) plan.events.push_back({0, r, true});
+  ShardedRunOptions options;
+  options.fault_plan = &plan;
+
+  const auto source = make_source("random-batched", 7);
+  const ShardedRunRecord record = run_streaming_sharded(
+      *source, "dlru-edf", 16, 2, kInfiniteHorizon, options);
+  ASSERT_EQ(record.plan.shard_resources, layout.plan.shard_resources);
+
+  // The dead shard terminates (no deadlock) with every job accounted as a
+  // drop; the surviving shard matches its fault-free self.
+  const StreamRunRecord& dead = record.shards[0];
+  EXPECT_EQ(dead.executed, 0);
+  EXPECT_EQ(dead.cost.drops, dead.arrived);
+  EXPECT_EQ(dead.degraded.degraded_rounds, dead.rounds);
+  EXPECT_EQ(record.shards[1].cost, layout.shards[1].cost);
+  EXPECT_EQ(record.shards[1].executed, layout.shards[1].executed);
+  EXPECT_EQ(record.merged.executed + record.merged.cost.drops,
+            record.merged.arrived);
+  EXPECT_EQ(record.merged.arrived, layout.merged.arrived);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -9,12 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/validator.h"
 #include "util/rng.h"
 #include "workload/poisson.h"
 #include "workload/random_batched.h"
+#include "workload/trace_io.h"
 
 namespace rrs {
 namespace {
@@ -138,6 +142,91 @@ TEST_P(EngineFuzz, ChurnPolicyNetsOutInCache) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
                          ::testing::Range(std::uint64_t{1},
                                           std::uint64_t{17}));
+
+// --- trace-reader corpus fuzzing -------------------------------------------
+
+/// read_trace's contract off the happy path: any input either parses or
+/// throws a structured InputError — never an InvariantError, never a
+/// crash, never a silently garbage instance.
+void expect_parses_or_rejects(const std::string& text, const char* label) {
+  std::istringstream in(text);
+  try {
+    const Instance inst = read_trace(in);
+    EXPECT_GE(inst.num_colors(), 0) << label;  // parsed: must be coherent
+  } catch (const InputError&) {
+    // structured rejection: the expected outcome for malformed input
+  }
+  // anything else escapes and fails the test
+}
+
+TEST(TraceFuzz, TruncationCorpusParsesOrRejects) {
+  RandomBatchedParams params;
+  params.seed = 11;
+  params.horizon = 64;
+  std::ostringstream out;
+  write_trace(out, make_random_batched(params));
+  const std::string valid = out.str();
+
+  // Every truncation point (stepped, plus all boundaries near the end).
+  for (std::size_t len = 0; len < valid.size(); len += 7) {
+    expect_parses_or_rejects(valid.substr(0, len), "truncation");
+  }
+  for (std::size_t back = 1; back <= 16 && back <= valid.size(); ++back) {
+    expect_parses_or_rejects(valid.substr(0, valid.size() - back),
+                             "tail truncation");
+  }
+}
+
+TEST(TraceFuzz, ByteCorruptionCorpusParsesOrRejects) {
+  RandomBatchedParams params;
+  params.seed = 12;
+  params.horizon = 64;
+  std::ostringstream out;
+  write_trace(out, make_random_batched(params));
+  const std::string valid = out.str();
+
+  const char kReplacements[] = {'x', '\n', ',', '-', '9', '\0', ' '};
+  for (std::size_t pos = 0; pos < valid.size(); pos += 11) {
+    for (const char replacement : kReplacements) {
+      std::string mutated = valid;
+      mutated[pos] = replacement;
+      expect_parses_or_rejects(mutated, "byte corruption");
+    }
+  }
+}
+
+TEST(TraceFuzz, StructuralCorruptionCorpusParsesOrRejects) {
+  RandomBatchedParams params;
+  params.seed = 13;
+  params.horizon = 64;
+  std::ostringstream out;
+  write_trace(out, make_random_batched(params));
+  const std::string valid = out.str();
+
+  // Splice whole malformed lines into every line boundary.
+  const char* const kJunkLines[] = {
+      "job,0,0,999999999999\n", "job,-1,-1,-1\n",      "color,0,4\n",
+      "delta,7\n",              "# end\n",             "job\n",
+      "color,99999,1\n",        ",,,,\n",              "\xff\xfe\n",
+  };
+  std::vector<std::size_t> boundaries = {0};
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (valid[i] == '\n') boundaries.push_back(i + 1);
+  }
+  for (const std::size_t at : boundaries) {
+    for (const char* const junk : kJunkLines) {
+      std::string mutated = valid;
+      mutated.insert(at, junk);
+      expect_parses_or_rejects(mutated, "junk line");
+    }
+  }
+  // Line deletions: drop each line in turn.
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    std::string mutated = valid;
+    mutated.erase(boundaries[i], boundaries[i + 1] - boundaries[i]);
+    expect_parses_or_rejects(mutated, "line deletion");
+  }
+}
 
 }  // namespace
 }  // namespace rrs

@@ -419,6 +419,34 @@ TEST(ShardedRunTest, SeqEdfRunsUnreplicated) {
             record.merged.arrived);
 }
 
+TEST(ShardedRunTest, ZeroArrivalShardsMergeCleanly) {
+  // Two colors, but every job belongs to one of them: the other shard
+  // streams zero arrivals for the whole run and must still terminate and
+  // merge as an all-zero record.
+  InstanceBuilder builder;
+  builder.delta(2);
+  const ColorId hot = builder.add_color(8);
+  (void)builder.add_color(8);  // cold color: declared, never requested
+  builder.add_jobs(hot, 0, 12);
+  const Instance inst = builder.build();
+  MaterializedSource source(inst);
+
+  const ShardedRunRecord record =
+      run_streaming_sharded(source, "dlru-edf", 8, 2);
+  ASSERT_EQ(record.shards.size(), 2u);
+  int empty_shards = 0;
+  for (const StreamRunRecord& shard : record.shards) {
+    if (shard.arrived > 0) continue;
+    ++empty_shards;
+    EXPECT_EQ(shard.executed, 0);
+    EXPECT_EQ(shard.cost, CostBreakdown{});
+    EXPECT_EQ(shard.peak_pending, 0);
+  }
+  EXPECT_EQ(empty_shards, 1);
+  EXPECT_EQ(record.merged.arrived, 12);
+  EXPECT_EQ(record.merged.executed + record.merged.cost.drops, 12);
+}
+
 TEST(ShardedRunTest, RejectsUnknownAlgorithmAndBadShardCounts) {
   const auto source = make_source("poisson", 1);
   EXPECT_THROW(

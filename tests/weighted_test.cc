@@ -169,7 +169,8 @@ TEST(Weighted, LegacyTraceWithoutWeightsStillParses) {
       "# rrs-trace v1\n"
       "delta,3\n"
       "color,0,8\n"
-      "job,0,0,2\n");
+      "job,0,0,2\n"
+      "# end\n");
   const Instance inst = read_trace(in);
   EXPECT_EQ(inst.drop_cost(0), 1);
   EXPECT_TRUE(inst.unit_drop_costs());

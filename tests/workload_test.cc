@@ -162,25 +162,45 @@ TEST(TraceIo, RoundTripsExactly) {
 }
 
 TEST(TraceIo, RejectsMalformedInput) {
-  {
-    std::istringstream in("not a trace\n");
-    EXPECT_THROW((void)read_trace(in), InputError);
-  }
-  {
-    std::istringstream in("# rrs-trace v1\nwhat,1\n");
-    EXPECT_THROW((void)read_trace(in), InputError);
-  }
-  {
-    std::istringstream in("# rrs-trace v1\ncolor,1,4\n");  // non-dense id
-    EXPECT_THROW((void)read_trace(in), InputError);
-  }
-  {
-    std::istringstream in("# rrs-trace v1\ndelta,abc\n");
-    EXPECT_THROW((void)read_trace(in), InputError);
-  }
-  {
-    std::istringstream in("# rrs-trace v1\ncolor,0,4\njob,0,0\n");
-    EXPECT_THROW((void)read_trace(in), InputError);  // missing field
+  // One row per failure mode: every malformed trace must surface as a
+  // structured InputError, never a crash or a garbage instance.
+  const struct {
+    const char* label;
+    const char* trace;
+  } kMalformed[] = {
+      {"not a trace", "not a trace\n"},
+      {"empty input", ""},
+      {"unknown record", "# rrs-trace v1\nwhat,1\n# end\n"},
+      {"non-dense color id", "# rrs-trace v1\ncolor,1,4\n# end\n"},
+      {"negative color id", "# rrs-trace v1\ncolor,-1,4\n# end\n"},
+      {"non-numeric delta", "# rrs-trace v1\ndelta,abc\n# end\n"},
+      {"duplicate delta", "# rrs-trace v1\ndelta,2\ndelta,3\n# end\n"},
+      {"missing job field", "# rrs-trace v1\ncolor,0,4\njob,0,0\n# end\n"},
+      {"truncated: no trailer", "# rrs-trace v1\ncolor,0,4\njob,0,0,1\n"},
+      {"truncated mid-number", "# rrs-trace v1\ncolor,0,4\njob,0,0,1"},
+      {"record after trailer",
+       "# rrs-trace v1\ncolor,0,4\n# end\njob,0,0,1\n"},
+      {"undeclared job color", "# rrs-trace v1\ncolor,0,4\njob,1,0,1\n# end\n"},
+      {"negative job color", "# rrs-trace v1\ncolor,0,4\njob,-1,0,1\n# end\n"},
+      {"overflowing color id",
+       "# rrs-trace v1\ncolor,0,4\njob,4294967296,0,1\n# end\n"},
+      {"overflowing int64",
+       "# rrs-trace v1\ncolor,0,4\njob,99999999999999999999,0,1\n# end\n"},
+      {"negative arrival", "# rrs-trace v1\ncolor,0,4\njob,0,-2,1\n# end\n"},
+      {"out-of-order rounds",
+       "# rrs-trace v1\ncolor,0,4\njob,0,5,1\njob,0,3,1\n# end\n"},
+      {"negative count", "# rrs-trace v1\ncolor,0,4\njob,0,0,-1\n# end\n"},
+      {"absurd total job count",
+       "# rrs-trace v1\ncolor,0,4\njob,0,0,99999999999\n# end\n"},
+      {"color after jobs",
+       "# rrs-trace v1\ncolor,0,4\njob,0,0,1\ncolor,1,4\n# end\n"},
+      {"trailing junk field", "# rrs-trace v1\ndelta,3x\n# end\n"},
+      {"zero delay bound", "# rrs-trace v1\ncolor,0,0\n# end\n"},
+      {"zero drop cost", "# rrs-trace v1\ncolor,0,4,0\n# end\n"},
+  };
+  for (const auto& [label, trace] : kMalformed) {
+    std::istringstream in(trace);
+    EXPECT_THROW((void)read_trace(in), InputError) << label;
   }
 }
 
@@ -191,7 +211,8 @@ TEST(TraceIo, SkipsCommentsAndBlankLines) {
       "\n"
       "# a comment\n"
       "color,0,8\n"
-      "job,0,0,2\n");
+      "job,0,0,2\n"
+      "# end\n");
   const Instance inst = read_trace(in);
   EXPECT_EQ(inst.delta(), 3);
   EXPECT_EQ(inst.jobs().size(), 2u);
