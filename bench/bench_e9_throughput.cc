@@ -28,6 +28,7 @@
 
 #include "algs/registry.h"
 #include "core/validator.h"
+#include "obs/observer.h"
 #include "offline/optimal.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
@@ -154,6 +155,9 @@ struct StreamingCell {
   Round arrival_rounds = 0;
   /// Shard count for run_streaming_sharded rows; 0 for plain streaming.
   int shards = 0;
+  /// Per-phase wall-clock attribution (name, seconds) for observer-on
+  /// cells; empty otherwise.  Lets a regression be pinned to one phase.
+  std::vector<std::pair<std::string, double>> phase_seconds;
 };
 
 /// Extracts (family, rounds_per_sec) pairs from the BENCH_streaming.json
@@ -264,6 +268,15 @@ void append_json_record(std::string& json, const StreamingCell& cell) {
           ",\n";
   json += "      \"peak_pending\": " +
           std::to_string(cell.record.peak_pending) + ",\n";
+  if (!cell.phase_seconds.empty()) {
+    json += "      \"phase_seconds\": {";
+    for (std::size_t i = 0; i < cell.phase_seconds.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += "\"" + cell.phase_seconds[i].first +
+              "\": " + std::to_string(cell.phase_seconds[i].second);
+    }
+    json += "},\n";
+  }
   json += "      \"seconds\": " + std::to_string(cell.record.seconds) + ",\n";
   json += "      \"rounds_per_sec\": " + std::to_string(rounds_per_sec) +
           ",\n";
@@ -299,8 +312,36 @@ bool run_streaming_section() {
   });
   const std::vector<StreamRunRecord> records = run_streaming_sweep(cells);
   std::vector<StreamingCell> named;
-  named.push_back({"random-batched", records[0], rounds, 0});
-  named.push_back({"poisson", records[1], rounds, 0});
+  named.push_back({"random-batched", records[0], rounds, 0, {}});
+  named.push_back({"poisson", records[1], rounds, 0, {}});
+
+  // Observer-on cell: the same random-batched config with phase timers and
+  // periodic snapshots attached.  Its per-phase seconds land in the JSON so
+  // an observer-path regression is attributable to one engine phase, and
+  // comparing its rounds/sec against plain "random-batched" above bounds
+  // the observability overhead directly.
+  {
+    RandomBatchedParams params;
+    params.seed = 99;
+    params.num_colors = 32;
+    params.horizon = kInfiniteHorizon;
+    RandomBatchedSource source(params);
+    ObsConfig obs_config;
+    obs_config.timers = true;
+    obs_config.snapshot_every = std::max<Round>(1, rounds / 8);
+    Observer observer(obs_config);
+    StreamingCell cell;
+    cell.family = "random-batched-obs";
+    cell.record = run_streaming(source, "dlru-edf", 8, rounds, nullptr,
+                                false, &observer);
+    cell.arrival_rounds = rounds;
+    for (int p = 0; p < PhaseTimers::kNumPhases; ++p) {
+      const auto phase = static_cast<EnginePhase>(p);
+      cell.phase_seconds.emplace_back(PhaseTimers::phase_name(phase),
+                                      observer.timers.seconds(phase));
+    }
+    named.push_back(std::move(cell));
+  }
 
   // Shard-count scaling sweep: the same random-batched dLRU-EDF config at
   // n = 16 (granularity 4 => four shardable blocks) through the sharded
@@ -348,6 +389,13 @@ bool run_streaming_section() {
               << static_cast<std::int64_t>(rps) << " rounds/s, "
               << cell.record.arrived << " jobs, peak_pending "
               << cell.record.peak_pending << ")\n";
+    if (!cell.phase_seconds.empty()) {
+      std::cout << "    phases:";
+      for (const auto& [phase, secs] : cell.phase_seconds) {
+        std::cout << " " << phase << "=" << secs << "s";
+      }
+      std::cout << "\n";
+    }
     ok = ok && cell.record.rounds >= cell.arrival_rounds;
     // Bounded memory: the engine never holds more than the live pending
     // set, which the drop phase caps at ~(max delay * arrival rate).

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Enforce line-coverage floors from an llvm-cov export summary.
+
+Usage: check_coverage.py <coverage.json> <floor-file>
+
+`coverage.json` is the output of `llvm-cov export -summary-only` (the
+source-based coverage JSON: data[0].files[].summary.lines plus
+data[0].totals.lines).  The floor file lists one floor per line:
+
+    # prefix        min-line-coverage-percent
+    src/obs/        90.0
+    total           80.0
+
+A `total` row checks the repo-wide line percentage (the non-regression
+floor: ratchet it up when coverage improves, never down).  Any other row
+aggregates covered/total lines over the files whose path contains the
+prefix, so floors survive absolute-path differences between runners.
+Exits nonzero, listing every violation, when a floor is missed; a prefix
+that matches no files is also an error (a silently-renamed directory
+must not disable its floor).
+"""
+
+import json
+import sys
+
+
+def parse_floors(path):
+    floors = []
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            prefix, pct = line.split()
+            floors.append((prefix, float(pct)))
+    if not floors:
+        raise SystemExit(f"error: no floors found in {path}")
+    return floors
+
+
+def line_stats(summary):
+    lines = summary["lines"]
+    return lines["covered"], lines["count"]
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1], encoding="utf-8") as f:
+        export = json.load(f)
+    data = export["data"][0]
+    floors = parse_floors(sys.argv[2])
+
+    failures = []
+    for prefix, floor in floors:
+        if prefix == "total":
+            covered, count = line_stats(data["totals"])
+            matched = None
+        else:
+            covered = count = 0
+            matched = 0
+            for entry in data["files"]:
+                if prefix in entry["filename"]:
+                    c, n = line_stats(entry["summary"])
+                    covered += c
+                    count += n
+                    matched += 1
+        pct = 100.0 * covered / count if count else 0.0
+        status = "ok" if pct >= floor else "FAIL"
+        where = "total" if matched is None else f"{prefix} ({matched} files)"
+        print(f"{status:4}  {where}: {pct:.2f}% line coverage "
+              f"({covered}/{count} lines), floor {floor:.2f}%")
+        if matched == 0:
+            failures.append(f"{prefix}: no files matched this prefix")
+        elif pct < floor:
+            failures.append(f"{where}: {pct:.2f}% < floor {floor:.2f}%")
+
+    if failures:
+        print("\ncoverage floor violations:")
+        for f in failures:
+            print(f"  {f}")
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -46,6 +47,11 @@ void AdaptiveSplitPolicy::on_round(RoundContext& ctx) {
       if (fraction != lru_fraction()) {
         set_lru_fraction(fraction);
         ++adaptations_;
+        if (Observer* o = ctx.obs(); o != nullptr && o->config.trace) {
+          o->trace.push({k, TraceKind::kAdaptation,
+                         static_cast<std::int32_t>(fraction * 100.0),
+                         adaptations_});
+        }
       }
       window_drop_cost_ = 0;
       window_reconfig_cost_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -12,14 +13,22 @@ void DLruPolicy::begin(const ArrivalSource& source, int num_resources,
   (void)speed;
   tracker_.begin(source);
   in_target_.ensure_size(static_cast<std::size_t>(source.num_colors()));
+  observed_epochs_ = 0;
 }
 
 void DLruPolicy::on_round(RoundContext& ctx) {
   const Round k = ctx.round();
   if (ctx.first_mini()) {
     tracker_.drop_phase(k, ctx.dropped(), ctx.cache());
+    if (!ctx.final_sweep()) tracker_.arrival_phase(k, ctx.arrivals());
+    if (Observer* o = ctx.obs(); o != nullptr && o->config.trace) {
+      const std::int64_t epochs = tracker_.num_epochs();
+      if (epochs != observed_epochs_) {
+        o->trace.push({k, TraceKind::kEpochTurnover, 0, epochs});
+        observed_epochs_ = epochs;
+      }
+    }
     if (ctx.final_sweep()) return;
-    tracker_.arrival_phase(k, ctx.arrivals());
   }
   CacheAssignment& cache = ctx.cache();
 

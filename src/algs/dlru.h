@@ -36,6 +36,7 @@ class DLruPolicy : public Policy {
   std::vector<ColorId> evict_scratch_;
   StampedMap<char> in_target_;  // member of this round's LRU target set
   std::int64_t capacity_changes_ = 0;
+  std::int64_t observed_epochs_ = 0;  // last epoch count traced to the obs
 };
 
 }  // namespace rrs

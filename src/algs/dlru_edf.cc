@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -16,6 +17,7 @@ void DLruEdfPolicy::begin(const ArrivalSource& source, int num_resources,
               "colors, each in 2 locations); got n="
                   << num_resources);
   tracker_.begin(source);
+  observed_epochs_ = 0;
   const auto colors = static_cast<std::size_t>(source.num_colors());
   is_lru_.ensure_size(colors);
   is_protected_.ensure_size(colors);
@@ -25,8 +27,17 @@ void DLruEdfPolicy::begin(const ArrivalSource& source, int num_resources,
 void DLruEdfPolicy::on_round(RoundContext& ctx) {
   if (ctx.first_mini()) {
     tracker_.drop_phase(ctx.round(), ctx.dropped(), ctx.cache());
+    if (!ctx.final_sweep()) {
+      tracker_.arrival_phase(ctx.round(), ctx.arrivals());
+    }
+    if (Observer* o = ctx.obs(); o != nullptr && o->config.trace) {
+      const std::int64_t epochs = tracker_.num_epochs();
+      if (epochs != observed_epochs_) {
+        o->trace.push({ctx.round(), TraceKind::kEpochTurnover, 0, epochs});
+        observed_epochs_ = epochs;
+      }
+    }
     if (ctx.final_sweep()) return;
-    tracker_.arrival_phase(ctx.round(), ctx.arrivals());
   }
   reconfigure(ctx);
 }

@@ -92,6 +92,7 @@ class DLruEdfPolicy : public Policy {
   StampedMap<char> is_protected_;  // inserted by the EDF half this phase
   StampedMap<std::int32_t> rank_pos_;
   std::int64_t capacity_changes_ = 0;
+  std::int64_t observed_epochs_ = 0;  // last epoch count traced to the obs
 };
 
 }  // namespace rrs

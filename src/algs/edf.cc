@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -12,13 +13,23 @@ void EdfPolicy::begin(const ArrivalSource& source, int num_resources,
   (void)speed;
   tracker_.begin(source);
   rank_pos_.ensure_size(static_cast<std::size_t>(source.num_colors()));
+  observed_epochs_ = 0;
 }
 
 void EdfPolicy::on_round(RoundContext& ctx) {
   if (ctx.first_mini()) {
     tracker_.drop_phase(ctx.round(), ctx.dropped(), ctx.cache());
+    if (!ctx.final_sweep()) {
+      tracker_.arrival_phase(ctx.round(), ctx.arrivals());
+    }
+    if (Observer* o = ctx.obs(); o != nullptr && o->config.trace) {
+      const std::int64_t epochs = tracker_.num_epochs();
+      if (epochs != observed_epochs_) {
+        o->trace.push({ctx.round(), TraceKind::kEpochTurnover, 0, epochs});
+        observed_epochs_ = epochs;
+      }
+    }
     if (ctx.final_sweep()) return;
-    tracker_.arrival_phase(ctx.round(), ctx.arrivals());
   }
   CacheAssignment& cache = ctx.cache();
   const PendingJobs& pending = ctx.pending();

@@ -42,6 +42,7 @@ class EdfPolicy : public Policy {
   std::vector<EdfKey> edf_keys_;
   StampedMap<std::int32_t> rank_pos_;
   std::int64_t capacity_changes_ = 0;
+  std::int64_t observed_epochs_ = 0;  // last epoch count traced to the obs
 };
 
 }  // namespace rrs

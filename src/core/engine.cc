@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/pending.h"
+#include "obs/observer.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -31,6 +32,7 @@ int pick_hottest(const CacheAssignment& cache, const PendingJobs& pending) {
 /// Cursor over a FaultPlan plus the state needed to apply its events.
 struct FaultCursor {
   const FaultPlan* plan = nullptr;
+  Observer* obs = nullptr;
   std::size_t next = 0;
   std::vector<ColorId> evicted;     // colors evicted by this round's events
   std::vector<int> hottest_down;    // FIFO of kHottestResource failures
@@ -62,6 +64,12 @@ struct FaultCursor {
           ++result.degraded.churn_evictions;
           evicted.push_back(evicted_color);
         }
+        if (obs != nullptr) {
+          obs->stats.on_failure(evicted_color != kBlack);
+          if (obs->config.trace) {
+            obs->trace.push({k, TraceKind::kChurnFail, r, evicted_color});
+          }
+        }
       } else {
         if (r == kHottestResource) {
           // Repair the oldest adversarially failed location, if any.
@@ -74,6 +82,12 @@ struct FaultCursor {
           ++result.cost.reconfig_events;
           ++result.cost.churn_reconfigs;
         }
+        if (obs != nullptr) {
+          obs->stats.on_repair();
+          if (obs->config.trace) {
+            obs->trace.push({k, TraceKind::kChurnRepair, r, 0});
+          }
+        }
       }
       applied = true;
     }
@@ -84,10 +98,12 @@ struct FaultCursor {
   }
 };
 
-}  // namespace
-
-EngineResult run_policy(ArrivalSource& source, Policy& policy,
-                        const EngineOptions& options) {
+/// The actual run loop; run_policy wraps it with the trace-dump-on-
+/// InvariantError handler.  Observability hooks are guarded by a single
+/// null check each, so a run with options.observer == nullptr is
+/// bit-identical to one compiled without the obs subsystem.
+EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
+                             const EngineOptions& options) {
   // Validate every option up front: a bad combination must fail loudly
   // here, not as silent misbehavior rounds later.
   RRS_REQUIRE(options.num_resources >= 1, "need at least one resource");
@@ -126,10 +142,28 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
 
   policy.begin(source, options.num_resources, options.speed);
 
+  // Observability setup: cache per-color metadata once so the hot-path
+  // hooks never call back into the (virtual) source.
+  Observer* const obs = options.observer;
+  if (obs != nullptr) {
+    std::vector<Round> delay_bounds(
+        static_cast<std::size_t>(source.num_colors()));
+    std::vector<Cost> drop_costs(delay_bounds.size());
+    for (ColorId c = 0; c < source.num_colors(); ++c) {
+      delay_bounds[static_cast<std::size_t>(c)] = source.delay_bound(c);
+      drop_costs[static_cast<std::size_t>(c)] = source.drop_cost(c);
+    }
+    obs->begin_run(delay_bounds, drop_costs);
+  }
+  PhaseTimers* const timers =
+      obs != nullptr && obs->config.timers ? &obs->timers : nullptr;
+  const bool tracing = obs != nullptr && obs->config.trace;
+
   PendingJobs::DropResult dropped;  // reused across rounds: no per-round
                                     // allocation once capacities settle
   FaultCursor faults;
   faults.plan = options.fault_plan;
+  faults.obs = obs;
   // High-water mark over ingested deadlines: once arrivals end, draining
   // runs until every pending job has executed or expired (deadline <= k).
   Round max_deadline = 0;
@@ -138,9 +172,11 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
          (options.drain_pending && pending.total() > 0 && max_deadline > k)) {
     // Phase 0: capacity churn — failures apply before this round's drop
     // and arrival phases.
+    if (timers != nullptr) timers->begin_segment();
     faults.apply(k, options, cache, pending, policy, result);
     const bool degraded_round = cache.num_down() > 0;
     if (degraded_round) ++result.degraded.degraded_rounds;
+    if (timers != nullptr) timers->note(EnginePhase::kChurn);
 
     // Phase 1: drop.
     pending.drop_expired(k, dropped);
@@ -152,6 +188,17 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
     if (degraded_round) {
       result.degraded.drops_while_degraded += round_drop_cost;
     }
+    if (obs != nullptr && dropped.total > 0) {
+      for (const auto& [color, count] : dropped.by_color) {
+        obs->stats.on_drop(color, count);
+      }
+      if (tracing) {
+        obs->trace.push({k, TraceKind::kDropBurst,
+                         static_cast<std::int32_t>(dropped.by_color.size()),
+                         dropped.total});
+      }
+    }
+    if (timers != nullptr) timers->note(EnginePhase::kDrop);
 
     // Phase 2: arrival.
     std::span<const Job> arrivals;
@@ -162,33 +209,60 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
     }
     result.arrived += static_cast<std::int64_t>(arrivals.size());
     result.peak_pending = std::max(result.peak_pending, pending.total());
+    if (obs != nullptr) {
+      for (const Job& job : arrivals) obs->stats.on_arrival(job.color);
+    }
+    if (timers != nullptr) timers->note(EnginePhase::kArrival);
 
     for (int mini = 0; mini < options.speed; ++mini) {
       // Phases 3+4 fused into one policy call: the policy ingests drops and
       // arrivals (on mini 0) and mutates the cache, all in one dispatch.
+      if (timers != nullptr) timers->begin_segment();
       cache.begin_phase();
       RoundContext ctx(k, mini, /*final_sweep=*/false, dropped, arrivals,
-                       source, pending, cache);
+                       source, pending, cache, obs);
       policy.on_round(ctx);
-      for (const auto& [location, color] : cache.finish_phase()) {
+      const std::span<const std::pair<int, ColorId>> phase_events =
+          cache.finish_phase();
+      for (const auto& [location, color] : phase_events) {
         ++result.cost.reconfig_events;
         if (options.record_schedule) {
           result.schedule.reconfigs.push_back(
               {k, mini, location, color});
         }
       }
+      if (obs != nullptr && !phase_events.empty()) {
+        obs->stats.on_reconfigs(
+            k, static_cast<std::int64_t>(phase_events.size()));
+        if (tracing) {
+          obs->trace.push({k, TraceKind::kReconfig, mini,
+                           static_cast<std::int64_t>(phase_events.size())});
+        }
+      }
+      if (timers != nullptr) timers->note(EnginePhase::kPolicy);
 
       // Execution — one pending job (earliest deadline first) per
       // configured resource.
       for (int r = 0; r < options.num_resources; ++r) {
         const ColorId color = cache.color_at(r);
         if (color == kBlack || pending.idle(color)) continue;
+        if (obs != nullptr) {
+          // The job about to execute is the color's earliest deadline;
+          // reading it before the pop derives wait and slack without
+          // materializing anything.
+          obs->stats.on_execution(color, k, pending.earliest_deadline(color));
+        }
         const JobId job = pending.pop_earliest(color);
         ++result.executed;
         if (options.record_schedule) {
           result.schedule.execs.push_back({k, mini, r, job});
         }
       }
+      if (timers != nullptr) timers->note(EnginePhase::kExec);
+    }
+    if (obs != nullptr && obs->config.snapshot_every > 0 &&
+        (k + 1) % obs->config.snapshot_every == 0) {
+      obs->emit_snapshot(k, pending.total());
     }
     ++k;
   }
@@ -207,14 +281,42 @@ EngineResult run_policy(ArrivalSource& source, Policy& policy,
   if (cache.num_down() > 0) {
     result.degraded.drops_while_degraded += final_drop_cost;
   }
+  if (obs != nullptr && dropped.total > 0) {
+    for (const auto& [color, count] : dropped.by_color) {
+      obs->stats.on_drop(color, count);
+    }
+    if (tracing) {
+      obs->trace.push({k, TraceKind::kDropBurst,
+                       static_cast<std::int32_t>(dropped.by_color.size()),
+                       dropped.total});
+    }
+  }
   RoundContext final_ctx(k, 0, /*final_sweep=*/true, dropped, {}, source,
-                         pending, cache);
+                         pending, cache, obs);
   policy.on_round(final_ctx);
 
   result.rounds = k;
   result.cost.reconfig_cost = result.cost.reconfig_events * source.delta();
   result.policy_stats = policy.stats();
+  if (obs != nullptr) obs->finish_run(k, pending.total());
   return result;
+}
+
+}  // namespace
+
+EngineResult run_policy(ArrivalSource& source, Policy& policy,
+                        const EngineOptions& options) {
+  if (options.observer == nullptr) {
+    return run_policy_impl(source, policy, options);
+  }
+  try {
+    return run_policy_impl(source, policy, options);
+  } catch (const InvariantError&) {
+    // Flight-recorder dump: the recent-event ring carries the context a
+    // crash report needs and cannot reconstruct post mortem.
+    options.observer->dump_trace();
+    throw;
+  }
 }
 
 EngineResult run_policy(const Instance& instance, Policy& policy,

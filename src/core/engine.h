@@ -28,6 +28,8 @@
 
 namespace rrs {
 
+struct Observer;
+
 /// Knobs for one engine run.
 struct EngineOptions {
   int num_resources = 1;
@@ -56,6 +58,16 @@ struct EngineOptions {
   /// CostBreakdown::churn_reconfigs but never recorded in the schedule —
   /// the validator only prices policy-driven events.
   bool charge_repair = false;
+  /// Optional observability sink (not owned; must outlive the run).
+  /// nullptr is the off mode: every hook site degrades to one branch on a
+  /// null pointer and the run's results are bit-identical to a build
+  /// without the obs subsystem.  With an observer the engine updates
+  /// StreamStats in every phase, feeds the TraceRing, attributes phase
+  /// time when ObsConfig::timers is set, takes periodic snapshots per
+  /// ObsConfig::snapshot_every, and dumps the trace ring to
+  /// Observer::trace_dump_out (default stderr) if the run dies on an
+  /// InvariantError.
+  Observer* observer = nullptr;
 };
 
 /// Capacity-churn counters for one run; all zero without a fault plan.

@@ -42,13 +42,16 @@
 
 namespace rrs {
 
+struct Observer;
+
 /// Everything a policy sees in one fused per-mini-round callback.
 class RoundContext {
  public:
   RoundContext(Round round, int mini, bool final_sweep,
                const PendingJobs::DropResult& dropped,
                std::span<const Job> arrivals, const ArrivalSource& source,
-               const PendingJobs& pending, CacheAssignment& cache)
+               const PendingJobs& pending, CacheAssignment& cache,
+               Observer* observer = nullptr)
       : round_(round),
         mini_(mini),
         final_sweep_(final_sweep),
@@ -56,7 +59,8 @@ class RoundContext {
         arrivals_(arrivals),
         source_(&source),
         pending_(&pending),
-        cache_(&cache) {}
+        cache_(&cache),
+        observer_(observer) {}
 
   /// Current round k.
   [[nodiscard]] Round round() const { return round_; }
@@ -87,6 +91,11 @@ class RoundContext {
   /// The cache, open for mutation except when final_sweep() is true.
   [[nodiscard]] CacheAssignment& cache() const { return *cache_; }
 
+  /// The run's event sink, or nullptr when observability is off.  Policies
+  /// may push policy-level TraceEvents (epoch turnovers, adaptations)
+  /// through it; they must treat it as optional.
+  [[nodiscard]] Observer* obs() const { return observer_; }
+
  private:
   Round round_;
   int mini_;
@@ -96,6 +105,7 @@ class RoundContext {
   const ArrivalSource* source_;
   const PendingJobs* pending_;
   CacheAssignment* cache_;
+  Observer* observer_;
 };
 
 /// Base class for online reconfiguration policies.

@@ -1,0 +1,41 @@
+#include "obs/observer.h"
+
+#include <iostream>
+
+namespace rrs {
+
+void Observer::begin_run(std::span<const Round> delay_bounds,
+                         std::span<const Cost> drop_costs) {
+  stats.begin(delay_bounds, drop_costs);
+  trace.clear();
+  timers.reset();
+  snapshots.clear();
+  final_snapshot = Snapshot{};
+}
+
+void Observer::emit_snapshot(Round round, std::int64_t pending) {
+  snapshots.push_back(make_snapshot(stats, round, pending));
+  if (config.trace) {
+    trace.push({round, TraceKind::kSnapshot, 0, pending});
+  }
+  if (snapshot_out != nullptr) {
+    *snapshot_out << to_json_line(snapshots.back()) << '\n';
+  }
+}
+
+void Observer::finish_run(Round round, std::int64_t pending) {
+  final_snapshot = make_snapshot(stats, round, pending);
+  if (snapshot_out != nullptr) {
+    *snapshot_out << to_json_line(final_snapshot) << '\n';
+  }
+}
+
+void Observer::dump_trace(std::ostream* os) const {
+  std::ostream& sink =
+      os != nullptr ? *os
+                    : (trace_dump_out != nullptr ? *trace_dump_out : std::cerr);
+  sink << "# rrs trace-ring dump\n";
+  trace.dump(sink);
+}
+
+}  // namespace rrs

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "obs/phase_timers.h"
+#include "obs/snapshot.h"
+#include "obs/stream_stats.h"
+#include "obs/trace_ring.h"
+
+namespace rrs {
+
+/// Observability knobs.  The true "off" mode is no Observer at all
+/// (EngineOptions::observer == nullptr): the engine hot path then pays a
+/// single null check per hook site and its results stay bit-identical to a
+/// build without the subsystem.  With an Observer attached, StreamStats is
+/// always on (it is the point); tracing, phase timers, and periodic
+/// snapshots toggle independently.
+struct ObsConfig {
+  bool trace = true;   ///< record recent events in the TraceRing
+  bool timers = false; ///< wall-clock phase attribution (2 clock reads/phase)
+  std::size_t trace_capacity = 256;
+  /// Emit a cumulative Snapshot every this many rounds (0 = only the final
+  /// snapshot at end of run).
+  Round snapshot_every = 0;
+};
+
+/// Per-engine observability bundle threaded through a run.  Not
+/// thread-safe: each engine (each shard) gets its own Observer; sharded
+/// runs merge them additively afterwards.
+struct Observer {
+  explicit Observer(const ObsConfig& c = {})
+      : config(c), trace(c.trace_capacity) {}
+
+  ObsConfig config;
+  StreamStats stats;
+  TraceRing trace;
+  PhaseTimers timers;
+  std::vector<Snapshot> snapshots;  ///< periodic exports, oldest first
+  Snapshot final_snapshot;          ///< totals at end of run
+  /// Optional JSON-lines sink (not owned): periodic and final snapshots are
+  /// written here as they are taken.
+  std::ostream* snapshot_out = nullptr;
+  /// Where dump_trace() writes when not given a stream; nullptr = stderr.
+  std::ostream* trace_dump_out = nullptr;
+
+  /// Resets all state and caches per-color metadata for the hot-path hooks.
+  void begin_run(std::span<const Round> delay_bounds,
+                 std::span<const Cost> drop_costs);
+
+  /// Takes a periodic snapshot (and writes it to snapshot_out, if set).
+  void emit_snapshot(Round round, std::int64_t pending);
+
+  /// Captures the final snapshot (and writes it to snapshot_out, if set).
+  void finish_run(Round round, std::int64_t pending);
+
+  /// Dumps the trace ring: to `os` if given, else to trace_dump_out, else
+  /// to stderr.  The engine calls this when a run dies on InvariantError.
+  void dump_trace(std::ostream* os = nullptr) const;
+};
+
+}  // namespace rrs

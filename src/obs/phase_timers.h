@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/stopwatch.h"
+
+namespace rrs {
+
+/// Engine phases attributed by the per-phase timers.
+enum class EnginePhase : int {
+  kChurn = 0,    // fault-plan capacity churn (phase 0)
+  kDrop = 1,     // expiry sweep
+  kArrival = 2,  // arrival ingest
+  kPolicy = 3,   // policy callback + reconfig commit
+  kExec = 4,     // execution mini-rounds
+};
+
+/// Wall-clock attribution of engine time to phases.  One Stopwatch is
+/// re-armed at segment boundaries; note(phase) charges the elapsed slice to
+/// that phase.  Off by default (ObsConfig::timers): two clock reads per
+/// phase per round are cheap but not free, so the bit-identical off mode
+/// never touches a clock.
+class PhaseTimers {
+ public:
+  static constexpr int kNumPhases = 5;
+
+  static const char* phase_name(EnginePhase phase) {
+    switch (phase) {
+      case EnginePhase::kChurn:
+        return "churn";
+      case EnginePhase::kDrop:
+        return "drop";
+      case EnginePhase::kArrival:
+        return "arrival";
+      case EnginePhase::kPolicy:
+        return "policy";
+      case EnginePhase::kExec:
+        return "exec";
+    }
+    return "unknown";
+  }
+
+  /// Arms the stopwatch at the start of a round (or segment).
+  void begin_segment() { watch_.reset(); }
+
+  /// Charges time since the last begin_segment()/note() to `phase`.
+  void note(EnginePhase phase) {
+    const auto i = static_cast<std::size_t>(phase);
+    seconds_[i] += watch_.seconds();
+    ++laps_[i];
+    watch_.reset();
+  }
+
+  [[nodiscard]] double seconds(EnginePhase phase) const {
+    return seconds_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] std::int64_t laps(EnginePhase phase) const {
+    return laps_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] double total_seconds() const {
+    double total = 0.0;
+    for (const double s : seconds_) total += s;
+    return total;
+  }
+
+  /// Additive merge (used to aggregate per-shard timers).
+  void merge(const PhaseTimers& other) {
+    for (std::size_t i = 0; i < seconds_.size(); ++i) {
+      seconds_[i] += other.seconds_[i];
+      laps_[i] += other.laps_[i];
+    }
+  }
+
+  void reset() {
+    seconds_.fill(0.0);
+    laps_.fill(0);
+  }
+
+ private:
+  Stopwatch watch_;
+  std::array<double, kNumPhases> seconds_{};
+  std::array<std::int64_t, kNumPhases> laps_{};
+};
+
+}  // namespace rrs

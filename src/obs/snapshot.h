@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "obs/histogram.h"
+
+namespace rrs {
+
+class StreamStats;
+
+/// A cumulative point-in-time export of a run's StreamStats: every field is
+/// a run total as of `round` (not a delta since the previous snapshot).
+/// Integer counters and integer-backed histograms make merge_into() exact,
+/// commutative, and associative; mean_wait / mean_slack are derived doubles
+/// recomputed from the merged histograms, so merged snapshots stay
+/// internally consistent.  Deliberately holds no wall-clock data: two runs
+/// of the same workload produce byte-identical snapshot streams.
+struct Snapshot {
+  Round round = 0;
+  std::int64_t arrived = 0;
+  std::int64_t executed = 0;
+  std::int64_t drop_count = 0;
+  Cost drop_weight = 0;
+  std::int64_t reconfig_events = 0;
+  std::int64_t churn_failures = 0;
+  std::int64_t churn_repairs = 0;
+  std::int64_t churn_evictions = 0;
+  std::int64_t pending = 0;  // live gauge at snapshot time
+  double mean_wait = 0.0;
+  double mean_slack = 0.0;
+  Histogram wait;
+  Histogram slack;
+  Histogram reconfig_gap;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Captures the current totals of `stats` at `round` with a live pending
+/// gauge.
+[[nodiscard]] Snapshot make_snapshot(const StreamStats& stats, Round round,
+                                     std::int64_t pending);
+
+/// Additive merge: counters and histograms add, round takes the max,
+/// means are recomputed from the merged histograms.
+void merge_into(Snapshot& into, const Snapshot& from);
+
+/// Serializes one snapshot as a single JSON line (no trailing newline).
+[[nodiscard]] std::string to_json_line(const Snapshot& snapshot);
+
+/// Strict parser for exactly the format to_json_line() emits: fixed key
+/// order, no whitespace, full-line consumption.  Rejects NaN/Inf, overflow,
+/// trailing garbage, and internally inconsistent histograms with InputError.
+[[nodiscard]] Snapshot parse_snapshot_line(std::string_view line);
+
+/// One JSON line per snapshot.
+void write_snapshots(std::ostream& os, std::span<const Snapshot> snapshots);
+
+/// Reads JSON-lines snapshots; blank lines are skipped, anything else must
+/// parse.  Throws InputError on malformed input.
+[[nodiscard]] std::vector<Snapshot> read_snapshots(std::istream& in);
+
+/// Merges K per-shard periodic snapshot series into one global series.
+/// Series may be ragged (shards drain for different numbers of rounds);
+/// a shard that stopped early contributes its final cumulative snapshot to
+/// later points (carry-forward).  Order-independent across shards.
+[[nodiscard]] std::vector<Snapshot> merge_snapshot_series(
+    const std::vector<std::vector<Snapshot>>& per_shard);
+
+}  // namespace rrs

@@ -11,18 +11,20 @@ DistributionSummary summarize(std::vector<Round> samples) {
   if (samples.empty()) return s;
   std::sort(samples.begin(), samples.end());
   s.count = static_cast<std::int64_t>(samples.size());
-  double total = 0.0;
-  for (const Round v : samples) total += static_cast<double>(v);
-  s.mean = total / static_cast<double>(samples.size());
-  const auto at = [&](double q) {
-    const auto index = static_cast<std::size_t>(
-        q * static_cast<double>(samples.size() - 1));
-    return samples[index];
+  for (const Round v : samples) s.sum += v;
+  s.mean = static_cast<double>(s.sum) / static_cast<double>(samples.size());
+  // Nearest rank in integer arithmetic: 1-based rank ceil(p * count / 100).
+  // The previous floor(q * (count - 1)) indexing returned the MINIMUM for
+  // p99 on a 2-element sample and was hostage to floating-point rounding
+  // (0.95 * 20 < 19.0); integer nearest-rank has neither failure mode.
+  const auto at = [&](std::int64_t p) {
+    const std::int64_t rank = (s.count * p + 99) / 100;  // >= 1
+    return samples[static_cast<std::size_t>(rank - 1)];
   };
   s.min = samples.front();
-  s.p50 = at(0.50);
-  s.p95 = at(0.95);
-  s.p99 = at(0.99);
+  s.p50 = at(50);
+  s.p95 = at(95);
+  s.p99 = at(99);
   s.max = samples.back();
   return s;
 }

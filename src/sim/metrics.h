@@ -19,6 +19,7 @@ namespace rrs {
 /// Summary statistics of a set of integer samples.
 struct DistributionSummary {
   std::int64_t count = 0;
+  std::int64_t sum = 0;  ///< exact integer sum of the samples
   double mean = 0.0;
   Round min = 0;
   Round p50 = 0;   ///< median
@@ -27,8 +28,11 @@ struct DistributionSummary {
   Round max = 0;
 };
 
-/// Computes min/mean/percentiles of `samples` (takes a copy to sort).
-/// Empty input yields an all-zero summary.
+/// Computes min/sum/mean/percentiles of `samples` (takes a copy to sort).
+/// Percentiles use nearest-rank semantics: p-th percentile = the sample at
+/// 1-based rank ceil(p * count / 100), computed in integer arithmetic — so
+/// p100 is the max, p50 on {3, 9} is 3, and a single sample is every
+/// percentile.  Empty input yields an all-zero summary.
 [[nodiscard]] DistributionSummary summarize(std::vector<Round> samples);
 
 /// Per-color outcome accounting.

@@ -28,6 +28,41 @@ std::unique_ptr<Policy> make_stream_policy(const std::string& name,
   return make_policy(name);  // throws InputError on unknown names
 }
 
+/// Rebuilds `merged` as the exact additive merge of the per-shard
+/// observers: stats relabeled through the plan's local -> global color
+/// maps, timers summed, snapshot series merged point-wise with
+/// carry-forward, final snapshots merged.
+void merge_shard_observers(Observer& merged,
+                           const std::vector<Observer*>& shard_obs,
+                           const ShardPlan& plan,
+                           const ArrivalSource& source) {
+  std::vector<Round> delay_bounds(
+      static_cast<std::size_t>(source.num_colors()));
+  std::vector<Cost> drop_costs(delay_bounds.size());
+  for (ColorId c = 0; c < source.num_colors(); ++c) {
+    delay_bounds[static_cast<std::size_t>(c)] = source.delay_bound(c);
+    drop_costs[static_cast<std::size_t>(c)] = source.drop_cost(c);
+  }
+  merged.begin_run(delay_bounds, drop_costs);
+
+  std::vector<std::vector<Snapshot>> series;
+  series.reserve(shard_obs.size());
+  for (std::size_t s = 0; s < shard_obs.size(); ++s) {
+    merged.stats.merge_mapped(shard_obs[s]->stats, plan.shard_colors[s]);
+    merged.timers.merge(shard_obs[s]->timers);
+    series.push_back(shard_obs[s]->snapshots);
+  }
+  merged.snapshots = merge_snapshot_series(series);
+  merged.final_snapshot = Snapshot{};
+  for (const Observer* obs : shard_obs) {
+    merge_into(merged.final_snapshot, obs->final_snapshot);
+  }
+  if (merged.snapshot_out != nullptr) {
+    write_snapshots(*merged.snapshot_out, merged.snapshots);
+    *merged.snapshot_out << to_json_line(merged.final_snapshot) << '\n';
+  }
+}
+
 StreamRunRecord to_stream_record(const std::string& name, int n,
                                  EngineResult&& result, double seconds) {
   StreamRunRecord record;
@@ -65,7 +100,7 @@ RunRecord run_algorithm(const Instance& instance, const std::string& name,
 StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
                               int n, Round max_rounds,
                               const FaultPlan* fault_plan,
-                              bool charge_repair) {
+                              bool charge_repair, Observer* observer) {
   EngineOptions options;
   options.num_resources = n;
   options.record_schedule = false;
@@ -75,6 +110,7 @@ StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
   options.drain_pending = true;
   options.fault_plan = fault_plan;
   options.charge_repair = charge_repair;
+  options.observer = observer;
   std::unique_ptr<Policy> policy = make_stream_policy(name, options);
 
   Stopwatch watch;
@@ -139,6 +175,26 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
                                     record.plan.shard_resources);
   }
 
+  // Per-shard observers: caller-provided ones win; otherwise a merged
+  // observer spawns fresh per-shard ones with its config (snapshot streams
+  // stay detached — shards run concurrently and the merged series is
+  // written once at the end).
+  std::vector<Observer> local_observers;
+  std::vector<Observer*> shard_obs;
+  if (!options.shard_observers.empty()) {
+    RRS_REQUIRE(options.shard_observers.size() ==
+                    static_cast<std::size_t>(num_shards),
+                "shard_observers must have one entry per shard: got "
+                    << options.shard_observers.size() << " for "
+                    << num_shards << " shards");
+    shard_obs = options.shard_observers;
+  } else if (options.observer != nullptr) {
+    local_observers.assign(static_cast<std::size_t>(num_shards),
+                           Observer(options.observer->config));
+    shard_obs.reserve(local_observers.size());
+    for (Observer& obs : local_observers) shard_obs.push_back(&obs);
+  }
+
   record.shards.resize(static_cast<std::size_t>(num_shards));
   pool.parallel_for(
       static_cast<std::size_t>(num_shards), [&](std::size_t s) {
@@ -154,6 +210,7 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
           engine_options.fault_plan = &shard_faults[s];
           engine_options.charge_repair = options.charge_repair;
         }
+        if (!shard_obs.empty()) engine_options.observer = shard_obs[s];
         Stopwatch shard_watch;
         EngineResult result = run_policy(sharded.stream(static_cast<int>(s)),
                                          *policy, engine_options);
@@ -192,6 +249,19 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
     }
   }
   record.merged.seconds = watch.seconds();
+
+  // Splitter queue-depth gauges (diagnostics; the peaks are
+  // timing-dependent, so they live outside the deterministic records).
+  record.splitter_peak_chunks.resize(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    record.splitter_peak_chunks[static_cast<std::size_t>(s)] =
+        sharded.peak_buffered_chunks(s);
+  }
+  record.splitter_chunks_produced = sharded.chunks_produced();
+
+  if (options.observer != nullptr) {
+    merge_shard_observers(*options.observer, shard_obs, record.plan, source);
+  }
   return record;
 }
 

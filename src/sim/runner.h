@@ -9,6 +9,7 @@
 #include "core/engine.h"
 #include "core/instance.h"
 #include "core/shard_plan.h"
+#include "obs/observer.h"
 
 namespace rrs {
 
@@ -52,7 +53,8 @@ struct StreamRunRecord {
 [[nodiscard]] StreamRunRecord run_streaming(
     ArrivalSource& source, const std::string& name, int n,
     Round max_rounds = kInfiniteHorizon,
-    const FaultPlan* fault_plan = nullptr, bool charge_repair = false);
+    const FaultPlan* fault_plan = nullptr, bool charge_repair = false,
+    Observer* observer = nullptr);
 
 /// Knobs for a sharded streaming run.
 struct ShardedRunOptions {
@@ -70,6 +72,20 @@ struct ShardedRunOptions {
   const FaultPlan* fault_plan = nullptr;
   /// Charge each repair as one reconfiguration (see EngineOptions).
   bool charge_repair = false;
+  /// Optional merged observability sink (not owned).  When set, the runner
+  /// attaches a fresh Observer (same ObsConfig, no snapshot stream) to
+  /// every shard engine and, after the run, rebuilds this observer as the
+  /// exact additive merge: per-color counters relabeled to global
+  /// ColorIds, histograms merged elementwise, phase timers summed,
+  /// per-shard snapshot series merged point-wise with carry-forward, and
+  /// the final snapshots merged.  If snapshot_out is set on this observer
+  /// the merged series is written there (as JSON lines) after the run.
+  Observer* observer = nullptr;
+  /// Optional caller-provided per-shard observers (size == num_shards; not
+  /// owned); takes precedence over the runner-created ones so tests can
+  /// inspect raw per-shard state.  Entries must not share snapshot
+  /// streams: shards run concurrently.
+  std::vector<Observer*> shard_observers;
 };
 
 /// Outcome of one sharded streaming run: the per-shard records plus their
@@ -83,6 +99,12 @@ struct ShardedRunRecord {
   StreamRunRecord merged;                ///< n = total budget
   std::vector<StreamRunRecord> shards;   ///< per-shard, n = shard slice
   ShardPlan plan;                        ///< the partition that was run
+  /// Splitter queue-depth gauges: peak buffered chunks per shard and total
+  /// chunks produced.  The peaks are timing-dependent (consumer scheduling
+  /// varies run to run), so they are diagnostics — deliberately kept out
+  /// of `merged`/`shards`, whose fields are deterministic.
+  std::vector<std::int64_t> splitter_peak_chunks;
+  std::int64_t splitter_chunks_produced = 0;
 };
 
 /// Runs `name` against `source` split into `num_shards` independent

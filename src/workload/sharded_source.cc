@@ -41,7 +41,8 @@ class ShardedSource::Splitter {
         max_buffered_(options.max_buffered_chunks),
         backpressure_(options.backpressure),
         stall_limit_(options.stall_chunk_limit),
-        queues_(static_cast<std::size_t>(plan.num_shards)) {
+        queues_(static_cast<std::size_t>(plan.num_shards)),
+        peaks_(static_cast<std::size_t>(plan.num_shards), 0) {
     RRS_REQUIRE(chunk_rounds_ >= 1, "chunk_rounds must be >= 1, got "
                                         << chunk_rounds_);
     RRS_REQUIRE(max_buffered_ >= 1, "max_buffered_chunks must be >= 1");
@@ -51,6 +52,17 @@ class ShardedSource::Splitter {
             static_cast<ColorId>(i);
       }
     }
+  }
+
+  /// Queue-depth gauge; see ShardedSource::peak_buffered_chunks.
+  [[nodiscard]] std::int64_t peak_buffered(std::size_t shard) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peaks_[shard];
+  }
+
+  [[nodiscard]] std::int64_t chunks_produced() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_produced_;
   }
 
   /// Hands shard `shard` its next chunk, which must start at `first`.
@@ -157,6 +169,9 @@ class ShardedSource::Splitter {
     cursor_ += rounds;
     for (std::size_t s = 0; s < queues_.size(); ++s) {
       queues_[s].push_back(std::move(staged[s]));
+      peaks_[s] = std::max(peaks_[s],
+                           static_cast<std::int64_t>(queues_[s].size()));
+      ++chunks_produced_;
     }
   }
 
@@ -169,9 +184,11 @@ class ShardedSource::Splitter {
   bool backpressure_;
   std::size_t stall_limit_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable space_;
   std::vector<std::deque<Chunk>> queues_;  // shard -> buffered chunks
+  std::vector<std::int64_t> peaks_;        // shard -> peak queue depth
+  std::int64_t chunks_produced_ = 0;       // total chunks appended
   Round cursor_ = 0;                       // next round to pull
 };
 
@@ -276,6 +293,17 @@ ArrivalSource& ShardedSource::stream(int shard) {
               "shard " << shard << " out of range [0, " << num_shards()
                        << ")");
   return *streams_[static_cast<std::size_t>(shard)];
+}
+
+std::int64_t ShardedSource::peak_buffered_chunks(int shard) const {
+  RRS_REQUIRE(shard >= 0 && shard < num_shards(),
+              "shard " << shard << " out of range [0, " << num_shards()
+                       << ")");
+  return splitter_->peak_buffered(static_cast<std::size_t>(shard));
+}
+
+std::int64_t ShardedSource::chunks_produced() const {
+  return splitter_->chunks_produced();
 }
 
 }  // namespace rrs

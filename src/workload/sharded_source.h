@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "core/arrival_source.h"
@@ -72,6 +73,15 @@ class ShardedSource {
   /// `arrival_end`, the shard's colors relabeled densely, and the global
   /// metadata (delta) passed through.  Single consumer, sequential pull.
   [[nodiscard]] ArrivalSource& stream(int shard);
+
+  /// Queue-depth gauge: the most chunks ever buffered for `shard` at once.
+  /// Timing-dependent (consumer scheduling changes it run to run), so this
+  /// is a diagnostic — it must never feed deterministic run stats.
+  [[nodiscard]] std::int64_t peak_buffered_chunks(int shard) const;
+
+  /// Total chunks appended across all shard queues so far.  Deterministic
+  /// for a fixed (source, plan, chunk_rounds) once the run completes.
+  [[nodiscard]] std::int64_t chunks_produced() const;
 
  private:
   class Splitter;

@@ -15,6 +15,8 @@
 
 #include "core/engine.h"
 #include "core/validator.h"
+#include "obs/observer.h"
+#include "sim/runner.h"
 #include "util/rng.h"
 #include "workload/poisson.h"
 #include "workload/random_batched.h"
@@ -226,6 +228,158 @@ TEST(TraceFuzz, StructuralCorruptionCorpusParsesOrRejects) {
     mutated.erase(boundaries[i], boundaries[i + 1] - boundaries[i]);
     expect_parses_or_rejects(mutated, "line deletion");
   }
+}
+
+// --- snapshot-reader corpus fuzzing ----------------------------------------
+
+/// read_snapshots' contract off the happy path mirrors read_trace's: any
+/// input either parses into internally consistent snapshots or throws a
+/// structured InputError — never an InvariantError, never a crash, never
+/// silently absorbed garbage.
+void expect_snapshot_parses_or_rejects(const std::string& text,
+                                       const char* label) {
+  std::istringstream in(text);
+  try {
+    const std::vector<Snapshot> parsed = read_snapshots(in);
+    for (const Snapshot& s : parsed) {
+      // Parsed snapshots re-serialize byte-identically: the parser only
+      // accepts what the writer emits.
+      EXPECT_EQ(parse_snapshot_line(to_json_line(s)), s) << label;
+    }
+  } catch (const InputError&) {
+    // structured rejection: the expected outcome for malformed input
+  }
+  // anything else escapes and fails the test
+}
+
+/// A realistic snapshot stream: periodic + final snapshots of an observed
+/// streaming run, as run_streaming writes them.
+std::string valid_snapshot_stream(std::uint64_t seed) {
+  ObsConfig config;
+  config.snapshot_every = 32;
+  Observer observer(config);
+  std::ostringstream out;
+  observer.snapshot_out = &out;
+  RandomBatchedParams params;
+  params.seed = seed;
+  params.horizon = 128;
+  RandomBatchedSource source(params);
+  (void)run_streaming(source, "dlru-edf", 8, kInfiniteHorizon, nullptr,
+                      false, &observer);
+  return out.str();
+}
+
+TEST(SnapshotFuzz, RoundTripIsExact) {
+  const std::string valid = valid_snapshot_stream(21);
+  std::istringstream in(valid);
+  const std::vector<Snapshot> parsed = read_snapshots(in);
+  ASSERT_GE(parsed.size(), 3u);
+  std::ostringstream rewritten;
+  write_snapshots(rewritten, parsed);
+  EXPECT_EQ(rewritten.str(), valid);
+}
+
+TEST(SnapshotFuzz, TruncationCorpusParsesOrRejects) {
+  const std::string valid = valid_snapshot_stream(22);
+  for (std::size_t len = 0; len < valid.size(); len += 7) {
+    expect_snapshot_parses_or_rejects(valid.substr(0, len), "truncation");
+  }
+  for (std::size_t back = 1; back <= 16 && back <= valid.size(); ++back) {
+    expect_snapshot_parses_or_rejects(valid.substr(0, valid.size() - back),
+                                      "tail truncation");
+  }
+}
+
+TEST(SnapshotFuzz, ByteCorruptionCorpusParsesOrRejects) {
+  const std::string valid = valid_snapshot_stream(23);
+  const char kReplacements[] = {'x', '\n', ',', '-', '9', '\0', ' ', '"'};
+  for (std::size_t pos = 0; pos < valid.size(); pos += 5) {
+    for (const char replacement : kReplacements) {
+      std::string mutated = valid;
+      mutated[pos] = replacement;
+      expect_snapshot_parses_or_rejects(mutated, "byte corruption");
+    }
+  }
+}
+
+TEST(SnapshotFuzz, JunkLineCorpusParsesOrRejects) {
+  const std::string valid = valid_snapshot_stream(24);
+  const char* const kJunkLines[] = {
+      "{\"round\":0}\n",
+      "{}\n",
+      "null\n",
+      "{\"round\":-5,\"arrived\":0,\"executed\":0}\n",
+      "[1,2,3]\n",
+      "\xff\xfe\n",
+      "{\"round\":99999999999999999999999999}\n",
+  };
+  std::vector<std::size_t> boundaries = {0};
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (valid[i] == '\n') boundaries.push_back(i + 1);
+  }
+  for (const std::size_t at : boundaries) {
+    for (const char* const junk : kJunkLines) {
+      std::string mutated = valid;
+      mutated.insert(at, junk);
+      expect_snapshot_parses_or_rejects(mutated, "junk line");
+    }
+  }
+}
+
+TEST(SnapshotFuzz, RejectsNonFiniteNumbers) {
+  const std::string valid = valid_snapshot_stream(25);
+  const std::string first_line = valid.substr(0, valid.find('\n'));
+  const std::size_t at = first_line.find("\"mean_wait\":");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t value_at = at + std::string("\"mean_wait\":").size();
+  const std::size_t value_end = first_line.find(',', value_at);
+  for (const char* const bad : {"nan", "NaN", "inf", "Infinity", "-inf",
+                                "1e999", "-1e999"}) {
+    std::string mutated = first_line;
+    mutated.replace(value_at, value_end - value_at, bad);
+    EXPECT_THROW((void)parse_snapshot_line(mutated), InputError) << bad;
+  }
+}
+
+TEST(SnapshotFuzz, RejectsInternallyInconsistentSnapshots) {
+  // Syntactically perfect lines whose cross-field invariants are broken:
+  // the reader must reject them rather than hand garbage to a merge.
+  Snapshot s = [] {
+    StreamStats stats;
+    const std::vector<Round> delays = {4};
+    const std::vector<Cost> costs = {2};
+    stats.begin(delays, costs);
+    for (int i = 0; i < 6; ++i) stats.on_arrival(0);
+    for (int i = 0; i < 3; ++i) stats.on_execution(0, i, i + 4);
+    stats.on_drop(0, 2);
+    return make_snapshot(stats, 40, 1);
+  }();
+  EXPECT_EQ(parse_snapshot_line(to_json_line(s)), s) << "baseline is valid";
+
+  Snapshot more_executed = s;
+  more_executed.executed += 1;  // disagrees with wait/slack counts
+  EXPECT_THROW((void)parse_snapshot_line(to_json_line(more_executed)),
+               InputError);
+
+  Snapshot negative = s;
+  negative.drop_count = -2;
+  EXPECT_THROW((void)parse_snapshot_line(to_json_line(negative)),
+               InputError);
+
+  Snapshot overdropped = s;
+  overdropped.drop_count = 100;  // exceeds arrived - executed
+  EXPECT_THROW((void)parse_snapshot_line(to_json_line(overdropped)),
+               InputError);
+
+  Snapshot skewed_mean = s;
+  skewed_mean.mean_wait += 0.5;  // disagrees with the wait histogram
+  EXPECT_THROW((void)parse_snapshot_line(to_json_line(skewed_mean)),
+               InputError);
+
+  Snapshot phantom_evictions = s;
+  phantom_evictions.churn_evictions = 3;  // more than churn_failures
+  EXPECT_THROW((void)parse_snapshot_line(to_json_line(phantom_evictions)),
+               InputError);
 }
 
 }  // namespace

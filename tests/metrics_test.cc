@@ -12,6 +12,7 @@ namespace {
 TEST(Summarize, EmptyIsZero) {
   const DistributionSummary s = summarize({});
   EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.sum, 0);
   EXPECT_EQ(s.mean, 0.0);
   EXPECT_EQ(s.max, 0);
 }
@@ -19,6 +20,7 @@ TEST(Summarize, EmptyIsZero) {
 TEST(Summarize, SingleSample) {
   const DistributionSummary s = summarize({7});
   EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.sum, 7);
   EXPECT_EQ(s.mean, 7.0);
   EXPECT_EQ(s.min, 7);
   EXPECT_EQ(s.p50, 7);
@@ -26,11 +28,71 @@ TEST(Summarize, SingleSample) {
   EXPECT_EQ(s.max, 7);
 }
 
+TEST(Summarize, TwoSamplesNearestRank) {
+  // Nearest rank on {3, 9}: p50 = rank ceil(2 * 50 / 100) = 1 -> 3; p95
+  // and p99 = rank 2 -> 9.  The pre-fix floor(q * (count - 1)) indexing
+  // returned 3 (the MINIMUM) for all three.
+  const DistributionSummary s = summarize({9, 3});
+  EXPECT_EQ(s.count, 2);
+  EXPECT_EQ(s.sum, 12);
+  EXPECT_EQ(s.mean, 6.0);
+  EXPECT_EQ(s.min, 3);
+  EXPECT_EQ(s.p50, 3);
+  EXPECT_EQ(s.p95, 9);
+  EXPECT_EQ(s.p99, 9);
+  EXPECT_EQ(s.max, 9);
+}
+
+TEST(Summarize, AllEqualSamples) {
+  const DistributionSummary s = summarize({4, 4, 4, 4, 4});
+  EXPECT_EQ(s.count, 5);
+  EXPECT_EQ(s.sum, 20);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.min, 4);
+  EXPECT_EQ(s.p50, 4);
+  EXPECT_EQ(s.p95, 4);
+  EXPECT_EQ(s.p99, 4);
+  EXPECT_EQ(s.max, 4);
+}
+
+TEST(Summarize, TenSamplesExactRanks) {
+  std::vector<Round> samples;
+  for (Round v = 10; v >= 1; --v) samples.push_back(v);  // unsorted input
+  const DistributionSummary s = summarize(samples);
+  EXPECT_EQ(s.sum, 55);
+  EXPECT_EQ(s.p50, 5);   // rank ceil(10 * 50 / 100) = 5
+  EXPECT_EQ(s.p95, 10);  // rank ceil(9.5) = 10
+  EXPECT_EQ(s.p99, 10);
+}
+
+TEST(Summarize, NoFloatingPointDriftAtRankBoundary) {
+  // 21 samples, p95 rank = ceil(21 * 95 / 100) = ceil(19.95) = 20.  In
+  // floating point 0.95 * 20 rounds to 18.999...97, so the old code
+  // truncated to index 18 and returned 19 — one whole rank off.
+  std::vector<Round> samples;
+  for (Round v = 1; v <= 21; ++v) samples.push_back(v);
+  const DistributionSummary s = summarize(samples);
+  EXPECT_EQ(s.sum, 231);
+  EXPECT_EQ(s.p95, 20);
+  EXPECT_EQ(s.p99, 21);
+}
+
+TEST(Summarize, P99IsMaxBelowHundredSamples) {
+  // rank ceil(99 n / 100) == n exactly when n < 100: with fewer than 100
+  // samples the 99th percentile IS the maximum.
+  std::vector<Round> samples;
+  for (Round v = 0; v < 50; ++v) samples.push_back(v * 3);
+  const DistributionSummary s = summarize(samples);
+  EXPECT_EQ(s.p99, s.max);
+  EXPECT_EQ(s.p99, 147);
+}
+
 TEST(Summarize, PercentilesOrdered) {
   std::vector<Round> samples;
   for (Round v = 100; v >= 1; --v) samples.push_back(v);  // unsorted input
   const DistributionSummary s = summarize(samples);
   EXPECT_EQ(s.count, 100);
+  EXPECT_EQ(s.sum, 5050);
   EXPECT_EQ(s.min, 1);
   EXPECT_EQ(s.max, 100);
   EXPECT_NEAR(s.mean, 50.5, 1e-9);
@@ -38,6 +100,8 @@ TEST(Summarize, PercentilesOrdered) {
   EXPECT_LE(s.p95, s.p99);
   EXPECT_LE(s.p99, s.max);
   EXPECT_EQ(s.p50, 50);
+  EXPECT_EQ(s.p95, 95);
+  EXPECT_EQ(s.p99, 99);
 }
 
 TEST(ComputeMetrics, HandBuiltSchedule) {

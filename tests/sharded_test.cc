@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/shard_plan.h"
+#include "obs/observer.h"
 #include "sim/runner.h"
 #include "workload/datacenter.h"
 #include "workload/flash_crowd.h"
@@ -445,6 +446,81 @@ TEST(ShardedRunTest, ZeroArrivalShardsMergeCleanly) {
   EXPECT_EQ(empty_shards, 1);
   EXPECT_EQ(record.merged.arrived, 12);
   EXPECT_EQ(record.merged.executed + record.merged.cost.drops, 12);
+}
+
+TEST(ShardedRunTest, SnapshotMergeIsAdditiveAndOrderIndependent) {
+  // Property: merging the K per-shard final snapshots in ANY permutation
+  // yields the merged observer's snapshot, and each per-shard snapshot is
+  // bit-identical to a K=1 run of that shard's relabeled sub-workload —
+  // so the merge is exactly additive, with no order sensitivity.
+  constexpr int kShards = 3;
+  Observer merged;
+  std::vector<Observer> shard_store(kShards, Observer{});
+  ShardedRunOptions options;
+  options.observer = &merged;
+  for (Observer& obs : shard_store) options.shard_observers.push_back(&obs);
+
+  const auto source = make_source("poisson", 21);
+  const Round arrival_end = source->horizon();
+  const ShardedRunRecord record = run_streaming_sharded(
+      *source, "dlru-edf", 24, kShards, kInfiniteHorizon, options);
+
+  // Every permutation of the per-shard snapshots merges to the same total.
+  std::vector<std::size_t> order = {0, 1, 2};
+  std::sort(order.begin(), order.end());
+  do {
+    Snapshot folded;
+    for (const std::size_t s : order) {
+      merge_into(folded, shard_store[s].final_snapshot);
+    }
+    EXPECT_EQ(folded, merged.final_snapshot)
+        << "permutation " << order[0] << order[1] << order[2];
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  // Each shard's snapshot equals the K=1 run of the same relabeled
+  // sub-workload (the partition makes shards fully independent).
+  const auto resplit_source = make_source("poisson", 21);
+  ShardedSourceOptions split_options;
+  split_options.backpressure = false;
+  ShardedSource resplit(*resplit_source, record.plan, arrival_end,
+                        split_options);
+  for (int s = 0; s < kShards; ++s) {
+    Observer solo;
+    ArrivalSource& stream = resplit.stream(s);
+    (void)run_streaming(
+        stream, "dlru-edf",
+        record.plan.shard_resources[static_cast<std::size_t>(s)],
+        kInfiniteHorizon, nullptr, false, &solo);
+    EXPECT_EQ(solo.final_snapshot,
+              shard_store[static_cast<std::size_t>(s)].final_snapshot)
+        << "shard " << s;
+  }
+}
+
+TEST(ShardedRunTest, MergedObserverMatchesMergedRecord) {
+  Observer merged;
+  ShardedRunOptions options;
+  options.observer = &merged;
+  const auto source = make_source("datacenter", 5);
+  const ShardedRunRecord record = run_streaming_sharded(
+      *source, "dlru-edf", 16, 4, kInfiniteHorizon, options);
+  EXPECT_EQ(merged.stats.arrived(), record.merged.arrived);
+  EXPECT_EQ(merged.stats.executed(), record.merged.executed);
+  EXPECT_EQ(merged.stats.drop_weight(), record.merged.cost.drops);
+  EXPECT_EQ(merged.stats.reconfig_events(),
+            record.merged.cost.reconfig_events);
+  EXPECT_EQ(merged.final_snapshot.round, record.merged.rounds);
+  EXPECT_EQ(merged.final_snapshot.pending, 0);
+}
+
+TEST(ShardedRunTest, RejectsMismatchedShardObserverCount) {
+  Observer only_one;
+  ShardedRunOptions options;
+  options.shard_observers = {&only_one};
+  const auto source = make_source("poisson", 1);
+  EXPECT_THROW((void)run_streaming_sharded(*source, "dlru-edf", 8, 2,
+                                           kInfiniteHorizon, options),
+               InputError);
 }
 
 TEST(ShardedRunTest, RejectsUnknownAlgorithmAndBadShardCounts) {
