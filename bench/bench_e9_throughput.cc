@@ -147,6 +147,52 @@ Round streaming_rounds() {
   return 10'000'000;
 }
 
+/// The generalized-model smoke cell: random-batched arrival shapes with
+/// per-color job lengths 1..3, drop weights 1..4, and a matrix Delta
+/// (per-color cold prices plus a warm-discount ring) — every charging
+/// path the scalar cells bypass (remaining-length lane, weighted drops,
+/// Delta(from,to) lookups) runs hot here, so a fast-path-only
+/// optimization that regresses the general model trips the same 30%
+/// gate as the scalar families.
+class GeneralizedBatchedSource final : public GeneratorSource {
+ public:
+  GeneralizedBatchedSource(Round horizon, std::uint64_t seed)
+      : GeneratorSource(/*delta=*/8, horizon) {
+    constexpr ColorId kColors = 32;
+    for (ColorId c = 0; c < kColors; ++c) {
+      add_color(/*delay=*/Round{4} << (c % 4), /*drop_cost=*/1 + (c % 4),
+                /*length=*/1 + (c % 3));
+      streams_.push_back(derive_rng(seed, static_cast<std::uint64_t>(c)));
+    }
+    model_.set_delta(8);
+    model_.resize(kColors);
+    for (ColorId c = 0; c < kColors; ++c) {
+      model_.set_drop_cost(c, drop_cost(c));
+      model_.set_length(c, length(c));
+      model_.set_cold_cost(c, 8 + (c % 4));
+      model_.set_transition_cost(c, (c + 1) % kColors, 2);
+    }
+  }
+
+  [[nodiscard]] const CostModel& cost_model() const override {
+    return model_;
+  }
+
+ private:
+  void synthesize(Round k) override {
+    for (ColorId c = 0; c < num_colors(); ++c) {
+      const Round delay = delay_bound(c);
+      if (k % delay != 0) continue;
+      Rng& stream = streams_[static_cast<std::size_t>(c)];
+      if (!stream.bernoulli(0.7)) continue;
+      emit(c, k, stream.uniform(1, delay));
+    }
+  }
+
+  std::vector<Rng> streams_;
+  CostModel model_;
+};
+
 struct StreamingCell {
   std::string family;
   StreamRunRecord record;
@@ -310,10 +356,15 @@ bool run_streaming_section() {
     PoissonSource source(params);
     return run_streaming(source, "dlru-edf", 8, rounds);
   });
+  cells.emplace_back([rounds] {
+    GeneralizedBatchedSource source(kInfiniteHorizon, 99);
+    return run_streaming(source, "dlru-edf", 8, rounds);
+  });
   const std::vector<StreamRunRecord> records = run_streaming_sweep(cells);
   std::vector<StreamingCell> named;
   named.push_back({"random-batched", records[0], rounds, 0, {}});
   named.push_back({"poisson", records[1], rounds, 0, {}});
+  named.push_back({"generalized-lengths-matrix", records[2], rounds, 0, {}});
 
   // Observer-on cell: the same random-batched config with phase timers and
   // periodic snapshots attached.  Its per-phase seconds land in the JSON so

@@ -19,7 +19,11 @@ AdaptiveSplitPolicy::AdaptiveSplitPolicy(Options options)
 void AdaptiveSplitPolicy::begin(const ArrivalSource& source, int num_resources,
                                 int speed) {
   DLruEdfPolicy::begin(source, num_resources, speed);
-  delta_ = source.delta();
+  const CostModel& model = source.cost_model();
+  cold_costs_.resize(static_cast<std::size_t>(source.num_colors()));
+  for (ColorId c = 0; c < source.num_colors(); ++c) {
+    cold_costs_[static_cast<std::size_t>(c)] = model.cold_cost(c);
+  }
   window_drop_cost_ = 0;
   window_reconfig_cost_ = 0;
   window_end_ = options_.window;
@@ -31,7 +35,12 @@ void AdaptiveSplitPolicy::on_round(RoundContext& ctx) {
   if (ctx.first_mini()) {
     // Window accounting rides the drop phase (independent of the base
     // tracker's classification, so order against it does not matter).
-    window_drop_cost_ += ctx.dropped().total;
+    // Drops are weighted by their per-color cost so the pressure
+    // comparison stays apples-to-apples with the reconfiguration spend
+    // (identical to the drop count under unit weights).
+    for (const auto& [color, count] : ctx.dropped().by_color) {
+      window_drop_cost_ += count * tracker().drop_cost(color);
+    }
 
     if (k >= window_end_) {
       // Thrashing pressure -> pin more (grow the LRU share); drop pressure
@@ -63,15 +72,17 @@ void AdaptiveSplitPolicy::on_round(RoundContext& ctx) {
     return;
   }
 
-  // Count this phase's insertions (each costs replication * Delta) by
-  // diffing the logical cached set around the base round (the base tracker
-  // updates never touch the cache).
+  // Count this phase's insertions (each costs replication * the inserted
+  // color's cold re-image price; == replication * Delta under the scalar
+  // tier) by diffing the logical cached set around the base round (the
+  // base tracker updates never touch the cache).
   before_ = ctx.cache().cached_colors();
   std::sort(before_.begin(), before_.end());
   DLruEdfPolicy::on_round(ctx);
   for (const ColorId c : ctx.cache().cached_colors()) {
     if (!std::binary_search(before_.begin(), before_.end(), c)) {
-      window_reconfig_cost_ += Cost{ctx.cache().replication()} * delta_;
+      window_reconfig_cost_ += Cost{ctx.cache().replication()} *
+                               cold_costs_[static_cast<std::size_t>(c)];
     }
   }
 }

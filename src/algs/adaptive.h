@@ -50,7 +50,10 @@ class AdaptiveSplitPolicy : public DLruEdfPolicy {
   Cost window_reconfig_cost_ = 0;
   Round window_end_ = 0;
   std::int64_t adaptations_ = 0;
-  Cost delta_ = 1;
+  /// Per-color cold re-image price, cached at begin(): each insertion of
+  /// color c spends replication * cold_cost(c) (== replication * Delta
+  /// under the scalar tier, matching the original accounting).
+  std::vector<Cost> cold_costs_;
   std::vector<ColorId> before_;  // scratch: cached set before reconfigure
 };
 

@@ -25,7 +25,8 @@ DistributeTransform distribute_transform(const Instance& instance) {
         virtual_ids.try_emplace({real, j}, ColorId{0});
     if (inserted) {
       it->second = builder.add_color(instance.delay_bound(real),
-                                     instance.drop_cost(real));
+                                     instance.drop_cost(real),
+                                     instance.length(real));
       out.virtual_to_real.push_back(real);
     }
     return it->second;
@@ -45,6 +46,31 @@ DistributeTransform distribute_transform(const Instance& instance) {
       const std::int64_t rank = rank_in_request[job.color]++;
       const std::int64_t j = rank / instance.delay_bound(job.color);
       builder.add_jobs(virtual_color(job.color, j), round, 1);
+    }
+  }
+
+  // Virtual colors inherit the reconfiguration prices of their real color:
+  // the (l, j) copies are the same physical image, so Delta between two
+  // virtual colors is Delta between their reals.  Scalar tiers need no
+  // copying (the builder default already carries Delta).
+  const CostModel& model = instance.cost_model();
+  if (model.tier() != CostModel::Tier::kScalar) {
+    const auto num_virtual = static_cast<ColorId>(out.virtual_to_real.size());
+    for (ColorId v = 0; v < num_virtual; ++v) {
+      builder.reconfig_cost(
+          v, model.cold_cost(out.virtual_to_real[static_cast<std::size_t>(v)]));
+    }
+    if (model.tier() == CostModel::Tier::kMatrix) {
+      for (ColorId v1 = 0; v1 < num_virtual; ++v1) {
+        for (ColorId v2 = 0; v2 < num_virtual; ++v2) {
+          if (v1 == v2) continue;
+          builder.transition_cost(
+              v1, v2,
+              model.reconfig_cost(
+                  out.virtual_to_real[static_cast<std::size_t>(v1)],
+                  out.virtual_to_real[static_cast<std::size_t>(v2)]));
+        }
+      }
     }
   }
 

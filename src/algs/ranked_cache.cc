@@ -10,6 +10,7 @@ void edf_sort(std::vector<ColorId>& colors, std::vector<EdfKey>& scratch,
   scratch.reserve(colors.size());
   for (const ColorId c : colors) {
     scratch.push_back(EdfKey{pending.idle(c), tracker.color_deadline(c),
+                             tracker.drop_cost(c), tracker.length(c),
                              tracker.delay_bound(c), c});
   }
   std::sort(scratch.begin(), scratch.end());

@@ -26,9 +26,16 @@
 namespace rrs {
 
 /// Sort key for the EDF color ranking; smaller compares as better rank.
+/// Under the generalized cost model, equal deadlines break toward heavier
+/// per-job drop weights (more droppable value at stake) and then toward
+/// shorter job lengths (more completions per slot); both fields are the
+/// constant 1 under the paper's uniform model, so the ranking degenerates
+/// to the original (idle, deadline, delay bound, color) order there.
 struct EdfKey {
   bool idle = false;
   Round color_deadline = 0;
+  Cost weight = 1;    ///< per-job drop cost of the color (descending)
+  Round length = 1;   ///< per-job execution length (ascending)
   Round delay_bound = 0;
   ColorId color = 0;
 
@@ -36,6 +43,8 @@ struct EdfKey {
     if (a.idle != b.idle) return !a.idle;  // nonidle ranks first
     if (a.color_deadline != b.color_deadline)
       return a.color_deadline < b.color_deadline;
+    if (a.weight != b.weight) return a.weight > b.weight;  // heavier first
+    if (a.length != b.length) return a.length < b.length;  // shorter first
     if (a.delay_bound != b.delay_bound) return a.delay_bound < b.delay_bound;
     return a.color < b.color;
   }
@@ -57,7 +66,8 @@ struct LruKey {
 [[nodiscard]] inline EdfKey edf_key(ColorId color, const ArrivalSource& source,
                                     const EligibilityTracker& tracker,
                                     const PendingJobs& pending) {
-  return EdfKey{pending.idle(color), tracker.color_deadline(color),
+  return EdfKey{pending.idle(color),    tracker.color_deadline(color),
+                tracker.drop_cost(color), tracker.length(color),
                 source.delay_bound(color), color};
 }
 

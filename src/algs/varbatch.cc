@@ -18,13 +18,28 @@ VarBatchTransform varbatch_transform(const Instance& instance) {
   InstanceBuilder builder;
   builder.delta(instance.delta());
 
-  // Colors keep their identity; only their delay bounds shrink to the
-  // effective half-block length.
+  // Colors keep their identity (lengths, weights, and reconfiguration
+  // prices included); only their delay bounds shrink to the effective
+  // half-block length.
   for (ColorId c = 0; c < instance.num_colors(); ++c) {
     const ColorId mapped =
         builder.add_color(varbatch_effective_delay(instance.delay_bound(c)),
-                          instance.drop_cost(c));
+                          instance.drop_cost(c), instance.length(c));
     RRS_CHECK(mapped == c);
+  }
+  const CostModel& model = instance.cost_model();
+  if (model.tier() != CostModel::Tier::kScalar) {
+    for (ColorId c = 0; c < instance.num_colors(); ++c) {
+      builder.reconfig_cost(c, model.cold_cost(c));
+    }
+    if (model.tier() == CostModel::Tier::kMatrix) {
+      for (ColorId f = 0; f < instance.num_colors(); ++f) {
+        for (ColorId t = 0; t < instance.num_colors(); ++t) {
+          if (f == t) continue;
+          builder.transition_cost(f, t, model.reconfig_cost(f, t));
+        }
+      }
+    }
   }
 
   // Delay each job to the start of its next half-block, then add jobs in

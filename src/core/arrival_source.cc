@@ -18,6 +18,19 @@ const std::map<Round, std::vector<ColorId>>& ArrivalSource::colors_by_delay()
   return colors_by_delay_;
 }
 
+const CostModel& ArrivalSource::cost_model() const {
+  if (!model_built_) {
+    model_.set_delta(delta());
+    model_.resize(num_colors());
+    for (ColorId c = 0; c < num_colors(); ++c) {
+      model_.set_drop_cost(c, drop_cost(c));
+      model_.set_length(c, length(c));
+    }
+    model_built_ = true;
+  }
+  return model_;
+}
+
 std::string ArrivalSource::summary() const {
   std::ostringstream os;
   os << num_colors() << " colors, ";
@@ -45,8 +58,22 @@ Instance materialize(ArrivalSource& source, Round rounds) {
 
   InstanceBuilder builder;
   builder.delta(source.delta());
+  const CostModel& model = source.cost_model();
   for (ColorId c = 0; c < source.num_colors(); ++c) {
-    builder.add_color(source.delay_bound(c), source.drop_cost(c));
+    builder.add_color(source.delay_bound(c), source.drop_cost(c),
+                      source.length(c));
+  }
+  if (model.tier() != CostModel::Tier::kScalar) {
+    for (ColorId to = 0; to < source.num_colors(); ++to) {
+      builder.reconfig_cost(to, model.cold_cost(to));
+    }
+  }
+  if (model.tier() == CostModel::Tier::kMatrix) {
+    for (ColorId from = 0; from < source.num_colors(); ++from) {
+      for (ColorId to = 0; to < source.num_colors(); ++to) {
+        builder.transition_cost(from, to, model.reconfig_cost(from, to));
+      }
+    }
   }
   for (Round k = 0; k < end; ++k) {
     for (const Job& job : source.arrivals_in_round(k)) {

@@ -55,6 +55,20 @@ class ArrivalSource {
   /// Drop cost of one `color` job (1 in the paper's unit-cost setting).
   [[nodiscard]] virtual Cost drop_cost(ColorId color) const = 0;
 
+  /// Execution units a `color` job needs to complete (1 in the paper's
+  /// unit-job setting).
+  [[nodiscard]] virtual Round length(ColorId color) const {
+    RRS_REQUIRE(color >= 0 && color < num_colors(),
+                "color " << color << " out of range [0, " << num_colors()
+                         << ")");
+    return 1;
+  }
+
+  /// The full cost model.  The base implementation synthesizes a scalar
+  /// model from delta()/drop_cost()/length() lazily; sources with richer
+  /// pricing (matrix Delta, instance-backed) override this.
+  [[nodiscard]] virtual const CostModel& cost_model() const;
+
   /// Distinct delay bounds, ascending, with the colors that carry each
   /// (the index EligibilityTracker walks at block boundaries).  The base
   /// implementation derives it lazily from the metadata accessors.
@@ -90,6 +104,8 @@ class ArrivalSource {
  private:
   mutable std::map<Round, std::vector<ColorId>> colors_by_delay_;
   mutable bool delay_index_built_ = false;
+  mutable CostModel model_;
+  mutable bool model_built_ = false;
 };
 
 /// Adapter presenting an Instance as an ArrivalSource.  Random access is
@@ -109,6 +125,12 @@ class MaterializedSource final : public ArrivalSource {
   }
   [[nodiscard]] Cost drop_cost(ColorId color) const override {
     return instance_->drop_cost(color);
+  }
+  [[nodiscard]] Round length(ColorId color) const override {
+    return instance_->length(color);
+  }
+  [[nodiscard]] const CostModel& cost_model() const override {
+    return instance_->cost_model();
   }
   [[nodiscard]] const std::map<Round, std::vector<ColorId>>& colors_by_delay()
       const override {

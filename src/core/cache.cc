@@ -184,16 +184,27 @@ void CacheAssignment::erase_from_set(ColorId color) {
 std::span<const std::pair<int, ColorId>> CacheAssignment::finish_phase() {
   RRS_CHECK(in_phase_);
   in_phase_ = false;
-  events_.clear();
+  event_scratch_.clear();
   for (const int loc : dirty_) {
     const auto l = static_cast<std::size_t>(loc);
     dirty_flag_[l] = 0;
     if (physical_[l] != phase_start_[l]) {
-      events_.emplace_back(loc, physical_[l]);
+      event_scratch_.push_back({loc, physical_[l], phase_start_[l]});
     }
     phase_start_[l] = physical_[l];
   }
-  std::sort(events_.begin(), events_.end());
+  // Locations are unique within a phase, so sorting by location alone
+  // reproduces the old (location, color) pair order exactly.
+  std::sort(event_scratch_.begin(), event_scratch_.end(),
+            [](const PhaseEvent& a, const PhaseEvent& b) {
+              return a.location < b.location;
+            });
+  events_.clear();
+  events_from_.clear();
+  for (const PhaseEvent& e : event_scratch_) {
+    events_.emplace_back(e.location, e.to);
+    events_from_.push_back(e.from);
+  }
   return events_;
 }
 

@@ -87,9 +87,17 @@ class CacheAssignment {
 
   /// Ends the phase: returns (location, new_color) for every location whose
   /// physical color changed since begin_phase(), sorted by location.  Each
-  /// entry is one reconfiguration costing Delta.  The span aliases an
+  /// entry is one reconfiguration costing Delta(from -> new_color); the
+  /// from-colors are exposed via phase_from_colors().  The span aliases an
   /// internal buffer valid until the next finish_phase().
   [[nodiscard]] std::span<const std::pair<int, ColorId>> finish_phase();
+
+  /// The previous physical occupant of each finish_phase() event's
+  /// location, parallel to the span finish_phase() returned (kBlack for a
+  /// location that was unconfigured).  Valid until the next finish_phase().
+  [[nodiscard]] std::span<const ColorId> phase_from_colors() const {
+    return events_from_;
+  }
 
   /// Ensures per-color tables cover ColorIds < num_colors.
   void ensure_colors(ColorId num_colors);
@@ -143,7 +151,15 @@ class CacheAssignment {
   std::vector<std::int32_t> slot_of_;      // color -> slot (when stamped)
   std::uint64_t epoch_ = 1;
 
+  struct PhaseEvent {
+    int location;
+    ColorId to;
+    ColorId from;
+  };
+
   std::vector<std::pair<int, ColorId>> events_;  // finish_phase() buffer
+  std::vector<ColorId> events_from_;       // parallel previous occupants
+  std::vector<PhaseEvent> event_scratch_;  // reused sort buffer
   bool in_phase_ = false;
 };
 

@@ -11,11 +11,19 @@ void EligibilityTracker::begin(const ArrivalSource& source) {
   const auto num_colors = static_cast<std::size_t>(source.num_colors());
   state_.assign(num_colors, {});
   delta_ = source.delta();
+  const CostModel& model = source.cost_model();
   delay_bounds_.resize(num_colors);
   drop_costs_.resize(num_colors);
+  lengths_.resize(num_colors);
+  thresholds_.resize(num_colors);
   for (ColorId c = 0; c < source.num_colors(); ++c) {
     delay_bounds_[idx(c)] = source.delay_bound(c);
     drop_costs_[idx(c)] = source.drop_cost(c);
+    lengths_[idx(c)] = model.length(c);
+    // The eligibility threshold is the price of bringing the color in cold
+    // (identical to Delta under the scalar tier, so this stays the paper's
+    // counter-wrapping rule there).
+    thresholds_[idx(c)] = model.cold_cost(c);
   }
   delay_classes_.assign(source.colors_by_delay().begin(),
                         source.colors_by_delay().end());
@@ -107,8 +115,9 @@ void EligibilityTracker::arrival_phase(Round k,
       ++active_colors_;
     }
     s.cnt += count * drop_costs_[idx(color)];
-    if (s.cnt >= delta_) {
-      s.cnt %= delta_;  // counter wrapping event
+    const Cost threshold = thresholds_[idx(color)];
+    if (s.cnt >= threshold) {
+      s.cnt %= threshold;  // counter wrapping event
       s.prev_wrap = s.last_wrap;
       s.last_wrap = k;
       if (!s.eligible) make_eligible(color);

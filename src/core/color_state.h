@@ -3,11 +3,14 @@
 // This is the "common aspects" machinery of Section 3.1 that all three
 // online algorithms (dLRU, EDF, dLRU-EDF) share.  For each color l it
 // maintains:
-//   * l.cnt   — arrivals counted modulo Delta; reaching Delta is a *counter
-//               wrapping event* and makes the color eligible.  In the
-//               weighted extension each arrival contributes its drop cost,
-//               so a color becomes eligible once Delta worth of droppable
-//               value has accumulated (identical for unit costs);
+//   * l.cnt   — arrivals counted modulo the color's eligibility threshold;
+//               reaching it is a *counter wrapping event* and makes the
+//               color eligible.  The threshold is the cold reconfiguration
+//               cost of the color (Delta in the paper's scalar model).  In
+//               the weighted extension each arrival contributes its drop
+//               cost, so a color becomes eligible once one cold re-image's
+//               worth of droppable value has accumulated (identical to the
+//               paper's rule for unit costs and scalar Delta);
 //   * l.dd    — the color deadline, set to k + D_l at each multiple k of D_l;
 //   * eligible/ineligible — a color becomes ineligible again in the drop
 //               phase of a multiple of D_l while it is not cached;
@@ -65,6 +68,17 @@ class EligibilityTracker {
   /// skip the source's virtual dispatch.
   [[nodiscard]] Round delay_bound(ColorId color) const {
     return delay_bounds_[idx(color)];
+  }
+
+  /// Per-job drop cost of `color`, cached flat at begin() (weight-aware
+  /// ranking reads it every round).
+  [[nodiscard]] Cost drop_cost(ColorId color) const {
+    return drop_costs_[idx(color)];
+  }
+
+  /// Per-job execution length of `color`, cached flat at begin().
+  [[nodiscard]] Round length(ColorId color) const {
+    return lengths_[idx(color)];
   }
 
   /// dLRU timestamp of `color` as of round `now` (lazy evaluation).
@@ -175,6 +189,11 @@ class EligibilityTracker {
   Cost delta_ = 1;
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
+  std::vector<Round> lengths_;
+  /// Per-color eligibility threshold: the cold re-image price of the color
+  /// (== Delta in the scalar tier).  A color becomes eligible once one cold
+  /// reconfiguration's worth of droppable value has accumulated.
+  std::vector<Cost> thresholds_;
   std::vector<std::pair<Round, std::vector<ColorId>>> delay_classes_;
   bool record_drop_ids_ = false;
   int analysis_m_ = 0;  // 0 = super-epoch analysis disabled

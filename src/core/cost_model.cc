@@ -1,0 +1,180 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+namespace rrs {
+
+CostModel CostModel::scalar(Cost delta, ColorId num_colors) {
+  CostModel model;
+  model.set_delta(delta);
+  model.resize(num_colors);
+  return model;
+}
+
+void CostModel::resize(ColorId num_colors) {
+  RRS_REQUIRE(num_colors >= 0, "CostModel: num_colors must be >= 0, got "
+                                   << num_colors);
+  const auto n = static_cast<std::size_t>(num_colors);
+  if (n <= drop_costs_.size()) return;
+  const std::size_t old = drop_costs_.size();
+  drop_costs_.resize(n, 1);
+  lengths_.resize(n, 1);
+  if (tier_ != Tier::kScalar) cold_.resize(n, delta_);
+  if (tier_ == Tier::kMatrix) {
+    // Re-pack the row-major matrix for the wider stride; new entries
+    // default to the cold cost of their target.
+    std::vector<Cost> wider(n * n);
+    for (std::size_t f = 0; f < n; ++f) {
+      for (std::size_t t = 0; t < n; ++t) {
+        wider[f * n + t] =
+            (f < old && t < old) ? warm_[f * old + t] : cold_[t];
+      }
+    }
+    warm_ = std::move(wider);
+  }
+}
+
+void CostModel::set_delta(Cost delta) {
+  RRS_REQUIRE(delta >= 1, "Delta must be >= 1, got " << delta);
+  delta_ = delta;
+}
+
+void CostModel::set_drop_cost(ColorId color, Cost weight) {
+  RRS_REQUIRE(weight >= 1, "drop cost must be >= 1, got " << weight);
+  drop_costs_[checked(color)] = weight;
+  if (weight != 1) unit_drop_costs_ = false;
+}
+
+void CostModel::set_length(ColorId color, Round length) {
+  RRS_REQUIRE(length >= 1, "job length must be >= 1, got " << length);
+  lengths_[checked(color)] = length;
+  if (length != 1) unit_lengths_ = false;
+}
+
+void CostModel::promote_to_vector() {
+  if (tier_ != Tier::kScalar) return;
+  tier_ = Tier::kVector;
+  cold_.assign(drop_costs_.size(), delta_);
+}
+
+void CostModel::promote_to_matrix() {
+  promote_to_vector();
+  if (tier_ == Tier::kMatrix) return;
+  tier_ = Tier::kMatrix;
+  const std::size_t n = cold_.size();
+  warm_.resize(n * n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) warm_[f * n + t] = cold_[t];
+  }
+}
+
+void CostModel::set_cold_cost(ColorId to, Cost cost) {
+  RRS_REQUIRE(cost >= 1, "cold reconfiguration cost must be >= 1, got "
+                             << cost);
+  const std::size_t t = checked(to);
+  promote_to_vector();
+  if (tier_ == Tier::kMatrix) {
+    // Entries still carrying the old cold default follow the new one;
+    // explicitly-set warm discounts are preserved.
+    const std::size_t n = cold_.size();
+    for (std::size_t f = 0; f < n; ++f) {
+      if (warm_[f * n + t] == cold_[t]) warm_[f * n + t] = cost;
+    }
+  }
+  cold_[t] = cost;
+}
+
+void CostModel::set_transition_cost(ColorId from, ColorId to, Cost cost) {
+  if (from == kBlack) {
+    set_cold_cost(to, cost);
+    return;
+  }
+  RRS_REQUIRE(cost >= 0, "transition cost must be >= 0, got " << cost);
+  const std::size_t f = checked(from);
+  const std::size_t t = checked(to);
+  promote_to_matrix();
+  warm_[f * cold_.size() + t] = cost;
+}
+
+void CostModel::validate() const {
+  RRS_REQUIRE(delta_ >= 1, "Delta must be >= 1, got " << delta_);
+  RRS_REQUIRE(drop_costs_.size() == lengths_.size(),
+              "CostModel tables out of sync");
+  for (std::size_t c = 0; c < drop_costs_.size(); ++c) {
+    RRS_REQUIRE(drop_costs_[c] >= 1, "drop cost of color "
+                                         << c << " must be >= 1, got "
+                                         << drop_costs_[c]);
+    RRS_REQUIRE(lengths_[c] >= 1, "length of color " << c
+                                                     << " must be >= 1, got "
+                                                     << lengths_[c]);
+  }
+  if (tier_ != Tier::kScalar) {
+    RRS_REQUIRE(cold_.size() == drop_costs_.size(),
+                "CostModel cold column out of sync");
+    for (std::size_t c = 0; c < cold_.size(); ++c) {
+      RRS_REQUIRE(cold_[c] >= 1, "cold cost of color "
+                                     << c << " must be >= 1, got "
+                                     << cold_[c]);
+    }
+  }
+  if (tier_ == Tier::kMatrix) {
+    RRS_REQUIRE(warm_.size() == cold_.size() * cold_.size(),
+                "CostModel transition matrix out of sync");
+    for (const Cost w : warm_) {
+      RRS_REQUIRE(w >= 0, "transition cost must be >= 0, got " << w);
+    }
+  }
+}
+
+Cost CostModel::min_incoming_cost(ColorId to) const {
+  const std::size_t t = checked(to);
+  if (tier_ != Tier::kMatrix) return cold_cost(to);
+  Cost best = cold_[t];
+  const std::size_t n = cold_.size();
+  for (std::size_t f = 0; f < n; ++f) {
+    if (f != t) best = std::min(best, warm_[f * n + t]);
+  }
+  return best;
+}
+
+Round CostModel::max_length() const {
+  Round best = 1;
+  for (const Round l : lengths_) best = std::max(best, l);
+  return best;
+}
+
+CostModel CostModel::restricted(std::span<const ColorId> colors) const {
+  CostModel out;
+  out.delta_ = delta_;
+  out.resize(static_cast<ColorId>(colors.size()));
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    const auto local = static_cast<ColorId>(i);
+    out.set_drop_cost(local, drop_cost(colors[i]));
+    out.set_length(local, length(colors[i]));
+  }
+  if (tier_ != Tier::kScalar) {
+    for (std::size_t i = 0; i < colors.size(); ++i) {
+      out.set_cold_cost(static_cast<ColorId>(i), cold_cost(colors[i]));
+    }
+  }
+  if (tier_ == Tier::kMatrix) {
+    for (std::size_t f = 0; f < colors.size(); ++f) {
+      for (std::size_t t = 0; t < colors.size(); ++t) {
+        out.set_transition_cost(static_cast<ColorId>(f),
+                                static_cast<ColorId>(t),
+                                reconfig_cost(colors[f], colors[t]));
+      }
+    }
+  }
+  out.refresh_uniform_flags();
+  return out;
+}
+
+void CostModel::refresh_uniform_flags() {
+  unit_drop_costs_ = std::all_of(drop_costs_.begin(), drop_costs_.end(),
+                                 [](Cost w) { return w == 1; });
+  unit_lengths_ = std::all_of(lengths_.begin(), lengths_.end(),
+                              [](Round l) { return l == 1; });
+}
+
+}  // namespace rrs

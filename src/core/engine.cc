@@ -33,7 +33,9 @@ int pick_hottest(const CacheAssignment& cache, const PendingJobs& pending) {
 struct FaultCursor {
   const FaultPlan* plan = nullptr;
   Observer* obs = nullptr;
+  const CostModel* model = nullptr;
   std::size_t next = 0;
+  std::vector<ColorId> lost;        // location -> physical color at failure
   std::vector<ColorId> evicted;     // colors evicted by this round's events
   std::vector<int> hottest_down;    // FIFO of kHottestResource failures
   std::size_t hottest_head = 0;
@@ -58,6 +60,10 @@ struct FaultCursor {
           if (r < 0) continue;  // nothing left up to fail
           hottest_down.push_back(r);
         }
+        // What re-imaging the location will cost on repair depends on the
+        // physical content lost, which may differ from the evicted cached
+        // color (a stale physical color is not in the cached set).
+        lost[static_cast<std::size_t>(r)] = cache.color_at(r);
         const ColorId evicted_color = cache.fail_location(r);
         ++result.degraded.fault_events;
         if (evicted_color != kBlack) {
@@ -81,6 +87,13 @@ struct FaultCursor {
         if (options.charge_repair) {
           ++result.cost.reconfig_events;
           ++result.cost.churn_reconfigs;
+          // Re-imaging a repaired (blank) location prices via the cold
+          // column of the color it lost; a location that was blank at
+          // failure is charged the base Delta.  Scalar tier: both == Delta,
+          // bit-identical to the historical events * Delta accounting.
+          const ColorId was = lost[static_cast<std::size_t>(r)];
+          result.cost.reconfig_cost +=
+              was == kBlack ? model->delta() : model->cold_cost(was);
         }
         if (obs != nullptr) {
           obs->stats.on_repair();
@@ -136,6 +149,12 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
   CacheAssignment cache(options.num_resources, options.replication);
   cache.ensure_colors(source.num_colors());
 
+  // The cost model is resolved once: every drop and reconfiguration charge
+  // below routes through it (scalar tier reproduces the historical
+  // events * Delta / count * drop_cost arithmetic exactly).
+  const CostModel& model = source.cost_model();
+  const bool unit_lengths = model.unit_lengths();
+
   EngineResult result;
   result.schedule.num_resources = options.num_resources;
   result.schedule.speed = options.speed;
@@ -149,11 +168,13 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
     std::vector<Round> delay_bounds(
         static_cast<std::size_t>(source.num_colors()));
     std::vector<Cost> drop_costs(delay_bounds.size());
+    std::vector<Round> lengths(delay_bounds.size());
     for (ColorId c = 0; c < source.num_colors(); ++c) {
       delay_bounds[static_cast<std::size_t>(c)] = source.delay_bound(c);
-      drop_costs[static_cast<std::size_t>(c)] = source.drop_cost(c);
+      drop_costs[static_cast<std::size_t>(c)] = model.drop_cost(c);
+      lengths[static_cast<std::size_t>(c)] = model.length(c);
     }
-    obs->begin_run(delay_bounds, drop_costs);
+    obs->begin_run(delay_bounds, drop_costs, lengths);
   }
   PhaseTimers* const timers =
       obs != nullptr && obs->config.timers ? &obs->timers : nullptr;
@@ -164,6 +185,9 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
   FaultCursor faults;
   faults.plan = options.fault_plan;
   faults.obs = obs;
+  faults.model = &model;
+  faults.lost.assign(static_cast<std::size_t>(options.num_resources),
+                     kBlack);
   // High-water mark over ingested deadlines: once arrivals end, draining
   // runs until every pending job has executed or expired (deadline <= k).
   Round max_deadline = 0;
@@ -182,7 +206,7 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
     pending.drop_expired(k, dropped);
     Cost round_drop_cost = 0;
     for (const auto& [color, count] : dropped.by_color) {
-      round_drop_cost += static_cast<Cost>(count) * source.drop_cost(color);
+      round_drop_cost += static_cast<Cost>(count) * model.drop_cost(color);
     }
     result.cost.drops += round_drop_cost;
     if (degraded_round) {
@@ -224,8 +248,12 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
       policy.on_round(ctx);
       const std::span<const std::pair<int, ColorId>> phase_events =
           cache.finish_phase();
-      for (const auto& [location, color] : phase_events) {
+      const std::span<const ColorId> phase_from = cache.phase_from_colors();
+      for (std::size_t i = 0; i < phase_events.size(); ++i) {
+        const auto& [location, color] = phase_events[i];
         ++result.cost.reconfig_events;
+        result.cost.reconfig_cost += model.reconfig_cost(phase_from[i],
+                                                         color);
         if (options.record_schedule) {
           result.schedule.reconfigs.push_back(
               {k, mini, location, color});
@@ -246,16 +274,24 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
       for (int r = 0; r < options.num_resources; ++r) {
         const ColorId color = cache.color_at(r);
         if (color == kBlack || pending.idle(color)) continue;
+        const bool completes =
+            unit_lengths || pending.earliest_remaining(color) == 1;
         if (obs != nullptr) {
           // The job about to execute is the color's earliest deadline;
           // reading it before the pop derives wait and slack without
-          // materializing anything.
-          obs->stats.on_execution(color, k, pending.earliest_deadline(color));
+          // materializing anything.  Completion stats fire only on a job's
+          // final unit; every unit counts as work.
+          obs->stats.on_work_unit(color);
+          if (completes) {
+            obs->stats.on_execution(color, k,
+                                    pending.earliest_deadline(color));
+          }
         }
-        const JobId job = pending.pop_earliest(color);
-        ++result.executed;
+        const PendingJobs::ExecResult exec = pending.execute_earliest(color);
+        ++result.work_units;
+        if (exec.completed) ++result.executed;
         if (options.record_schedule) {
-          result.schedule.execs.push_back({k, mini, r, job});
+          result.schedule.execs.push_back({k, mini, r, exec.id});
         }
       }
       if (timers != nullptr) timers->note(EnginePhase::kExec);
@@ -275,7 +311,7 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
   pending.drop_expired(k, dropped);
   Cost final_drop_cost = 0;
   for (const auto& [color, count] : dropped.by_color) {
-    final_drop_cost += static_cast<Cost>(count) * source.drop_cost(color);
+    final_drop_cost += static_cast<Cost>(count) * model.drop_cost(color);
   }
   result.cost.drops += final_drop_cost;
   if (cache.num_down() > 0) {
@@ -296,7 +332,6 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
   policy.on_round(final_ctx);
 
   result.rounds = k;
-  result.cost.reconfig_cost = result.cost.reconfig_events * source.delta();
   result.policy_stats = policy.stats();
   if (obs != nullptr) obs->finish_run(k, pending.total());
   return result;

@@ -84,7 +84,10 @@ struct DegradedStats {
 /// Result of one engine run.
 struct EngineResult {
   CostBreakdown cost;
-  std::int64_t executed = 0;  ///< jobs executed
+  std::int64_t executed = 0;  ///< jobs completed
+  /// Execution units applied (== executed for unit lengths; partially
+  /// executed jobs contribute units but never count as executed).
+  std::int64_t work_units = 0;
   std::int64_t arrived = 0;   ///< jobs pulled from the source
   Round rounds = 0;           ///< rounds actually run
   std::int64_t peak_pending = 0;  ///< max pending-set size observed

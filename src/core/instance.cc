@@ -22,6 +22,13 @@ Cost Instance::drop_cost(ColorId color) const {
   return drop_costs_[static_cast<std::size_t>(color)];
 }
 
+Round Instance::length(ColorId color) const {
+  RRS_REQUIRE(color >= 0 && color < num_colors(),
+              "color " << color << " out of range [0, " << num_colors()
+                       << ")");
+  return lengths_[static_cast<std::size_t>(color)];
+}
+
 Cost Instance::weight_of_color(ColorId color) const {
   RRS_REQUIRE(color >= 0 && color < num_colors(),
               "color " << color << " out of range");
@@ -61,12 +68,33 @@ InstanceBuilder& InstanceBuilder::delta(Cost d) {
   return *this;
 }
 
-ColorId InstanceBuilder::add_color(Round d, Cost drop_cost) {
+ColorId InstanceBuilder::add_color(Round d, Cost drop_cost, Round length) {
   RRS_REQUIRE(d >= 1, "delay bound must be >= 1, got " << d);
   RRS_REQUIRE(drop_cost >= 1, "drop cost must be >= 1, got " << drop_cost);
+  RRS_REQUIRE(length >= 1, "job length must be >= 1, got " << length);
   delay_bounds_.push_back(d);
   drop_costs_.push_back(drop_cost);
+  lengths_.push_back(length);
   return static_cast<ColorId>(delay_bounds_.size() - 1);
+}
+
+InstanceBuilder& InstanceBuilder::reconfig_cost(ColorId to, Cost cost) {
+  return transition_cost(kBlack, to, cost);
+}
+
+InstanceBuilder& InstanceBuilder::transition_cost(ColorId from, ColorId to,
+                                                  Cost cost) {
+  RRS_REQUIRE(from == kBlack ||
+                  (from >= 0 &&
+                   static_cast<std::size_t>(from) < delay_bounds_.size()),
+              "transition_cost: unknown from-color " << from);
+  RRS_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < delay_bounds_.size(),
+              "transition_cost: unknown to-color " << to);
+  RRS_REQUIRE(cost >= (from == kBlack ? 1 : 0),
+              "transition cost must be >= " << (from == kBlack ? 1 : 0)
+                                            << ", got " << cost);
+  transitions_.push_back({from, to, cost});
+  return *this;
 }
 
 InstanceBuilder& InstanceBuilder::add_jobs(ColorId color, Round arrival,
@@ -94,11 +122,28 @@ Instance InstanceBuilder::build() {
   inst.delta_ = delta_;
   inst.delay_bounds_ = delay_bounds_;
   inst.drop_costs_ = drop_costs_;
+  inst.lengths_ = lengths_;
   inst.jobs_per_color_.assign(delay_bounds_.size(), 0);
   inst.weight_per_color_.assign(delay_bounds_.size(), 0);
   for (const Cost w : drop_costs_) {
     if (w != 1) inst.unit_drop_costs_ = false;
   }
+  for (const Round l : lengths_) {
+    if (l != 1) inst.unit_lengths_ = false;
+  }
+
+  // Assemble the cost model (scalar unless reconfig/transition costs were
+  // recorded, in which case the records promote the tier themselves).
+  inst.model_.set_delta(delta_);
+  inst.model_.resize(static_cast<ColorId>(delay_bounds_.size()));
+  for (std::size_t c = 0; c < delay_bounds_.size(); ++c) {
+    inst.model_.set_drop_cost(static_cast<ColorId>(c), drop_costs_[c]);
+    inst.model_.set_length(static_cast<ColorId>(c), lengths_[c]);
+  }
+  for (const auto& t : transitions_) {
+    inst.model_.set_transition_cost(t.from, t.to, t.cost);
+  }
+  inst.model_.validate();
 
   // Stable order: by arrival, ties in insertion order, so generators fully
   // control the "consistent order" semantics downstream.
@@ -115,6 +160,7 @@ Instance InstanceBuilder::build() {
   for (const auto& a : arrivals_) {
     const Round d = delay_bounds_[static_cast<std::size_t>(a.color)];
     const Cost w = drop_costs_[static_cast<std::size_t>(a.color)];
+    const Round len = lengths_[static_cast<std::size_t>(a.color)];
     for (std::int64_t i = 0; i < a.count; ++i) {
       Job job;
       job.id = static_cast<JobId>(inst.jobs_.size());
@@ -122,6 +168,7 @@ Instance InstanceBuilder::build() {
       job.arrival = a.arrival;
       job.delay_bound = d;
       job.drop_cost = w;
+      job.length = len;
       inst.jobs_.push_back(job);
     }
     inst.jobs_per_color_[static_cast<std::size_t>(a.color)] += a.count;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_model.h"
 #include "core/job.h"
 #include "core/types.h"
 
@@ -45,6 +46,14 @@ class Instance {
   /// used).
   [[nodiscard]] Cost drop_cost(ColorId color) const;
 
+  /// Execution units a `color` job needs to complete (1 unless the length
+  /// extension is used).
+  [[nodiscard]] Round length(ColorId color) const;
+
+  /// The full cost model: drop weights, lengths, and Delta(from -> to).
+  /// delta()/drop_cost()/length() are shorthands into it.
+  [[nodiscard]] const CostModel& cost_model() const { return model_; }
+
   /// Total drop cost of all jobs of `color`.
   [[nodiscard]] Cost weight_of_color(ColorId color) const;
 
@@ -53,6 +62,9 @@ class Instance {
 
   /// True iff every color has unit drop cost (the paper's setting).
   [[nodiscard]] bool unit_drop_costs() const { return unit_drop_costs_; }
+
+  /// True iff every color has unit length (the paper's setting).
+  [[nodiscard]] bool unit_lengths() const { return unit_lengths_; }
 
   /// All jobs, sorted by arrival round (ties in input order).
   [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
@@ -95,8 +107,11 @@ class Instance {
   Round horizon_ = 0;
   Cost total_weight_ = 0;
   bool unit_drop_costs_ = true;
+  bool unit_lengths_ = true;
+  CostModel model_;
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
+  std::vector<Round> lengths_;
   std::vector<Job> jobs_;
   std::vector<std::int64_t> jobs_per_color_;
   std::vector<Cost> weight_per_color_;
@@ -116,10 +131,21 @@ class InstanceBuilder {
   /// Sets the reconfiguration cost Delta (default 1).  Must be >= 1.
   InstanceBuilder& delta(Cost d);
 
-  /// Adds a color with delay bound `d` (>= 1) and per-job drop cost
-  /// `drop_cost` (>= 1; 1 is the paper's unit-cost setting); returns its
-  /// ColorId.
-  ColorId add_color(Round d, Cost drop_cost = 1);
+  /// Adds a color with delay bound `d` (>= 1), per-job drop cost
+  /// `drop_cost` (>= 1; 1 is the paper's unit-cost setting), and per-job
+  /// execution length `length` (>= 1; 1 is the paper's unit-job setting);
+  /// returns its ColorId.
+  ColorId add_color(Round d, Cost drop_cost = 1, Round length = 1);
+
+  /// Sets the cold re-image price Delta(kBlack -> to) of an already-added
+  /// color, promoting the instance's cost model to the vector tier (unset
+  /// colors default to Delta).
+  InstanceBuilder& reconfig_cost(ColorId to, Cost cost);
+
+  /// Sets Delta(from -> to) between two already-added colors, promoting
+  /// the cost model to the matrix tier (unset entries default to the cold
+  /// cost of their target).  `from` == kBlack sets the cold column.
+  InstanceBuilder& transition_cost(ColorId from, ColorId to, Cost cost);
 
   /// Adds `count` unit jobs of `color` arriving in round `arrival`.
   InstanceBuilder& add_jobs(ColorId color, Round arrival,
@@ -138,11 +164,18 @@ class InstanceBuilder {
     Round arrival;
     std::int64_t count;
   };
+  struct PendingTransition {
+    ColorId from;  // kBlack = cold column
+    ColorId to;
+    Cost cost;
+  };
 
   Cost delta_ = 1;
   Round min_horizon_ = 0;
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
+  std::vector<Round> lengths_;
+  std::vector<PendingTransition> transitions_;
   std::vector<PendingArrival> arrivals_;
   bool built_ = false;
 };

@@ -18,6 +18,11 @@ struct Job {
   /// (per-color drop costs, following the companion SPAA 2006 paper's
   /// variable-drop-cost variant) allows any positive integer.
   Cost drop_cost = 1;
+  /// Execution units required to complete the job.  The paper fixes 1; the
+  /// length extension (per-color integer lengths, see CostModel) allows any
+  /// positive integer.  A job dropped before its final unit executes is
+  /// charged its full drop_cost — partial execution earns nothing.
+  Round length = 1;
 
   /// First round in which the job no longer exists: it is dropped in the
   /// drop phase of round `deadline()` if still pending.

@@ -21,6 +21,7 @@ void PendingJobs::reset(ColorId num_colors) {
   RRS_REQUIRE(num_colors >= 0, "negative color count");
   slot_deadline_.clear();
   slot_id_.clear();
+  slot_remaining_.clear();
   slot_next_.clear();
   free_head_ = -1;
   queues_.assign(static_cast<std::size_t>(num_colors), {});
@@ -40,6 +41,7 @@ std::int32_t PendingJobs::acquire_slot() {
   RRS_CHECK_MSG(slot <= INT32_MAX, "pending slot pool exceeds 2^31 jobs");
   slot_deadline_.emplace_back();
   slot_id_.emplace_back();
+  slot_remaining_.emplace_back();
   slot_next_.emplace_back();
   return static_cast<std::int32_t>(slot);
 }
@@ -57,10 +59,13 @@ void PendingJobs::add(const Job& job) {
           slot_deadline_[static_cast<std::size_t>(q.tail)] <= deadline,
       "per-color deadlines must be nondecreasing (color " << job.color
                                                           << ")");
+  RRS_CHECK_MSG(job.length >= 1, "job length must be >= 1 (job " << job.id
+                                                                 << ")");
   const std::int32_t slot = acquire_slot();
   const auto s = static_cast<std::size_t>(slot);
   slot_deadline_[s] = deadline;
   slot_id_[s] = job.id;
+  slot_remaining_[s] = job.length;
   slot_next_[s] = -1;
   if (q.tail >= 0) {
     slot_next_[static_cast<std::size_t>(q.tail)] = slot;
@@ -96,6 +101,23 @@ JobId PendingJobs::pop_earliest(ColorId color) {
   --total_;
   release_slot(slot);
   return id;
+}
+
+PendingJobs::ExecResult PendingJobs::execute_earliest(ColorId color) {
+  ColorQueue& q = queues_[idx(color)];
+  RRS_CHECK(q.head >= 0);
+  const auto s = static_cast<std::size_t>(q.head);
+  if (slot_remaining_[s] > 1) {
+    --slot_remaining_[s];
+    return {slot_id_[s], false};
+  }
+  return {pop_earliest(color), true};
+}
+
+Round PendingJobs::earliest_remaining(ColorId color) const {
+  const ColorQueue& q = queues_[idx(color)];
+  RRS_CHECK(q.head >= 0);
+  return slot_remaining_[static_cast<std::size_t>(q.head)];
 }
 
 void PendingJobs::bucket_entry(ColorId color, Round deadline) {

@@ -56,8 +56,28 @@ class PendingJobs {
   [[nodiscard]] Round earliest_deadline(ColorId color) const;
 
   /// Removes and returns the earliest-deadline pending job of `color`
-  /// (i.e. executes it).  Requires count(color) > 0.
+  /// (i.e. executes it).  Requires count(color) > 0.  Equivalent to
+  /// execute_earliest() for unit-length jobs; multi-unit jobs must go
+  /// through execute_earliest() so partial progress is tracked.
   JobId pop_earliest(ColorId color);
+
+  /// One execution unit applied to a job.
+  struct ExecResult {
+    JobId id = 0;
+    bool completed = false;  ///< final unit: the job left the multiset
+  };
+
+  /// Applies one execution unit to the earliest-deadline pending job of
+  /// `color`, removing it when its remaining length hits zero.  Requires
+  /// count(color) > 0.  At most the front job of a color is ever partially
+  /// executed: progress always goes to the front (EDF within color), and a
+  /// front job that expires is dropped at full weight, so partial progress
+  /// never outlives the front position.
+  ExecResult execute_earliest(ColorId color);
+
+  /// Remaining execution units of the earliest-deadline pending job of
+  /// `color`.  Requires count(color) > 0.
+  [[nodiscard]] Round earliest_remaining(ColorId color) const;
 
   /// Result of an expiry sweep.
   struct DropResult {
@@ -130,6 +150,7 @@ class PendingJobs {
   // next-chain as a free list.
   std::vector<Round> slot_deadline_;
   std::vector<JobId> slot_id_;
+  std::vector<Round> slot_remaining_;  ///< execution units left (>= 1)
   std::vector<std::int32_t> slot_next_;
   std::int32_t free_head_ = -1;
 

@@ -53,9 +53,12 @@ struct Schedule {
   /// cost(const Instance&) for the weighted extension.
   [[nodiscard]] CostBreakdown cost(Cost delta, std::int64_t total_jobs) const;
 
-  /// Cost against `instance`: reconfigurations * Delta plus the summed
-  /// drop costs of every job never executed (equals the unit-cost formula
-  /// when instance.unit_drop_costs()).
+  /// Cost against `instance` under its full cost model: the summed
+  /// Delta(from -> to) of every recoloring (replaying per-resource
+  /// configurations when the matrix tier needs the previous occupant) plus
+  /// the summed drop costs of every job never *completed* — a job needs
+  /// length(color) execution units, and partial execution earns nothing.
+  /// Equals the unit-cost formula under the paper's scalar-uniform model.
   [[nodiscard]] CostBreakdown cost(const Instance& instance) const;
 };
 

@@ -34,8 +34,12 @@ using Cost = std::int64_t;
 /// Cost of a run, split by source.
 struct CostBreakdown {
   Cost reconfig_events = 0;  ///< number of single-resource recolorings
-  Cost reconfig_cost = 0;    ///< reconfig_events * Delta
-  Cost drops = 0;            ///< jobs never executed (unit cost each)
+  /// Sum of Delta(from -> to) over all recolorings.  Equals
+  /// reconfig_events * Delta under the scalar cost model (the paper's).
+  Cost reconfig_cost = 0;
+  /// Total drop cost of jobs never completed (count of dropped jobs under
+  /// unit drop costs).
+  Cost drops = 0;
   /// Churn-forced reconfigurations (repairs charged under
   /// EngineOptions::charge_repair).  A subset of reconfig_events — already
   /// included in reconfig_cost, so total() is unchanged.  Zero on

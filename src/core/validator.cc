@@ -89,7 +89,9 @@ class Validator {
   void replay() {
     std::vector<ColorId> config(
         static_cast<std::size_t>(sched_.num_resources), kBlack);
-    std::vector<char> executed(inst_.jobs().size(), 0);
+    // Units applied per job: a job may legally receive up to length(color)
+    // exec events (exactly one under the paper's unit lengths).
+    std::vector<Round> units(inst_.jobs().size(), 0);
     // (resource) -> last (round, mini) with an execution, to detect double
     // booking of a slot.
     std::vector<std::pair<Round, std::int32_t>> last_exec(
@@ -110,11 +112,12 @@ class Validator {
       }
 
       const Job& job = inst_.jobs()[static_cast<std::size_t>(e.job)];
-      if (executed[static_cast<std::size_t>(e.job)]) {
+      if (units[static_cast<std::size_t>(e.job)] >= job.length) {
         error("exec of job ", e.job, " at round ", e.round,
-              ": job already executed");
+              job.length == 1 ? ": job already executed"
+                              : ": job already completed");
       }
-      executed[static_cast<std::size_t>(e.job)] = 1;
+      ++units[static_cast<std::size_t>(e.job)];
       if (e.round < job.arrival) {
         error("exec of job ", e.job, " at round ", e.round,
               ": before arrival ", job.arrival);

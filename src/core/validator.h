@@ -6,10 +6,11 @@
 // Instance and checks the Section 2 model rules:
 //
 //   * events are ordered and in-range (rounds, mini-rounds, resources);
-//   * each job is executed at most once;
-//   * an executed job runs no earlier than its arrival round and strictly
-//     before its deadline round (jobs with deadline k are dropped in the
-//     drop phase of round k, which precedes execution);
+//   * each job receives at most length(color) execution units (exactly "at
+//     most once" under the paper's unit lengths);
+//   * every execution unit of a job runs no earlier than its arrival round
+//     and strictly before its deadline round (jobs with deadline k are
+//     dropped in the drop phase of round k, which precedes execution);
 //   * the executing resource is configured to the job's color at that
 //     mini-round (reconfigurations in the same mini-round precede execution);
 //   * at most one execution per (resource, round, mini-round).

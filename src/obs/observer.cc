@@ -5,8 +5,9 @@
 namespace rrs {
 
 void Observer::begin_run(std::span<const Round> delay_bounds,
-                         std::span<const Cost> drop_costs) {
-  stats.begin(delay_bounds, drop_costs);
+                         std::span<const Cost> drop_costs,
+                         std::span<const Round> lengths) {
+  stats.begin(delay_bounds, drop_costs, lengths);
   trace.clear();
   timers.reset();
   snapshots.clear();

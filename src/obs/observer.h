@@ -48,8 +48,10 @@ struct Observer {
   std::ostream* trace_dump_out = nullptr;
 
   /// Resets all state and caches per-color metadata for the hot-path hooks.
+  /// An empty `lengths` span means unit lengths (the paper's model).
   void begin_run(std::span<const Round> delay_bounds,
-                 std::span<const Cost> drop_costs);
+                 std::span<const Cost> drop_costs,
+                 std::span<const Round> lengths = {});
 
   /// Takes a periodic snapshot (and writes it to snapshot_out, if set).
   void emit_snapshot(Round round, std::int64_t pending);

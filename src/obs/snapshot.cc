@@ -151,6 +151,8 @@ Snapshot make_snapshot(const StreamStats& stats, Round round,
   s.executed = stats.executed();
   s.drop_count = stats.drop_count();
   s.drop_weight = stats.drop_weight();
+  s.completed_weight = stats.completed_weight();
+  s.work_units = stats.work_units();
   s.reconfig_events = stats.reconfig_events();
   s.churn_failures = stats.churn_failures();
   s.churn_repairs = stats.churn_repairs();
@@ -158,6 +160,7 @@ Snapshot make_snapshot(const StreamStats& stats, Round round,
   s.pending = pending;
   s.wait = stats.wait();
   s.slack = stats.slack();
+  s.service = stats.service();
   s.reconfig_gap = stats.reconfig_gap();
   s.mean_wait = s.wait.mean();
   s.mean_slack = s.slack.mean();
@@ -170,6 +173,8 @@ void merge_into(Snapshot& into, const Snapshot& from) {
   into.executed += from.executed;
   into.drop_count += from.drop_count;
   into.drop_weight += from.drop_weight;
+  into.completed_weight += from.completed_weight;
+  into.work_units += from.work_units;
   into.reconfig_events += from.reconfig_events;
   into.churn_failures += from.churn_failures;
   into.churn_repairs += from.churn_repairs;
@@ -177,6 +182,7 @@ void merge_into(Snapshot& into, const Snapshot& from) {
   into.pending += from.pending;
   into.wait.merge(from.wait);
   into.slack.merge(from.slack);
+  into.service.merge(from.service);
   into.reconfig_gap.merge(from.reconfig_gap);
   into.mean_wait = into.wait.mean();
   into.mean_slack = into.slack.mean();
@@ -195,6 +201,10 @@ std::string to_json_line(const Snapshot& snapshot) {
   append_int(out, snapshot.drop_count);
   out += ",\"drop_weight\":";
   append_int(out, snapshot.drop_weight);
+  out += ",\"completed_weight\":";
+  append_int(out, snapshot.completed_weight);
+  out += ",\"work_units\":";
+  append_int(out, snapshot.work_units);
   out += ",\"reconfig_events\":";
   append_int(out, snapshot.reconfig_events);
   out += ",\"churn_failures\":";
@@ -213,6 +223,8 @@ std::string to_json_line(const Snapshot& snapshot) {
   append_histogram(out, snapshot.wait);
   out += ",\"slack\":";
   append_histogram(out, snapshot.slack);
+  out += ",\"service\":";
+  append_histogram(out, snapshot.service);
   out += ",\"reconfig_gap\":";
   append_histogram(out, snapshot.reconfig_gap);
   out += '}';
@@ -232,6 +244,10 @@ Snapshot parse_snapshot_line(std::string_view line) {
   s.drop_count = c.parse_int();
   c.expect(",\"drop_weight\":");
   s.drop_weight = c.parse_int();
+  c.expect(",\"completed_weight\":");
+  s.completed_weight = c.parse_int();
+  c.expect(",\"work_units\":");
+  s.work_units = c.parse_int();
   c.expect(",\"reconfig_events\":");
   s.reconfig_events = c.parse_int();
   c.expect(",\"churn_failures\":");
@@ -250,6 +266,8 @@ Snapshot parse_snapshot_line(std::string_view line) {
   s.wait = parse_histogram(c);
   c.expect(",\"slack\":");
   s.slack = parse_histogram(c);
+  c.expect(",\"service\":");
+  s.service = parse_histogram(c);
   c.expect(",\"reconfig_gap\":");
   s.reconfig_gap = parse_histogram(c);
   c.expect("}");
@@ -258,12 +276,19 @@ Snapshot parse_snapshot_line(std::string_view line) {
   // Cross-field consistency: a well-formed snapshot cannot violate these,
   // so a violation means corrupt input.
   RRS_REQUIRE(s.round >= 0 && s.arrived >= 0 && s.drop_count >= 0 &&
-                  s.drop_weight >= 0 && s.reconfig_events >= 0 &&
+                  s.drop_weight >= 0 && s.completed_weight >= 0 &&
+                  s.work_units >= 0 && s.reconfig_events >= 0 &&
                   s.churn_failures >= 0 && s.churn_repairs >= 0 &&
                   s.churn_evictions >= 0 && s.pending >= 0,
               "snapshot: negative counter");
   RRS_REQUIRE(s.executed == s.wait.count() && s.executed == s.slack.count(),
               "snapshot: executed disagrees with wait/slack sample counts");
+  RRS_REQUIRE(s.executed == s.service.count(),
+              "snapshot: executed disagrees with service sample count");
+  RRS_REQUIRE(s.work_units >= s.service.sum(),
+              "snapshot: fewer work units than completed service demands");
+  RRS_REQUIRE(s.completed_weight >= s.executed,
+              "snapshot: completed weight below completion count");
   RRS_REQUIRE(s.arrived - s.executed >= s.drop_count,
               "snapshot: executed + dropped exceeds arrived");
   RRS_REQUIRE(s.churn_evictions <= s.churn_failures,

@@ -27,6 +27,10 @@ struct Snapshot {
   std::int64_t executed = 0;
   std::int64_t drop_count = 0;
   Cost drop_weight = 0;
+  /// Total drop cost of completed jobs (== executed under unit weights).
+  Cost completed_weight = 0;
+  /// Execution units applied (== executed under unit lengths).
+  std::int64_t work_units = 0;
   std::int64_t reconfig_events = 0;
   std::int64_t churn_failures = 0;
   std::int64_t churn_repairs = 0;
@@ -36,6 +40,7 @@ struct Snapshot {
   double mean_slack = 0.0;
   Histogram wait;
   Histogram slack;
+  Histogram service;  ///< per-completion job lengths
   Histogram reconfig_gap;
 
   friend bool operator==(const Snapshot&, const Snapshot&) = default;

@@ -17,6 +17,8 @@ struct ColorObs {
   std::int64_t dropped = 0;
   Cost dropped_weight = 0;
   std::int64_t wait_sum = 0;
+  /// Execution units applied to this color (== executed for unit lengths).
+  std::int64_t work_units = 0;
 
   /// Matches ColorMetrics::mean_wait bit-for-bit: waits are small
   /// nonnegative integers, so double accumulation of either the int64 sum
@@ -39,13 +41,21 @@ struct ColorObs {
 /// sharded additive-merge guarantee.
 class StreamStats {
  public:
-  /// Resets and sizes per-color state.  Spans are copied.
+  /// Resets and sizes per-color state.  Spans are copied.  An empty
+  /// `lengths` span means unit lengths (the paper's model).
   void begin(std::span<const Round> delay_bounds,
-             std::span<const Cost> drop_costs) {
+             std::span<const Cost> drop_costs,
+             std::span<const Round> lengths = {}) {
     RRS_CHECK(delay_bounds.size() == drop_costs.size());
+    RRS_CHECK(lengths.empty() || lengths.size() == delay_bounds.size());
     *this = StreamStats{};
     delay_bounds_.assign(delay_bounds.begin(), delay_bounds.end());
     drop_costs_.assign(drop_costs.begin(), drop_costs.end());
+    if (lengths.empty()) {
+      lengths_.assign(delay_bounds_.size(), 1);
+    } else {
+      lengths_.assign(lengths.begin(), lengths.end());
+    }
     per_color_.assign(delay_bounds_.size(), ColorObs{});
   }
 
@@ -67,10 +77,20 @@ class StreamStats {
     const Round slack = deadline - 1 - round;
     wait_.record(wait);
     slack_.record(slack);
+    service_.record(lengths_[c]);
     ++executed_;
+    completed_weight_ += drop_costs_[c];
     ColorObs& obs = per_color_[c];
     ++obs.executed;
     obs.wait_sum += wait;
+  }
+
+  /// Called once per execution unit (including the completing one, which
+  /// additionally fires on_execution).  work_units() == executed() under
+  /// unit lengths.
+  void on_work_unit(ColorId color) {
+    ++work_units_;
+    ++per_color_[static_cast<std::size_t>(color)].work_units;
   }
 
   void on_drop(ColorId color, std::int64_t count) {
@@ -108,12 +128,15 @@ class StreamStats {
 
   [[nodiscard]] const Histogram& wait() const { return wait_; }
   [[nodiscard]] const Histogram& slack() const { return slack_; }
+  [[nodiscard]] const Histogram& service() const { return service_; }
   [[nodiscard]] const Histogram& reconfig_gap() const { return reconfig_gap_; }
   [[nodiscard]] const std::vector<ColorObs>& per_color() const {
     return per_color_;
   }
   [[nodiscard]] std::int64_t arrived() const { return arrived_; }
   [[nodiscard]] std::int64_t executed() const { return executed_; }
+  [[nodiscard]] std::int64_t work_units() const { return work_units_; }
+  [[nodiscard]] Cost completed_weight() const { return completed_weight_; }
   [[nodiscard]] std::int64_t drop_count() const { return drop_count_; }
   [[nodiscard]] Cost drop_weight() const { return drop_weight_; }
   [[nodiscard]] std::int64_t reconfig_events() const {
@@ -164,9 +187,12 @@ class StreamStats {
   void merge_aggregates(const StreamStats& other) {
     wait_.merge(other.wait_);
     slack_.merge(other.slack_);
+    service_.merge(other.service_);
     reconfig_gap_.merge(other.reconfig_gap_);
     arrived_ += other.arrived_;
     executed_ += other.executed_;
+    work_units_ += other.work_units_;
+    completed_weight_ += other.completed_weight_;
     drop_count_ += other.drop_count_;
     drop_weight_ += other.drop_weight_;
     reconfig_events_ += other.reconfig_events_;
@@ -182,16 +208,21 @@ class StreamStats {
     into.dropped += from.dropped;
     into.dropped_weight += from.dropped_weight;
     into.wait_sum += from.wait_sum;
+    into.work_units += from.work_units;
   }
 
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
+  std::vector<Round> lengths_;
   std::vector<ColorObs> per_color_;
   Histogram wait_;
   Histogram slack_;
+  Histogram service_;
   Histogram reconfig_gap_;
   std::int64_t arrived_ = 0;
   std::int64_t executed_ = 0;
+  std::int64_t work_units_ = 0;
+  Cost completed_weight_ = 0;
   std::int64_t drop_count_ = 0;
   Cost drop_weight_ = 0;
   std::int64_t reconfig_events_ = 0;

@@ -10,8 +10,12 @@ void DemandGreedyPolicy::begin(const ArrivalSource& source, int num_resources,
                                int speed) {
   (void)num_resources;
   (void)speed;
-  threshold_ = params_.switch_threshold > 0 ? params_.switch_threshold
-                                            : source.delta();
+  threshold_ = params_.switch_threshold;  // 0 = per-candidate cold cost
+  const CostModel& model = source.cost_model();
+  cold_costs_.resize(static_cast<std::size_t>(source.num_colors()));
+  for (ColorId c = 0; c < source.num_colors(); ++c) {
+    cold_costs_[static_cast<std::size_t>(c)] = model.cold_cost(c);
+  }
   skip_color_.assign(static_cast<std::size_t>(source.num_colors()), 0);
   if (params_.skip_small_colors) {
     // Needs whole-sequence knowledge (per-color total weight), so this
@@ -21,7 +25,10 @@ void DemandGreedyPolicy::begin(const ArrivalSource& source, int num_resources,
                 "demand-greedy with skip_small_colors needs a materialized "
                 "instance, got streaming source: " << source.summary());
     for (ColorId c = 0; c < source.num_colors(); ++c) {
-      if (instance->weight_of_color(c) < source.delta()) {
+      // Cheaper to drop than to image: total droppable weight below the
+      // color's own cold re-image price (< Delta jobs in the unit model).
+      if (instance->weight_of_color(c) <
+          cold_costs_[static_cast<std::size_t>(c)]) {
         skip_color_[static_cast<std::size_t>(c)] = 1;
       }
     }
@@ -79,8 +86,13 @@ void DemandGreedyPolicy::on_round(RoundContext& ctx) {
     }
     const bool idle_takeover =
         weakest_backlog == 0 && params_.replace_idle_freely;
+    // The default hysteresis is what the switch would actually cost: the
+    // candidate's cold re-image price (Delta under the scalar model).
+    const Cost threshold =
+        threshold_ > 0 ? threshold_
+                       : cold_costs_[static_cast<std::size_t>(want)];
     if (weakest != kBlack &&
-        (idle_takeover || backlog(want) >= weakest_backlog + threshold_)) {
+        (idle_takeover || backlog(want) >= weakest_backlog + threshold)) {
       cache.erase(weakest);
       cache.insert(want);
     }

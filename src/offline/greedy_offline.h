@@ -21,8 +21,13 @@ namespace rrs {
 
 /// One demand-greedy configuration.
 struct DemandGreedyParams {
-  Cost switch_threshold = 0;  ///< 0 = use Delta
-  bool skip_small_colors = false;  ///< ignore colors with < Delta jobs total
+  /// Hysteresis in droppable value; 0 = use the candidate color's cold
+  /// reconfiguration price (== Delta under the scalar cost model).
+  Cost switch_threshold = 0;
+  /// Ignore colors whose total droppable weight is below their cold
+  /// reconfiguration price (cheaper to drop than to configure — the
+  /// Lemma 3.1 regime; "fewer than Delta jobs" under the unit model).
+  bool skip_small_colors = false;
   /// Replace an idle incumbent without meeting the threshold.  Eager
   /// replacement utilizes resources but can thrash on alternating demand
   /// (the paper's Section 1 dilemma) — the best-of family tries both.
@@ -47,7 +52,8 @@ class DemandGreedyPolicy : public Policy {
 
  private:
   DemandGreedyParams params_;
-  Cost threshold_ = 1;
+  Cost threshold_ = 0;  ///< 0 = per-candidate cold cost
+  std::vector<Cost> cold_costs_;
   std::vector<char> skip_color_;
   std::vector<ColorId> scratch_;
 };

@@ -12,20 +12,35 @@ LowerBound offline_lower_bound(const Instance& instance, int m) {
   RRS_REQUIRE(m >= 1, "lower bound needs m >= 1");
   LowerBound lb;
 
-  // LB1: sum over colors of min(Delta, total drop weight of the color) —
-  // either OFF configures the color at least once or forfeits its jobs.
+  const CostModel& model = instance.cost_model();
+
+  // LB1: sum over colors of min(cheapest incoming reconfiguration, total
+  // drop weight of the color) — any event targeting color c costs at least
+  // min_f Delta(f -> c), so OFF either pays that to host c at least once
+  // or forfeits c's jobs.  Reduces to min(Delta, J_c) under the paper's
+  // scalar-uniform model.
   for (ColorId c = 0; c < instance.num_colors(); ++c) {
-    lb.configure_or_drop +=
-        std::min<Cost>(instance.delta(), instance.weight_of_color(c));
+    lb.configure_or_drop += std::min<Cost>(model.min_incoming_cost(c),
+                                           instance.weight_of_color(c));
   }
 
   // LB2: per dyadic scale s, windows [i*2^s, (i+1)*2^s) partition time;
-  // count jobs fully contained in each window and charge the excess over
-  // m * 2^s.  A job [arrival, deadline) fits in the window of scale s
-  // containing its arrival iff deadline <= window end.
+  // sum the execution units demanded by jobs fully contained in each
+  // window and charge the excess over the m * 2^s units the window
+  // supplies.  A job [arrival, deadline) fits in the window of scale s
+  // containing its arrival iff deadline <= window end.  Each dropped job
+  // relieves at most l_max units of demand and costs at least w_min, so
+  // the excess forces ceil(excess / l_max) * w_min drop cost (exactly the
+  // excess job count under unit lengths and weights).
   if (instance.horizon() > 0 && !instance.jobs().empty()) {
+    const Round l_max = model.max_length();
+    Cost w_min = -1;  // min drop cost among colors that have jobs
+    for (const Job& job : instance.jobs()) {
+      const Cost w = model.drop_cost(job.color);
+      if (w_min < 0 || w < w_min) w_min = w;
+    }
     const int max_scale = floor_log2(instance.horizon()) + 1;
-    // (scale, window index) -> contained job count.  Sparse: touched
+    // (scale, window index) -> contained execution units.  Sparse: touched
     // windows only.
     std::vector<std::unordered_map<Round, Cost>> contained(
         static_cast<std::size_t>(max_scale) + 1);
@@ -35,17 +50,19 @@ LowerBound offline_lower_bound(const Instance& instance, int m) {
         if (width < job.delay_bound) continue;  // cannot possibly fit
         const Round start = floor_multiple(job.arrival, width);
         if (job.deadline() <= start + width) {
-          ++contained[static_cast<std::size_t>(s)][start / width];
+          contained[static_cast<std::size_t>(s)][start / width] +=
+              Cost{job.length};
         }
       }
     }
     for (int s = 0; s <= max_scale; ++s) {
       const Round width = Round{1} << s;
       Cost scale_total = 0;
-      for (const auto& [window, count] :
+      for (const auto& [window, units] :
            contained[static_cast<std::size_t>(s)]) {
         (void)window;
-        scale_total += std::max<Cost>(0, count - Cost{m} * width);
+        const Cost excess = std::max<Cost>(0, units - Cost{m} * width);
+        scale_total += (excess + Cost{l_max} - 1) / Cost{l_max} * w_min;
       }
       lb.capacity = std::max(lb.capacity, scale_total);
     }

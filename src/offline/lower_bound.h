@@ -3,15 +3,21 @@
 // The competitive-ratio experiments need a denominator that provably does
 // not exceed Cost_OFF.  Two bounds are computed and combined by max():
 //
-//   LB1 (configure-or-drop): resources start black, so OFF either pays at
-//       least Delta to configure color l at least once, or drops all J_l of
-//       its jobs.  Hence Cost_OFF >= sum_l min(Delta, J_l).
+//   LB1 (configure-or-drop): any reconfiguration event targeting color l
+//       costs at least min_f Delta(f -> l) (== Delta under the scalar
+//       model), so OFF either pays at least that to host l at least once,
+//       or forfeits l's total drop weight W_l.  Hence
+//       Cost_OFF >= sum_l min(min_f Delta(f -> l), W_l).
 //
-//   LB2 (capacity): with m uni-speed resources, at most m * |W| jobs can be
-//       executed inside any window W; jobs whose whole [arrival, deadline)
-//       window lies inside W in excess of that are necessarily dropped.
-//       Dyadic windows of one scale are disjoint, so the per-scale sum of
-//       excesses is a valid bound; we take the max over scales.
+//   LB2 (capacity): with m uni-speed resources, at most m * |W| execution
+//       units fit inside any window W; jobs whose whole [arrival, deadline)
+//       window lies inside W demand length(color) units each, and each
+//       dropped job relieves at most l_max units at a price of at least
+//       w_min, so excess units force at least
+//       ceil(excess / l_max) * w_min drop cost (== excess jobs under the
+//       paper's unit lengths and weights).  Dyadic windows of one scale are
+//       disjoint, so the per-scale sum of excesses is a valid bound; we
+//       take the max over scales.
 //
 // Both bounds are exact lower bounds (no slack assumptions), so measured
 // ratios  cost_online / max(LB1, LB2)  are upper bounds on the true

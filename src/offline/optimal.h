@@ -2,14 +2,28 @@
 //
 // State per round: the multiset of configured colors (resources are
 // interchangeable, so order is irrelevant) plus the pending-job profile
-// (per color, counts bucketed by deadline).  Transitions enumerate every
-// next configuration multiset; two prunings are safe:
+// (per color, counts bucketed by deadline, and the execution units already
+// applied to the earliest job — jobs need length(color) units and partial
+// execution earns nothing).  Transitions enumerate every next
+// configuration multiset; two prunings are safe:
 //   * a resource is only reconfigured to a color with pending jobs (delaying
 //     a reconfiguration to the round where it first executes never costs
 //     more);
-//   * within a configured color, executing the earliest-deadline pending
-//     job is optimal (exchange argument), so the execution phase is
-//     deterministic given the configuration.
+//   * within a configured color, execution follows the model's
+//     EDF-within-color discipline — the earliest-deadline pending job
+//     receives the unit (optimal by exchange for unit lengths; the defined
+//     execution semantics of the engine in general) — so the execution
+//     phase is deterministic given the configuration.
+//
+// Reconfiguration is priced under the instance's full cost model.  The
+// scalar and vector tiers price each newly configured color by its cold
+// cost (matching identical colors first is optimal when the price depends
+// only on the target).  The matrix tier solves an exact min-cost bijection
+// between the old and new multisets per transition (bitmask DP; requires
+// m <= 8) and, because transition prices are path-dependent, the result is
+// exact over schedules that only configure demanded colors — tight
+// whenever indirect recoloring chains are never cheaper, i.e.
+// Delta(f->t) <= Delta(f->v) + Delta(v->t).
 //
 // Complexity is exponential in colors/resources and linear-ish in rounds;
 // intended for cross-checking algorithms and lower bounds in tests

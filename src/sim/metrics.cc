@@ -45,6 +45,10 @@ ScheduleMetrics compute_metrics(const Instance& instance,
   std::vector<double> wait_sum(
       static_cast<std::size_t>(instance.num_colors()), 0.0);
 
+  // Each exec event applies one execution unit; a job completes — and
+  // contributes its wait/slack samples — at its length(color)-th unit.
+  // Under the paper's unit lengths every event is a completion.
+  std::vector<Round> units(instance.jobs().size(), 0);
   Round first_round = -1, last_round = -1;
   for (const ExecEvent& e : schedule.execs) {
     const Job& job = instance.jobs()[static_cast<std::size_t>(e.job)];
@@ -52,12 +56,14 @@ ScheduleMetrics compute_metrics(const Instance& instance,
     RRS_CHECK_MSG(wait >= 0 && e.round < job.deadline(),
                   "compute_metrics on an invalid schedule (job " << e.job
                                                                  << ")");
-    waits.push_back(wait);
-    slacks.push_back(job.deadline() - 1 - e.round);
-    auto& pc = m.per_color[static_cast<std::size_t>(job.color)];
-    ++pc.executed;
-    wait_sum[static_cast<std::size_t>(job.color)] +=
-        static_cast<double>(wait);
+    if (++units[static_cast<std::size_t>(e.job)] == job.length) {
+      waits.push_back(wait);
+      slacks.push_back(job.deadline() - 1 - e.round);
+      auto& pc = m.per_color[static_cast<std::size_t>(job.color)];
+      ++pc.executed;
+      wait_sum[static_cast<std::size_t>(job.color)] +=
+          static_cast<double>(wait);
+    }
     if (first_round < 0 || e.round < first_round) first_round = e.round;
     if (e.round > last_round) last_round = e.round;
   }
@@ -75,13 +81,14 @@ ScheduleMetrics compute_metrics(const Instance& instance,
                        : 0.0;
   }
 
+  std::int64_t completed = 0;
+  for (const auto& pc : m.per_color) completed += pc.executed;
   m.wait = summarize(std::move(waits));
   m.slack = summarize(std::move(slacks));
-  m.service_rate =
-      instance.jobs().empty()
-          ? 1.0
-          : static_cast<double>(schedule.execs.size()) /
-                static_cast<double>(instance.jobs().size());
+  m.service_rate = instance.jobs().empty()
+                       ? 1.0
+                       : static_cast<double>(completed) /
+                             static_cast<double>(instance.jobs().size());
   if (first_round >= 0 && schedule.num_resources > 0) {
     const double span =
         static_cast<double>(last_round - first_round + 1) *

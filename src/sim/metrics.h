@@ -39,7 +39,7 @@ struct DistributionSummary {
 struct ColorMetrics {
   ColorId color = 0;
   std::int64_t jobs = 0;
-  std::int64_t executed = 0;
+  std::int64_t executed = 0;  ///< jobs completed (all length(color) units)
   std::int64_t dropped = 0;
   Cost dropped_weight = 0;
   /// Mean rounds between arrival and execution, over executed jobs.
@@ -48,14 +48,15 @@ struct ColorMetrics {
 
 /// Full metrics for one schedule on one instance.
 struct ScheduleMetrics {
-  /// Rounds each executed job waited (execution round - arrival).
+  /// Rounds each completed job waited (final-unit round - arrival).
   DistributionSummary wait;
-  /// Slack at execution (deadline - 1 - execution round): 0 = just-in-time.
+  /// Slack at completion (deadline - 1 - final-unit round): 0 =
+  /// just-in-time.
   DistributionSummary slack;
-  /// Fraction of resource-mini-round slots that executed a job, over the
-  /// span [first event round, last event round].
+  /// Fraction of resource-mini-round slots that applied an execution unit,
+  /// over the span [first event round, last event round].
   double utilization = 0.0;
-  /// Service rate: executed / total jobs.
+  /// Service rate: completed jobs / total jobs.
   double service_rate = 1.0;
   std::vector<ColorMetrics> per_color;
 };

@@ -39,11 +39,13 @@ void merge_shard_observers(Observer& merged,
   std::vector<Round> delay_bounds(
       static_cast<std::size_t>(source.num_colors()));
   std::vector<Cost> drop_costs(delay_bounds.size());
+  std::vector<Round> lengths(delay_bounds.size());
   for (ColorId c = 0; c < source.num_colors(); ++c) {
     delay_bounds[static_cast<std::size_t>(c)] = source.delay_bound(c);
     drop_costs[static_cast<std::size_t>(c)] = source.drop_cost(c);
+    lengths[static_cast<std::size_t>(c)] = source.length(c);
   }
-  merged.begin_run(delay_bounds, drop_costs);
+  merged.begin_run(delay_bounds, drop_costs, lengths);
 
   std::vector<std::vector<Snapshot>> series;
   series.reserve(shard_obs.size());
@@ -71,6 +73,7 @@ StreamRunRecord to_stream_record(const std::string& name, int n,
   record.n = n;
   record.cost = result.cost;
   record.executed = result.executed;
+  record.work_units = result.work_units;
   record.arrived = result.arrived;
   record.rounds = result.rounds;
   record.peak_pending = result.peak_pending;
@@ -234,6 +237,7 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
     record.merged.degraded.drops_while_degraded +=
         shard.degraded.drops_while_degraded;
     record.merged.executed += shard.executed;
+    record.merged.work_units += shard.work_units;
     record.merged.arrived += shard.arrived;
     record.merged.rounds = std::max(record.merged.rounds, shard.rounds);
     record.merged.peak_pending += shard.peak_pending;

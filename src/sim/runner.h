@@ -34,7 +34,9 @@ struct StreamRunRecord {
   std::string algorithm;
   int n = 0;
   CostBreakdown cost;
-  std::int64_t executed = 0;
+  std::int64_t executed = 0;      ///< jobs completed
+  std::int64_t work_units = 0;    ///< execution units applied (== executed
+                                  ///< under unit lengths)
   std::int64_t arrived = 0;       ///< jobs pulled from the source
   Round rounds = 0;               ///< rounds actually run
   std::int64_t peak_pending = 0;  ///< max pending-set size observed

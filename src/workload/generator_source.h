@@ -43,6 +43,9 @@ class GeneratorSource : public ArrivalSource {
   [[nodiscard]] Cost drop_cost(ColorId color) const override {
     return drop_costs_[checked(color)];
   }
+  [[nodiscard]] Round length(ColorId color) const override {
+    return lengths_[checked(color)];
+  }
   [[nodiscard]] Round horizon() const override { return horizon_; }
 
   [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
@@ -67,11 +70,13 @@ class GeneratorSource : public ArrivalSource {
   }
 
   /// Registers a color; returns its ColorId.  Constructor-time only.
-  ColorId add_color(Round delay, Cost drop_cost = 1) {
+  ColorId add_color(Round delay, Cost drop_cost = 1, Round length = 1) {
     RRS_REQUIRE(delay >= 1, "delay bound must be >= 1, got " << delay);
     RRS_REQUIRE(drop_cost >= 1, "drop cost must be >= 1, got " << drop_cost);
+    RRS_REQUIRE(length >= 1, "job length must be >= 1, got " << length);
     delay_bounds_.push_back(delay);
     drop_costs_.push_back(drop_cost);
+    lengths_.push_back(length);
     return static_cast<ColorId>(delay_bounds_.size() - 1);
   }
 
@@ -81,7 +86,7 @@ class GeneratorSource : public ArrivalSource {
     const std::size_t c = checked(color);
     for (std::int64_t i = 0; i < count; ++i) {
       buffer_.push_back(Job{next_id_++, color, k, delay_bounds_[c],
-                            drop_costs_[c]});
+                            drop_costs_[c], lengths_[c]});
     }
   }
 
@@ -102,6 +107,7 @@ class GeneratorSource : public ArrivalSource {
   Round horizon_;
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
+  std::vector<Round> lengths_;
   std::vector<Job> buffer_;
   Round next_round_ = 0;
   JobId next_id_ = 0;

@@ -205,10 +205,16 @@ class ShardedSource::Stream final : public ArrivalSource {
     const auto& colors = plan.shard_colors[static_cast<std::size_t>(shard)];
     delay_bounds_.reserve(colors.size());
     drop_costs_.reserve(colors.size());
+    lengths_.reserve(colors.size());
     for (const ColorId c : colors) {
       delay_bounds_.push_back(parent.delay_bound(c));
       drop_costs_.push_back(parent.drop_cost(c));
+      lengths_.push_back(parent.length(c));
     }
+    // Local color i is global colors[i]: the restricted model re-indexes
+    // the parent's drop/length/Delta entries to the shard's id space, so
+    // every shard charges exactly what the serial run would.
+    model_ = parent.cost_model().restricted(colors);
   }
 
   [[nodiscard]] Cost delta() const override { return delta_; }
@@ -220,6 +226,12 @@ class ShardedSource::Stream final : public ArrivalSource {
   }
   [[nodiscard]] Cost drop_cost(ColorId color) const override {
     return drop_costs_[checked(color)];
+  }
+  [[nodiscard]] Round length(ColorId color) const override {
+    return lengths_[checked(color)];
+  }
+  [[nodiscard]] const CostModel& cost_model() const override {
+    return model_;
   }
   [[nodiscard]] Round horizon() const override { return arrival_end_; }
 
@@ -259,6 +271,8 @@ class ShardedSource::Stream final : public ArrivalSource {
   Cost delta_;
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
+  std::vector<Round> lengths_;
+  CostModel model_;  // parent model restricted to this shard's colors
   Chunk chunk_;
   Round next_round_ = 0;
 };

@@ -11,7 +11,8 @@
 namespace rrs {
 namespace {
 
-constexpr const char* kHeader = "# rrs-trace v1";
+constexpr const char* kHeaderV1 = "# rrs-trace v1";
+constexpr const char* kHeaderV2 = "# rrs-trace v2";
 constexpr const char* kTrailer = "# end";
 
 /// Instances materialize one Job per trace count, so a corrupt (or hostile)
@@ -41,11 +42,37 @@ std::int64_t parse_int(const std::string& s, const char* what) {
 }  // namespace
 
 void write_trace(std::ostream& out, const Instance& instance) {
-  out << kHeader << "\n";
+  const CostModel& model = instance.cost_model();
+  // v1 exactly when the instance is expressible in it: scalar Delta and
+  // unit lengths.  Keeps archived v1 traces byte-stable.
+  const bool v2 = model.tier() != CostModel::Tier::kScalar ||
+                  !instance.unit_lengths();
+  out << (v2 ? kHeaderV2 : kHeaderV1) << "\n";
   out << "delta," << instance.delta() << "\n";
   for (ColorId c = 0; c < instance.num_colors(); ++c) {
     out << "color," << c << "," << instance.delay_bound(c) << ","
-        << instance.drop_cost(c) << "\n";
+        << instance.drop_cost(c);
+    if (v2) out << "," << instance.length(c);
+    out << "\n";
+  }
+  if (model.tier() != CostModel::Tier::kScalar) {
+    for (ColorId c = 0; c < instance.num_colors(); ++c) {
+      out << "dcold," << c << "," << model.cold_cost(c) << "\n";
+    }
+    if (model.tier() == CostModel::Tier::kMatrix) {
+      // Only warm entries that differ from the cold default are stored;
+      // the reader reconstructs the rest.  A matrix with no discounts at
+      // all therefore reads back as the behaviorally identical vector
+      // tier.
+      for (ColorId f = 0; f < instance.num_colors(); ++f) {
+        for (ColorId t = 0; t < instance.num_colors(); ++t) {
+          const Cost warm = model.reconfig_cost(f, t);
+          if (warm != model.cold_cost(t)) {
+            out << "dwarm," << f << "," << t << "," << warm << "\n";
+          }
+        }
+      }
+    }
   }
   // Aggregate jobs by (arrival, color) to keep traces compact.
   const auto& jobs = instance.jobs();
@@ -74,8 +101,16 @@ void write_trace_file(const std::string& path, const Instance& instance) {
 
 Instance read_trace(std::istream& in) {
   std::string line;
-  RRS_REQUIRE(std::getline(in, line) && line == kHeader,
-              "missing trace header '" << kHeader << "'");
+  RRS_REQUIRE(std::getline(in, line), "missing trace header");
+  int version = 0;
+  if (line == kHeaderV1) {
+    version = 1;
+  } else if (line == kHeaderV2) {
+    version = 2;
+  } else {
+    throw InputError(std::string("missing trace header '") + kHeaderV1 +
+                     "' or '" + kHeaderV2 + "'");
+  }
   InstanceBuilder builder;
   ColorId colors_declared = 0;
   bool saw_delta = false;
@@ -99,16 +134,50 @@ Instance read_trace(std::istream& in) {
       saw_delta = true;
       builder.delta(parse_int(f[1], "delta"));
     } else if (f[0] == "color") {
-      RRS_REQUIRE(f.size() == 3 || f.size() == 4,
-                  "color record needs 2 or 3 fields");
+      if (version == 1) {
+        RRS_REQUIRE(f.size() == 3 || f.size() == 4,
+                    "color record needs 2 or 3 fields");
+      } else {
+        RRS_REQUIRE(f.size() >= 3 && f.size() <= 5,
+                    "color record needs 2 to 4 fields");
+      }
       RRS_REQUIRE(!saw_jobs, "color record after job records");
       const std::int64_t id = parse_int(f[1], "color id");
       RRS_REQUIRE(id == colors_declared,
                   "color ids must be dense and ascending; got " << id);
       const Cost drop_cost =
-          f.size() == 4 ? parse_int(f[3], "drop cost") : 1;
-      builder.add_color(parse_int(f[2], "delay bound"), drop_cost);
+          f.size() >= 4 ? parse_int(f[3], "drop cost") : 1;
+      const Round length =
+          f.size() == 5 ? parse_int(f[4], "job length") : 1;
+      builder.add_color(parse_int(f[2], "delay bound"), drop_cost, length);
       ++colors_declared;
+    } else if (f[0] == "dcold") {
+      RRS_REQUIRE(version >= 2,
+                  "dcold records need a v2 trace header");
+      RRS_REQUIRE(f.size() == 3, "dcold record needs 2 fields");
+      RRS_REQUIRE(!saw_jobs, "dcold record after job records");
+      const std::int64_t to = parse_int(f[1], "dcold color");
+      RRS_REQUIRE(to >= 0 && to < colors_declared,
+                  "dcold color " << to << " not declared (have "
+                                 << colors_declared << " colors)");
+      builder.reconfig_cost(static_cast<ColorId>(to),
+                            parse_int(f[2], "dcold cost"));
+    } else if (f[0] == "dwarm") {
+      RRS_REQUIRE(version >= 2,
+                  "dwarm records need a v2 trace header");
+      RRS_REQUIRE(f.size() == 4, "dwarm record needs 3 fields");
+      RRS_REQUIRE(!saw_jobs, "dwarm record after job records");
+      const std::int64_t from = parse_int(f[1], "dwarm from-color");
+      const std::int64_t to = parse_int(f[2], "dwarm to-color");
+      RRS_REQUIRE(from >= 0 && from < colors_declared,
+                  "dwarm from-color " << from << " not declared (have "
+                                      << colors_declared << " colors)");
+      RRS_REQUIRE(to >= 0 && to < colors_declared,
+                  "dwarm to-color " << to << " not declared (have "
+                                    << colors_declared << " colors)");
+      builder.transition_cost(static_cast<ColorId>(from),
+                              static_cast<ColorId>(to),
+                              parse_int(f[3], "dwarm cost"));
     } else if (f[0] == "job") {
       RRS_REQUIRE(f.size() == 4, "job record needs 3 fields");
       saw_jobs = true;

@@ -1,23 +1,37 @@
 // CSV trace persistence for instances.
 //
-// Format (one file per instance):
-//   # rrs-trace v1
+// Two versions of one format (one file per instance):
+//   # rrs-trace v1                           (or "# rrs-trace v2")
 //   delta,<Delta>                            (at most one)
-//   color,<id>,<delay_bound>[,<drop_cost>]   (one per color, ascending id;
-//                                             drop cost defaults to 1)
+//   color,<id>,<delay_bound>[,<drop_cost>[,<length>]]
+//                                            (one per color, ascending id;
+//                                             drop cost and length default
+//                                             to 1; the length field is
+//                                             v2-only)
+//   dcold,<to>,<cost>                        (v2-only: cold reconfiguration
+//                                             price of color <to>)
+//   dwarm,<from>,<to>,<cost>                 (v2-only: warm transition
+//                                             price Delta(from -> to))
 //   job,<color>,<arrival>,<count>            (aggregated arrivals,
 //                                             nondecreasing arrival order)
 //   # end                                    (trailer; proves the file was
 //                                             written out in full)
 //
-// Traces round-trip exactly (same colors, same job multiset), letting
-// experiments be archived and replayed, and letting users feed their own
-// workloads to the examples.  The reader validates structure, ordering,
-// and value ranges and throws InputError on anything malformed —
-// truncated files (missing trailer), out-of-range or undeclared color
-// ids, out-of-order rounds, junk fields, job totals too large to
-// materialize — rather than crashing or building a garbage instance.  The
-// trailer is a comment line, so v1 readers predating it skip it.
+// The writer emits v1 exactly when the instance uses the paper's model
+// (scalar Delta tier and unit lengths), so archived v1 traces never change
+// byte-for-byte; anything needing the generalized cost model gets a v2
+// header.  The reader accepts both versions but rejects v2-only records
+// under a v1 header, keeping v1 a closed, stable format.
+//
+// Traces round-trip exactly (same colors, same job multiset, same cost
+// model), letting experiments be archived and replayed, and letting users
+// feed their own workloads to the examples.  The reader validates
+// structure, ordering, and value ranges and throws InputError on anything
+// malformed — truncated files (missing trailer), out-of-range or
+// undeclared color ids, out-of-order rounds, junk fields, job totals too
+// large to materialize — rather than crashing or building a garbage
+// instance.  The trailer is a comment line, so v1 readers predating it
+// skip it.
 #pragma once
 
 #include <iosfwd>
@@ -27,13 +41,15 @@
 
 namespace rrs {
 
-/// Writes `instance` as a v1 trace to `out`.
+/// Writes `instance` to `out` — as a v1 trace when its cost model is
+/// scalar with unit lengths (bit-stable with the historical writer), as v2
+/// otherwise.
 void write_trace(std::ostream& out, const Instance& instance);
 
 /// Writes `instance` to `path`; throws InputError on I/O failure.
 void write_trace_file(const std::string& path, const Instance& instance);
 
-/// Parses a v1 trace; throws InputError on malformed input.
+/// Parses a v1 or v2 trace; throws InputError on malformed input.
 [[nodiscard]] Instance read_trace(std::istream& in);
 
 /// Reads a trace file; throws InputError on I/O failure or bad content.

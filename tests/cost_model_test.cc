@@ -1,0 +1,232 @@
+// Unit tests for core/cost_model: the three reconfiguration tiers, the
+// per-color drop-weight and length tables, tier promotion, validation,
+// and shard restriction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace {
+
+TEST(CostModel, EmptyDefaultIsScalarUniform) {
+  const CostModel model;
+  EXPECT_EQ(model.tier(), CostModel::Tier::kScalar);
+  EXPECT_EQ(model.num_colors(), 0);
+  EXPECT_EQ(model.delta(), 1);
+  EXPECT_TRUE(model.unit_drop_costs());
+  EXPECT_TRUE(model.unit_lengths());
+  EXPECT_TRUE(model.scalar_reconfig());
+  EXPECT_TRUE(model.uniform());
+  EXPECT_EQ(model.max_length(), 1);
+  model.validate();
+}
+
+TEST(CostModel, ScalarFactoryMatchesThePaperModel) {
+  const CostModel model = CostModel::scalar(7, 3);
+  EXPECT_EQ(model.tier(), CostModel::Tier::kScalar);
+  EXPECT_EQ(model.num_colors(), 3);
+  EXPECT_EQ(model.delta(), 7);
+  EXPECT_TRUE(model.uniform());
+  for (ColorId c = 0; c < 3; ++c) {
+    EXPECT_EQ(model.drop_cost(c), 1);
+    EXPECT_EQ(model.length(c), 1);
+    EXPECT_EQ(model.cold_cost(c), 7);
+    EXPECT_EQ(model.min_incoming_cost(c), 7);
+    // Every (from, to) pair prices at Delta in the scalar tier...
+    EXPECT_EQ(model.reconfig_cost(kBlack, c), 7);
+    for (ColorId f = 0; f < 3; ++f) EXPECT_EQ(model.reconfig_cost(f, c), 7);
+    // ...and freeing a location is always free.
+    EXPECT_EQ(model.reconfig_cost(c, kBlack), 0);
+  }
+  model.validate();
+}
+
+TEST(CostModel, DropCostsAndLengthsTrackUniformFlags) {
+  CostModel model = CostModel::scalar(1, 2);
+  model.set_drop_cost(0, 5);
+  EXPECT_FALSE(model.unit_drop_costs());
+  EXPECT_TRUE(model.unit_lengths());
+  EXPECT_FALSE(model.uniform());
+  model.set_length(1, 4);
+  EXPECT_FALSE(model.unit_lengths());
+  EXPECT_EQ(model.drop_cost(0), 5);
+  EXPECT_EQ(model.drop_cost(1), 1);
+  EXPECT_EQ(model.length(0), 1);
+  EXPECT_EQ(model.length(1), 4);
+  EXPECT_EQ(model.max_length(), 4);
+  EXPECT_TRUE(model.scalar_reconfig());  // weights/lengths keep the tier
+  model.validate();
+}
+
+TEST(CostModel, ColdCostPromotesToVectorWithDeltaDefaults) {
+  CostModel model = CostModel::scalar(3, 3);
+  model.set_cold_cost(1, 9);
+  EXPECT_EQ(model.tier(), CostModel::Tier::kVector);
+  EXPECT_FALSE(model.scalar_reconfig());
+  EXPECT_EQ(model.cold_cost(0), 3);  // unset colors default to Delta
+  EXPECT_EQ(model.cold_cost(1), 9);
+  EXPECT_EQ(model.cold_cost(2), 3);
+  // The vector tier is target-only: `from` never matters.
+  EXPECT_EQ(model.reconfig_cost(kBlack, 1), 9);
+  EXPECT_EQ(model.reconfig_cost(0, 1), 9);
+  EXPECT_EQ(model.reconfig_cost(2, 1), 9);
+  EXPECT_EQ(model.reconfig_cost(1, kBlack), 0);
+  EXPECT_EQ(model.min_incoming_cost(1), 9);
+  model.validate();
+}
+
+TEST(CostModel, TransitionCostPromotesToMatrixWithColdDefaults) {
+  CostModel model = CostModel::scalar(4, 3);
+  model.set_cold_cost(2, 10);
+  model.set_transition_cost(0, 2, 2);  // warm discount 10 -> 2
+  EXPECT_EQ(model.tier(), CostModel::Tier::kMatrix);
+  EXPECT_EQ(model.reconfig_cost(0, 2), 2);
+  // Unset warm entries default to the cold cost of their target.
+  EXPECT_EQ(model.reconfig_cost(1, 2), 10);
+  EXPECT_EQ(model.reconfig_cost(kBlack, 2), 10);
+  EXPECT_EQ(model.reconfig_cost(0, 1), 4);
+  // min over {cold, every warm incoming}: the discount wins.
+  EXPECT_EQ(model.min_incoming_cost(2), 2);
+  EXPECT_EQ(model.min_incoming_cost(1), 4);
+  model.validate();
+}
+
+TEST(CostModel, TransitionFromBlackSetsTheColdColumn) {
+  CostModel model = CostModel::scalar(2, 2);
+  model.set_transition_cost(kBlack, 1, 6);
+  EXPECT_EQ(model.tier(), CostModel::Tier::kVector);  // no warm entry set
+  EXPECT_EQ(model.cold_cost(1), 6);
+  EXPECT_EQ(model.reconfig_cost(0, 1), 6);
+}
+
+TEST(CostModel, ColdUpdateChasesDefaultsButKeepsExplicitDiscounts) {
+  CostModel model = CostModel::scalar(5, 3);
+  model.set_transition_cost(0, 1, 2);  // explicit discount, must survive
+  // Entries still at the old cold default (5) follow the new cold price.
+  model.set_cold_cost(1, 20);
+  EXPECT_EQ(model.reconfig_cost(0, 1), 2);
+  EXPECT_EQ(model.reconfig_cost(2, 1), 20);
+  EXPECT_EQ(model.reconfig_cost(kBlack, 1), 20);
+  model.validate();
+}
+
+TEST(CostModel, ZeroCostWarmTransitionsAreAllowed) {
+  CostModel model = CostModel::scalar(3, 2);
+  model.set_transition_cost(0, 1, 0);
+  EXPECT_EQ(model.reconfig_cost(0, 1), 0);
+  EXPECT_EQ(model.min_incoming_cost(1), 0);
+  model.validate();
+}
+
+TEST(CostModel, ResizeGrowsTablesAndRepacksTheMatrix) {
+  CostModel model = CostModel::scalar(2, 2);
+  model.set_drop_cost(1, 3);
+  model.set_length(0, 2);
+  model.set_cold_cost(0, 4);
+  model.set_transition_cost(1, 0, 1);
+  model.resize(4);
+  EXPECT_EQ(model.num_colors(), 4);
+  // Old entries survive the row-major repack...
+  EXPECT_EQ(model.drop_cost(1), 3);
+  EXPECT_EQ(model.length(0), 2);
+  EXPECT_EQ(model.reconfig_cost(1, 0), 1);
+  EXPECT_EQ(model.reconfig_cost(kBlack, 0), 4);
+  // ...new colors default to Delta cold and cold-priced warm entries.
+  EXPECT_EQ(model.cold_cost(3), 2);
+  EXPECT_EQ(model.reconfig_cost(0, 3), 2);
+  EXPECT_EQ(model.reconfig_cost(3, 0), 4);
+  EXPECT_EQ(model.drop_cost(3), 1);
+  EXPECT_EQ(model.length(3), 1);
+  // resize never shrinks.
+  model.resize(1);
+  EXPECT_EQ(model.num_colors(), 4);
+  model.validate();
+}
+
+TEST(CostModel, MutatorsRejectOutOfRangeValues) {
+  CostModel model = CostModel::scalar(2, 2);
+  EXPECT_THROW(model.set_delta(0), InputError);
+  EXPECT_THROW(model.set_drop_cost(0, 0), InputError);
+  EXPECT_THROW(model.set_length(0, 0), InputError);
+  EXPECT_THROW(model.set_cold_cost(0, 0), InputError);
+  EXPECT_THROW(model.set_transition_cost(0, 1, -1), InputError);
+  EXPECT_THROW(model.resize(-1), InputError);
+  // Rejected mutations leave the model untouched and valid.
+  EXPECT_TRUE(model.uniform());
+  model.validate();
+}
+
+TEST(CostModel, RestrictedScalarKeepsDeltaAndPerColorTables) {
+  CostModel model = CostModel::scalar(6, 4);
+  model.set_drop_cost(2, 7);
+  model.set_length(3, 5);
+  const std::vector<ColorId> keep = {3, 2};
+  const CostModel sub = model.restricted(keep);
+  EXPECT_EQ(sub.tier(), CostModel::Tier::kScalar);
+  EXPECT_EQ(sub.num_colors(), 2);
+  EXPECT_EQ(sub.delta(), 6);
+  // Relabeled densely in span order: local 0 = global 3, local 1 = global 2.
+  EXPECT_EQ(sub.length(0), 5);
+  EXPECT_EQ(sub.drop_cost(1), 7);
+  EXPECT_FALSE(sub.unit_drop_costs());
+  EXPECT_FALSE(sub.unit_lengths());
+  sub.validate();
+}
+
+TEST(CostModel, RestrictedPreservesColdAndWarmEntriesExactly) {
+  CostModel model = CostModel::scalar(3, 4);
+  model.set_cold_cost(1, 8);
+  model.set_cold_cost(2, 12);
+  model.set_transition_cost(1, 2, 4);
+  model.set_transition_cost(2, 1, 0);
+  const std::vector<ColorId> keep = {2, 1};
+  const CostModel sub = model.restricted(keep);
+  EXPECT_EQ(sub.tier(), CostModel::Tier::kMatrix);
+  EXPECT_EQ(sub.cold_cost(0), 12);
+  EXPECT_EQ(sub.cold_cost(1), 8);
+  EXPECT_EQ(sub.reconfig_cost(1, 0), 4);   // global 1 -> 2
+  EXPECT_EQ(sub.reconfig_cost(0, 1), 0);   // global 2 -> 1
+  EXPECT_EQ(sub.reconfig_cost(kBlack, 0), 12);
+  sub.validate();
+}
+
+TEST(CostModel, RestrictedVectorTierStaysVector) {
+  CostModel model = CostModel::scalar(2, 3);
+  model.set_cold_cost(0, 9);
+  const std::vector<ColorId> keep = {0};
+  const CostModel sub = model.restricted(keep);
+  EXPECT_EQ(sub.tier(), CostModel::Tier::kVector);
+  EXPECT_EQ(sub.cold_cost(0), 9);
+  sub.validate();
+}
+
+TEST(CostModel, RestrictionOfUniformSliceIsUniform) {
+  // A shard whose colors all carry unit weights/lengths must read as
+  // uniform even when the parent model is not.
+  CostModel model = CostModel::scalar(2, 3);
+  model.set_drop_cost(0, 4);
+  model.set_length(0, 3);
+  const std::vector<ColorId> keep = {1, 2};
+  const CostModel sub = model.restricted(keep);
+  EXPECT_TRUE(sub.unit_drop_costs());
+  EXPECT_TRUE(sub.unit_lengths());
+  EXPECT_TRUE(sub.uniform());
+}
+
+TEST(CostModel, EqualityComparesEveryTable) {
+  CostModel a = CostModel::scalar(2, 2);
+  CostModel b = CostModel::scalar(2, 2);
+  EXPECT_EQ(a, b);
+  b.set_drop_cost(0, 2);
+  EXPECT_NE(a, b);
+  a.set_drop_cost(0, 2);
+  EXPECT_EQ(a, b);
+  b.set_transition_cost(0, 1, 1);
+  EXPECT_NE(a, b);  // tiers differ
+}
+
+}  // namespace
+}  // namespace rrs

@@ -219,6 +219,116 @@ TEST(Engine, NegativeMaxRoundsRejected) {
   EXPECT_THROW((void)run_policy(inst, policy, options), InputError);
 }
 
+// --- generalized cost model: lengths and matrix Delta ----------------------
+
+TEST(EngineLengths, MultiUnitJobsCompleteAfterLengthUnits) {
+  InstanceBuilder builder;
+  builder.delta(2);
+  const ColorId a = builder.add_color(8, /*drop_cost=*/1, /*length=*/3);
+  builder.add_jobs(a, 0, 1);
+  const Instance inst = builder.build();
+
+  PinPolicy policy({a});
+  EngineOptions options;
+  options.num_resources = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  const Schedule& schedule = r.schedule;
+  EXPECT_EQ(r.executed, 1);
+  EXPECT_EQ(r.work_units, 3);
+  EXPECT_EQ(r.cost.drops, 0);
+  // One exec event per unit, all for the same job, consecutive rounds.
+  ASSERT_EQ(schedule.execs.size(), 3u);
+  for (const ExecEvent& e : schedule.execs) EXPECT_EQ(e.job, 0);
+  EXPECT_EQ(validate_or_throw(inst, schedule), r.cost);
+}
+
+TEST(EngineLengths, ExpiredPartialJobChargesFullDropWeight) {
+  InstanceBuilder builder;
+  builder.delta(2);
+  // Deadline 2 allows only 2 of the 3 needed units: the job is dropped,
+  // and partial execution earns nothing — full drop weight is charged.
+  const ColorId a = builder.add_color(2, /*drop_cost=*/5, /*length=*/3);
+  builder.add_jobs(a, 0, 1);
+  const Instance inst = builder.build();
+
+  PinPolicy policy({a});
+  EngineOptions options;
+  options.num_resources = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  const Schedule& schedule = r.schedule;
+  EXPECT_EQ(r.executed, 0);
+  EXPECT_EQ(r.work_units, 2);
+  EXPECT_EQ(r.cost.drops, 5);
+  EXPECT_EQ(validate_or_throw(inst, schedule), r.cost);
+}
+
+TEST(EngineLengths, UnitsGoToTheFrontJobFirst) {
+  InstanceBuilder builder;
+  builder.delta(1);
+  const ColorId a = builder.add_color(4, /*drop_cost=*/1, /*length=*/2);
+  builder.add_jobs(a, 0, 1).add_jobs(a, 1, 1);
+  const Instance inst = builder.build();
+
+  PinPolicy policy({a});
+  EngineOptions options;
+  options.num_resources = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  const Schedule& schedule = r.schedule;
+  EXPECT_EQ(r.executed, 2);
+  EXPECT_EQ(r.work_units, 4);
+  EXPECT_EQ(r.cost.drops, 0);
+  // EDF within color: the earlier-deadline job absorbs both its units
+  // before the second job receives any.
+  ASSERT_EQ(schedule.execs.size(), 4u);
+  EXPECT_EQ(schedule.execs[0].job, 0);
+  EXPECT_EQ(schedule.execs[1].job, 0);
+  EXPECT_EQ(schedule.execs[2].job, 1);
+  EXPECT_EQ(schedule.execs[3].job, 1);
+}
+
+TEST(EngineMatrix, ReconfigChargesWarmTransitionFromPrevOccupant) {
+  InstanceBuilder builder;
+  builder.delta(3);
+  const ColorId a = builder.add_color(4);
+  const ColorId b = builder.add_color(4);
+  builder.reconfig_cost(a, 5);
+  builder.reconfig_cost(b, 7);
+  builder.transition_cost(a, b, 1);  // warm discount: a -> b costs 1, not 7
+  builder.add_jobs(a, 0, 1).add_jobs(b, 1, 1);
+  const Instance inst = builder.build();
+
+  /// Caches {a} in round 0, then switches to {b} from round 1 onward.
+  class SwitchPolicy : public Policy {
+   public:
+    SwitchPolicy(ColorId a, ColorId b) : a_(a), b_(b) {}
+    [[nodiscard]] std::string_view name() const override { return "switch"; }
+    void on_round(RoundContext& ctx) override {
+      if (ctx.final_sweep()) return;
+      const ColorId want = ctx.round() == 0 ? a_ : b_;
+      const ColorId other = ctx.round() == 0 ? b_ : a_;
+      if (ctx.cache().contains(other)) ctx.cache().erase(other);
+      if (!ctx.cache().contains(want)) ctx.cache().insert(want);
+    }
+
+   private:
+    ColorId a_, b_;
+  };
+
+  SwitchPolicy policy(a, b);
+  EngineOptions options;
+  options.num_resources = 1;
+  const EngineResult r = run_policy(inst, policy, options);
+  const Schedule& schedule = r.schedule;
+  // Round 0: kBlack -> a prices cold (5).  Round 1: the freed location
+  // still physically holds a, so a -> b prices the warm discount (1).
+  EXPECT_EQ(r.cost.reconfig_events, 2);
+  EXPECT_EQ(r.cost.reconfig_cost, 6);
+  EXPECT_EQ(r.executed, 2);
+  EXPECT_EQ(r.cost.drops, 0);
+  // The validator's from-color replay reprices the events identically.
+  EXPECT_EQ(validate_or_throw(inst, schedule), r.cost);
+}
+
 TEST(Engine, PolicyStatsSurfaced) {
   class StatPolicy : public IdlePolicy {
    public:

@@ -648,6 +648,90 @@ TEST(ShardedFaultTest, CostsRemainExactlyAdditiveUnderChurn) {
   EXPECT_EQ(reproducible(record.merged), reproducible(again.merged));
 }
 
+TEST(ShardedFaultTest, SplitPlanUnderMatrixDeltaStaysExactAndAdditive) {
+  // Non-uniform model: weights, lengths > 1, cold prices, warm discounts.
+  // Churn repairs must charge through the model's cold column, and the
+  // split plan's per-shard charges must sum exactly to the merged record.
+  InstanceBuilder builder;
+  builder.delta(3);
+  std::vector<ColorId> colors;
+  for (int c = 0; c < 8; ++c) {
+    colors.push_back(
+        builder.add_color(/*d=*/4 << (c % 2), /*drop_cost=*/1 + (c % 3),
+                          /*length=*/1 + (c % 2)));
+  }
+  for (const ColorId c : colors) {
+    builder.reconfig_cost(c, 2 + static_cast<Cost>(c % 4));
+  }
+  builder.transition_cost(colors[0], colors[1], 1);
+  builder.transition_cost(colors[4], colors[5], 0);
+  for (Round t = 0; t < 256; ++t) {
+    for (const ColorId c : colors) {
+      if (t % (2 + static_cast<Round>(c % 3)) == 0) builder.add_jobs(c, t, 2);
+    }
+  }
+  const Instance instance = builder.build();
+  ASSERT_EQ(instance.cost_model().tier(), CostModel::Tier::kMatrix);
+
+  FaultPlan plan;
+  for (int r = 0; r < 16; r += 3) {
+    plan.events.push_back({16 + 4 * r, r, true});
+    plan.events.push_back({48 + 4 * r, r, false});
+  }
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.round < b.round;
+            });
+  validate_fault_plan(plan, 16);
+
+  ShardedRunOptions options;
+  options.fault_plan = &plan;
+  options.charge_repair = true;
+
+  // K = 1 is bit-identical to the serial churned run.
+  MaterializedSource serial_source(instance);
+  const StreamRunRecord serial = run_streaming(
+      serial_source, "dlru-edf", 16, kInfiniteHorizon, &plan, true);
+  MaterializedSource single_source(instance);
+  const ShardedRunRecord single =
+      run_streaming_sharded(single_source, "dlru-edf", 16, 1,
+                            kInfiniteHorizon, options);
+  EXPECT_EQ(single.merged.cost, serial.cost);
+  EXPECT_EQ(single.merged.executed, serial.executed);
+  EXPECT_EQ(single.merged.work_units, serial.work_units);
+  EXPECT_EQ(single.merged.degraded, serial.degraded);
+  EXPECT_GT(serial.cost.churn_reconfigs, 0);
+
+  // K = 4: the split plan's shard charges sum exactly to the merge.
+  MaterializedSource sharded_source(instance);
+  const ShardedRunRecord record = run_streaming_sharded(
+      sharded_source, "dlru-edf", 16, 4, kInfiniteHorizon, options);
+  ASSERT_EQ(record.shards.size(), 4u);
+  CostBreakdown cost_sum;
+  DegradedStats degraded_sum;
+  std::int64_t work_units = 0;
+  for (const StreamRunRecord& shard : record.shards) {
+    cost_sum.reconfig_events += shard.cost.reconfig_events;
+    cost_sum.reconfig_cost += shard.cost.reconfig_cost;
+    cost_sum.drops += shard.cost.drops;
+    cost_sum.churn_reconfigs += shard.cost.churn_reconfigs;
+    degraded_sum.fault_events += shard.degraded.fault_events;
+    degraded_sum.repair_events += shard.degraded.repair_events;
+    degraded_sum.churn_evictions += shard.degraded.churn_evictions;
+    degraded_sum.degraded_rounds += shard.degraded.degraded_rounds;
+    degraded_sum.drops_while_degraded += shard.degraded.drops_while_degraded;
+    work_units += shard.work_units;
+  }
+  EXPECT_EQ(record.merged.cost, cost_sum);
+  EXPECT_EQ(record.merged.degraded, degraded_sum);
+  EXPECT_EQ(record.merged.work_units, work_units);
+  // Every explicit event lands on exactly one shard.
+  EXPECT_EQ(record.merged.degraded.fault_events,
+            serial.degraded.fault_events);
+  EXPECT_EQ(record.merged.degraded.repair_events,
+            serial.degraded.repair_events);
+}
+
 TEST(ShardedFaultTest, FullShardFailureCompletesWithPendingAsDrops) {
   // Learn the deterministic shard layout from a fault-free probe run, then
   // kill shard 0's whole resource block at round 0.

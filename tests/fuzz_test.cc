@@ -161,72 +161,92 @@ void expect_parses_or_rejects(const std::string& text, const char* label) {
   // anything else escapes and fails the test
 }
 
-TEST(TraceFuzz, TruncationCorpusParsesOrRejects) {
+/// A v1 (scalar-uniform) trace and a v2 trace carrying every generalized
+/// record kind (length/weight color fields, dcold, dwarm) — the corpus
+/// seeds for the trace-reader fuzzing below.
+std::vector<std::string> valid_trace_corpus(std::uint64_t seed) {
+  std::vector<std::string> corpus;
   RandomBatchedParams params;
-  params.seed = 11;
+  params.seed = seed;
   params.horizon = 64;
-  std::ostringstream out;
-  write_trace(out, make_random_batched(params));
-  const std::string valid = out.str();
+  std::ostringstream v1;
+  write_trace(v1, make_random_batched(params));
+  corpus.push_back(v1.str());
 
-  // Every truncation point (stepped, plus all boundaries near the end).
-  for (std::size_t len = 0; len < valid.size(); len += 7) {
-    expect_parses_or_rejects(valid.substr(0, len), "truncation");
+  InstanceBuilder builder;
+  builder.delta(4);
+  const ColorId a = builder.add_color(4, /*drop_cost=*/3, /*length=*/2);
+  const ColorId b = builder.add_color(8, /*drop_cost=*/1, /*length=*/1);
+  const ColorId c = builder.add_color(16, /*drop_cost=*/5, /*length=*/3);
+  builder.reconfig_cost(b, 7);
+  builder.transition_cost(a, b, 1);
+  builder.transition_cost(c, a, 0);
+  for (Round t = 0; t < 32; t += 4) {
+    builder.add_jobs(a, t, 2);
+    builder.add_jobs(b, t, 1);
+    if (t % 8 == 0) builder.add_jobs(c, t, 3);
   }
-  for (std::size_t back = 1; back <= 16 && back <= valid.size(); ++back) {
-    expect_parses_or_rejects(valid.substr(0, valid.size() - back),
-                             "tail truncation");
+  std::ostringstream v2;
+  write_trace(v2, builder.build());
+  corpus.push_back(v2.str());
+  return corpus;
+}
+
+TEST(TraceFuzz, TruncationCorpusParsesOrRejects) {
+  for (const std::string& valid : valid_trace_corpus(11)) {
+    // Every truncation point (stepped, plus all boundaries near the end).
+    for (std::size_t len = 0; len < valid.size(); len += 7) {
+      expect_parses_or_rejects(valid.substr(0, len), "truncation");
+    }
+    for (std::size_t back = 1; back <= 16 && back <= valid.size(); ++back) {
+      expect_parses_or_rejects(valid.substr(0, valid.size() - back),
+                               "tail truncation");
+    }
   }
 }
 
 TEST(TraceFuzz, ByteCorruptionCorpusParsesOrRejects) {
-  RandomBatchedParams params;
-  params.seed = 12;
-  params.horizon = 64;
-  std::ostringstream out;
-  write_trace(out, make_random_batched(params));
-  const std::string valid = out.str();
-
-  const char kReplacements[] = {'x', '\n', ',', '-', '9', '\0', ' '};
-  for (std::size_t pos = 0; pos < valid.size(); pos += 11) {
-    for (const char replacement : kReplacements) {
-      std::string mutated = valid;
-      mutated[pos] = replacement;
-      expect_parses_or_rejects(mutated, "byte corruption");
+  for (const std::string& valid : valid_trace_corpus(12)) {
+    const char kReplacements[] = {'x', '\n', ',', '-', '9', '\0', ' '};
+    for (std::size_t pos = 0; pos < valid.size(); pos += 11) {
+      for (const char replacement : kReplacements) {
+        std::string mutated = valid;
+        mutated[pos] = replacement;
+        expect_parses_or_rejects(mutated, "byte corruption");
+      }
     }
   }
 }
 
 TEST(TraceFuzz, StructuralCorruptionCorpusParsesOrRejects) {
-  RandomBatchedParams params;
-  params.seed = 13;
-  params.horizon = 64;
-  std::ostringstream out;
-  write_trace(out, make_random_batched(params));
-  const std::string valid = out.str();
-
-  // Splice whole malformed lines into every line boundary.
+  // Splice whole malformed lines into every line boundary of both the v1
+  // and the v2 seed trace (v2-only records under the v1 header are part of
+  // the corpus deliberately).
   const char* const kJunkLines[] = {
       "job,0,0,999999999999\n", "job,-1,-1,-1\n",      "color,0,4\n",
       "delta,7\n",              "# end\n",             "job\n",
       "color,99999,1\n",        ",,,,\n",              "\xff\xfe\n",
+      "dcold,0,2\n",            "dcold,0,0\n",         "dwarm,0,0,-1\n",
+      "dwarm,0,99,1\n",         "color,0,4,1,2\n",
   };
-  std::vector<std::size_t> boundaries = {0};
-  for (std::size_t i = 0; i < valid.size(); ++i) {
-    if (valid[i] == '\n') boundaries.push_back(i + 1);
-  }
-  for (const std::size_t at : boundaries) {
-    for (const char* const junk : kJunkLines) {
-      std::string mutated = valid;
-      mutated.insert(at, junk);
-      expect_parses_or_rejects(mutated, "junk line");
+  for (const std::string& valid : valid_trace_corpus(13)) {
+    std::vector<std::size_t> boundaries = {0};
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+      if (valid[i] == '\n') boundaries.push_back(i + 1);
     }
-  }
-  // Line deletions: drop each line in turn.
-  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
-    std::string mutated = valid;
-    mutated.erase(boundaries[i], boundaries[i + 1] - boundaries[i]);
-    expect_parses_or_rejects(mutated, "line deletion");
+    for (const std::size_t at : boundaries) {
+      for (const char* const junk : kJunkLines) {
+        std::string mutated = valid;
+        mutated.insert(at, junk);
+        expect_parses_or_rejects(mutated, "junk line");
+      }
+    }
+    // Line deletions: drop each line in turn.
+    for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+      std::string mutated = valid;
+      mutated.erase(boundaries[i], boundaries[i + 1] - boundaries[i]);
+      expect_parses_or_rejects(mutated, "line deletion");
+    }
   }
 }
 
@@ -350,7 +370,10 @@ TEST(SnapshotFuzz, RejectsInternallyInconsistentSnapshots) {
     const std::vector<Cost> costs = {2};
     stats.begin(delays, costs);
     for (int i = 0; i < 6; ++i) stats.on_arrival(0);
-    for (int i = 0; i < 3; ++i) stats.on_execution(0, i, i + 4);
+    for (int i = 0; i < 3; ++i) {
+      stats.on_work_unit(0);
+      stats.on_execution(0, i, i + 4);
+    }
     stats.on_drop(0, 2);
     return make_snapshot(stats, 40, 1);
   }();
@@ -374,6 +397,16 @@ TEST(SnapshotFuzz, RejectsInternallyInconsistentSnapshots) {
   Snapshot skewed_mean = s;
   skewed_mean.mean_wait += 0.5;  // disagrees with the wait histogram
   EXPECT_THROW((void)parse_snapshot_line(to_json_line(skewed_mean)),
+               InputError);
+
+  Snapshot starved_units = s;
+  starved_units.work_units = 1;  // fewer units than completed service needs
+  EXPECT_THROW((void)parse_snapshot_line(to_json_line(starved_units)),
+               InputError);
+
+  Snapshot phantom_weight = s;
+  phantom_weight.completed_weight = 1;  // below one unit weight per job
+  EXPECT_THROW((void)parse_snapshot_line(to_json_line(phantom_weight)),
                InputError);
 
   Snapshot phantom_evictions = s;

@@ -339,7 +339,8 @@ Snapshot test_snapshot(Round round, std::int64_t scale) {
   for (std::int64_t i = 0; i < scale; ++i) {
     stats.on_arrival(0);
     stats.on_arrival(1);
-    stats.on_execution(0, round - 1 + i, round + 2 + i);
+    stats.on_work_unit(0);  // the engine records the unit, then the
+    stats.on_execution(0, round - 1 + i, round + 2 + i);  // completion
     stats.on_drop(1, 1);
     stats.on_reconfigs(i * 3, 2);
   }

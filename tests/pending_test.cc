@@ -271,6 +271,71 @@ TEST(PendingJobs, LargeSweepGapCoversWholeRing) {
   EXPECT_EQ(drop_at(pending, 1'000'007).total, 1);
 }
 
+// --- multi-unit job lengths ------------------------------------------------
+
+Job make_long_job(JobId id, ColorId color, Round arrival, Round delay,
+                  Round length) {
+  Job job = make_job(id, color, arrival, delay);
+  job.length = length;
+  return job;
+}
+
+TEST(PendingJobs, ExecuteEarliestTracksRemainingUnits) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_long_job(0, 0, 0, 8, 3));
+  EXPECT_EQ(pending.earliest_remaining(0), 3);
+
+  PendingJobs::ExecResult first = pending.execute_earliest(0);
+  EXPECT_EQ(first.id, 0);
+  EXPECT_FALSE(first.completed);
+  EXPECT_EQ(pending.earliest_remaining(0), 2);
+  EXPECT_EQ(pending.count(0), 1);  // partially executed jobs stay pending
+
+  (void)pending.execute_earliest(0);
+  PendingJobs::ExecResult last = pending.execute_earliest(0);
+  EXPECT_EQ(last.id, 0);
+  EXPECT_TRUE(last.completed);
+  EXPECT_TRUE(pending.idle(0));
+  EXPECT_EQ(pending.total(), 0);
+}
+
+TEST(PendingJobs, ExecuteEarliestMatchesPopForUnitLengths) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 4));
+  pending.add(make_job(1, 0, 1, 4));
+  const PendingJobs::ExecResult r = pending.execute_earliest(0);
+  EXPECT_EQ(r.id, 0);
+  EXPECT_TRUE(r.completed);  // unit length: one unit completes the job
+  EXPECT_EQ(pending.pop_earliest(0), 1);
+}
+
+TEST(PendingJobs, PartialProgressStaysWithTheFrontJob) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_long_job(0, 0, 0, 4, 2));
+  pending.add(make_long_job(1, 0, 1, 4, 2));
+  // Units flow to the front (earliest-deadline) job until it completes.
+  EXPECT_FALSE(pending.execute_earliest(0).completed);
+  EXPECT_EQ(pending.execute_earliest(0).id, 0);
+  EXPECT_EQ(pending.earliest_remaining(0), 2);  // now job 1 is the front
+  EXPECT_FALSE(pending.execute_earliest(0).completed);
+  EXPECT_TRUE(pending.execute_earliest(0).completed);
+}
+
+TEST(PendingJobs, PartiallyExecutedFrontJobStillExpires) {
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_long_job(0, 0, 0, 2, 3));
+  (void)pending.execute_earliest(0);  // 1 of 3 units applied
+  const PendingJobs::DropResult dropped = drop_at(pending, 2);
+  EXPECT_EQ(dropped.total, 1);  // expires as a whole job despite progress
+  ASSERT_EQ(dropped.job_ids.size(), 1u);
+  EXPECT_EQ(dropped.job_ids[0], 0);
+  EXPECT_TRUE(pending.idle(0));
+}
+
 /// Reference model: per-color deque of (deadline, id), linear-scan expiry.
 class NaivePending {
  public:

@@ -14,16 +14,27 @@ namespace rrs {
 namespace {
 
 TEST(EdfKey, OrderingPrecedence) {
+  // Field order: {idle, color_deadline, weight, length, delay_bound, color}.
   // nonidle beats idle regardless of other fields.
-  EXPECT_LT((EdfKey{false, 100, 100, 100}), (EdfKey{true, 0, 0, 0}));
+  EXPECT_LT((EdfKey{false, 100, 1, 100, 100, 100}),
+            (EdfKey{true, 0, 100, 1, 0, 0}));
   // earlier color deadline wins among nonidle.
-  EXPECT_LT((EdfKey{false, 4, 100, 100}), (EdfKey{false, 8, 0, 0}));
-  // smaller delay bound breaks deadline ties.
-  EXPECT_LT((EdfKey{false, 8, 2, 100}), (EdfKey{false, 8, 4, 0}));
+  EXPECT_LT((EdfKey{false, 4, 1, 100, 100, 100}),
+            (EdfKey{false, 8, 100, 1, 0, 0}));
+  // heavier drop weight breaks deadline ties.
+  EXPECT_LT((EdfKey{false, 8, 5, 100, 100, 100}),
+            (EdfKey{false, 8, 2, 1, 0, 0}));
+  // shorter job length breaks weight ties.
+  EXPECT_LT((EdfKey{false, 8, 2, 1, 100, 100}),
+            (EdfKey{false, 8, 2, 3, 0, 0}));
+  // smaller delay bound breaks length ties.
+  EXPECT_LT((EdfKey{false, 8, 1, 1, 2, 100}),
+            (EdfKey{false, 8, 1, 1, 4, 0}));
   // the consistent color order breaks full ties.
-  EXPECT_LT((EdfKey{false, 8, 4, 1}), (EdfKey{false, 8, 4, 2}));
+  EXPECT_LT((EdfKey{false, 8, 1, 1, 4, 1}), (EdfKey{false, 8, 1, 1, 4, 2}));
   // irreflexive.
-  EXPECT_FALSE((EdfKey{false, 8, 4, 1}) < (EdfKey{false, 8, 4, 1}));
+  EXPECT_FALSE((EdfKey{false, 8, 1, 1, 4, 1}) <
+               (EdfKey{false, 8, 1, 1, 4, 1}));
 }
 
 class RankingFixture : public ::testing::Test {

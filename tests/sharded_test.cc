@@ -513,6 +513,95 @@ TEST(ShardedRunTest, MergedObserverMatchesMergedRecord) {
   EXPECT_EQ(merged.final_snapshot.pending, 0);
 }
 
+// --- non-uniform cost models across shards ---------------------------------
+
+/// A contended instance with non-uniform weights, lengths > 1, per-color
+/// cold prices, and warm discounts — so shard engines charge through the
+/// restricted matrix, not the scalar fast path.
+Instance make_nonuniform_instance() {
+  InstanceBuilder builder;
+  builder.delta(4);
+  std::vector<ColorId> colors;
+  for (int c = 0; c < 9; ++c) {
+    colors.push_back(
+        builder.add_color(/*d=*/4 << (c % 3), /*drop_cost=*/1 + (c % 4),
+                          /*length=*/1 + (c % 3)));
+  }
+  for (const ColorId c : colors) {
+    builder.reconfig_cost(c, 2 + static_cast<Cost>(c % 5));
+  }
+  builder.transition_cost(colors[0], colors[1], 1);
+  builder.transition_cost(colors[1], colors[0], 0);
+  builder.transition_cost(colors[3], colors[4], 2);
+  builder.transition_cost(colors[7], colors[8], 1);
+  for (Round t = 0; t < 256; ++t) {
+    for (const ColorId c : colors) {
+      if (t % (2 + static_cast<Round>(c % 4)) == 0) builder.add_jobs(c, t, 2);
+    }
+  }
+  return builder.build();
+}
+
+TEST(ShardedNonUniform, SingleShardBitIdenticalWithLengthsAndMatrixDelta) {
+  const Instance instance = make_nonuniform_instance();
+  ASSERT_EQ(instance.cost_model().tier(), CostModel::Tier::kMatrix);
+  ASSERT_FALSE(instance.unit_lengths());
+  for (const std::string algorithm :
+       {"dlru", "edf", "dlru-edf", "adaptive", "seq-edf", "ds-seq-edf"}) {
+    SCOPED_TRACE(algorithm);
+    MaterializedSource plain_source(instance);
+    const StreamRunRecord plain = run_streaming(plain_source, algorithm, 8);
+
+    MaterializedSource sharded_source(instance);
+    const ShardedRunRecord sharded =
+        run_streaming_sharded(sharded_source, algorithm, 8, 1);
+    EXPECT_EQ(sharded.merged.cost, plain.cost);
+    EXPECT_EQ(sharded.merged.executed, plain.executed);
+    EXPECT_EQ(sharded.merged.work_units, plain.work_units);
+    EXPECT_EQ(sharded.merged.arrived, plain.arrived);
+    EXPECT_EQ(sharded.merged.rounds, plain.rounds);
+    EXPECT_EQ(sharded.merged.peak_pending, plain.peak_pending);
+    EXPECT_EQ(sharded.merged.stats, plain.stats);
+    EXPECT_GT(plain.work_units, plain.executed)
+        << "lengths > 1 must leave partial units behind";
+  }
+}
+
+TEST(ShardedNonUniform, MergedCostsExactlyAdditiveUnderMatrixDelta) {
+  const Instance instance = make_nonuniform_instance();
+  MaterializedSource source(instance);
+  const ShardedRunRecord record =
+      run_streaming_sharded(source, "dlru-edf", 12, 3);
+  ASSERT_EQ(record.shards.size(), 3u);
+
+  CostBreakdown cost_sum;
+  std::int64_t executed = 0, work_units = 0, arrived = 0;
+  for (const StreamRunRecord& shard : record.shards) {
+    cost_sum.reconfig_events += shard.cost.reconfig_events;
+    cost_sum.reconfig_cost += shard.cost.reconfig_cost;
+    cost_sum.drops += shard.cost.drops;
+    cost_sum.churn_reconfigs += shard.cost.churn_reconfigs;
+    executed += shard.executed;
+    work_units += shard.work_units;
+    arrived += shard.arrived;
+  }
+  EXPECT_EQ(record.merged.cost, cost_sum);
+  EXPECT_EQ(record.merged.executed, executed);
+  EXPECT_EQ(record.merged.work_units, work_units);
+  EXPECT_EQ(record.merged.arrived, arrived);
+  // Warm discounts make per-event prices vary: the merged reconfig cost
+  // cannot be events * Delta here.
+  EXPECT_NE(record.merged.cost.reconfig_cost,
+            record.merged.cost.reconfig_events * instance.delta());
+
+  // Determinism across repetitions.
+  MaterializedSource source2(instance);
+  const ShardedRunRecord again =
+      run_streaming_sharded(source2, "dlru-edf", 12, 3);
+  EXPECT_EQ(again.merged.cost, record.merged.cost);
+  EXPECT_EQ(again.merged.work_units, record.merged.work_units);
+}
+
 TEST(ShardedRunTest, RejectsMismatchedShardObserverCount) {
   Observer only_one;
   ShardedRunOptions options;

@@ -161,6 +161,73 @@ TEST(TraceIo, RoundTripsExactly) {
   EXPECT_EQ(reread.jobs(), original.jobs());
 }
 
+TEST(TraceIo, UniformInstancesStayOnTheV1Format) {
+  // The scalar-uniform writer output is a closed format: archived v1
+  // traces must never change byte-for-byte.
+  RandomBatchedParams params;
+  params.seed = 9;
+  params.horizon = 64;
+  std::ostringstream out;
+  write_trace(out, make_random_batched(params));
+  EXPECT_EQ(out.str().substr(0, out.str().find('\n')), "# rrs-trace v1");
+  EXPECT_EQ(out.str().find("dcold"), std::string::npos);
+  EXPECT_EQ(out.str().find("dwarm"), std::string::npos);
+}
+
+TEST(TraceIo, V2RoundTripsLengthsWeightsAndMatrixExactly) {
+  InstanceBuilder builder;
+  builder.delta(5);
+  const ColorId a = builder.add_color(4, /*drop_cost=*/3, /*length=*/2);
+  const ColorId b = builder.add_color(8, /*drop_cost=*/1, /*length=*/1);
+  const ColorId c = builder.add_color(16, /*drop_cost=*/7, /*length=*/4);
+  builder.reconfig_cost(a, 6);
+  builder.reconfig_cost(c, 9);
+  builder.transition_cost(a, b, 2);
+  builder.transition_cost(b, a, 0);
+  builder.add_jobs(a, 0, 2);
+  builder.add_jobs(b, 0, 1);
+  builder.add_jobs(c, 3, 4);
+  const Instance original = builder.build();
+
+  std::ostringstream out;
+  write_trace(out, original);
+  EXPECT_EQ(out.str().substr(0, out.str().find('\n')), "# rrs-trace v2");
+
+  std::istringstream in(out.str());
+  const Instance reread = read_trace(in);
+  EXPECT_EQ(reread.cost_model(), original.cost_model());
+  EXPECT_EQ(reread.jobs(), original.jobs());
+  for (ColorId color = 0; color < original.num_colors(); ++color) {
+    EXPECT_EQ(reread.delay_bound(color), original.delay_bound(color));
+    EXPECT_EQ(reread.drop_cost(color), original.drop_cost(color));
+    EXPECT_EQ(reread.length(color), original.length(color));
+  }
+
+  // The rewritten trace is byte-stable (write -> read -> write).
+  std::ostringstream out2;
+  write_trace(out2, reread);
+  EXPECT_EQ(out2.str(), out.str());
+}
+
+TEST(TraceIo, LengthOnlyV2KeepsTheScalarReconfigTier) {
+  // Length-only generalization: v2 header, no dcold/dwarm needed.
+  InstanceBuilder builder;
+  builder.delta(2);
+  const ColorId a = builder.add_color(4, 1, /*length=*/3);
+  builder.add_jobs(a, 0, 2);
+  const Instance original = builder.build();
+  ASSERT_TRUE(original.cost_model().scalar_reconfig());
+
+  std::ostringstream out;
+  write_trace(out, original);
+  EXPECT_EQ(out.str().substr(0, out.str().find('\n')), "# rrs-trace v2");
+  EXPECT_EQ(out.str().find("dcold"), std::string::npos);
+  std::istringstream in(out.str());
+  const Instance reread = read_trace(in);
+  EXPECT_EQ(reread.cost_model(), original.cost_model());
+  EXPECT_EQ(reread.length(a), 3);
+}
+
 TEST(TraceIo, RejectsMalformedInput) {
   // One row per failure mode: every malformed trace must surface as a
   // structured InputError, never a crash or a garbage instance.
@@ -197,6 +264,41 @@ TEST(TraceIo, RejectsMalformedInput) {
       {"trailing junk field", "# rrs-trace v1\ndelta,3x\n# end\n"},
       {"zero delay bound", "# rrs-trace v1\ncolor,0,0\n# end\n"},
       {"zero drop cost", "# rrs-trace v1\ncolor,0,4,0\n# end\n"},
+      // v2-only records and fields must be rejected under a v1 header:
+      // v1 stays a closed, stable format.
+      {"length field under v1", "# rrs-trace v1\ncolor,0,4,1,2\n# end\n"},
+      {"dcold under v1", "# rrs-trace v1\ncolor,0,4\ndcold,0,2\n# end\n"},
+      {"dwarm under v1",
+       "# rrs-trace v1\ncolor,0,4\ncolor,1,4\ndwarm,0,1,2\n# end\n"},
+      // v2 structural failures.
+      {"v2 zero length", "# rrs-trace v2\ncolor,0,4,1,0\n# end\n"},
+      {"v2 negative length", "# rrs-trace v2\ncolor,0,4,1,-3\n# end\n"},
+      {"v2 overflowing length",
+       "# rrs-trace v2\ncolor,0,4,1,99999999999999999999\n# end\n"},
+      {"v2 color with too many fields",
+       "# rrs-trace v2\ncolor,0,4,1,2,9\n# end\n"},
+      {"v2 truncated: no trailer",
+       "# rrs-trace v2\ncolor,0,4,1,2\njob,0,0,1\n"},
+      {"v2 truncated mid-record", "# rrs-trace v2\ncolor,0,4,1,"},
+      {"dcold missing field", "# rrs-trace v2\ncolor,0,4\ndcold,0\n# end\n"},
+      {"dcold undeclared color",
+       "# rrs-trace v2\ncolor,0,4\ndcold,1,2\n# end\n"},
+      {"dcold negative color",
+       "# rrs-trace v2\ncolor,0,4\ndcold,-1,2\n# end\n"},
+      {"dcold zero cost", "# rrs-trace v2\ncolor,0,4\ndcold,0,0\n# end\n"},
+      {"dcold after jobs",
+       "# rrs-trace v2\ncolor,0,4\njob,0,0,1\ndcold,0,2\n# end\n"},
+      {"dwarm missing field",
+       "# rrs-trace v2\ncolor,0,4\ncolor,1,4\ndwarm,0,1\n# end\n"},
+      {"dwarm undeclared from-color",
+       "# rrs-trace v2\ncolor,0,4\ndwarm,1,0,2\n# end\n"},
+      {"dwarm undeclared to-color",
+       "# rrs-trace v2\ncolor,0,4\ndwarm,0,1,2\n# end\n"},
+      {"dwarm negative cost",
+       "# rrs-trace v2\ncolor,0,4\ncolor,1,4\ndwarm,0,1,-1\n# end\n"},
+      {"dwarm after jobs",
+       "# rrs-trace v2\ncolor,0,4\ncolor,1,4\njob,0,0,1\ndwarm,0,1,2\n"
+       "# end\n"},
   };
   for (const auto& [label, trace] : kMalformed) {
     std::istringstream in(trace);
