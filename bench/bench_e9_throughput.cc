@@ -426,6 +426,25 @@ bool run_streaming_section() {
     named.push_back(std::move(cell));
   }
 
+  // K = 8 needs eight granularity-4 blocks, so it runs at its own budget
+  // n = 32: the wide-fleet scaling cell.  Same source config and round
+  // count, so its arrived count joins the agreement check below.
+  {
+    RandomBatchedParams params;
+    params.seed = 99;
+    params.num_colors = 32;
+    params.horizon = kInfiniteHorizon;
+    RandomBatchedSource source(params);
+    ShardedRunRecord sharded =
+        run_streaming_sharded(source, "dlru-edf", 32, 8, shard_rounds);
+    StreamingCell cell;
+    cell.family = "random-batched-shards8";
+    cell.record = std::move(sharded.merged);
+    cell.arrival_rounds = shard_rounds;
+    cell.shards = 8;
+    named.push_back(std::move(cell));
+  }
+
   const std::int64_t rss = peak_rss_bytes();
   const double rss_mb = static_cast<double>(rss) / (1024.0 * 1024.0);
 

@@ -29,6 +29,18 @@ class DLruPolicy : public Policy {
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 
+  /// Migration hooks: the portable per-color state is exactly the
+  /// tracker's Section 3.1 state machine (ranking scratch is per-round).
+  [[nodiscard]] bool export_color_state(ColorId color,
+                                        PolicyColorState& out) const override {
+    out = tracker_.export_color(color);
+    return true;
+  }
+  void import_color_state(ColorId color,
+                          const PolicyColorState& state) override {
+    tracker_.import_color(color, state);
+  }
+
  private:
   EligibilityTracker tracker_;
   std::vector<ColorId> scratch_;

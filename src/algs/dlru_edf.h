@@ -51,6 +51,19 @@ class DLruEdfPolicy : public Policy {
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 
+  /// Migration hooks: the portable per-color state is exactly the
+  /// tracker's Section 3.1 state machine (all round-level scratch is
+  /// rebuilt each round).
+  [[nodiscard]] bool export_color_state(ColorId color,
+                                        PolicyColorState& out) const override {
+    out = tracker_.export_color(color);
+    return true;
+  }
+  void import_color_state(ColorId color,
+                          const PolicyColorState& state) override {
+    tracker_.import_color(color, state);
+  }
+
   /// The tracker is exposed read-only so experiments can check the
   /// Section 3.2 lemmas (epoch counts, drop classification) directly.
   [[nodiscard]] const EligibilityTracker& tracker() const { return tracker_; }

@@ -164,6 +164,34 @@ void EligibilityTracker::note_epoch_end(ColorId color) {
   max_endings_ = std::max(max_endings_, s.endings_in_super_);
 }
 
+PolicyColorState EligibilityTracker::export_color(ColorId color) const {
+  const ColorState& s = state_[idx(color)];
+  return {.cnt = s.cnt,
+          .dd = s.dd,
+          .last_wrap = s.last_wrap,
+          .prev_wrap = s.prev_wrap,
+          .eligible = s.eligible,
+          .seen_job = s.seen_job};
+}
+
+void EligibilityTracker::import_color(ColorId color,
+                                      const PolicyColorState& in) {
+  RRS_CHECK(idx(color) < state_.size());
+  ColorState& s = state_[idx(color)];
+  RRS_CHECK_MSG(!s.eligible && s.cnt == 0 && !s.seen_job,
+                "import_color targets freshly begun trackers only (color "
+                    << color << ")");
+  s.cnt = in.cnt;
+  s.dd = in.dd;
+  s.last_wrap = in.last_wrap;
+  s.prev_wrap = in.prev_wrap;
+  if (in.seen_job) {
+    s.seen_job = true;
+    ++active_colors_;
+  }
+  if (in.eligible) make_eligible(color);
+}
+
 void EligibilityTracker::make_eligible(ColorId color) {
   ColorState& s = state_[idx(color)];
   RRS_CHECK(!s.eligible && s.eligible_pos < 0);

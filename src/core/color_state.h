@@ -32,6 +32,7 @@
 #include "core/arrival_source.h"
 #include "core/cache.h"
 #include "core/pending.h"
+#include "core/policy.h"
 #include "core/types.h"
 
 namespace rrs {
@@ -88,6 +89,17 @@ class EligibilityTracker {
   [[nodiscard]] const std::vector<ColorId>& eligible_colors() const {
     return eligible_colors_;
   }
+
+  // --- shard migration (engine export/import surface) ---
+
+  /// Snapshot of one color's portable Section 3.1 state.
+  [[nodiscard]] PolicyColorState export_color(ColorId color) const;
+
+  /// Restores an exported snapshot onto a freshly begun tracker (call
+  /// after begin(), before any phase).  Eligibility and the active-color
+  /// tally are replayed so ranking and num_epochs() continue exactly
+  /// where the exporting tracker left off.
+  void import_color(ColorId color, const PolicyColorState& state);
 
   // --- analysis counters (Section 3.2 definitions) ---
 

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/pending.h"
@@ -29,8 +31,79 @@ int pick_hottest(const CacheAssignment& cache, const PendingJobs& pending) {
   return best;
 }
 
+/// Validates every option up front: a bad combination must fail loudly
+/// at construction, not as silent misbehavior rounds later.
+const EngineOptions& validate_options(const EngineOptions& options) {
+  RRS_REQUIRE(options.num_resources >= 1, "need at least one resource");
+  RRS_REQUIRE(options.speed >= 1, "speed must be >= 1");
+  RRS_REQUIRE(options.replication >= 1, "replication must be >= 1");
+  RRS_REQUIRE(options.num_resources % options.replication == 0,
+              "num_resources (" << options.num_resources
+                                << ") must be divisible by replication ("
+                                << options.replication << ")");
+  if (options.fault_plan != nullptr) {
+    validate_fault_plan(*options.fault_plan, options.num_resources);
+  }
+  return options;
+}
+
+}  // namespace
+
+/// Owned snapshot of a source's problem metadata: the cost model by value
+/// plus per-color delay bounds.  Lets the engine outlive per-segment
+/// sources — the final-sweep RoundContext and the FaultCursor's pricing
+/// reference this, never a dead segment stream.
+class Engine::MetaSource final : public ArrivalSource {
+ public:
+  explicit MetaSource(const ArrivalSource& source)
+      : model_(source.cost_model()),
+        by_delay_(source.colors_by_delay()),
+        num_colors_(source.num_colors()),
+        horizon_(source.horizon()),
+        summary_(source.summary()) {
+    delay_bounds_.reserve(static_cast<std::size_t>(num_colors_));
+    for (ColorId c = 0; c < num_colors_; ++c) {
+      delay_bounds_.push_back(source.delay_bound(c));
+    }
+  }
+
+  [[nodiscard]] Cost delta() const override { return model_.delta(); }
+  [[nodiscard]] ColorId num_colors() const override { return num_colors_; }
+  [[nodiscard]] Round delay_bound(ColorId color) const override {
+    return delay_bounds_[static_cast<std::size_t>(color)];
+  }
+  [[nodiscard]] Cost drop_cost(ColorId color) const override {
+    return model_.drop_cost(color);
+  }
+  [[nodiscard]] Round length(ColorId color) const override {
+    return model_.length(color);
+  }
+  [[nodiscard]] const CostModel& cost_model() const override {
+    return model_;
+  }
+  [[nodiscard]] const std::map<Round, std::vector<ColorId>>& colors_by_delay()
+      const override {
+    return by_delay_;
+  }
+  [[nodiscard]] Round horizon() const override { return horizon_; }
+  [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
+    RRS_CHECK_MSG(false, "metadata snapshot pulled for arrivals (round "
+                             << k << ")");
+    return {};
+  }
+  [[nodiscard]] std::string summary() const override { return summary_; }
+
+ private:
+  CostModel model_;
+  std::map<Round, std::vector<ColorId>> by_delay_;
+  std::vector<Round> delay_bounds_;
+  ColorId num_colors_;
+  Round horizon_;
+  std::string summary_;
+};
+
 /// Cursor over a FaultPlan plus the state needed to apply its events.
-struct FaultCursor {
+struct Engine::FaultCursor {
   const FaultPlan* plan = nullptr;
   Observer* obs = nullptr;
   const CostModel* model = nullptr;
@@ -111,196 +184,205 @@ struct FaultCursor {
   }
 };
 
-/// The actual run loop; run_policy wraps it with the trace-dump-on-
-/// InvariantError handler.  Observability hooks are guarded by a single
-/// null check each, so a run with options.observer == nullptr is
-/// bit-identical to one compiled without the obs subsystem.
-EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
-                             const EngineOptions& options) {
-  // Validate every option up front: a bad combination must fail loudly
-  // here, not as silent misbehavior rounds later.
-  RRS_REQUIRE(options.num_resources >= 1, "need at least one resource");
-  RRS_REQUIRE(options.speed >= 1, "speed must be >= 1");
-  RRS_REQUIRE(options.replication >= 1, "replication must be >= 1");
-  RRS_REQUIRE(options.num_resources % options.replication == 0,
-              "num_resources (" << options.num_resources
-                                << ") must be divisible by replication ("
-                                << options.replication << ")");
-  if (options.fault_plan != nullptr) {
-    validate_fault_plan(*options.fault_plan, options.num_resources);
-  }
-
+Engine::Engine(ArrivalSource& source, Policy& policy,
+               const EngineOptions& options, Round start_round)
+    : options_(validate_options(options)),
+      policy_(&policy),
+      cache_(options_.num_resources, options_.replication) {
   // Rounds carrying arrivals: the source's horizon, clipped by max_rounds.
-  Round arrival_end = options.max_rounds;
-  if (arrival_end == kInfiniteHorizon) {
-    arrival_end = source.horizon();
-    RRS_REQUIRE(arrival_end != kInfiniteHorizon,
+  arrival_end_ = options_.max_rounds;
+  if (arrival_end_ == kInfiniteHorizon) {
+    arrival_end_ = source.horizon();
+    RRS_REQUIRE(arrival_end_ != kInfiniteHorizon,
                 "running an infinite source needs EngineOptions::max_rounds; "
                 "got " << source.summary());
   } else if (source.finite()) {
-    arrival_end = std::min(arrival_end, source.horizon());
+    arrival_end_ = std::min(arrival_end_, source.horizon());
   }
-  RRS_REQUIRE(arrival_end >= 0,
+  RRS_REQUIRE(arrival_end_ >= 0,
               "EngineOptions::max_rounds must be >= 0, resolved to "
-                  << arrival_end);
+                  << arrival_end_);
+  RRS_REQUIRE(start_round >= 0 && start_round <= arrival_end_,
+              "start_round " << start_round << " outside [0, " << arrival_end_
+                             << "]");
+  k_ = start_round;
 
-  PendingJobs pending;
-  pending.reset(source.num_colors());
-  CacheAssignment cache(options.num_resources, options.replication);
-  cache.ensure_colors(source.num_colors());
+  pending_.reset(source.num_colors());
+  cache_.ensure_colors(source.num_colors());
 
-  // The cost model is resolved once: every drop and reconfiguration charge
-  // below routes through it (scalar tier reproduces the historical
-  // events * Delta / count * drop_cost arithmetic exactly).
-  const CostModel& model = source.cost_model();
-  const bool unit_lengths = model.unit_lengths();
+  // The cost model is snapshotted once (by value, inside the metadata
+  // copy): every drop and reconfiguration charge routes through it, and it
+  // stays valid after per-segment sources die.
+  meta_ = std::make_unique<MetaSource>(source);
+  const CostModel& model = meta_->cost_model();
+  unit_lengths_ = model.unit_lengths();
 
-  EngineResult result;
-  result.schedule.num_resources = options.num_resources;
-  result.schedule.speed = options.speed;
+  result_.schedule.num_resources = options_.num_resources;
+  result_.schedule.speed = options_.speed;
 
-  policy.begin(source, options.num_resources, options.speed);
+  policy_->begin(source, options_.num_resources, options_.speed);
 
-  // Observability setup: cache per-color metadata once so the hot-path
-  // hooks never call back into the (virtual) source.
-  Observer* const obs = options.observer;
+  // Observability setup: the metadata snapshot hands the hooks per-color
+  // data without calling back into the (virtual, possibly dead) source.
+  Observer* const obs = options_.observer;
   if (obs != nullptr) {
     std::vector<Round> delay_bounds(
         static_cast<std::size_t>(source.num_colors()));
     std::vector<Cost> drop_costs(delay_bounds.size());
     std::vector<Round> lengths(delay_bounds.size());
     for (ColorId c = 0; c < source.num_colors(); ++c) {
-      delay_bounds[static_cast<std::size_t>(c)] = source.delay_bound(c);
+      delay_bounds[static_cast<std::size_t>(c)] = meta_->delay_bound(c);
       drop_costs[static_cast<std::size_t>(c)] = model.drop_cost(c);
       lengths[static_cast<std::size_t>(c)] = model.length(c);
     }
     obs->begin_run(delay_bounds, drop_costs, lengths);
   }
-  PhaseTimers* const timers =
-      obs != nullptr && obs->config.timers ? &obs->timers : nullptr;
-  const bool tracing = obs != nullptr && obs->config.trace;
+  timers_ = obs != nullptr && obs->config.timers ? &obs->timers : nullptr;
+  tracing_ = obs != nullptr && obs->config.trace;
 
-  PendingJobs::DropResult dropped;  // reused across rounds: no per-round
-                                    // allocation once capacities settle
-  FaultCursor faults;
-  faults.plan = options.fault_plan;
-  faults.obs = obs;
-  faults.model = &model;
-  faults.lost.assign(static_cast<std::size_t>(options.num_resources),
-                     kBlack);
-  // High-water mark over ingested deadlines: once arrivals end, draining
-  // runs until every pending job has executed or expired (deadline <= k).
-  Round max_deadline = 0;
-  Round k = 0;
-  while (k < arrival_end ||
-         (options.drain_pending && pending.total() > 0 && max_deadline > k)) {
-    // Phase 0: capacity churn — failures apply before this round's drop
-    // and arrival phases.
-    if (timers != nullptr) timers->begin_segment();
-    faults.apply(k, options, cache, pending, policy, result);
-    const bool degraded_round = cache.num_down() > 0;
-    if (degraded_round) ++result.degraded.degraded_rounds;
-    if (timers != nullptr) timers->note(EnginePhase::kChurn);
+  faults_ = std::make_unique<FaultCursor>();
+  faults_->plan = options_.fault_plan;
+  faults_->obs = obs;
+  faults_->model = &model;
+  faults_->lost.assign(static_cast<std::size_t>(options_.num_resources),
+                       kBlack);
+}
 
-    // Phase 1: drop.
-    pending.drop_expired(k, dropped);
-    Cost round_drop_cost = 0;
-    for (const auto& [color, count] : dropped.by_color) {
-      round_drop_cost += static_cast<Cost>(count) * model.drop_cost(color);
+Engine::~Engine() = default;
+
+void Engine::run_round(ArrivalSource* pull) {
+  Observer* const obs = options_.observer;
+  const CostModel& model = meta_->cost_model();
+
+  // Phase 0: capacity churn — failures apply before this round's drop
+  // and arrival phases.
+  if (timers_ != nullptr) timers_->begin_segment();
+  faults_->apply(k_, options_, cache_, pending_, *policy_, result_);
+  const bool degraded_round = cache_.num_down() > 0;
+  if (degraded_round) ++result_.degraded.degraded_rounds;
+  if (timers_ != nullptr) timers_->note(EnginePhase::kChurn);
+
+  // Phase 1: drop.
+  pending_.drop_expired(k_, dropped_);
+  Cost round_drop_cost = 0;
+  for (const auto& [color, count] : dropped_.by_color) {
+    round_drop_cost += static_cast<Cost>(count) * model.drop_cost(color);
+  }
+  result_.cost.drops += round_drop_cost;
+  if (degraded_round) {
+    result_.degraded.drops_while_degraded += round_drop_cost;
+  }
+  if (obs != nullptr && dropped_.total > 0) {
+    for (const auto& [color, count] : dropped_.by_color) {
+      obs->stats.on_drop(color, count);
     }
-    result.cost.drops += round_drop_cost;
-    if (degraded_round) {
-      result.degraded.drops_while_degraded += round_drop_cost;
+    if (tracing_) {
+      obs->trace.push({k_, TraceKind::kDropBurst,
+                       static_cast<std::int32_t>(dropped_.by_color.size()),
+                       dropped_.total});
     }
-    if (obs != nullptr && dropped.total > 0) {
-      for (const auto& [color, count] : dropped.by_color) {
-        obs->stats.on_drop(color, count);
+  }
+  if (timers_ != nullptr) timers_->note(EnginePhase::kDrop);
+
+  // Phase 2: arrival (none in drain rounds past the arrival horizon).
+  std::span<const Job> arrivals;
+  if (pull != nullptr) arrivals = pull->arrivals_in_round(k_);
+  for (const Job& job : arrivals) {
+    pending_.add(job);
+    max_deadline_ = std::max(max_deadline_, job.deadline());
+  }
+  result_.arrived += static_cast<std::int64_t>(arrivals.size());
+  result_.peak_pending = std::max(result_.peak_pending, pending_.total());
+  if (obs != nullptr) {
+    for (const Job& job : arrivals) obs->stats.on_arrival(job.color);
+  }
+  if (timers_ != nullptr) timers_->note(EnginePhase::kArrival);
+
+  const ArrivalSource& ctx_source =
+      pull != nullptr ? static_cast<const ArrivalSource&>(*pull) : *meta_;
+  for (int mini = 0; mini < options_.speed; ++mini) {
+    // Phases 3+4 fused into one policy call: the policy ingests drops and
+    // arrivals (on mini 0) and mutates the cache, all in one dispatch.
+    if (timers_ != nullptr) timers_->begin_segment();
+    cache_.begin_phase();
+    RoundContext ctx(k_, mini, /*final_sweep=*/false, dropped_, arrivals,
+                     ctx_source, pending_, cache_, obs);
+    policy_->on_round(ctx);
+    const std::span<const std::pair<int, ColorId>> phase_events =
+        cache_.finish_phase();
+    const std::span<const ColorId> phase_from = cache_.phase_from_colors();
+    for (std::size_t i = 0; i < phase_events.size(); ++i) {
+      const auto& [location, color] = phase_events[i];
+      ++result_.cost.reconfig_events;
+      result_.cost.reconfig_cost += model.reconfig_cost(phase_from[i],
+                                                        color);
+      if (options_.record_schedule) {
+        result_.schedule.reconfigs.push_back({k_, mini, location, color});
       }
-      if (tracing) {
-        obs->trace.push({k, TraceKind::kDropBurst,
-                         static_cast<std::int32_t>(dropped.by_color.size()),
-                         dropped.total});
+    }
+    if (obs != nullptr && !phase_events.empty()) {
+      obs->stats.on_reconfigs(
+          k_, static_cast<std::int64_t>(phase_events.size()));
+      if (tracing_) {
+        obs->trace.push({k_, TraceKind::kReconfig, mini,
+                         static_cast<std::int64_t>(phase_events.size())});
       }
     }
-    if (timers != nullptr) timers->note(EnginePhase::kDrop);
+    if (timers_ != nullptr) timers_->note(EnginePhase::kPolicy);
 
-    // Phase 2: arrival.
-    std::span<const Job> arrivals;
-    if (k < arrival_end) arrivals = source.arrivals_in_round(k);
-    for (const Job& job : arrivals) {
-      pending.add(job);
-      max_deadline = std::max(max_deadline, job.deadline());
-    }
-    result.arrived += static_cast<std::int64_t>(arrivals.size());
-    result.peak_pending = std::max(result.peak_pending, pending.total());
-    if (obs != nullptr) {
-      for (const Job& job : arrivals) obs->stats.on_arrival(job.color);
-    }
-    if (timers != nullptr) timers->note(EnginePhase::kArrival);
-
-    for (int mini = 0; mini < options.speed; ++mini) {
-      // Phases 3+4 fused into one policy call: the policy ingests drops and
-      // arrivals (on mini 0) and mutates the cache, all in one dispatch.
-      if (timers != nullptr) timers->begin_segment();
-      cache.begin_phase();
-      RoundContext ctx(k, mini, /*final_sweep=*/false, dropped, arrivals,
-                       source, pending, cache, obs);
-      policy.on_round(ctx);
-      const std::span<const std::pair<int, ColorId>> phase_events =
-          cache.finish_phase();
-      const std::span<const ColorId> phase_from = cache.phase_from_colors();
-      for (std::size_t i = 0; i < phase_events.size(); ++i) {
-        const auto& [location, color] = phase_events[i];
-        ++result.cost.reconfig_events;
-        result.cost.reconfig_cost += model.reconfig_cost(phase_from[i],
-                                                         color);
-        if (options.record_schedule) {
-          result.schedule.reconfigs.push_back(
-              {k, mini, location, color});
+    // Execution — one pending job (earliest deadline first) per
+    // configured resource.
+    for (int r = 0; r < options_.num_resources; ++r) {
+      const ColorId color = cache_.color_at(r);
+      if (color == kBlack || pending_.idle(color)) continue;
+      const bool completes =
+          unit_lengths_ || pending_.earliest_remaining(color) == 1;
+      if (obs != nullptr) {
+        // The job about to execute is the color's earliest deadline;
+        // reading it before the pop derives wait and slack without
+        // materializing anything.  Completion stats fire only on a job's
+        // final unit; every unit counts as work.
+        obs->stats.on_work_unit(color);
+        if (completes) {
+          obs->stats.on_execution(color, k_,
+                                  pending_.earliest_deadline(color));
         }
       }
-      if (obs != nullptr && !phase_events.empty()) {
-        obs->stats.on_reconfigs(
-            k, static_cast<std::int64_t>(phase_events.size()));
-        if (tracing) {
-          obs->trace.push({k, TraceKind::kReconfig, mini,
-                           static_cast<std::int64_t>(phase_events.size())});
-        }
+      const PendingJobs::ExecResult exec = pending_.execute_earliest(color);
+      ++result_.work_units;
+      if (exec.completed) ++result_.executed;
+      if (options_.record_schedule) {
+        result_.schedule.execs.push_back({k_, mini, r, exec.id});
       }
-      if (timers != nullptr) timers->note(EnginePhase::kPolicy);
+    }
+    if (timers_ != nullptr) timers_->note(EnginePhase::kExec);
+  }
+  if (obs != nullptr && obs->config.snapshot_every > 0 &&
+      (k_ + 1) % obs->config.snapshot_every == 0) {
+    obs->emit_snapshot(k_, pending_.total());
+  }
+  ++k_;
+}
 
-      // Execution — one pending job (earliest deadline first) per
-      // configured resource.
-      for (int r = 0; r < options.num_resources; ++r) {
-        const ColorId color = cache.color_at(r);
-        if (color == kBlack || pending.idle(color)) continue;
-        const bool completes =
-            unit_lengths || pending.earliest_remaining(color) == 1;
-        if (obs != nullptr) {
-          // The job about to execute is the color's earliest deadline;
-          // reading it before the pop derives wait and slack without
-          // materializing anything.  Completion stats fire only on a job's
-          // final unit; every unit counts as work.
-          obs->stats.on_work_unit(color);
-          if (completes) {
-            obs->stats.on_execution(color, k,
-                                    pending.earliest_deadline(color));
-          }
-        }
-        const PendingJobs::ExecResult exec = pending.execute_earliest(color);
-        ++result.work_units;
-        if (exec.completed) ++result.executed;
-        if (options.record_schedule) {
-          result.schedule.execs.push_back({k, mini, r, exec.id});
-        }
-      }
-      if (timers != nullptr) timers->note(EnginePhase::kExec);
-    }
-    if (obs != nullptr && obs->config.snapshot_every > 0 &&
-        (k + 1) % obs->config.snapshot_every == 0) {
-      obs->emit_snapshot(k, pending.total());
-    }
-    ++k;
+void Engine::run_rounds(ArrivalSource& source, Round until) {
+  RRS_REQUIRE(!ended_, "run_rounds after finish/abandon");
+  RRS_REQUIRE(until >= k_ && until <= arrival_end_,
+              "segment end " << until << " outside [" << k_ << ", "
+                             << arrival_end_ << "]");
+  while (k_ < until) run_round(&source);
+}
+
+EngineResult Engine::finish() {
+  RRS_REQUIRE(!ended_, "finish after finish/abandon");
+  RRS_REQUIRE(k_ == arrival_end_,
+              "finish at round " << k_ << " before arrival_end "
+                                 << arrival_end_);
+  ended_ = true;
+  // Optional drain: keep running (arrival-free) rounds until every pending
+  // job has executed or expired (deadline <= k).
+  while (options_.drain_pending && pending_.total() > 0 &&
+         max_deadline_ > k_) {
+    run_round(nullptr);
   }
 
   // Final drop phase at round `k`: without draining every remaining pending
@@ -308,44 +390,78 @@ EngineResult run_policy_impl(ArrivalSource& source, Policy& policy,
   // once all deadlines are <= k.  Either way they expire now, and policies
   // see this sweep (final_sweep() == true, cache read-only) so their drop
   // accounting matches the engine's.
-  pending.drop_expired(k, dropped);
+  const CostModel& model = meta_->cost_model();
+  Observer* const obs = options_.observer;
+  pending_.drop_expired(k_, dropped_);
   Cost final_drop_cost = 0;
-  for (const auto& [color, count] : dropped.by_color) {
+  for (const auto& [color, count] : dropped_.by_color) {
     final_drop_cost += static_cast<Cost>(count) * model.drop_cost(color);
   }
-  result.cost.drops += final_drop_cost;
-  if (cache.num_down() > 0) {
-    result.degraded.drops_while_degraded += final_drop_cost;
+  result_.cost.drops += final_drop_cost;
+  if (cache_.num_down() > 0) {
+    result_.degraded.drops_while_degraded += final_drop_cost;
   }
-  if (obs != nullptr && dropped.total > 0) {
-    for (const auto& [color, count] : dropped.by_color) {
+  if (obs != nullptr && dropped_.total > 0) {
+    for (const auto& [color, count] : dropped_.by_color) {
       obs->stats.on_drop(color, count);
     }
-    if (tracing) {
-      obs->trace.push({k, TraceKind::kDropBurst,
-                       static_cast<std::int32_t>(dropped.by_color.size()),
-                       dropped.total});
+    if (tracing_) {
+      obs->trace.push({k_, TraceKind::kDropBurst,
+                       static_cast<std::int32_t>(dropped_.by_color.size()),
+                       dropped_.total});
     }
   }
-  RoundContext final_ctx(k, 0, /*final_sweep=*/true, dropped, {}, source,
-                         pending, cache, obs);
-  policy.on_round(final_ctx);
+  RoundContext final_ctx(k_, 0, /*final_sweep=*/true, dropped_, {}, *meta_,
+                         pending_, cache_, obs);
+  policy_->on_round(final_ctx);
 
-  result.rounds = k;
-  result.policy_stats = policy.stats();
-  if (obs != nullptr) obs->finish_run(k, pending.total());
-  return result;
+  result_.rounds = k_;
+  result_.policy_stats = policy_->stats();
+  if (obs != nullptr) obs->finish_run(k_, pending_.total());
+  return std::move(result_);
 }
 
-}  // namespace
+EngineResult Engine::abandon() {
+  RRS_REQUIRE(!ended_, "abandon after finish/abandon");
+  ended_ = true;
+  result_.rounds = k_;
+  result_.policy_stats = policy_->stats();
+  if (options_.observer != nullptr) {
+    options_.observer->finish_run(k_, pending_.total());
+  }
+  return std::move(result_);
+}
+
+EngineColorState Engine::export_color(ColorId color) const {
+  EngineColorState state;
+  pending_.export_color(color, state.jobs);
+  state.has_policy = policy_->export_color_state(color, state.policy);
+  return state;
+}
+
+void Engine::import_color(ColorId color, const EngineColorState& state) {
+  RRS_REQUIRE(result_.arrived == 0 && result_.rounds == 0,
+              "import_color only on a fresh engine");
+  for (const PendingJobs::ExportedJob& job : state.jobs) {
+    pending_.restore(color, job);
+    max_deadline_ = std::max(max_deadline_, job.deadline);
+  }
+  result_.peak_pending = std::max(result_.peak_pending, pending_.total());
+  if (state.has_policy) policy_->import_color_state(color, state.policy);
+}
 
 EngineResult run_policy(ArrivalSource& source, Policy& policy,
                         const EngineOptions& options) {
+  const auto run = [&] {
+    Engine engine(source, policy, options);
+    engine.run_rounds(source, engine.arrival_end());
+    return engine.finish();
+  };
   if (options.observer == nullptr) {
-    return run_policy_impl(source, policy, options);
+    return run();
   }
   try {
-    return run_policy_impl(source, policy, options);
+    return run();
   } catch (const InvariantError&) {
     // Flight-recorder dump: the recent-event ring carries the context a
     // crash report needs and cannot reconstruct post mortem.

@@ -20,15 +20,19 @@
 // phase), and optionally records a full event Schedule for validation.
 #pragma once
 
+#include <memory>
+
 #include "core/arrival_source.h"
 #include "core/fault_plan.h"
 #include "core/instance.h"
+#include "core/pending.h"
 #include "core/policy.h"
 #include "core/schedule.h"
 
 namespace rrs {
 
 struct Observer;
+class PhaseTimers;
 
 /// Knobs for one engine run.
 struct EngineOptions {
@@ -95,6 +99,99 @@ struct EngineResult {
   Schedule schedule;          ///< events iff options.record_schedule
   /// Policy-specific counters captured after the run.
   std::vector<std::pair<std::string, std::int64_t>> policy_stats;
+};
+
+/// Everything that travels with one color when it migrates between shard
+/// engines: the pending jobs (FIFO order, partial progress preserved) and
+/// the policy's portable per-color scratch.  Color ids here are LOCAL to
+/// the exporting / importing engine; the caller relabels through the
+/// global color space.
+struct EngineColorState {
+  std::vector<PendingJobs::ExportedJob> jobs;
+  PolicyColorState policy;
+  bool has_policy = false;  ///< policy exported portable state for the color
+};
+
+/// The round engine as a resumable object: construct, run segments of
+/// rounds, then finish (drain + terminal expiry sweep) or abandon
+/// (counters only — the run continues elsewhere after a migration).
+///
+/// The constructor snapshots the problem metadata (cost model, per-color
+/// delay bounds / drop costs / lengths) out of `source`, so the engine
+/// outlives any per-segment source: each run_rounds() call may use a
+/// different ArrivalSource object, as long as together they deliver the
+/// same global round sequence ([start_round, arrival_end) in order).
+///
+/// `policy.begin` is called from the constructor with the REAL `source`
+/// (offline policies need source.materialized(); the internal metadata
+/// snapshot would hide it).
+class Engine {
+ public:
+  /// Validates `options`, resolves the arrival horizon from `source`
+  /// (clipped by options.max_rounds), and starts the run at
+  /// `start_round` (rounds before it are assumed to belong to another
+  /// engine; the expiry calendar starts empty).
+  Engine(ArrivalSource& source, Policy& policy, const EngineOptions& options,
+         Round start_round = 0);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Last round (exclusive) that may carry arrivals, resolved at
+  /// construction.
+  [[nodiscard]] Round arrival_end() const { return arrival_end_; }
+
+  /// The next round this engine will run.
+  [[nodiscard]] Round round() const { return k_; }
+
+  /// Runs rounds [round(), until), pulling arrivals for each from
+  /// `source` (which must serve absolute rounds sequentially from
+  /// round()).  `until` must not exceed arrival_end().
+  void run_rounds(ArrivalSource& source, Round until);
+
+  /// Optional drain (EngineOptions::drain_pending) plus the terminal
+  /// expiry sweep; returns the run's result.  Call at most once, after
+  /// the last run_rounds().
+  [[nodiscard]] EngineResult finish();
+
+  /// Ends the run WITHOUT the drain/terminal sweep: returns the counters
+  /// accumulated so far.  Used when a re-shard hands this engine's state
+  /// to successors — the pending jobs live on via export_color().
+  [[nodiscard]] EngineResult abandon();
+
+  /// Copies `color`'s migratable state (pending jobs + policy scratch)
+  /// out of the engine.  `color` is local to this engine.
+  [[nodiscard]] EngineColorState export_color(ColorId color) const;
+
+  /// Installs exported state under local id `color`.  Call after
+  /// construction, before the first run_rounds().  Restored jobs update
+  /// the deadline high-water mark and peak_pending but are NOT counted as
+  /// arrivals again (they were counted by the exporting engine).
+  void import_color(ColorId color, const EngineColorState& state);
+
+ private:
+  class MetaSource;
+  struct FaultCursor;
+
+  /// One full round at k_: churn, drop, arrival (from `pull`, or none),
+  /// speed mini-rounds of policy + execution, periodic snapshot.
+  void run_round(ArrivalSource* pull);
+
+  EngineOptions options_;
+  Policy* policy_;
+  std::unique_ptr<MetaSource> meta_;  ///< owned metadata snapshot
+  Round arrival_end_ = 0;
+  bool unit_lengths_ = true;
+  PendingJobs pending_;
+  CacheAssignment cache_;
+  EngineResult result_;
+  PendingJobs::DropResult dropped_;  // reused across rounds
+  std::unique_ptr<FaultCursor> faults_;
+  PhaseTimers* timers_ = nullptr;
+  bool tracing_ = false;
+  Round max_deadline_ = 0;  ///< high-water mark over ingested deadlines
+  Round k_ = 0;
+  bool ended_ = false;  ///< finish() or abandon() already called
 };
 
 /// Runs `policy` against `source` under `options`, pulling rounds

@@ -52,20 +52,36 @@ void PendingJobs::release_slot(std::int32_t slot) {
 }
 
 void PendingJobs::add(const Job& job) {
-  ColorQueue& q = queues_[idx(job.color)];
-  const Round deadline = job.deadline();
+  push_back_job(job.color, job.id, job.deadline(), job.length);
+}
+
+void PendingJobs::restore(ColorId color, const ExportedJob& job) {
+  push_back_job(color, job.id, job.deadline, job.remaining);
+}
+
+void PendingJobs::export_color(ColorId color,
+                               std::vector<ExportedJob>& out) const {
+  for (std::int32_t s = queues_[idx(color)].head; s >= 0;
+       s = slot_next_[static_cast<std::size_t>(s)]) {
+    const auto i = static_cast<std::size_t>(s);
+    out.push_back({slot_id_[i], slot_deadline_[i], slot_remaining_[i]});
+  }
+}
+
+void PendingJobs::push_back_job(ColorId color, JobId id, Round deadline,
+                                Round remaining) {
+  ColorQueue& q = queues_[idx(color)];
   RRS_CHECK_MSG(
       q.tail < 0 ||
           slot_deadline_[static_cast<std::size_t>(q.tail)] <= deadline,
-      "per-color deadlines must be nondecreasing (color " << job.color
-                                                          << ")");
-  RRS_CHECK_MSG(job.length >= 1, "job length must be >= 1 (job " << job.id
-                                                                 << ")");
+      "per-color deadlines must be nondecreasing (color " << color << ")");
+  RRS_CHECK_MSG(remaining >= 1, "job length must be >= 1 (job " << id
+                                                                << ")");
   const std::int32_t slot = acquire_slot();
   const auto s = static_cast<std::size_t>(slot);
   slot_deadline_[s] = deadline;
-  slot_id_[s] = job.id;
-  slot_remaining_[s] = job.length;
+  slot_id_[s] = id;
+  slot_remaining_[s] = remaining;
   slot_next_[s] = -1;
   if (q.tail >= 0) {
     slot_next_[static_cast<std::size_t>(q.tail)] = slot;
@@ -78,7 +94,7 @@ void PendingJobs::add(const Job& job) {
   // Deadlines are nondecreasing per color, so one hint per distinct
   // deadline suffices; the latest hinted deadline is the largest.
   if (q.last_bucketed != deadline) {
-    bucket_entry(job.color, deadline);
+    bucket_entry(color, deadline);
     q.last_bucketed = deadline;
   }
 }

@@ -108,6 +108,24 @@ class PendingJobs {
   /// no-op.
   void drop_expired(Round round, DropResult& out);
 
+  // --- shard migration (engine export/import surface) ---
+
+  /// One exported pending job: identity, absolute deadline, remaining
+  /// execution units.
+  struct ExportedJob {
+    JobId id = 0;
+    Round deadline = 0;
+    Round remaining = 1;
+  };
+
+  /// Appends `color`'s pending jobs to `out` in FIFO (deadline) order.
+  void export_color(ColorId color, std::vector<ExportedJob>& out) const;
+
+  /// Re-adds an exported job under `color` (the receiving store's local
+  /// id).  Restore jobs in their exported order so per-color deadlines
+  /// stay nondecreasing.
+  void restore(ColorId color, const ExportedJob& job);
+
  private:
   struct ColorQueue {
     std::int32_t head = -1;  ///< slot of the earliest-deadline job
@@ -130,6 +148,10 @@ class PendingJobs {
 
   [[nodiscard]] std::int32_t acquire_slot();
   void release_slot(std::int32_t slot);
+
+  /// Appends one job to `color`'s FIFO (shared by add() and restore()).
+  void push_back_job(ColorId color, JobId id, Round deadline,
+                     Round remaining);
 
   /// Records the hint {color, deadline} in the ring bucket of
   /// max(deadline, cursor_ + 1), growing the ring when the deadline lies

@@ -108,6 +108,20 @@ class RoundContext {
   Observer* observer_;
 };
 
+/// Portable per-color policy scratch for shard migration: the Section 3.1
+/// state machine fields every ranked-cache-family policy keeps per color.
+/// When a color moves between shard engines (adaptive re-sharding), this
+/// is what travels with it so the receiving policy ranks it exactly as the
+/// sending one would have.
+struct PolicyColorState {
+  Cost cnt = 0;            ///< arrivals counted modulo the threshold
+  Round dd = 0;            ///< color deadline l.dd
+  Round last_wrap = -1;    ///< most recent counter-wrap round
+  Round prev_wrap = -1;    ///< the wrap before that (dLRU timestamp basis)
+  bool eligible = false;
+  bool seen_job = false;   ///< color has received at least one job
+};
+
 /// Base class for online reconfiguration policies.
 class Policy {
  public:
@@ -152,6 +166,27 @@ class Policy {
   /// shards in these units.  Defaults to `replication`.
   [[nodiscard]] virtual int resource_granularity(int replication) const {
     return replication;
+  }
+
+  /// Migration hook: copies the policy's per-color scratch for `color`
+  /// (a local id of this policy's engine) into `out` and returns true.
+  /// Policies without portable per-color state return false (the default);
+  /// such a color then restarts cold on the receiving shard, exactly as a
+  /// from-scratch run under the new plan would.
+  [[nodiscard]] virtual bool export_color_state(ColorId color,
+                                                PolicyColorState& out) const {
+    (void)color;
+    (void)out;
+    return false;
+  }
+
+  /// Migration hook: installs exported per-color scratch for `color` (a
+  /// local id of this policy's engine).  Called after begin(), before any
+  /// round, only on freshly constructed policies.  The default ignores it.
+  virtual void import_color_state(ColorId color,
+                                  const PolicyColorState& state) {
+    (void)color;
+    (void)state;
   }
 
   /// Optional policy-specific counters (epochs, classified drops, ...)

@@ -180,6 +180,10 @@ void merge_into(Snapshot& into, const Snapshot& from) {
   into.churn_repairs += from.churn_repairs;
   into.churn_evictions += from.churn_evictions;
   into.pending += from.pending;
+  into.fabric_chunks_produced += from.fabric_chunks_produced;
+  into.fabric_peak_chunks =
+      std::max(into.fabric_peak_chunks, from.fabric_peak_chunks);
+  into.fabric_ring_occupancy += from.fabric_ring_occupancy;
   into.wait.merge(from.wait);
   into.slack.merge(from.slack);
   into.service.merge(from.service);
@@ -215,6 +219,12 @@ std::string to_json_line(const Snapshot& snapshot) {
   append_int(out, snapshot.churn_evictions);
   out += ",\"pending\":";
   append_int(out, snapshot.pending);
+  out += ",\"fabric_chunks_produced\":";
+  append_int(out, snapshot.fabric_chunks_produced);
+  out += ",\"fabric_peak_chunks\":";
+  append_int(out, snapshot.fabric_peak_chunks);
+  out += ",\"fabric_ring_occupancy\":";
+  append_int(out, snapshot.fabric_ring_occupancy);
   out += ",\"mean_wait\":";
   append_double(out, snapshot.mean_wait);
   out += ",\"mean_slack\":";
@@ -258,6 +268,12 @@ Snapshot parse_snapshot_line(std::string_view line) {
   s.churn_evictions = c.parse_int();
   c.expect(",\"pending\":");
   s.pending = c.parse_int();
+  c.expect(",\"fabric_chunks_produced\":");
+  s.fabric_chunks_produced = c.parse_int();
+  c.expect(",\"fabric_peak_chunks\":");
+  s.fabric_peak_chunks = c.parse_int();
+  c.expect(",\"fabric_ring_occupancy\":");
+  s.fabric_ring_occupancy = c.parse_int();
   c.expect(",\"mean_wait\":");
   s.mean_wait = c.parse_double();
   c.expect(",\"mean_slack\":");
@@ -279,7 +295,9 @@ Snapshot parse_snapshot_line(std::string_view line) {
                   s.drop_weight >= 0 && s.completed_weight >= 0 &&
                   s.work_units >= 0 && s.reconfig_events >= 0 &&
                   s.churn_failures >= 0 && s.churn_repairs >= 0 &&
-                  s.churn_evictions >= 0 && s.pending >= 0,
+                  s.churn_evictions >= 0 && s.pending >= 0 &&
+                  s.fabric_chunks_produced >= 0 && s.fabric_peak_chunks >= 0 &&
+                  s.fabric_ring_occupancy >= 0,
               "snapshot: negative counter");
   RRS_REQUIRE(s.executed == s.wait.count() && s.executed == s.slack.count(),
               "snapshot: executed disagrees with wait/slack sample counts");

@@ -36,6 +36,14 @@ struct Snapshot {
   std::int64_t churn_repairs = 0;
   std::int64_t churn_evictions = 0;
   std::int64_t pending = 0;  // live gauge at snapshot time
+  /// Shard-fabric gauges, stamped by the sharded runner on merged final
+  /// snapshots: chunks the demux thread produced, the peak number buffered
+  /// across all rings at once, and residual ring occupancy at run end
+  /// (nonzero only on abnormal exits).  All zero for serial runs and for
+  /// shard-native (demux-free) runs.
+  std::int64_t fabric_chunks_produced = 0;
+  std::int64_t fabric_peak_chunks = 0;  ///< merge takes the max, not the sum
+  std::int64_t fabric_ring_occupancy = 0;
   double mean_wait = 0.0;
   double mean_slack = 0.0;
   Histogram wait;

@@ -22,6 +22,8 @@ const char* trace_kind_name(TraceKind kind) {
       return "adaptation";
     case TraceKind::kSnapshot:
       return "snapshot";
+    case TraceKind::kReshard:
+      return "reshard";
   }
   return "unknown";
 }

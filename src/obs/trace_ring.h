@@ -17,6 +17,7 @@ enum class TraceKind : std::uint8_t {
   kEpochTurnover,  // detail = 0, value = new epoch count
   kAdaptation,     // detail = new cache-share percent, value = #adaptations
   kSnapshot,       // detail = 0, value = pending-job gauge
+  kReshard,        // detail = #colors migrated, value = era index
 };
 
 [[nodiscard]] const char* trace_kind_name(TraceKind kind);

@@ -1,12 +1,16 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
+#include <typeinfo>
 #include <utility>
 
 #include "algs/edf.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "workload/generator_source.h"
 #include "workload/sharded_source.h"
 
 namespace rrs {
@@ -28,14 +32,24 @@ std::unique_ptr<Policy> make_stream_policy(const std::string& name,
   return make_policy(name);  // throws InputError on unknown names
 }
 
-/// Rebuilds `merged` as the exact additive merge of the per-shard
-/// observers: stats relabeled through the plan's local -> global color
+/// One engine generation's observers: resharding rebuilds engines (and
+/// their observers) per era, each with its own local -> global color maps.
+struct EraObservers {
+  std::vector<Observer*> obs;                  // one per slot (may be empty)
+  std::vector<std::unique_ptr<Observer>> owned;  // runner-created lifetime
+  std::vector<std::vector<ColorId>> color_maps;  // slot -> local -> global
+};
+
+/// Rebuilds `merged` as the exact additive merge of every era's per-shard
+/// observers: stats relabeled through each era's local -> global color
 /// maps, timers summed, snapshot series merged point-wise with
-/// carry-forward, final snapshots merged.
+/// carry-forward (resharded runs have no series — snapshot_every must be
+/// 0 there), final snapshots merged, fabric gauges and kReshard trace
+/// events stamped from the run record.
 void merge_shard_observers(Observer& merged,
-                           const std::vector<Observer*>& shard_obs,
-                           const ShardPlan& plan,
-                           const ArrivalSource& source) {
+                           const std::vector<EraObservers>& eras,
+                           const ArrivalSource& source,
+                           const ShardedRunRecord& record) {
   std::vector<Round> delay_bounds(
       static_cast<std::size_t>(source.num_colors()));
   std::vector<Cost> drop_costs(delay_bounds.size());
@@ -48,16 +62,30 @@ void merge_shard_observers(Observer& merged,
   merged.begin_run(delay_bounds, drop_costs, lengths);
 
   std::vector<std::vector<Snapshot>> series;
-  series.reserve(shard_obs.size());
-  for (std::size_t s = 0; s < shard_obs.size(); ++s) {
-    merged.stats.merge_mapped(shard_obs[s]->stats, plan.shard_colors[s]);
-    merged.timers.merge(shard_obs[s]->timers);
-    series.push_back(shard_obs[s]->snapshots);
+  merged.final_snapshot = Snapshot{};
+  for (const EraObservers& era : eras) {
+    for (std::size_t s = 0; s < era.obs.size(); ++s) {
+      merged.stats.merge_mapped(era.obs[s]->stats, era.color_maps[s]);
+      merged.timers.merge(era.obs[s]->timers);
+      series.push_back(era.obs[s]->snapshots);
+      merge_into(merged.final_snapshot, era.obs[s]->final_snapshot);
+    }
   }
   merged.snapshots = merge_snapshot_series(series);
-  merged.final_snapshot = Snapshot{};
-  for (const Observer* obs : shard_obs) {
-    merge_into(merged.final_snapshot, obs->final_snapshot);
+  merged.final_snapshot.fabric_chunks_produced =
+      record.splitter_chunks_produced;
+  for (const std::int64_t peak : record.splitter_peak_chunks) {
+    merged.final_snapshot.fabric_peak_chunks =
+        std::max(merged.final_snapshot.fabric_peak_chunks, peak);
+  }
+  merged.final_snapshot.fabric_ring_occupancy = record.fabric_ring_occupancy;
+  // Reshard events go in AFTER begin_run (which clears the ring).
+  if (merged.config.trace) {
+    for (std::size_t i = 0; i < record.reshard_rounds.size(); ++i) {
+      merged.trace.push({record.reshard_rounds[i], TraceKind::kReshard,
+                         record.reshard_moved_colors[i],
+                         static_cast<std::int64_t>(i + 1)});
+    }
   }
   if (merged.snapshot_out != nullptr) {
     write_snapshots(*merged.snapshot_out, merged.snapshots);
@@ -80,6 +108,38 @@ StreamRunRecord to_stream_record(const std::string& name, int n,
   record.degraded = result.degraded;
   record.stats = std::move(result.policy_stats);
   return record;
+}
+
+/// Folds one engine generation's result into the per-slot record `into`
+/// (slots persist across re-shard eras): costs and counters sum, rounds
+/// and peak_pending take the max, policy stats sum per key.
+void accumulate_slot(StreamRunRecord& into, const std::string& name, int n,
+                     EngineResult&& result) {
+  into.algorithm = name;
+  into.n = n;  // the latest era's slice
+  into.cost.reconfig_events += result.cost.reconfig_events;
+  into.cost.reconfig_cost += result.cost.reconfig_cost;
+  into.cost.drops += result.cost.drops;
+  into.cost.churn_reconfigs += result.cost.churn_reconfigs;
+  into.degraded.fault_events += result.degraded.fault_events;
+  into.degraded.repair_events += result.degraded.repair_events;
+  into.degraded.churn_evictions += result.degraded.churn_evictions;
+  into.degraded.degraded_rounds += result.degraded.degraded_rounds;
+  into.degraded.drops_while_degraded += result.degraded.drops_while_degraded;
+  into.executed += result.executed;
+  into.work_units += result.work_units;
+  into.arrived += result.arrived;
+  into.rounds = std::max(into.rounds, result.rounds);
+  into.peak_pending = std::max(into.peak_pending, result.peak_pending);
+  for (const auto& [key, value] : result.policy_stats) {
+    auto it = std::find_if(into.stats.begin(), into.stats.end(),
+                           [&key](const auto& kv) { return kv.first == key; });
+    if (it == into.stats.end()) {
+      into.stats.emplace_back(key, value);
+    } else {
+      it->second += value;
+    }
+  }
 }
 
 }  // namespace
@@ -126,9 +186,23 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
                                        int num_shards, Round max_rounds,
                                        const ShardedRunOptions& options) {
   RRS_REQUIRE(num_shards >= 1, "num_shards must be >= 1, got " << num_shards);
+  RRS_REQUIRE(options.reshard_every >= 0,
+              "reshard_every must be >= 0, got " << options.reshard_every);
+  if (options.reshard_every > 0) {
+    RRS_REQUIRE(options.fault_plan == nullptr || options.fault_plan->empty(),
+                "adaptive re-sharding cannot run under a fault plan: "
+                "migration would have to move per-location churn state");
+    RRS_REQUIRE(options.shard_observers.empty(),
+                "caller shard_observers assume one engine generation per "
+                "shard; use the merged observer with re-sharding");
+    RRS_REQUIRE(options.observer == nullptr ||
+                    options.observer->config.snapshot_every == 0,
+                "periodic snapshot series cannot span engine generations; "
+                "set ObsConfig::snapshot_every = 0 with re-sharding");
+  }
 
   // Resolve the arrival horizon up front (the engine's own resolution,
-  // hoisted): every shard engine and the splitter must agree on it.
+  // hoisted): every shard engine and the fabric must agree on it.
   Round arrival_end = max_rounds;
   if (arrival_end == kInfiniteHorizon) {
     arrival_end = source.horizon();
@@ -154,6 +228,29 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
   ShardedRunRecord record;
   record.plan = make_shard_plan(source.num_colors(), num_shards, n,
                                 granularity, options.color_weights);
+  const auto shard_count = static_cast<std::size_t>(num_shards);
+
+  // Shard-native fast path: a cloneable generator gives every shard an
+  // independent restricted clone with its own per-color RNG streams — the
+  // demux fabric (and its thread) is skipped entirely.  The typeid guard
+  // rejects subclasses that inherit a base clone(): such a clone would
+  // synthesize the base arrival process, not the subclass's.
+  auto* const gen = dynamic_cast<GeneratorSource*>(&source);
+  bool native = options.use_native_sources && gen != nullptr;
+  if (native) {
+    const std::unique_ptr<GeneratorSource> probe = gen->clone();
+    native = probe != nullptr && typeid(*probe) == typeid(*gen);
+  }
+  std::vector<std::unique_ptr<GeneratorSource>> views;
+  if (native) {
+    views.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      views.push_back(gen->clone());
+      views.back()->restrict_to(record.plan.shard_colors[s]);
+    }
+  }
+  record.native_sources = native;
+  record.splitter_peak_chunks.assign(shard_count, 0);
 
   ThreadPool& pool = global_pool();
   // Backpressure only helps when every shard consumer actually runs
@@ -161,12 +258,11 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
   // a pool worker) the engines run serially and waiting on a consumer
   // that has not started would only burn the timeout per chunk.
   const bool concurrent = !ThreadPool::in_worker() &&
-                          pool.size() >= static_cast<std::size_t>(num_shards);
+                          pool.size() >= shard_count;
   ShardedSourceOptions split_options;
   split_options.chunk_rounds = options.chunk_rounds;
   split_options.max_buffered_chunks = options.max_buffered_chunks;
   split_options.backpressure = concurrent;
-  ShardedSource sharded(source, record.plan, arrival_end, split_options);
 
   // Map the global fault plan onto the shards' contiguous resource blocks
   // (validated against the global pool first, so errors name global
@@ -178,34 +274,68 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
                                     record.plan.shard_resources);
   }
 
-  // Per-shard observers: caller-provided ones win; otherwise a merged
-  // observer spawns fresh per-shard ones with its config (snapshot streams
-  // stay detached — shards run concurrently and the merged series is
-  // written once at the end).
-  std::vector<Observer> local_observers;
-  std::vector<Observer*> shard_obs;
   if (!options.shard_observers.empty()) {
-    RRS_REQUIRE(options.shard_observers.size() ==
-                    static_cast<std::size_t>(num_shards),
+    RRS_REQUIRE(options.shard_observers.size() == shard_count,
                 "shard_observers must have one entry per shard: got "
                     << options.shard_observers.size() << " for "
                     << num_shards << " shards");
-    shard_obs = options.shard_observers;
-  } else if (options.observer != nullptr) {
-    local_observers.assign(static_cast<std::size_t>(num_shards),
-                           Observer(options.observer->config));
-    shard_obs.reserve(local_observers.size());
-    for (Observer& obs : local_observers) shard_obs.push_back(&obs);
   }
 
-  record.shards.resize(static_cast<std::size_t>(num_shards));
-  pool.parallel_for(
-      static_cast<std::size_t>(num_shards), [&](std::size_t s) {
+  record.shards.resize(shard_count);
+  std::vector<EraObservers> eras;
+  std::vector<std::unique_ptr<Policy>> policies(shard_count);
+  std::vector<std::unique_ptr<Engine>> engines(shard_count);
+  // Exported state awaiting import into the next era's engines, indexed by
+  // GLOBAL color; empty when no migration is pending.
+  std::vector<EngineColorState> imports;
+  bool rebuild = true;
+
+  // The era/segment loop.  Each iteration runs rounds
+  // [seg_begin, seg_end); with reshard_every == 0 there is exactly one
+  // segment covering the whole arrival range.  The fabric (when not
+  // native) is rebuilt per segment so a plan change never has to rewind
+  // the sequential parent source: each fabric pulls exactly its segment
+  // and is joined before the next one starts.
+  Round seg_begin = 0;
+  do {
+    const Round seg_end =
+        options.reshard_every > 0
+            ? std::min(seg_begin + options.reshard_every, arrival_end)
+            : arrival_end;
+    std::optional<ShardedSource> sharded;
+    if (!native) {
+      sharded.emplace(source, record.plan, seg_end, split_options, seg_begin,
+                      arrival_end);
+    }
+    const auto slot_source = [&](std::size_t s) -> ArrivalSource& {
+      if (native) return *views[s];
+      return sharded->stream(static_cast<int>(s));
+    };
+
+    if (rebuild) {
+      rebuild = false;
+      // Fresh observers for this engine generation: caller-provided ones
+      // (legacy single-era mode) win; otherwise a merged observer spawns
+      // per-shard ones with its config (snapshot streams stay detached —
+      // shards run concurrently and the merged series is written once at
+      // the end).
+      EraObservers era;
+      era.color_maps = record.plan.shard_colors;
+      if (!options.shard_observers.empty()) {
+        era.obs = options.shard_observers;
+      } else if (options.observer != nullptr) {
+        era.owned.reserve(shard_count);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          era.owned.push_back(
+              std::make_unique<Observer>(options.observer->config));
+          era.obs.push_back(era.owned.back().get());
+        }
+      }
+      eras.push_back(std::move(era));
+      for (std::size_t s = 0; s < shard_count; ++s) {
         EngineOptions engine_options;
-        std::unique_ptr<Policy> policy =
-            make_stream_policy(name, engine_options);
-        engine_options.num_resources =
-            record.plan.shard_resources[s];
+        policies[s] = make_stream_policy(name, engine_options);
+        engine_options.num_resources = record.plan.shard_resources[s];
         engine_options.record_schedule = false;
         engine_options.max_rounds = arrival_end;
         engine_options.drain_pending = true;
@@ -213,14 +343,128 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
           engine_options.fault_plan = &shard_faults[s];
           engine_options.charge_repair = options.charge_repair;
         }
-        if (!shard_obs.empty()) engine_options.observer = shard_obs[s];
-        Stopwatch shard_watch;
-        EngineResult result = run_policy(sharded.stream(static_cast<int>(s)),
-                                         *policy, engine_options);
-        record.shards[s] =
-            to_stream_record(name, engine_options.num_resources,
-                             std::move(result), shard_watch.seconds());
-      });
+        if (!eras.back().obs.empty()) {
+          engine_options.observer = eras.back().obs[s];
+        }
+        engines[s] = std::make_unique<Engine>(slot_source(s), *policies[s],
+                                              engine_options, seg_begin);
+        if (!imports.empty()) {
+          const std::vector<ColorId>& colors = record.plan.shard_colors[s];
+          for (std::size_t l = 0; l < colors.size(); ++l) {
+            engines[s]->import_color(
+                static_cast<ColorId>(l),
+                imports[static_cast<std::size_t>(colors[l])]);
+          }
+        }
+      }
+      imports.clear();
+    }
+
+    pool.parallel_for(shard_count, [&](std::size_t s) {
+      Observer* const slot_obs =
+          eras.back().obs.empty() ? nullptr : eras.back().obs[s];
+      Stopwatch shard_watch;
+      try {
+        engines[s]->run_rounds(slot_source(s), seg_end);
+      } catch (const InvariantError&) {
+        if (slot_obs != nullptr) slot_obs->dump_trace();
+        throw;
+      }
+      record.shards[s].seconds += shard_watch.seconds();
+    });
+
+    if (!native) {
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        record.splitter_peak_chunks[s] =
+            std::max(record.splitter_peak_chunks[s],
+                     sharded->peak_buffered_chunks(static_cast<int>(s)));
+        record.fabric_ring_occupancy +=
+            sharded->ring_occupancy(static_cast<int>(s));
+      }
+      record.splitter_chunks_produced += sharded->chunks_produced();
+    }
+
+    if (seg_end < arrival_end) {
+      // Epoch boundary: re-derive the plan from the rates each shard's
+      // consumer observed this epoch (counts + 1, so idle colors keep a
+      // positive weight).  Counting is consumer-side, so fabric run-ahead
+      // never inflates a rate.
+      std::vector<double> weights(
+          static_cast<std::size_t>(source.num_colors()), 1.0);
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        const std::vector<std::int64_t> counts =
+            native ? views[s]->take_observed_counts()
+                   : sharded->take_observed_counts(static_cast<int>(s));
+        const std::vector<ColorId>& colors = record.plan.shard_colors[s];
+        for (std::size_t l = 0; l < colors.size(); ++l) {
+          weights[static_cast<std::size_t>(colors[l])] =
+              static_cast<double>(counts[l]) + 1.0;
+        }
+      }
+      ShardPlan next = make_shard_plan(source.num_colors(), num_shards, n,
+                                       granularity, weights);
+      // A plan is "changed" when either the color partition or the
+      // resource split moved — the latter alone still needs new engines
+      // (a shard's n is fixed at construction).
+      if (next.shard_of_color != record.plan.shard_of_color ||
+          next.shard_resources != record.plan.shard_resources) {
+        int moved = 0;
+        for (std::size_t c = 0; c < next.shard_of_color.size(); ++c) {
+          if (next.shard_of_color[c] != record.plan.shard_of_color[c]) {
+            ++moved;
+          }
+        }
+        // Exact cost handoff: every color's pending jobs and policy
+        // scratch leave through the engine export surface, keyed by
+        // global color for the next era's engines.
+        imports.assign(static_cast<std::size_t>(source.num_colors()),
+                       EngineColorState{});
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          const std::vector<ColorId>& colors = record.plan.shard_colors[s];
+          for (std::size_t l = 0; l < colors.size(); ++l) {
+            imports[static_cast<std::size_t>(colors[l])] =
+                engines[s]->export_color(static_cast<ColorId>(l));
+          }
+          accumulate_slot(record.shards[s], name,
+                          record.plan.shard_resources[s],
+                          engines[s]->abandon());
+          engines[s].reset();
+          policies[s].reset();
+        }
+        // The abandoned era's "pending at finish" gauge counts jobs that
+        // just migrated and live on — zero it so the merged final
+        // snapshot reports only jobs actually pending at run end.
+        for (Observer* obs : eras.back().obs) {
+          obs->final_snapshot.pending = 0;
+        }
+        if (native) {
+          for (std::size_t s = 0; s < shard_count; ++s) {
+            views[s]->reassign(next.shard_colors[s]);
+          }
+        }
+        record.reshard_rounds.push_back(seg_end);
+        record.reshard_moved_colors.push_back(moved);
+        record.plan = std::move(next);
+        rebuild = true;
+      }
+    }
+    seg_begin = seg_end;
+  } while (seg_begin < arrival_end);
+
+  // Finish (drain + terminal sweep) the final era's engines.
+  pool.parallel_for(shard_count, [&](std::size_t s) {
+    Observer* const slot_obs =
+        eras.back().obs.empty() ? nullptr : eras.back().obs[s];
+    Stopwatch shard_watch;
+    try {
+      accumulate_slot(record.shards[s], name, record.plan.shard_resources[s],
+                      engines[s]->finish());
+    } catch (const InvariantError&) {
+      if (slot_obs != nullptr) slot_obs->dump_trace();
+      throw;
+    }
+    record.shards[s].seconds += shard_watch.seconds();
+  });
 
   // Merge: the color partition makes shard costs exactly additive.
   record.merged.algorithm = name;
@@ -254,17 +498,8 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
   }
   record.merged.seconds = watch.seconds();
 
-  // Splitter queue-depth gauges (diagnostics; the peaks are
-  // timing-dependent, so they live outside the deterministic records).
-  record.splitter_peak_chunks.resize(static_cast<std::size_t>(num_shards));
-  for (int s = 0; s < num_shards; ++s) {
-    record.splitter_peak_chunks[static_cast<std::size_t>(s)] =
-        sharded.peak_buffered_chunks(s);
-  }
-  record.splitter_chunks_produced = sharded.chunks_produced();
-
   if (options.observer != nullptr) {
-    merge_shard_observers(*options.observer, shard_obs, record.plan, source);
+    merge_shard_observers(*options.observer, eras, source, record);
   }
   return record;
 }

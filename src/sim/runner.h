@@ -64,7 +64,7 @@ struct ShardedRunOptions {
   /// means uniform.  Use observe_color_weights on a probe source to
   /// balance shards by observed rate.
   std::vector<double> color_weights;
-  /// Rounds demultiplexed per splitter lock acquisition.
+  /// Rounds demultiplexed per produced fabric chunk.
   Round chunk_rounds = 256;
   /// Buffered chunks per shard before the splitter applies backpressure.
   std::size_t max_buffered_chunks = 64;
@@ -86,8 +86,28 @@ struct ShardedRunOptions {
   /// Optional caller-provided per-shard observers (size == num_shards; not
   /// owned); takes precedence over the runner-created ones so tests can
   /// inspect raw per-shard state.  Entries must not share snapshot
-  /// streams: shards run concurrently.
+  /// streams: shards run concurrently.  Incompatible with reshard_every:
+  /// engines are rebuilt at migration boundaries, so per-slot observers
+  /// would silently lose earlier eras.
   std::vector<Observer*> shard_observers;
+  /// Adaptive re-sharding epoch: every this many rounds the runner takes
+  /// the per-color arrival counts each shard consumer observed since the
+  /// last boundary, recomputes the LPT plan from them (weights =
+  /// counts + 1), and — if the plan changed — migrates every color's
+  /// state (pending jobs, policy scratch) into freshly built engines
+  /// under the new plan.  0 (default) disables: one plan for the whole
+  /// run.  Requires no fault plan, no caller shard_observers, and no
+  /// periodic snapshot series (ObsConfig::snapshot_every == 0) — those
+  /// features assume one engine generation per shard.
+  Round reshard_every = 0;
+  /// Serve generated workloads shard-natively: when the source is a
+  /// GeneratorSource whose clone() is implemented, each shard gets its own
+  /// restricted clone (independent per-color RNG streams) and synthesizes
+  /// exactly its colors' jobs locally — no demux thread, no rings, no
+  /// cross-thread handoff.  Costs are bit-identical to the demuxed fabric
+  /// (job ids differ: they are locally dense).  Sources that don't support
+  /// cloning fall back to the fabric silently.
+  bool use_native_sources = true;
 };
 
 /// Outcome of one sharded streaming run: the per-shard records plus their
@@ -107,6 +127,19 @@ struct ShardedRunRecord {
   /// of `merged`/`shards`, whose fields are deterministic.
   std::vector<std::int64_t> splitter_peak_chunks;
   std::int64_t splitter_chunks_produced = 0;
+  /// Residual chunks left in the rings when each segment's fabric shut
+  /// down, summed (0 on a clean run — consumers drain their segments).
+  std::int64_t fabric_ring_occupancy = 0;
+  /// True when the run served arrivals shard-natively (no demux fabric);
+  /// the splitter gauges are then all zero.
+  bool native_sources = false;
+  /// Re-sharding log, one entry per boundary where the plan CHANGED: the
+  /// boundary round and how many colors moved shards there.  With
+  /// reshard_every == 0 (or when every boundary kept the plan) both stay
+  /// empty and `plan` is the run's single plan; otherwise `plan` is the
+  /// final era's.
+  std::vector<Round> reshard_rounds;
+  std::vector<int> reshard_moved_colors;
 };
 
 /// Runs `name` against `source` split into `num_shards` independent

@@ -1,0 +1,97 @@
+#ifndef RRS_UTIL_SPSC_RING_H_
+#define RRS_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+/// Bounded single-producer single-consumer ring buffer.
+///
+/// Exactly one thread may call try_push and exactly one thread may call
+/// try_pop; the two may differ.  Indices are monotonically increasing 64-bit
+/// counters masked into a power-of-two slot array, so the full capacity is
+/// usable (no wasted slot).  The producer and consumer each keep a cached
+/// copy of the other side's index and only touch the shared atomic when the
+/// cache says the ring looks full/empty — the common case is one relaxed
+/// load plus one release store per operation, no locks anywhere.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 1 slot).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false (leaving `value` untouched) if the ring
+  /// is full.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false (leaving `out` untouched) if the ring is
+  /// empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Total elements ever pushed (acquire; readable from any thread).
+  [[nodiscard]] std::uint64_t produced() const {
+    return tail_.load(std::memory_order_acquire);
+  }
+
+  /// Total elements ever popped (acquire; readable from any thread).
+  [[nodiscard]] std::uint64_t consumed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy — exact only when both sides are quiescent.
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Next index to pop; written by the consumer only.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  /// Next index to push; written by the producer only.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  /// Producer's snapshot of head_ (own cache line, never shared).
+  alignas(64) std::uint64_t cached_head_ = 0;
+  /// Consumer's snapshot of tail_.
+  alignas(64) std::uint64_t cached_tail_ = 0;
+};
+
+}  // namespace rrs
+
+#endif  // RRS_UTIL_SPSC_RING_H_

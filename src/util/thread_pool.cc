@@ -23,7 +23,10 @@ std::size_t parse_thread_count(const char* text) {
   if (text == nullptr || *text == '\0') return 0;
   char* end = nullptr;
   const long parsed = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || parsed <= 0) return 0;
+  RRS_REQUIRE(end != text && *end == '\0',
+              "RRS_THREADS must be a positive integer, got \"" << text
+                                                               << "\"");
+  RRS_REQUIRE(parsed > 0, "RRS_THREADS must be > 0, got " << parsed);
   return static_cast<std::size_t>(parsed);
 }
 

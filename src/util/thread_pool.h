@@ -67,13 +67,15 @@ class ThreadPool {
 };
 
 /// Parses an RRS_THREADS-style value: a positive integer gives that many
-/// threads; null, empty, zero, negative, or non-numeric values return 0
-/// ("use the hardware default").
+/// threads; null or empty means "unset" and returns 0 ("use the hardware
+/// default").  Anything else — zero, negative, non-numeric, or trailing
+/// garbage — throws InputError: a typo'd RRS_THREADS silently falling back
+/// to the hardware default would mask the misconfiguration.
 [[nodiscard]] std::size_t parse_thread_count(const char* text);
 
 /// Worker count for new pools: the RRS_THREADS environment variable when
-/// it parses to a positive integer, otherwise
-/// std::thread::hardware_concurrency() (minimum 1).
+/// set (a malformed value throws InputError, see parse_thread_count),
+/// otherwise std::thread::hardware_concurrency() (minimum 1).
 [[nodiscard]] std::size_t default_thread_count();
 
 /// The process-wide shared pool, created on first use and sized once via

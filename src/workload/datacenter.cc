@@ -45,6 +45,7 @@ Round DatacenterSource::geometric(Rng& rng, Round mean) {
 
 DatacenterSource::DatacenterSource(const DatacenterParams& params)
     : GeneratorSource(params.delta, params.horizon),
+      params_(params),
       services_(params.services.empty() ? default_service_mix()
                                         : params.services) {
   state_.reserve(services_.size());
@@ -59,20 +60,23 @@ DatacenterSource::DatacenterSource(const DatacenterParams& params)
   }
 }
 
-void DatacenterSource::synthesize(Round k) {
-  for (std::size_t c = 0; c < services_.size(); ++c) {
-    const ServiceSpec& s = services_[c];
-    ServiceState& st = state_[c];
-    if (st.phase_left == 0) {
-      st.hot = !st.hot;
-      st.phase_left = geometric(st.stream, st.hot ? s.mean_hot_length
-                                                  : s.mean_cold_length);
-    }
-    --st.phase_left;
-    const double rate = st.hot ? s.hot_rate : s.cold_rate;
-    const std::int64_t count = st.stream.poisson(rate);
-    if (count > 0) emit(static_cast<ColorId>(c), k, count);
+std::unique_ptr<GeneratorSource> DatacenterSource::clone() const {
+  return std::make_unique<DatacenterSource>(params_);
+}
+
+void DatacenterSource::synthesize_color(ColorId color, Round k) {
+  const auto c = static_cast<std::size_t>(color);
+  const ServiceSpec& s = services_[c];
+  ServiceState& st = state_[c];
+  if (st.phase_left == 0) {
+    st.hot = !st.hot;
+    st.phase_left = geometric(st.stream, st.hot ? s.mean_hot_length
+                                                : s.mean_cold_length);
   }
+  --st.phase_left;
+  const double rate = st.hot ? s.hot_rate : s.cold_rate;
+  const std::int64_t count = st.stream.poisson(rate);
+  if (count > 0) emit(color, k, count);
 }
 
 Instance make_datacenter(const DatacenterParams& params) {

@@ -44,10 +44,14 @@ struct DatacenterParams {
 [[nodiscard]] std::vector<ServiceSpec> default_service_mix();
 
 /// Lazy streaming datacenter workload: per-service on/off phase processes
-/// advanced one round at a time.
+/// advanced one round at a time.  Per-color decomposable (each service's
+/// phase walk lives entirely in its own stream), so it supports
+/// shard-native views via clone()/restrict_to().
 class DatacenterSource final : public GeneratorSource {
  public:
   explicit DatacenterSource(const DatacenterParams& params);
+
+  [[nodiscard]] std::unique_ptr<GeneratorSource> clone() const override;
 
  private:
   struct ServiceState {
@@ -56,9 +60,10 @@ class DatacenterSource final : public GeneratorSource {
     Round phase_left = 0;
   };
 
-  void synthesize(Round k) override;
+  void synthesize_color(ColorId color, Round k) override;
   [[nodiscard]] static Round geometric(Rng& rng, Round mean);
 
+  DatacenterParams params_;  // kept verbatim for clone()
   std::vector<ServiceSpec> services_;
   std::vector<ServiceState> state_;
 };

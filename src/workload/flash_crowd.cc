@@ -24,17 +24,21 @@ FlashCrowdSource::FlashCrowdSource(const FlashCrowdParams& params)
   }
 }
 
-void FlashCrowdSource::synthesize(Round k) {
-  const bool in_spike = k >= params_.spike_start && k < params_.spike_end;
-  const double spike_rate =
-      params_.base_rate * (in_spike ? params_.spike_factor : 1.0);
-  for (ColorId c = 0; c < num_colors(); ++c) {
-    const double rate =
-        c == spike_color_ ? spike_rate : params_.background_rate;
-    const std::int64_t count =
-        streams_[static_cast<std::size_t>(c)].poisson(rate);
-    if (count > 0) emit(c, k, count);
+std::unique_ptr<GeneratorSource> FlashCrowdSource::clone() const {
+  return std::make_unique<FlashCrowdSource>(params_);
+}
+
+void FlashCrowdSource::synthesize_color(ColorId color, Round k) {
+  // The per-color rate is a pure function of (color, k), so a view that
+  // only ever draws this color replays exactly the full stream's draws.
+  double rate = params_.background_rate;
+  if (color == spike_color_) {
+    const bool in_spike = k >= params_.spike_start && k < params_.spike_end;
+    rate = params_.base_rate * (in_spike ? params_.spike_factor : 1.0);
   }
+  const std::int64_t count =
+      streams_[static_cast<std::size_t>(color)].poisson(rate);
+  if (count > 0) emit(color, k, count);
 }
 
 FlashCrowdInstance make_flash_crowd(const FlashCrowdParams& params) {

@@ -36,15 +36,19 @@ struct FlashCrowdParams {
 };
 
 /// Lazy streaming flash-crowd workload.  The spike color is always
-/// color 0; background colors follow.
+/// color 0; background colors follow.  Per-color decomposable (each
+/// color's rate is a pure function of the round), so it supports
+/// shard-native views via clone()/restrict_to().
 class FlashCrowdSource final : public GeneratorSource {
  public:
   explicit FlashCrowdSource(const FlashCrowdParams& params);
 
   [[nodiscard]] ColorId spike_color() const { return spike_color_; }
 
+  [[nodiscard]] std::unique_ptr<GeneratorSource> clone() const override;
+
  private:
-  void synthesize(Round k) override;
+  void synthesize_color(ColorId color, Round k) override;
 
   std::vector<Rng> streams_;  // one RNG stream per color
   FlashCrowdParams params_;

@@ -10,9 +10,26 @@
 //   * emit() assigns dense ids in emission order, ascending color within
 //     a round — exactly the id/order InstanceBuilder produces when the
 //     same sequence is pulled round-major into add_jobs().
+//
+// Shard-native views: a generator whose colors draw from independent
+// per-color streams can serve one shard of a ShardPlan without any demux —
+// clone() the generator, restrict_to() the shard's colors, and the view
+// synthesizes only those colors' draws (each color's sequence is identical
+// to its sequence in the full stream, so the per-shard arrivals are
+// bit-identical to what the demux fabric would deliver, modulo job ids
+// being locally dense).  Subclasses opt in by implementing clone() and
+// synthesize_color(); the default synthesize() then iterates the active
+// colors in ascending global order.  reassign() changes a live view's
+// color set mid-stream (adaptive re-sharding): newly acquired colors are
+// fast-forwarded by replaying their draws in discard mode up to the view's
+// current round, so ownership can move between views without ever
+// rewinding a stream.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/arrival_source.h"
@@ -29,24 +46,63 @@ namespace rrs {
 }
 
 /// Base class for streaming workload generators.  Subclasses register
-/// colors in their constructor (add_color) and implement synthesize(k),
+/// colors in their constructor (add_color) and implement either
+/// synthesize_color(color, k) — per-color decomposable generators, which
+/// then also support shard-native views — or synthesize(k) wholesale,
 /// calling emit() once per (color, batch) in ascending color order.
 class GeneratorSource : public ArrivalSource {
  public:
   [[nodiscard]] Cost delta() const override { return delta_; }
   [[nodiscard]] ColorId num_colors() const override {
-    return static_cast<ColorId>(delay_bounds_.size());
+    return restricted_ ? static_cast<ColorId>(active_.size())
+                       : static_cast<ColorId>(delay_bounds_.size());
   }
   [[nodiscard]] Round delay_bound(ColorId color) const override {
-    return delay_bounds_[checked(color)];
+    return delay_bounds_[global_of(color)];
   }
   [[nodiscard]] Cost drop_cost(ColorId color) const override {
-    return drop_costs_[checked(color)];
+    return drop_costs_[global_of(color)];
   }
   [[nodiscard]] Round length(ColorId color) const override {
-    return lengths_[checked(color)];
+    return lengths_[global_of(color)];
   }
   [[nodiscard]] Round horizon() const override { return horizon_; }
+
+  /// Scalar model over the (possibly restricted) color set.  Built from
+  /// the global metadata and then restricted, so a view's model equals
+  /// `parent.cost_model().restricted(colors)` — what the demux fabric
+  /// hands its engines.  Subclasses with richer pricing may override, but
+  /// such generators must not also offer clone() (native views rely on
+  /// this base implementation re-indexing correctly).
+  [[nodiscard]] const CostModel& cost_model() const override {
+    if (!model_ready_) {
+      CostModel full;
+      full.set_delta(delta_);
+      full.resize(static_cast<ColorId>(delay_bounds_.size()));
+      for (std::size_t c = 0; c < delay_bounds_.size(); ++c) {
+        full.set_drop_cost(static_cast<ColorId>(c), drop_costs_[c]);
+        full.set_length(static_cast<ColorId>(c), lengths_[c]);
+      }
+      model_ = restricted_ ? full.restricted(active_) : full;
+      model_ready_ = true;
+    }
+    return model_;
+  }
+
+  /// Delay index over the (possibly restricted) color set; rebuilt after
+  /// every reassign().
+  [[nodiscard]] const std::map<Round, std::vector<ColorId>>& colors_by_delay()
+      const override {
+    if (!delay_index_ready_) {
+      delay_index_.clear();
+      const ColorId n = num_colors();
+      for (ColorId c = 0; c < n; ++c) {
+        delay_index_[delay_bound(c)].push_back(c);
+      }
+      delay_index_ready_ = true;
+    }
+    return delay_index_;
+  }
 
   [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
     RRS_REQUIRE(k == next_round_, "streaming sources are sequential: "
@@ -57,6 +113,59 @@ class GeneratorSource : public ArrivalSource {
     if (!finite() || k < horizon_) synthesize(k);
     return buffer_;
   }
+
+  // --- shard-native view support ---
+
+  /// A fresh, unpulled copy of this generator (same parameters and seed).
+  /// Subclasses whose colors draw from independent per-color streams
+  /// override this (and synthesize_color) to enable shard-native views;
+  /// the default returns nullptr, meaning "demux me instead".
+  [[nodiscard]] virtual std::unique_ptr<GeneratorSource> clone() const {
+    return nullptr;
+  }
+
+  /// Turns a fresh clone into a view over `colors` (sorted, unique global
+  /// ids): metadata accessors, the cost model, and emitted jobs all use
+  /// the dense local id space (local i = colors[i]).  Must be called
+  /// before the first pull.
+  void restrict_to(std::span<const ColorId> colors) {
+    RRS_REQUIRE(next_round_ == 0,
+                "restrict_to must precede the first pull, not follow round "
+                    << next_round_ - 1);
+    install_active(colors);
+    synced_to_.assign(delay_bounds_.size(), 0);
+  }
+
+  /// Changes a live view's color set at its current round.  Colors the
+  /// view did not previously own are fast-forwarded: their per-color draws
+  /// from the round where some view last held them (or 0) up to this
+  /// view's current round are replayed in discard mode, so the color's
+  /// stream position is exactly as if this view had owned it all along.
+  void reassign(std::span<const ColorId> colors) {
+    RRS_REQUIRE(restricted_,
+                "reassign needs a restricted view; call restrict_to first");
+    for (const ColorId c : active_) {
+      synced_to_[static_cast<std::size_t>(c)] = next_round_;
+    }
+    install_active(colors);
+    discard_ = true;
+    for (const ColorId c : active_) {
+      auto& synced = synced_to_[static_cast<std::size_t>(c)];
+      for (Round k = synced; k < next_round_; ++k) synthesize_color(c, k);
+      synced = next_round_;
+    }
+    discard_ = false;
+  }
+
+  /// Per-local-color arrival counts emitted since the last call; resets.
+  [[nodiscard]] std::vector<std::int64_t> take_observed_counts() {
+    std::vector<std::int64_t> counts = std::move(observed_);
+    observed_.assign(counts.size(), 0);
+    return counts;
+  }
+
+  /// The next round this source will synthesize (pull position).
+  [[nodiscard]] Round next_round() const { return next_round_; }
 
  protected:
   /// `horizon` is the number of arrival-carrying rounds, or
@@ -69,7 +178,8 @@ class GeneratorSource : public ArrivalSource {
                 "horizon must be >= 1 or kInfiniteHorizon, got " << horizon);
   }
 
-  /// Registers a color; returns its ColorId.  Constructor-time only.
+  /// Registers a color; returns its (global) ColorId.  Constructor-time
+  /// only.
   ColorId add_color(Round delay, Cost drop_cost = 1, Round length = 1) {
     RRS_REQUIRE(delay >= 1, "delay bound must be >= 1, got " << delay);
     RRS_REQUIRE(drop_cost >= 1, "drop cost must be >= 1, got " << drop_cost);
@@ -77,25 +187,56 @@ class GeneratorSource : public ArrivalSource {
     delay_bounds_.push_back(delay);
     drop_costs_.push_back(drop_cost);
     lengths_.push_back(length);
+    observed_.push_back(0);
     return static_cast<ColorId>(delay_bounds_.size() - 1);
   }
 
-  /// Appends `count` jobs of `color` arriving in round `k` to this round's
-  /// buffer.  Call in ascending color order within one synthesize().
+  /// Appends `count` jobs of global color `color` arriving in round `k` to
+  /// this round's buffer (relabeled to the local id on restricted views).
+  /// Call in ascending color order within one synthesize().
   void emit(ColorId color, Round k, std::int64_t count) {
-    const std::size_t c = checked(color);
+    const std::size_t c = checked_global(color);
+    if (discard_) return;  // fast-forward replay: advance RNG only
+    ColorId out = color;
+    if (restricted_) {
+      out = local_of_global_[c];
+      RRS_CHECK_MSG(out >= 0, "emit for color " << color
+                                                << " not in this view");
+    }
+    observed_[static_cast<std::size_t>(out)] += count;
     for (std::int64_t i = 0; i < count; ++i) {
-      buffer_.push_back(Job{next_id_++, color, k, delay_bounds_[c],
+      buffer_.push_back(Job{next_id_++, out, k, delay_bounds_[c],
                             drop_costs_[c], lengths_[c]});
     }
   }
 
   /// Produces round `k`'s arrivals via emit().  Called once per round, in
-  /// order, only for rounds inside the horizon.
-  virtual void synthesize(Round k) = 0;
+  /// order, only for rounds inside the horizon.  The default iterates the
+  /// active colors in ascending global order through synthesize_color();
+  /// generators that are not per-color decomposable override this
+  /// wholesale (and then cannot serve shard-native views).
+  virtual void synthesize(Round k) {
+    if (restricted_) {
+      for (const ColorId c : active_) synthesize_color(c, k);
+    } else {
+      const auto n = static_cast<ColorId>(delay_bounds_.size());
+      for (ColorId c = 0; c < n; ++c) synthesize_color(c, k);
+    }
+  }
+
+  /// Produces round `k`'s arrivals of global color `color` via emit().
+  /// A color's draws must depend only on (color, k) and the color's own
+  /// stream state — never on other colors — so restricted views replay
+  /// identical per-color sequences.
+  virtual void synthesize_color(ColorId color, Round k) {
+    (void)k;
+    RRS_CHECK_MSG(false, "generator cannot synthesize color " << color
+                             << " independently (no synthesize_color "
+                                "override)");
+  }
 
  private:
-  [[nodiscard]] std::size_t checked(ColorId color) const {
+  [[nodiscard]] std::size_t checked_global(ColorId color) const {
     RRS_REQUIRE(color >= 0 &&
                     static_cast<std::size_t>(color) < delay_bounds_.size(),
                 "color " << color << " out of range [0, "
@@ -103,14 +244,56 @@ class GeneratorSource : public ArrivalSource {
     return static_cast<std::size_t>(color);
   }
 
+  /// Maps a caller-facing (local) id to the global metadata index.
+  [[nodiscard]] std::size_t global_of(ColorId color) const {
+    if (!restricted_) return checked_global(color);
+    RRS_REQUIRE(color >= 0 && static_cast<std::size_t>(color) < active_.size(),
+                "local color " << color << " out of range [0, "
+                               << active_.size() << ")");
+    return static_cast<std::size_t>(active_[static_cast<std::size_t>(color)]);
+  }
+
+  void install_active(std::span<const ColorId> colors) {
+    RRS_REQUIRE(!colors.empty(), "a view needs at least one color");
+    for (std::size_t i = 0; i < colors.size(); ++i) {
+      (void)checked_global(colors[i]);
+      RRS_REQUIRE(i == 0 || colors[i] > colors[i - 1],
+                  "view colors must be sorted and unique");
+    }
+    restricted_ = true;
+    active_.assign(colors.begin(), colors.end());
+    local_of_global_.assign(delay_bounds_.size(), kBlack);
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      local_of_global_[static_cast<std::size_t>(active_[i])] =
+          static_cast<ColorId>(i);
+    }
+    observed_.assign(active_.size(), 0);
+    model_ready_ = false;
+    delay_index_ready_ = false;
+  }
+
   Cost delta_;
   Round horizon_;
+  // Global metadata: indexed by global color id even on restricted views.
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
   std::vector<Round> lengths_;
+  // Restriction state.
+  bool restricted_ = false;
+  bool discard_ = false;                  // reassign fast-forward in flight
+  std::vector<ColorId> active_;           // global ids, ascending
+  std::vector<ColorId> local_of_global_;  // kBlack when not in this view
+  std::vector<Round> synced_to_;          // per-global-color replay position
+  // Round state.
   std::vector<Job> buffer_;
+  std::vector<std::int64_t> observed_;  // per-local-color arrivals emitted
   Round next_round_ = 0;
   JobId next_id_ = 0;
+  // Caches (mirror ArrivalSource's lazy base caches, with invalidation).
+  mutable CostModel model_;
+  mutable bool model_ready_ = false;
+  mutable std::map<Round, std::vector<ColorId>> delay_index_;
+  mutable bool delay_index_ready_ = false;
 };
 
 }  // namespace rrs

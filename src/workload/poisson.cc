@@ -8,6 +8,7 @@ namespace rrs {
 
 PoissonSource::PoissonSource(const PoissonParams& params)
     : GeneratorSource(params.delta, params.horizon),
+      params_(params),
       mean_rate_(params.mean_rate) {
   RRS_REQUIRE(params.num_colors >= 1, "need >= 1 color");
   RRS_REQUIRE(params.min_delay >= 1 && params.min_delay <= params.max_delay,
@@ -33,12 +34,14 @@ PoissonSource::PoissonSource(const PoissonParams& params)
   }
 }
 
-void PoissonSource::synthesize(Round k) {
-  for (ColorId c = 0; c < num_colors(); ++c) {
-    const std::int64_t count =
-        streams_[static_cast<std::size_t>(c)].poisson(mean_rate_);
-    if (count > 0) emit(c, k, count);
-  }
+std::unique_ptr<GeneratorSource> PoissonSource::clone() const {
+  return std::make_unique<PoissonSource>(params_);
+}
+
+void PoissonSource::synthesize_color(ColorId color, Round k) {
+  const std::int64_t count =
+      streams_[static_cast<std::size_t>(color)].poisson(mean_rate_);
+  if (count > 0) emit(color, k, count);
 }
 
 Instance make_poisson(const PoissonParams& params) {

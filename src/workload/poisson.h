@@ -31,14 +31,18 @@ struct PoissonParams {
   std::uint64_t seed = 1;
 };
 
-/// Lazy streaming unbatched Poisson workload.
+/// Lazy streaming unbatched Poisson workload.  Per-color decomposable:
+/// supports shard-native views via clone()/restrict_to().
 class PoissonSource final : public GeneratorSource {
  public:
   explicit PoissonSource(const PoissonParams& params);
 
- private:
-  void synthesize(Round k) override;
+  [[nodiscard]] std::unique_ptr<GeneratorSource> clone() const override;
 
+ private:
+  void synthesize_color(ColorId color, Round k) override;
+
+  PoissonParams params_;      // kept verbatim for clone()
   std::vector<Rng> streams_;  // one RNG stream per color
   double mean_rate_;
 };

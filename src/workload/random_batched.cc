@@ -9,6 +9,7 @@ namespace rrs {
 
 RandomBatchedSource::RandomBatchedSource(const RandomBatchedParams& params)
     : GeneratorSource(params.delta, params.horizon),
+      params_(params),
       activity_(params.activity) {
   RRS_REQUIRE(params.num_colors >= 1, "need >= 1 color");
   RRS_REQUIRE(params.min_scale >= 0 && params.min_scale <= params.max_scale,
@@ -29,6 +30,7 @@ RandomBatchedSource::RandomBatchedSource(const RandomBatchedParams& params)
     const Round delay = Round{1} << scale;
     add_color(delay, rng.uniform(params.min_drop_cost,
                                  params.max_drop_cost));
+    delays_.push_back(delay);
     max_batch_.push_back(std::max<std::int64_t>(
         1, static_cast<std::int64_t>(params.burst_factor *
                                      static_cast<double>(delay))));
@@ -37,15 +39,16 @@ RandomBatchedSource::RandomBatchedSource(const RandomBatchedParams& params)
   }
 }
 
-void RandomBatchedSource::synthesize(Round k) {
-  for (ColorId c = 0; c < num_colors(); ++c) {
-    if (k % delay_bound(c) != 0) continue;
-    Rng& stream = streams_[static_cast<std::size_t>(c)];
-    if (!stream.bernoulli(activity_)) continue;
-    const std::int64_t batch =
-        stream.uniform(1, max_batch_[static_cast<std::size_t>(c)]);
-    emit(c, k, batch);
-  }
+std::unique_ptr<GeneratorSource> RandomBatchedSource::clone() const {
+  return std::make_unique<RandomBatchedSource>(params_);
+}
+
+void RandomBatchedSource::synthesize_color(ColorId color, Round k) {
+  const auto c = static_cast<std::size_t>(color);
+  if (k % delays_[c] != 0) return;
+  Rng& stream = streams_[c];
+  if (!stream.bernoulli(activity_)) return;
+  emit(color, k, stream.uniform(1, max_batch_[c]));
 }
 
 Instance make_random_batched(const RandomBatchedParams& params) {

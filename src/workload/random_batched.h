@@ -38,15 +38,20 @@ struct RandomBatchedParams {
 };
 
 /// Lazy streaming random batched workload (rate-limited iff
-/// burst_factor <= 1).
+/// burst_factor <= 1).  Per-color decomposable: supports shard-native
+/// views via clone()/restrict_to().
 class RandomBatchedSource final : public GeneratorSource {
  public:
   explicit RandomBatchedSource(const RandomBatchedParams& params);
 
- private:
-  void synthesize(Round k) override;
+  [[nodiscard]] std::unique_ptr<GeneratorSource> clone() const override;
 
+ private:
+  void synthesize_color(ColorId color, Round k) override;
+
+  RandomBatchedParams params_;         // kept verbatim for clone()
   std::vector<Rng> streams_;           // one RNG stream per color
+  std::vector<Round> delays_;          // global-indexed (views relabel)
   std::vector<std::int64_t> max_batch_;
   double activity_;
 };

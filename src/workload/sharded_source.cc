@@ -1,16 +1,16 @@
 #include "workload/sharded_source.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <mutex>
+#include <exception>
 #include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/spsc_ring.h"
 
 namespace rrs {
 
@@ -27,180 +27,217 @@ struct Chunk {
 
 }  // namespace
 
-/// Owns the underlying source; pulls and demultiplexes chunks under one
-/// mutex on behalf of whichever shard stream runs dry first.
-class ShardedSource::Splitter {
+/// Owns the underlying source and the demux thread; pulls chunks off the
+/// source sequentially and fans them out into per-shard SPSC rings.
+class ShardedSource::Fabric {
  public:
-  Splitter(ArrivalSource& source, const ShardPlan& plan, Round arrival_end,
-           const ShardedSourceOptions& options)
+  Fabric(ArrivalSource& source, const ShardPlan& plan, Round begin_round,
+         Round arrival_end, const ShardedSourceOptions& options)
       : source_(&source),
         shard_of_color_(plan.shard_of_color),
         local_of_color_(plan.shard_of_color.size()),
+        begin_round_(begin_round),
         arrival_end_(arrival_end),
         chunk_rounds_(options.chunk_rounds),
-        max_buffered_(options.max_buffered_chunks),
         backpressure_(options.backpressure),
         stall_limit_(options.stall_chunk_limit),
-        queues_(static_cast<std::size_t>(plan.num_shards)),
-        peaks_(static_cast<std::size_t>(plan.num_shards), 0) {
-    RRS_REQUIRE(chunk_rounds_ >= 1, "chunk_rounds must be >= 1, got "
-                                        << chunk_rounds_);
-    RRS_REQUIRE(max_buffered_ >= 1, "max_buffered_chunks must be >= 1");
+        peaks_(static_cast<std::size_t>(plan.num_shards)) {
+    RRS_REQUIRE(chunk_rounds_ >= 1,
+                "chunk_rounds must be >= 1, got " << chunk_rounds_);
+    RRS_REQUIRE(options.max_buffered_chunks >= 1,
+                "max_buffered_chunks must be >= 1");
     for (const auto& colors : plan.shard_colors) {
       for (std::size_t i = 0; i < colors.size(); ++i) {
         local_of_color_[static_cast<std::size_t>(colors[i])] =
             static_cast<ColorId>(i);
       }
     }
+    const Round span = arrival_end_ - begin_round_;
+    total_chunks_ = static_cast<std::size_t>(
+        (span + chunk_rounds_ - 1) / chunk_rounds_);
+    // Without backpressure the consumers run serially (one may drain its
+    // whole range before another starts), so the ring must hold the whole
+    // spread — exactly what the old deque-based splitter buffered.
+    const std::size_t capacity = backpressure_
+                                     ? options.max_buffered_chunks
+                                     : std::max<std::size_t>(total_chunks_, 1);
+    rings_.reserve(static_cast<std::size_t>(plan.num_shards));
+    for (int s = 0; s < plan.num_shards; ++s) {
+      rings_.push_back(std::make_unique<SpscRing<Chunk>>(capacity));
+    }
+    for (auto& peak : peaks_) peak.store(0, std::memory_order_relaxed);
+  }
+
+  /// Starts the demux thread.  Separate from the constructor so the
+  /// shard streams can snapshot the parent's metadata (including its lazy
+  /// cost-model cache) before another thread starts pulling it.
+  void start() { demux_ = std::thread([this] { produce_all(); }); }
+
+  ~Fabric() {
+    stop_.store(true, std::memory_order_release);
+    if (demux_.joinable()) demux_.join();
   }
 
   /// Queue-depth gauge; see ShardedSource::peak_buffered_chunks.
   [[nodiscard]] std::int64_t peak_buffered(std::size_t shard) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return peaks_[shard];
+    return peaks_[shard].load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::int64_t chunks_produced() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return chunks_produced_;
+    return chunks_produced_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t occupancy(std::size_t shard) const {
+    return static_cast<std::int64_t>(rings_[shard]->size());
   }
 
   /// Hands shard `shard` its next chunk, which must start at `first`.
-  /// Produces (and buffers for the other shards) as needed.
+  /// Blocks (lock-free spin with short sleeps) until the demux thread has
+  /// pushed it; rethrows the producer's exception if the fabric failed.
   Chunk take_chunk(int shard, Round first) {
-    const auto s = static_cast<std::size_t>(shard);
-    std::unique_lock<std::mutex> lock(mu_);
-    // Soft backpressure: yield once, then wait with capped exponential
-    // backoff for a lagging consumer to drain.  The total wait is bounded
-    // (the backpressure stays soft — produce anyway rather than deadlock),
-    // and the growing intervals keep a fast consumer from burning a core
-    // re-checking a peer that is merely slow.
-    std::chrono::microseconds backoff(500);
-    constexpr std::chrono::microseconds kMaxBackoff(16'000);
-    bool yielded = false;
-    int waits_left = 8;  // 0.5 + 1 + 2 + ... + 16 + 16 ms, ~57 ms total
+    SpscRing<Chunk>& ring = *rings_[static_cast<std::size_t>(shard)];
+    Chunk chunk;
+    std::chrono::microseconds nap(50);
+    constexpr std::chrono::microseconds kMaxNap(500);
     for (;;) {
-      if (!queues_[s].empty()) {
-        Chunk chunk = std::move(queues_[s].front());
-        queues_[s].pop_front();
+      if (ring.try_pop(chunk)) {
         RRS_CHECK(chunk.first_round == first);
-        space_.notify_all();
         return chunk;
       }
-      RRS_CHECK(cursor_ < arrival_end_);  // pulls past the horizon are bugs
-      if (backpressure_ && other_queue_full(s)) {
-        check_stall(s);
-        if (!yielded) {
-          // Cheapest first: give a descheduled consumer one scheduling
-          // quantum before sleeping at all.
-          yielded = true;
-          lock.unlock();
-          std::this_thread::yield();
-          lock.lock();
-          continue;
-        }
-        if (waits_left > 0) {
-          --waits_left;
-          space_.wait_for(lock, backoff);
-          backoff = std::min(backoff * 2, kMaxBackoff);
-          continue;
-        }
-        // Backoff exhausted: the consumer is descheduled, serial, or gone.
-        // Produce anyway — memory growth beats a deadlock — and let the
-        // stall watchdog abort if the queue keeps growing past any size a
-        // live consumer could explain.
+      if (failed_.load(std::memory_order_acquire)) {
+        std::rethrow_exception(error_);
       }
-      produce_locked();
+      if (done_.load(std::memory_order_acquire) && ring.size() == 0) {
+        // The producer pushed every chunk in [begin_round, arrival_end);
+        // an empty ring here means this consumer pulled past the horizon.
+        RRS_CHECK_MSG(false, "shard " << shard << " pulled round " << first
+                                      << " past the produced range ["
+                                      << begin_round_ << ", " << arrival_end_
+                                      << ")");
+      }
+      std::this_thread::yield();
+      std::this_thread::sleep_for(nap);
+      nap = std::min(nap * 2, kMaxNap);
     }
   }
 
  private:
-  [[nodiscard]] bool other_queue_full(std::size_t mine) const {
-    for (std::size_t s = 0; s < queues_.size(); ++s) {
-      if (s != mine && queues_[s].size() >= max_buffered_) return true;
+  /// Demux thread body: pull chunk_rounds_ rounds at a time from the
+  /// underlying source, stage one chunk per shard, push each into its
+  /// ring.  Any exception (including the stall watchdog's) is parked in
+  /// error_ for the consumers to rethrow.
+  void produce_all() {
+    try {
+      for (Round cursor = begin_round_; cursor < arrival_end_;) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        const Round rounds = std::min(chunk_rounds_, arrival_end_ - cursor);
+        std::vector<Chunk> staged(rings_.size());
+        for (auto& chunk : staged) {
+          chunk.first_round = cursor;
+          chunk.rounds = rounds;
+          chunk.begin.reserve(static_cast<std::size_t>(rounds) + 1);
+          chunk.begin.push_back(0);
+        }
+        for (Round r = 0; r < rounds; ++r) {
+          for (const Job& job : source_->arrivals_in_round(cursor + r)) {
+            const auto c = static_cast<std::size_t>(job.color);
+            Job local = job;
+            local.color = local_of_color_[c];
+            staged[static_cast<std::size_t>(shard_of_color_[c])]
+                .jobs.push_back(local);
+          }
+          for (auto& chunk : staged) {
+            chunk.begin.push_back(
+                static_cast<std::uint32_t>(chunk.jobs.size()));
+          }
+        }
+        cursor += rounds;
+        for (std::size_t s = 0; s < rings_.size(); ++s) {
+          if (!push_blocking(s, std::move(staged[s]))) return;
+          chunks_produced_.fetch_add(1, std::memory_order_relaxed);
+          const auto occ = static_cast<std::int64_t>(
+              rings_[s]->produced() - rings_[s]->consumed());
+          std::int64_t peak = peaks_[s].load(std::memory_order_relaxed);
+          while (occ > peak && !peaks_[s].compare_exchange_weak(
+                                   peak, occ, std::memory_order_relaxed)) {
+          }
+        }
+      }
+    } catch (...) {
+      error_ = std::current_exception();
+      failed_.store(true, std::memory_order_release);
+      return;
     }
-    return false;
+    done_.store(true, std::memory_order_release);
   }
 
-  /// Aborts with a diagnostic when a peer queue has grown past the stall
-  /// limit: its consumer has not taken a chunk across many full backoff
-  /// cycles, so it is stalled or dead and the run would only hang (or run
-  /// out of memory) from here.  Caller holds mu_.
-  void check_stall(std::size_t mine) const {
-    if (stall_limit_ == 0) return;
-    for (std::size_t s = 0; s < queues_.size(); ++s) {
-      if (s == mine || queues_[s].size() < stall_limit_) continue;
-      std::ostringstream os;
-      os << "sharded-source stall watchdog: shard " << s
-         << " has not consumed for " << queues_[s].size()
-         << " buffered chunks (stall_chunk_limit " << stall_limit_
-         << "); its consumer looks stalled or dead.  Queue sizes:";
-      for (std::size_t q = 0; q < queues_.size(); ++q) {
-        os << " [" << q << "]=" << queues_[q].size();
+  /// Pushes into ring `s`, blocking with capped exponential backoff while
+  /// it is full.  Counts consecutive waits during which the ring's
+  /// consumer popped nothing; at stall_limit_ such waits the consumer is
+  /// declared dead and the watchdog throws.  Returns false on shutdown.
+  bool push_blocking(std::size_t s, Chunk&& chunk) {
+    SpscRing<Chunk>& ring = *rings_[s];
+    if (ring.try_push(std::move(chunk))) return true;
+    std::chrono::microseconds backoff(100);
+    constexpr std::chrono::microseconds kMaxBackoff(2'000);
+    std::size_t fruitless = 0;
+    for (;;) {
+      const std::uint64_t consumed_before = ring.consumed();
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, kMaxBackoff);
+      if (stop_.load(std::memory_order_acquire)) return false;
+      if (ring.try_push(std::move(chunk))) return true;
+      if (ring.consumed() != consumed_before) {
+        fruitless = 0;  // the consumer is alive, merely slower than us
+      } else if (stall_limit_ != 0 && ++fruitless >= stall_limit_) {
+        std::ostringstream os;
+        os << "sharded-source stall watchdog: shard " << s
+           << " has not consumed across " << fruitless
+           << " producer waits (stall_chunk_limit " << stall_limit_
+           << "); its consumer looks stalled or dead.  Ring occupancy:";
+        for (std::size_t q = 0; q < rings_.size(); ++q) {
+          os << " [" << q << "]=" << rings_[q]->size() << "/"
+             << rings_[q]->capacity();
+        }
+        os << ", produced " << chunks_produced() << "/"
+           << total_chunks_ * rings_.size() << " chunks";
+        throw InvariantError(os.str());
       }
-      os << ", cursor " << cursor_ << "/" << arrival_end_;
-      throw InvariantError(os.str());
-    }
-  }
-
-  /// Pulls the next chunk_rounds_ rounds from the underlying source and
-  /// appends one chunk to every shard's queue.  Caller holds mu_.
-  void produce_locked() {
-    const Round rounds = std::min(chunk_rounds_, arrival_end_ - cursor_);
-    std::vector<Chunk> staged(queues_.size());
-    for (auto& chunk : staged) {
-      chunk.first_round = cursor_;
-      chunk.rounds = rounds;
-      chunk.begin.reserve(static_cast<std::size_t>(rounds) + 1);
-      chunk.begin.push_back(0);
-    }
-    for (Round r = 0; r < rounds; ++r) {
-      for (const Job& job : source_->arrivals_in_round(cursor_ + r)) {
-        const auto c = static_cast<std::size_t>(job.color);
-        Job local = job;
-        local.color = local_of_color_[c];
-        staged[static_cast<std::size_t>(shard_of_color_[c])].jobs.push_back(
-            local);
-      }
-      for (auto& chunk : staged) {
-        chunk.begin.push_back(static_cast<std::uint32_t>(chunk.jobs.size()));
-      }
-    }
-    cursor_ += rounds;
-    for (std::size_t s = 0; s < queues_.size(); ++s) {
-      queues_[s].push_back(std::move(staged[s]));
-      peaks_[s] = std::max(peaks_[s],
-                           static_cast<std::int64_t>(queues_[s].size()));
-      ++chunks_produced_;
     }
   }
 
   ArrivalSource* source_;
   std::vector<int> shard_of_color_;
   std::vector<ColorId> local_of_color_;  // global color -> id in its shard
+  Round begin_round_;
   Round arrival_end_;
   Round chunk_rounds_;
-  std::size_t max_buffered_;
   bool backpressure_;
   std::size_t stall_limit_;
+  std::size_t total_chunks_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable space_;
-  std::vector<std::deque<Chunk>> queues_;  // shard -> buffered chunks
-  std::vector<std::int64_t> peaks_;        // shard -> peak queue depth
-  std::int64_t chunks_produced_ = 0;       // total chunks appended
-  Round cursor_ = 0;                       // next round to pull
+  std::vector<std::unique_ptr<SpscRing<Chunk>>> rings_;
+  std::vector<std::atomic<std::int64_t>> peaks_;
+  std::atomic<std::int64_t> chunks_produced_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  std::thread demux_;
 };
 
 /// The shard-s view: serves rounds out of its current chunk, refilling
-/// from the splitter when the chunk runs out.
+/// from its ring when the chunk runs out.
 class ShardedSource::Stream final : public ArrivalSource {
  public:
-  Stream(std::shared_ptr<Splitter> splitter, const ArrivalSource& parent,
-         const ShardPlan& plan, int shard, Round arrival_end)
-      : splitter_(std::move(splitter)),
+  Stream(std::shared_ptr<Fabric> fabric, const ArrivalSource& parent,
+         const ShardPlan& plan, int shard, Round begin_round,
+         Round arrival_end, Round advertised_horizon)
+      : fabric_(std::move(fabric)),
         shard_(shard),
         arrival_end_(arrival_end),
+        horizon_(advertised_horizon),
+        next_round_(begin_round),
         delta_(parent.delta()) {
     const auto& colors = plan.shard_colors[static_cast<std::size_t>(shard)];
     delay_bounds_.reserve(colors.size());
@@ -215,6 +252,7 @@ class ShardedSource::Stream final : public ArrivalSource {
     // the parent's drop/length/Delta entries to the shard's id space, so
     // every shard charges exactly what the serial run would.
     model_ = parent.cost_model().restricted(colors);
+    observed_.assign(colors.size(), 0);
   }
 
   [[nodiscard]] Cost delta() const override { return delta_; }
@@ -233,7 +271,7 @@ class ShardedSource::Stream final : public ArrivalSource {
   [[nodiscard]] const CostModel& cost_model() const override {
     return model_;
   }
-  [[nodiscard]] Round horizon() const override { return arrival_end_; }
+  [[nodiscard]] Round horizon() const override { return horizon_; }
 
   [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
     RRS_REQUIRE(k == next_round_, "shard streams are sequential: expected "
@@ -242,17 +280,28 @@ class ShardedSource::Stream final : public ArrivalSource {
     ++next_round_;
     if (k >= arrival_end_) return {};
     if (k >= chunk_.first_round + chunk_.rounds || chunk_.rounds == 0) {
-      chunk_ = splitter_->take_chunk(shard_, k);
+      chunk_ = fabric_->take_chunk(shard_, k);
     }
     const auto r = static_cast<std::size_t>(k - chunk_.first_round);
-    return std::span<const Job>(chunk_.jobs)
-        .subspan(chunk_.begin[r], chunk_.begin[r + 1] - chunk_.begin[r]);
+    const auto span =
+        std::span<const Job>(chunk_.jobs)
+            .subspan(chunk_.begin[r], chunk_.begin[r + 1] - chunk_.begin[r]);
+    for (const Job& job : span) {
+      observed_[static_cast<std::size_t>(job.color)] += 1;
+    }
+    return span;
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> take_observed_counts() {
+    std::vector<std::int64_t> counts = std::move(observed_);
+    observed_.assign(counts.size(), 0);
+    return counts;
   }
 
   [[nodiscard]] std::string summary() const override {
     std::ostringstream os;
     os << "shard " << shard_ << ": " << num_colors() << " colors, "
-       << arrival_end_ << " rounds, Delta=" << delta_ << " (split stream)";
+       << arrival_end_ << " rounds, Delta=" << delta_ << " (fabric stream)";
     return os.str();
   }
 
@@ -265,35 +314,52 @@ class ShardedSource::Stream final : public ArrivalSource {
     return static_cast<std::size_t>(color);
   }
 
-  std::shared_ptr<Splitter> splitter_;
+  std::shared_ptr<Fabric> fabric_;
   int shard_;
-  Round arrival_end_;
+  Round arrival_end_;  ///< end of the range this fabric actually serves
+  Round horizon_;      ///< run-level horizon reported to engines
+  Round next_round_;
   Cost delta_;
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;
   std::vector<Round> lengths_;
   CostModel model_;  // parent model restricted to this shard's colors
+  std::vector<std::int64_t> observed_;  // per-local-color arrivals seen
   Chunk chunk_;
-  Round next_round_ = 0;
 };
 
 ShardedSource::ShardedSource(ArrivalSource& source, const ShardPlan& plan,
-                             Round arrival_end, ShardedSourceOptions options) {
+                             Round arrival_end, ShardedSourceOptions options,
+                             Round begin_round, Round advertised_horizon) {
   RRS_REQUIRE(arrival_end >= 0 && arrival_end != kInfiniteHorizon,
               "a sharded split needs a finite arrival_end, got "
                   << arrival_end);
+  if (advertised_horizon == kInfiniteHorizon) {
+    advertised_horizon = arrival_end;
+  }
+  RRS_REQUIRE(advertised_horizon >= arrival_end,
+              "advertised_horizon " << advertised_horizon
+                                    << " below arrival_end " << arrival_end);
+  RRS_REQUIRE(begin_round >= 0 && begin_round <= arrival_end,
+              "begin_round " << begin_round << " outside [0, " << arrival_end
+                             << "]");
   RRS_REQUIRE(!source.finite() || arrival_end <= source.horizon(),
               "arrival_end " << arrival_end << " exceeds the source horizon "
                              << source.horizon());
   RRS_REQUIRE(plan.num_colors() == source.num_colors(),
               "plan covers " << plan.num_colors() << " colors but the source "
                              << "has " << source.num_colors());
-  splitter_ = std::make_shared<Splitter>(source, plan, arrival_end, options);
+  fabric_ = std::make_shared<Fabric>(source, plan, begin_round, arrival_end,
+                                     options);
+  // Streams snapshot the parent's metadata (delay bounds, cost model);
+  // only after that does the demux thread start pulling the parent.
   streams_.reserve(static_cast<std::size_t>(plan.num_shards));
   for (int s = 0; s < plan.num_shards; ++s) {
-    streams_.push_back(std::make_unique<Stream>(splitter_, source, plan, s,
-                                                arrival_end));
+    streams_.push_back(std::make_unique<Stream>(fabric_, source, plan, s,
+                                                begin_round, arrival_end,
+                                                advertised_horizon));
   }
+  fabric_->start();
 }
 
 ShardedSource::~ShardedSource() = default;
@@ -313,11 +379,25 @@ std::int64_t ShardedSource::peak_buffered_chunks(int shard) const {
   RRS_REQUIRE(shard >= 0 && shard < num_shards(),
               "shard " << shard << " out of range [0, " << num_shards()
                        << ")");
-  return splitter_->peak_buffered(static_cast<std::size_t>(shard));
+  return fabric_->peak_buffered(static_cast<std::size_t>(shard));
 }
 
 std::int64_t ShardedSource::chunks_produced() const {
-  return splitter_->chunks_produced();
+  return fabric_->chunks_produced();
+}
+
+std::int64_t ShardedSource::ring_occupancy(int shard) const {
+  RRS_REQUIRE(shard >= 0 && shard < num_shards(),
+              "shard " << shard << " out of range [0, " << num_shards()
+                       << ")");
+  return fabric_->occupancy(static_cast<std::size_t>(shard));
+}
+
+std::vector<std::int64_t> ShardedSource::take_observed_counts(int shard) {
+  RRS_REQUIRE(shard >= 0 && shard < num_shards(),
+              "shard " << shard << " out of range [0, " << num_shards()
+                       << ")");
+  return streams_[static_cast<std::size_t>(shard)]->take_observed_counts();
 }
 
 }  // namespace rrs

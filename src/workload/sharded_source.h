@@ -7,61 +7,77 @@
 // round/order.  Global job ids are preserved, so the union of the shard
 // streams is the original stream.
 //
-// The splitter pulls the underlying source in chunks of `chunk_rounds`
-// rounds under one mutex and demultiplexes each chunk into K per-shard
-// buffers; a shard stream then serves its rounds out of its current chunk
-// with no locking and no virtual dispatch into the underlying source, so
-// the splitter's overhead is amortized over the chunk.  Shard streams may
-// be pulled from different threads at different paces: chunks for
-// slower shards are buffered, with soft backpressure (yield, then capped
-// exponential-backoff waits, then produce anyway) once a shard runs more
-// than `max_buffered_chunks` ahead — so memory stays bounded when all
-// consumers run concurrently, and progress is never blocked when they run
-// serially.  A stall watchdog turns a consumer that stops draining
-// entirely (crashed thread, logic bug) into a loud InvariantError with
-// per-shard queue diagnostics instead of an unbounded buffer or a hung
-// run.
+// The demux fabric: a dedicated producer thread pulls the underlying
+// source in chunks of `chunk_rounds` rounds, demultiplexes each chunk into
+// K per-shard chunks, and pushes them into per-shard bounded SPSC ring
+// buffers (util/spsc_ring.h).  The consumer path is lock-free — a shard
+// stream serves its rounds out of its current chunk and refills with one
+// acquire-load ring pop, never touching a mutex or the underlying source.
+// With `backpressure` on (concurrent consumers), the producer blocks with
+// capped exponential backoff when a ring is full, so memory stays bounded
+// at max_buffered_chunks per shard; a stall watchdog counts consecutive
+// producer waits during which the blocked ring's consumer made no
+// progress, and aborts with an InvariantError carrying per-shard ring
+// diagnostics once a consumer looks dead.  With backpressure off (serial
+// consumption — e.g. one worker thread draining shard 0 fully before
+// shard 1), each ring is sized to the whole round range up front so the
+// producer never blocks and no wait can deadlock the single thread.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/arrival_source.h"
 #include "core/shard_plan.h"
 
 namespace rrs {
 
-/// Knobs for the splitter.
+/// Knobs for the demux fabric.
 struct ShardedSourceOptions {
-  /// Rounds pulled from the underlying source per lock acquisition.
+  /// Rounds pulled from the underlying source per produced chunk.
   Round chunk_rounds = 256;
-  /// Buffered chunks per shard before backpressure kicks in.
+  /// Ring capacity (buffered chunks) per shard when backpressure is on.
+  /// Rounded up to a power of two.
   std::size_t max_buffered_chunks = 64;
-  /// Apply backpressure (bounded waits) when a consumer runs ahead.  Turn
-  /// off when the shard streams are consumed serially (e.g. one worker
-  /// thread): every wait would time out, and the buffers must grow to the
-  /// full spread anyway.
+  /// Apply backpressure (the producer blocks on a full ring) when the
+  /// shard streams are consumed concurrently.  Turn off when they are
+  /// consumed serially (e.g. one worker thread): the rings are then sized
+  /// to the full round range so the producer never has to wait on a
+  /// consumer that will only run later.
   bool backpressure = true;
-  /// Stall watchdog: with backpressure on, a shard queue that grows past
-  /// this many buffered chunks means its consumer has stalled or died (a
-  /// live one would have drained it through the backoff waits) — the
-  /// splitter then throws InvariantError with the per-shard queue sizes
-  /// instead of buffering without bound or hanging CI.  0 disables; no
-  /// effect without backpressure (serial consumption legitimately buffers
-  /// the full spread).
+  /// Stall watchdog: with backpressure on, this many consecutive producer
+  /// backoff waits during which the blocked ring's consumer popped nothing
+  /// means that consumer has stalled or died (a live one would have
+  /// drained something across ~8s of waits at the default) — the producer
+  /// then fails the run with an InvariantError carrying per-shard ring
+  /// occupancy instead of hanging CI.  0 disables; no effect without
+  /// backpressure (the producer never waits).
   std::size_t stall_chunk_limit = 4096;
 };
 
 /// K single-consumer shard views over one underlying ArrivalSource.
 class ShardedSource {
  public:
-  /// Splits `source` (pulled for rounds [0, arrival_end)) according to
-  /// `plan`.  `source` must outlive this object and must not be pulled by
-  /// anyone else; `arrival_end` must be finite and within the source's
-  /// horizon.
+  /// Splits `source` (pulled for rounds [begin_round, arrival_end)) per
+  /// `plan`.  `source` must already be positioned at `begin_round`, must
+  /// outlive this object, and must not be pulled by anyone else while the
+  /// fabric is alive (the demux thread owns it).  `arrival_end` must be
+  /// finite and within the source's horizon.
+  ///
+  /// `advertised_horizon` is what the shard streams report as horizon():
+  /// when this fabric covers only a segment of a longer logical run (the
+  /// re-sharding era loop builds one fabric per segment), pass the run's
+  /// full arrival horizon so engines constructed from a segment stream
+  /// resolve the run-level arrival end, not the segment end.  The default
+  /// (kInfiniteHorizon) means `arrival_end` itself.  Streams still serve
+  /// only [begin_round, arrival_end); pulling beyond that fails.
   ShardedSource(ArrivalSource& source, const ShardPlan& plan,
-                Round arrival_end, ShardedSourceOptions options = {});
+                Round arrival_end, ShardedSourceOptions options = {},
+                Round begin_round = 0,
+                Round advertised_horizon = kInfiniteHorizon);
+  /// Stops and joins the demux thread.
   ~ShardedSource();
 
   ShardedSource(const ShardedSource&) = delete;
@@ -71,23 +87,33 @@ class ShardedSource {
 
   /// The shard-`shard` view: a finite ArrivalSource with horizon
   /// `arrival_end`, the shard's colors relabeled densely, and the global
-  /// metadata (delta) passed through.  Single consumer, sequential pull.
+  /// metadata (delta) passed through.  Single consumer, sequential pull
+  /// starting at `begin_round`.
   [[nodiscard]] ArrivalSource& stream(int shard);
 
-  /// Queue-depth gauge: the most chunks ever buffered for `shard` at once.
-  /// Timing-dependent (consumer scheduling changes it run to run), so this
-  /// is a diagnostic — it must never feed deterministic run stats.
+  /// Queue-depth gauge: the most chunks ever buffered in `shard`'s ring at
+  /// once.  Timing-dependent (consumer scheduling changes it run to run),
+  /// so this is a diagnostic — it must never feed deterministic run stats.
   [[nodiscard]] std::int64_t peak_buffered_chunks(int shard) const;
 
-  /// Total chunks appended across all shard queues so far.  Deterministic
+  /// Total chunks pushed across all shard rings so far.  Deterministic
   /// for a fixed (source, plan, chunk_rounds) once the run completes.
   [[nodiscard]] std::int64_t chunks_produced() const;
 
+  /// Current (approximate) chunks buffered in `shard`'s ring.
+  [[nodiscard]] std::int64_t ring_occupancy(int shard) const;
+
+  /// Per-local-color arrival counts observed by `shard`'s consumer since
+  /// the last call, and resets them.  Counted on the consumer side, so the
+  /// producer's run-ahead past a segment boundary never leaks in.  Only
+  /// call while the shard's consumer is quiescent.
+  [[nodiscard]] std::vector<std::int64_t> take_observed_counts(int shard);
+
  private:
-  class Splitter;
+  class Fabric;
   class Stream;
 
-  std::shared_ptr<Splitter> splitter_;
+  std::shared_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Stream>> streams_;
 };
 

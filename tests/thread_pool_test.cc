@@ -80,14 +80,21 @@ TEST(ThreadPoolTest, WaitIdleFromWorkerFailsLoudly) {
 }
 
 TEST(ThreadPoolTest, ParseThreadCount) {
+  // Null/empty mean "unset": fall through to the hardware default.
   EXPECT_EQ(parse_thread_count(nullptr), 0u);
   EXPECT_EQ(parse_thread_count(""), 0u);
-  EXPECT_EQ(parse_thread_count("abc"), 0u);
-  EXPECT_EQ(parse_thread_count("4abc"), 0u);
-  EXPECT_EQ(parse_thread_count("-2"), 0u);
-  EXPECT_EQ(parse_thread_count("0"), 0u);
   EXPECT_EQ(parse_thread_count("1"), 1u);
   EXPECT_EQ(parse_thread_count("12"), 12u);
+}
+
+TEST(ThreadPoolTest, ParseThreadCountRejectsMalformedValues) {
+  // A set-but-broken RRS_THREADS must fail loudly, not silently fall back
+  // to the hardware default.
+  EXPECT_THROW((void)parse_thread_count("abc"), InputError);
+  EXPECT_THROW((void)parse_thread_count("4abc"), InputError);
+  EXPECT_THROW((void)parse_thread_count("4 "), InputError);
+  EXPECT_THROW((void)parse_thread_count("-2"), InputError);
+  EXPECT_THROW((void)parse_thread_count("0"), InputError);
 }
 
 TEST(ThreadPoolTest, GlobalPoolIsSharedAndSized) {
