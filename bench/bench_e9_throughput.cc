@@ -33,6 +33,7 @@
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "util/thread_pool.h"
+#include "workload/flash_crowd.h"
 #include "workload/poisson.h"
 #include "workload/random_batched.h"
 
@@ -445,10 +446,86 @@ bool run_streaming_section() {
     named.push_back(std::move(cell));
   }
 
+  // Sparse cells: the fast-forward gate.  Both streams are almost always
+  // empty — a trickle Poisson (about one arrival per 250 rounds across
+  // all colors, delay bounds 64/128 so deadline-block boundaries are far
+  // apart) and a flash crowd whose floor is a trickle with one dense
+  // mid-run spike.  Each config runs twice, engine fast-forward on
+  // (default) and off: identical streams, so the totals must agree bit
+  // for bit, and the off/on wall-clock ratio measures the sparse-round
+  // optimization directly (>= 1.5x once the sequential run is long
+  // enough to time reliably).  The -noff rows join the JSON and the
+  // baseline gate, pinning the sequential path too.
+  const std::size_t first_sparse_cell = named.size();
+  bool ok = true;
+  {
+    struct SparseConfig {
+      std::string family;
+      std::function<StreamRunRecord(bool)> run;
+    };
+    const SparseConfig sparse_configs[] = {
+        {"poisson-sparse",
+         [rounds](bool fast_forward) {
+           PoissonParams params;
+           params.seed = 99;
+           params.num_colors = 8;
+           params.min_delay = 64;
+           params.max_delay = 128;
+           params.mean_rate = 0.0005;
+           params.horizon = kInfiniteHorizon;
+           PoissonSource source(params);
+           return run_streaming(source, "dlru-edf", 8, rounds, nullptr,
+                                false, nullptr, fast_forward);
+         }},
+        {"flash-gap",
+         [rounds](bool fast_forward) {
+           FlashCrowdParams params;
+           params.seed = 99;
+           params.base_rate = 0.0005;
+           params.spike_factor = 4000.0;
+           params.spike_start = rounds / 2;
+           params.spike_end = rounds / 2 + std::min<Round>(1024, rounds / 8);
+           params.background_colors = 3;
+           params.background_rate = 0.0002;
+           params.background_delay = 64;
+           params.horizon = kInfiniteHorizon;
+           FlashCrowdSource source(params);
+           return run_streaming(source, "dlru-edf", 8, rounds, nullptr,
+                                false, nullptr, fast_forward);
+         }},
+    };
+    for (const SparseConfig& config : sparse_configs) {
+      StreamingCell on;
+      on.family = config.family;
+      on.record = config.run(true);
+      on.arrival_rounds = rounds;
+      StreamingCell off;
+      off.family = config.family + "-noff";
+      off.record = config.run(false);
+      off.arrival_rounds = rounds;
+      const double speedup = on.record.seconds > 0
+                                 ? off.record.seconds / on.record.seconds
+                                 : 0.0;
+      std::cout << "  " << config.family << ": fast-forward " << speedup
+                << "x vs sequential (" << off.record.seconds << " s -> "
+                << on.record.seconds << " s, " << on.record.arrived
+                << " jobs)\n";
+      ok = ok && on.record.cost.total() == off.record.cost.total() &&
+           on.record.arrived == off.record.arrived &&
+           on.record.executed == off.record.executed &&
+           on.record.rounds == off.record.rounds;
+      if (off.record.seconds >= 0.2 && speedup < 1.5) {
+        std::cout << "    fast-forward speedup below the 1.5x floor\n";
+        ok = false;
+      }
+      named.push_back(std::move(on));
+      named.push_back(std::move(off));
+    }
+  }
+
   const std::int64_t rss = peak_rss_bytes();
   const double rss_mb = static_cast<double>(rss) / (1024.0 * 1024.0);
 
-  bool ok = true;
   for (const StreamingCell& cell : named) {
     const double rps =
         cell.record.seconds > 0
@@ -476,7 +553,7 @@ bool run_streaming_section() {
   // Scaling summary: every K sees the identical arrival stream, so the
   // arrived counts must agree and speedups are directly comparable.
   const StreamingCell& one_shard = named[first_shard_cell];
-  for (std::size_t i = first_shard_cell; i < named.size(); ++i) {
+  for (std::size_t i = first_shard_cell; i < first_sparse_cell; ++i) {
     const StreamingCell& cell = named[i];
     ok = ok && cell.record.arrived == one_shard.record.arrived;
     const double speedup = cell.record.seconds > 0

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_streaming.json files family by family.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [--budget-pct 30]
+
+Reads the per-family rounds_per_sec values from both files (the format
+bench_e9_throughput emits, also used for the committed baseline under
+bench/baseline/) and prints a ratio table.  Exits nonzero when any
+family present in both files regresses by more than the budget —the
+same verdict the bench applies internally via RRS_STREAMING_BASELINE,
+usable standalone on two saved artifacts (e.g. the JSON uploaded by two
+CI runs, or a before/after pair measured locally).
+
+Families present in only one file are reported but never fail the
+verdict: new cells may gate only once their floor is committed, and
+retired cells must not wedge the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path: str) -> dict[str, float]:
+    """family -> rounds_per_sec for every run record in the file."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}") from err
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise SystemExit(f"error: {path} has no runs")
+    out: dict[str, float] = {}
+    for run in runs:
+        family = run.get("family")
+        rps = run.get("rounds_per_sec")
+        if not isinstance(family, str) or not isinstance(rps, (int, float)):
+            raise SystemExit(f"error: malformed run record in {path}: {run}")
+        out[family] = float(rps)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_streaming.json files and apply the "
+        "streaming regression budget."
+    )
+    parser.add_argument("baseline", help="reference BENCH_streaming.json")
+    parser.add_argument("candidate", help="measured BENCH_streaming.json")
+    parser.add_argument(
+        "--budget-pct",
+        type=float,
+        default=30.0,
+        help="allowed rounds/sec regression per family, in percent "
+        "(default: 30)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_runs(args.baseline)
+    candidate = load_runs(args.candidate)
+    floor = 1.0 - args.budget_pct / 100.0
+
+    width = max(len(f) for f in baseline | candidate)
+    print(
+        f"{'family':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+        f"{'ratio':>7}  verdict"
+    )
+    regressions = 0
+    for family in sorted(baseline | candidate):
+        base = baseline.get(family)
+        cand = candidate.get(family)
+        if base is None or cand is None:
+            where = "baseline" if base is None else "candidate"
+            print(f"{family:<{width}}  only in {where}; skipped")
+            continue
+        ratio = cand / base if base > 0 else float("inf")
+        regressed = ratio < floor
+        regressions += regressed
+        verdict = (
+            f"REGRESSION beyond {args.budget_pct:g}% budget"
+            if regressed
+            else "ok"
+        )
+        print(
+            f"{family:<{width}}  {base:>12.0f}  {cand:>12.0f}  "
+            f"{ratio:>6.2f}x  {verdict}"
+        )
+
+    if regressions:
+        print(f"FAIL: {regressions} family(ies) beyond budget")
+        return 1
+    print("PASS: all shared families within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ void AdaptiveSplitPolicy::begin(const ArrivalSource& source, int num_resources,
   window_reconfig_cost_ = 0;
   window_end_ = options_.window;
   adaptations_ = 0;
+  was_cached_.ensure_size(static_cast<std::size_t>(source.num_colors()));
 }
 
 void AdaptiveSplitPolicy::on_round(RoundContext& ctx) {
@@ -76,11 +77,11 @@ void AdaptiveSplitPolicy::on_round(RoundContext& ctx) {
   // color's cold re-image price; == replication * Delta under the scalar
   // tier) by diffing the logical cached set around the base round (the
   // base tracker updates never touch the cache).
-  before_ = ctx.cache().cached_colors();
-  std::sort(before_.begin(), before_.end());
+  was_cached_.clear();
+  for (const ColorId c : ctx.cache().cached_colors()) was_cached_.set(c, 1);
   DLruEdfPolicy::on_round(ctx);
   for (const ColorId c : ctx.cache().cached_colors()) {
-    if (!std::binary_search(before_.begin(), before_.end(), c)) {
+    if (!was_cached_.contains(c)) {
       window_reconfig_cost_ += Cost{ctx.cache().replication()} *
                                cold_costs_[static_cast<std::size_t>(c)];
     }

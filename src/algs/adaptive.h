@@ -41,6 +41,15 @@ class AdaptiveSplitPolicy : public DLruEdfPolicy {
              int speed) override;
   void on_round(RoundContext& ctx) override;
 
+  /// Between window boundaries the policy is a plain dLRU-EDF plus
+  /// counters that only move on drops/insertions — none of which occur
+  /// in an event-free span — so skipping is exact as long as the engine
+  /// stops at the adaptation boundary, which next_policy_event() exposes.
+  [[nodiscard]] Round next_policy_event(Round k) const override {
+    (void)k;
+    return window_end_;
+  }
+
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 
@@ -54,7 +63,7 @@ class AdaptiveSplitPolicy : public DLruEdfPolicy {
   /// color c spends replication * cold_cost(c) (== replication * Delta
   /// under the scalar tier, matching the original accounting).
   std::vector<Cost> cold_costs_;
-  std::vector<ColorId> before_;  // scratch: cached set before reconfigure
+  StampedMap<char> was_cached_;  // scratch: cached set before reconfigure
 };
 
 }  // namespace rrs

@@ -11,6 +11,7 @@ void DLruPolicy::begin(const ArrivalSource& source, int num_resources,
                        int speed) {
   (void)num_resources;
   (void)speed;
+  tracker_.enable_rank_index();
   tracker_.begin(source);
   in_target_.ensure_size(static_cast<std::size_t>(source.num_colors()));
   observed_epochs_ = 0;
@@ -34,20 +35,18 @@ void DLruPolicy::on_round(RoundContext& ctx) {
 
   // Invariant: the cache holds exactly the top min(n/2, |eligible|)
   // eligible colors by timestamp recency.
-  scratch_ = tracker_.eligible_colors();
-  lru_sort(scratch_, lru_keys_, tracker_, k);
   const auto capacity = static_cast<std::size_t>(cache.max_distinct());
-  if (scratch_.size() > capacity) scratch_.resize(capacity);
+  const std::vector<ColorId>& target = tracker_.lru_order(capacity);
 
   // Evict cached colors outside the target set, then insert the rest.
   in_target_.clear();
-  for (const ColorId c : scratch_) in_target_.set(c, 1);
+  for (const ColorId c : target) in_target_.set(c, 1);
   evict_scratch_.clear();
   for (const ColorId c : cache.cached_colors()) {
     if (!in_target_.contains(c)) evict_scratch_.push_back(c);
   }
   for (const ColorId c : evict_scratch_) cache.erase(c);
-  for (const ColorId c : scratch_) {
+  for (const ColorId c : target) {
     if (!cache.contains(c)) cache.insert(c);
   }
 }

@@ -26,6 +26,11 @@ class DLruPolicy : public Policy {
   void on_capacity_change(Round round, int up, int total,
                           std::span<const ColorId> evicted) override;
 
+  /// dLRU's target set is a pure function of tracker state, which is
+  /// provably frozen across an event-free span, so the engine may skip
+  /// such spans wholesale.
+  [[nodiscard]] bool supports_fast_forward() const override { return true; }
+
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 
@@ -43,8 +48,6 @@ class DLruPolicy : public Policy {
 
  private:
   EligibilityTracker tracker_;
-  std::vector<ColorId> scratch_;
-  std::vector<LruKey> lru_keys_;
   std::vector<ColorId> evict_scratch_;
   StampedMap<char> in_target_;  // member of this round's LRU target set
   std::int64_t capacity_changes_ = 0;

@@ -16,6 +16,7 @@ void DLruEdfPolicy::begin(const ArrivalSource& source, int num_resources,
               "dLRU-EDF needs n divisible by 4 (n/4 LRU colors + n/4 EDF "
               "colors, each in 2 locations); got n="
                   << num_resources);
+  tracker_.enable_rank_index();
   tracker_.begin(source);
   observed_epochs_ = 0;
   const auto colors = static_cast<std::size_t>(source.num_colors());
@@ -63,7 +64,6 @@ void DLruEdfPolicy::evict_worst_non_lru(CacheAssignment& cache) {
 void DLruEdfPolicy::reconfigure(RoundContext& ctx) {
   CacheAssignment& cache = ctx.cache();
   const PendingJobs& pending = ctx.pending();
-  const Round k = ctx.round();
   const auto max_distinct = static_cast<std::size_t>(cache.max_distinct());
   // The paper's split is half/half; lru_fraction generalizes it, clamped
   // so the non-LRU pool is never empty (evictions need a victim).
@@ -74,18 +74,19 @@ void DLruEdfPolicy::reconfigure(RoundContext& ctx) {
   const std::size_t edf_cap = max_distinct - lru_cap;
 
   // --- LRU half: the top lru_cap eligible colors by timestamp recency. ---
-  lru_target_ = tracker_.eligible_colors();
-  lru_sort(lru_target_, lru_keys_, tracker_, k);
-  if (lru_target_.size() > lru_cap) lru_target_.resize(lru_cap);
+  // The tracker's two query buffers are distinct, so lru_target stays
+  // valid across the edf_order() call below.
+  const std::vector<ColorId>& lru_target = tracker_.lru_order(lru_cap);
   is_lru_.clear();
-  for (const ColorId c : lru_target_) is_lru_.set(c, 1);
+  for (const ColorId c : lru_target) is_lru_.set(c, 1);
 
-  // --- EDF half: rank the eligible non-LRU colors. ---
+  // --- EDF half: rank the eligible non-LRU colors.  Filtering the full
+  // EDF order (a strict total order) preserves the exact relative ranks
+  // of the surviving colors. ---
   edf_ranked_.clear();
-  for (const ColorId c : tracker_.eligible_colors()) {
+  for (const ColorId c : tracker_.edf_order(pending)) {
     if (!is_lru_.contains(c)) edf_ranked_.push_back(c);
   }
-  edf_sort(edf_ranked_, edf_keys_, tracker_, pending);
   rank_pos_.clear();
   for (std::size_t i = 0; i < edf_ranked_.size(); ++i) {
     rank_pos_.set(edf_ranked_[i], static_cast<std::int32_t>(i));
@@ -96,7 +97,7 @@ void DLruEdfPolicy::reconfigure(RoundContext& ctx) {
   // Bring LRU-target colors in (eviction takes the worst non-LRU color;
   // one always exists because the LRU target holds at most half the
   // capacity).
-  for (const ColorId c : lru_target_) {
+  for (const ColorId c : lru_target) {
     if (cache.contains(c)) continue;
     if (cache.full()) evict_worst_non_lru(cache);
     cache.insert(c);

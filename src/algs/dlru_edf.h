@@ -48,6 +48,11 @@ class DLruEdfPolicy : public Policy {
     return 2 * replication;
   }
 
+  /// Both halves are pure functions of tracker/pending/cache state, all
+  /// of which are provably frozen across an event-free span, so the
+  /// engine may skip such spans wholesale.
+  [[nodiscard]] bool supports_fast_forward() const override { return true; }
+
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 
@@ -97,10 +102,7 @@ class DLruEdfPolicy : public Policy {
 
   double lru_fraction_;
   EligibilityTracker tracker_;
-  std::vector<ColorId> lru_target_;
   std::vector<ColorId> edf_ranked_;
-  std::vector<LruKey> lru_keys_;
-  std::vector<EdfKey> edf_keys_;
   StampedMap<char> is_lru_;        // member of this round's LRU target set
   StampedMap<char> is_protected_;  // inserted by the EDF half this phase
   StampedMap<std::int32_t> rank_pos_;

@@ -11,6 +11,7 @@ void EdfPolicy::begin(const ArrivalSource& source, int num_resources,
                       int speed) {
   (void)num_resources;
   (void)speed;
+  tracker_.enable_rank_index();
   tracker_.begin(source);
   rank_pos_.ensure_size(static_cast<std::size_t>(source.num_colors()));
   observed_epochs_ = 0;
@@ -34,22 +35,21 @@ void EdfPolicy::on_round(RoundContext& ctx) {
   CacheAssignment& cache = ctx.cache();
   const PendingJobs& pending = ctx.pending();
 
-  ranked_ = tracker_.eligible_colors();
-  edf_sort(ranked_, edf_keys_, tracker_, pending);
+  const std::vector<ColorId>& ranked = tracker_.edf_order(pending);
 
   rank_pos_.clear();
-  for (std::size_t i = 0; i < ranked_.size(); ++i) {
-    rank_pos_.set(ranked_[i], static_cast<std::int32_t>(i));
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    rank_pos_.set(ranked[i], static_cast<std::int32_t>(i));
   }
 
   // Cache every nonidle color among the top max_distinct() ranks; when
   // full, evict the cached color with the worst rank.  Cached colors are
   // always eligible (a color only becomes ineligible while uncached), so
   // every cached color has a rank.
-  const auto top = std::min(ranked_.size(),
+  const auto top = std::min(ranked.size(),
                             static_cast<std::size_t>(cache.max_distinct()));
   for (std::size_t i = 0; i < top; ++i) {
-    const ColorId color = ranked_[i];
+    const ColorId color = ranked[i];
     if (pending.idle(color) || cache.contains(color)) continue;
     if (cache.full()) {
       ColorId victim = kBlack;

@@ -33,6 +33,11 @@ class EdfPolicy : public Policy {
   void on_capacity_change(Round round, int up, int total,
                           std::span<const ColorId> evicted) override;
 
+  /// EDF is a pure function of tracker/pending/cache state, all of which
+  /// are provably frozen across an event-free span, so the engine may
+  /// skip such spans wholesale.
+  [[nodiscard]] bool supports_fast_forward() const override { return true; }
+
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 
@@ -50,8 +55,6 @@ class EdfPolicy : public Policy {
 
  private:
   EligibilityTracker tracker_;
-  std::vector<ColorId> ranked_;
-  std::vector<EdfKey> edf_keys_;
   StampedMap<std::int32_t> rank_pos_;
   std::int64_t capacity_changes_ = 0;
   std::int64_t observed_epochs_ = 0;  // last epoch count traced to the obs

@@ -15,6 +15,7 @@
 // Instance so all offline machinery keeps working unchanged.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <span>
 #include <string>
@@ -91,6 +92,18 @@ class ArrivalSource {
   /// call.  (MaterializedSource additionally supports random access.)
   [[nodiscard]] virtual std::span<const Job> arrivals_in_round(Round k) = 0;
 
+  /// Fast-forward hint: the first round in [k, limit) that *may* carry
+  /// arrivals, or `limit` when none does.  `k` must be the round the next
+  /// arrivals_in_round() pull would use, and `limit >= k`.  After a call
+  /// returns r, the source must accept a pull at any round in [k, r]
+  /// (implementations that scan ahead remember the scanned-and-empty
+  /// span).  Returning `k` is always correct — it just means "no skip" —
+  /// and is the default, so unaudited sources are never skipped past.
+  [[nodiscard]] virtual Round next_event_round(Round k, Round limit) {
+    (void)limit;
+    return k;
+  }
+
   /// The backing Instance when the whole sequence is in memory, nullptr
   /// for true streams.  Policies needing whole-sequence knowledge (e.g.
   /// offline heuristics) must check this.
@@ -141,6 +154,10 @@ class MaterializedSource final : public ArrivalSource {
   }
   [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
     return instance_->arrivals_in_round(k);
+  }
+  [[nodiscard]] Round next_event_round(Round k, Round limit) override {
+    const Round next = instance_->next_arrival_round(k);
+    return next < 0 ? limit : std::min(next, limit);
   }
   [[nodiscard]] const Instance* materialized() const override {
     return instance_;

@@ -1,6 +1,7 @@
 #include "core/color_state.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/bits.h"
 #include "util/check.h"
@@ -40,11 +41,16 @@ void EligibilityTracker::begin(const ArrivalSource& source) {
   eligible_drop_weight_ = 0;
   ineligible_drop_weight_ = 0;
   ineligible_drop_ids_.clear();
+  if (index_enabled_) build_rank_index();
 }
 
 void EligibilityTracker::drop_phase(Round k,
                                     const PendingJobs::DropResult& dropped,
                                     const CacheAssignment& cache) {
+  if (index_enabled_) {
+    now_ = k;
+    if (!dirty_imports_.empty()) flush_dirty_imports(k);
+  }
   // Classify drops with the pre-reset eligibility status: the algorithm
   // drops jobs first, then flips eligibility, so boundary drops of a
   // still-eligible color count as eligible drops (Section 3.2).
@@ -83,6 +89,10 @@ void EligibilityTracker::drop_phase(Round k,
 
 void EligibilityTracker::arrival_phase(Round k,
                                        std::span<const Job> arrivals) {
+  if (index_enabled_) {
+    now_ = k;
+    if (!dirty_imports_.empty()) flush_dirty_imports(k);
+  }
   // Advance color deadlines at block boundaries (requests exist — possibly
   // empty — at every multiple of D_l).  With super-epoch analysis on,
   // block boundaries are also where timestamps become visible, so detect
@@ -91,7 +101,17 @@ void EligibilityTracker::arrival_phase(Round k,
     if (k % delay != 0) continue;
     for (const ColorId color : colors) {
       ColorState& s = state_[idx(color)];
-      s.dd = k + delay;
+      if (index_enabled_ && s.eligible) {
+        // An eligible color changes calendar bucket at its own block
+        // boundary, and its effective timestamp may surface the block's
+        // wraps here.
+        cal_remove(color);
+        s.dd = k + delay;
+        cal_insert(color);
+        lru_refresh(color, k);
+      } else {
+        s.dd = k + delay;
+      }
       if (analysis_m_ > 0) {
         const Round now_ts = timestamp(color, k);
         if (now_ts > s.eff_ts) {
@@ -120,7 +140,13 @@ void EligibilityTracker::arrival_phase(Round k,
       s.cnt %= threshold;  // counter wrapping event
       s.prev_wrap = s.last_wrap;
       s.last_wrap = k;
-      if (!s.eligible) make_eligible(color);
+      if (!s.eligible) {
+        make_eligible(color);
+      } else if (index_enabled_) {
+        // A second wrap within one block surfaces the first wrap as the
+        // new effective timestamp.
+        lru_refresh(color, k);
+      }
     }
   }
 }
@@ -198,6 +224,16 @@ void EligibilityTracker::make_eligible(ColorId color) {
   s.eligible = true;
   s.eligible_pos = static_cast<std::int32_t>(eligible_colors_.size());
   eligible_colors_.push_back(color);
+  if (index_enabled_) {
+    cal_insert(color);
+    if (now_ >= 0) {
+      lru_insert(color, timestamp(color, now_));
+    } else {
+      // Imported before any phase: the effective timestamp needs a round,
+      // so defer the list link to the first phase call.
+      dirty_imports_.push_back(color);
+    }
+  }
 }
 
 void EligibilityTracker::make_ineligible(ColorId color) {
@@ -210,6 +246,213 @@ void EligibilityTracker::make_ineligible(ColorId color) {
   eligible_colors_.pop_back();
   s.eligible = false;
   s.eligible_pos = -1;
+  if (index_enabled_) {
+    cal_remove(color);
+    if (lru_linked_[idx(color)] != 0) lru_remove(color);
+  }
+}
+
+// --- incremental rank index ---
+
+void EligibilityTracker::build_rank_index() {
+  const std::size_t num_colors = state_.size();
+  // Static EdfKey tiebreak: the order of colors with equal idleness and
+  // equal deadline.  Constant per begin(), so one sort here replaces the
+  // tail comparisons of every per-round sort.
+  std::vector<ColorId> order(num_colors);
+  for (std::size_t i = 0; i < num_colors; ++i) {
+    order[i] = static_cast<ColorId>(i);
+  }
+  std::sort(order.begin(), order.end(), [this](ColorId a, ColorId b) {
+    if (drop_costs_[idx(a)] != drop_costs_[idx(b)])
+      return drop_costs_[idx(a)] > drop_costs_[idx(b)];  // heavier first
+    if (lengths_[idx(a)] != lengths_[idx(b)])
+      return lengths_[idx(a)] < lengths_[idx(b)];  // shorter first
+    if (delay_bounds_[idx(a)] != delay_bounds_[idx(b)])
+      return delay_bounds_[idx(a)] < delay_bounds_[idx(b)];
+    return a < b;
+  });
+  static_rank_.resize(num_colors);
+  for (std::size_t i = 0; i < num_colors; ++i) {
+    static_rank_[idx(order[i])] = static_cast<std::int32_t>(i);
+  }
+  Round max_delay = 1;
+  for (const auto& [delay, colors] : delay_classes_) {
+    max_delay = std::max(max_delay, delay);
+  }
+  // At query time every eligible color deadline lies in (now, now+max D],
+  // a window of max D distinct rounds, so ceil_pow2(max D) buckets keyed
+  // by (dd & mask) are collision-free across distinct deadlines.
+  const auto buckets = static_cast<std::size_t>(ceil_pow2(max_delay));
+  cal_buckets_.assign(buckets, {});
+  cal_mask_ = buckets - 1;
+  cal_nonempty_.assign((buckets + 63) / 64, 0);
+  cal_dirty_.assign(buckets, 0);
+  cal_bucket_of_.assign(num_colors, -1);
+  cal_pos_of_.assign(num_colors, -1);
+  lru_prev_.assign(num_colors, kBlack);
+  lru_next_.assign(num_colors, kBlack);
+  lru_ts_.assign(num_colors, 0);
+  lru_linked_.assign(num_colors, 0);
+  lru_head_ = kBlack;
+  dirty_imports_.clear();
+  now_ = -1;
+}
+
+void EligibilityTracker::cal_insert(ColorId color) {
+  const auto b =
+      static_cast<std::size_t>(state_[idx(color)].dd) & cal_mask_;
+  std::vector<ColorId>& bucket = cal_buckets_[b];
+  // Appending a color of worse static rank keeps the bucket sorted; any
+  // other append defers a re-sort to the next scan.
+  if (!bucket.empty() &&
+      static_rank_[idx(bucket.back())] > static_rank_[idx(color)]) {
+    cal_dirty_[b] = 1;
+  }
+  cal_bucket_of_[idx(color)] = static_cast<std::int32_t>(b);
+  cal_pos_of_[idx(color)] = static_cast<std::int32_t>(bucket.size());
+  bucket.push_back(color);
+  cal_nonempty_[b / 64] |= std::uint64_t{1} << (b % 64);
+}
+
+void EligibilityTracker::cal_remove(ColorId color) {
+  const auto b = static_cast<std::size_t>(cal_bucket_of_[idx(color)]);
+  const auto pos = static_cast<std::size_t>(cal_pos_of_[idx(color)]);
+  std::vector<ColorId>& bucket = cal_buckets_[b];
+  RRS_CHECK(pos < bucket.size() && bucket[pos] == color);
+  const ColorId moved = bucket.back();
+  bucket.pop_back();
+  if (moved != color) {
+    bucket[pos] = moved;
+    cal_pos_of_[idx(moved)] = static_cast<std::int32_t>(pos);
+    cal_dirty_[b] = 1;  // swap-remove broke the sorted order
+  }
+  cal_bucket_of_[idx(color)] = -1;
+  cal_pos_of_[idx(color)] = -1;
+  if (bucket.empty()) {
+    cal_nonempty_[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+    cal_dirty_[b] = 0;
+  }
+}
+
+void EligibilityTracker::scan_calendar(std::size_t lo, std::size_t hi,
+                                       const PendingJobs& pending) {
+  for (std::size_t w = lo / 64; w * 64 < hi; ++w) {
+    std::uint64_t bits = cal_nonempty_[w];
+    if (w == lo / 64) bits &= ~std::uint64_t{0} << (lo % 64);
+    if (hi - w * 64 < 64) bits &= (std::uint64_t{1} << (hi - w * 64)) - 1;
+    while (bits != 0) {
+      const std::size_t b =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      std::vector<ColorId>& bucket = cal_buckets_[b];
+      if (cal_dirty_[b] != 0) {
+        std::sort(bucket.begin(), bucket.end(),
+                  [this](ColorId a, ColorId c) {
+                    return static_rank_[idx(a)] < static_rank_[idx(c)];
+                  });
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+          cal_pos_of_[idx(bucket[i])] = static_cast<std::int32_t>(i);
+        }
+        cal_dirty_[b] = 0;
+      }
+      for (const ColorId c : bucket) {
+        RRS_CHECK_MSG(state_[idx(c)].dd > now_,
+                      "stale deadline in rank calendar (color " << c << ")");
+        if (pending.idle(c)) {
+          idle_scratch_.push_back(c);
+        } else {
+          edf_scratch_.push_back(c);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<ColorId>& EligibilityTracker::edf_order(
+    const PendingJobs& pending) {
+  RRS_CHECK_MSG(index_enabled_ && now_ >= 0,
+                "edf_order needs enable_rank_index() before begin() and a "
+                "phase call before the first query");
+  edf_scratch_.clear();
+  idle_scratch_.clear();
+  // Walk buckets in deadline-ascending order: the window (now, now+ring]
+  // maps to bucket indices starting at (now+1) & mask, wrapping once.
+  const std::size_t start = static_cast<std::size_t>(now_ + 1) & cal_mask_;
+  scan_calendar(start, cal_buckets_.size(), pending);
+  scan_calendar(0, start, pending);
+  edf_scratch_.insert(edf_scratch_.end(), idle_scratch_.begin(),
+                      idle_scratch_.end());
+  return edf_scratch_;
+}
+
+void EligibilityTracker::lru_insert(ColorId color, Round ts) {
+  lru_ts_[idx(color)] = ts;
+  ColorId prev = kBlack;
+  ColorId cur = lru_head_;
+  while (cur != kBlack &&
+         (lru_ts_[idx(cur)] > ts ||
+          (lru_ts_[idx(cur)] == ts && cur < color))) {
+    prev = cur;
+    cur = lru_next_[idx(cur)];
+  }
+  lru_prev_[idx(color)] = prev;
+  lru_next_[idx(color)] = cur;
+  if (prev == kBlack) {
+    lru_head_ = color;
+  } else {
+    lru_next_[idx(prev)] = color;
+  }
+  if (cur != kBlack) lru_prev_[idx(cur)] = color;
+  lru_linked_[idx(color)] = 1;
+}
+
+void EligibilityTracker::lru_remove(ColorId color) {
+  RRS_CHECK(lru_linked_[idx(color)] != 0);
+  const ColorId prev = lru_prev_[idx(color)];
+  const ColorId next = lru_next_[idx(color)];
+  if (prev == kBlack) {
+    lru_head_ = next;
+  } else {
+    lru_next_[idx(prev)] = next;
+  }
+  if (next != kBlack) lru_prev_[idx(next)] = prev;
+  lru_prev_[idx(color)] = kBlack;
+  lru_next_[idx(color)] = kBlack;
+  lru_linked_[idx(color)] = 0;
+}
+
+void EligibilityTracker::lru_refresh(ColorId color, Round k) {
+  const Round ts = timestamp(color, k);
+  if (ts == lru_ts_[idx(color)]) return;
+  lru_remove(color);
+  lru_insert(color, ts);
+}
+
+void EligibilityTracker::flush_dirty_imports(Round k) {
+  for (const ColorId color : dirty_imports_) {
+    // A color can have flipped ineligible (or been re-linked) since the
+    // import; only link colors still waiting for a timestamp.
+    if (state_[idx(color)].eligible && lru_linked_[idx(color)] == 0) {
+      lru_insert(color, timestamp(color, k));
+    }
+  }
+  dirty_imports_.clear();
+}
+
+const std::vector<ColorId>& EligibilityTracker::lru_order(
+    std::size_t max_count) {
+  RRS_CHECK_MSG(index_enabled_ && now_ >= 0,
+                "lru_order needs enable_rank_index() before begin() and a "
+                "phase call before the first query");
+  RRS_CHECK(dirty_imports_.empty());
+  lru_scratch_.clear();
+  for (ColorId c = lru_head_;
+       c != kBlack && lru_scratch_.size() < max_count;
+       c = lru_next_[idx(c)]) {
+    lru_scratch_.push_back(c);
+  }
+  return lru_scratch_;
 }
 
 }  // namespace rrs

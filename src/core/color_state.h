@@ -90,6 +90,52 @@ class EligibilityTracker {
     return eligible_colors_;
   }
 
+  // --- incremental rank index (ranked-cache hot path) ---
+  //
+  // The ranked-cache family consumes two total orders of the eligible set
+  // every round.  Rebuilding them with a sort costs O(E log E) per round
+  // even when nothing changed; the index below maintains both orders
+  // persistently so a round's query is a scan and mutations are charged
+  // to the events that caused them (wraps, epoch ends, deadline-block
+  // boundaries, migration).
+  //
+  //   * EDF: eligible colors live in a calendar ring of ceil_pow2(max D_l)
+  //     buckets keyed by color deadline (at query time every eligible dd
+  //     lies in (now, now + max D_l], so buckets are collision-free the
+  //     same way PendingJobs' expiry calendar is).  Buckets keep their
+  //     members sorted by a precomputed static tiebreak rank — exactly the
+  //     EdfKey order after the idle and deadline fields — re-sorting
+  //     lazily at the next scan after a mutation.  The ordered scan walks
+  //     buckets in rotated (deadline-ascending) order via a nonempty-bucket
+  //     bitmap and partitions live colors into nonidle-then-idle, which
+  //     reproduces the EdfKey sort exactly.
+  //   * dLRU: eligible colors live in an intrusive doubly-linked recency
+  //     list ordered by (effective timestamp desc, color asc).  Effective
+  //     timestamps change only at counter wraps and own-block boundaries,
+  //     both of which pass through arrival_phase, so repositions are
+  //     charged to churn.
+
+  /// Opts into the incremental rank index.  Call before begin() (begin()
+  /// builds the structures); sticky across begins, idempotent.
+  void enable_rank_index() { index_enabled_ = true; }
+
+  [[nodiscard]] bool rank_index_enabled() const { return index_enabled_; }
+
+  /// Eligible colors in exact EDF rank order (EdfKey in
+  /// algs/ranked_cache.h): nonidle before idle, then ascending color
+  /// deadline, then descending drop cost, ascending length, ascending
+  /// delay bound, ascending color.  The returned buffer is owned by the
+  /// tracker and valid until the next edf_order() or phase call.
+  [[nodiscard]] const std::vector<ColorId>& edf_order(
+      const PendingJobs& pending);
+
+  /// Up to `max_count` eligible colors in exact dLRU rank order (LruKey:
+  /// descending effective timestamp, ties ascending color) as of the last
+  /// phase round.  The returned buffer is owned by the tracker, distinct
+  /// from edf_order()'s, and valid until the next lru_order() or phase
+  /// call.
+  [[nodiscard]] const std::vector<ColorId>& lru_order(std::size_t max_count);
+
   // --- shard migration (engine export/import surface) ---
 
   /// Snapshot of one color's portable Section 3.1 state.
@@ -195,6 +241,19 @@ class EligibilityTracker {
   void note_timestamp_update(ColorId color);
   void note_epoch_end(ColorId color);
 
+  // Rank-index internals (no-ops unless enable_rank_index() preceded
+  // begin()).
+  void build_rank_index();
+  void cal_insert(ColorId color);
+  void cal_remove(ColorId color);
+  void scan_calendar(std::size_t lo, std::size_t hi,
+                     const PendingJobs& pending);
+  void lru_insert(ColorId color, Round ts);
+  void lru_remove(ColorId color);
+  /// Removes + re-inserts `color` when its effective timestamp changed.
+  void lru_refresh(ColorId color, Round k);
+  void flush_dirty_imports(Round k);
+
   // Flat copies of the source's per-color metadata, filled at begin():
   // the drop/arrival/timestamp paths run every round and must not pay a
   // virtual call (or a std::map walk) per color.
@@ -216,6 +275,35 @@ class EligibilityTracker {
   std::int64_t timestamp_updates_ = 0;
   std::vector<ColorState> state_;
   std::vector<ColorId> eligible_colors_;
+
+  // --- incremental rank index state (built by begin() when enabled) ---
+  bool index_enabled_ = false;
+  Round now_ = -1;  ///< round of the most recent phase call (-1 = none)
+  /// Color -> rank under the static EdfKey tiebreak (drop cost desc,
+  /// length asc, delay bound asc, color asc); constant per begin().
+  std::vector<std::int32_t> static_rank_;
+  /// Deadline calendar: bucket (dd & cal_mask_) holds the eligible colors
+  /// with color deadline dd, sorted by static_rank_ (lazily: cal_dirty_
+  /// marks buckets whose order a mutation broke).
+  std::vector<std::vector<ColorId>> cal_buckets_;
+  std::vector<std::uint64_t> cal_nonempty_;  ///< bitmap over buckets
+  std::vector<std::uint8_t> cal_dirty_;
+  std::size_t cal_mask_ = 0;
+  std::vector<std::int32_t> cal_bucket_of_;  ///< color -> bucket, -1 none
+  std::vector<std::int32_t> cal_pos_of_;     ///< color -> index in bucket
+  /// Intrusive recency list over eligible colors, (timestamp desc, color
+  /// asc); lru_ts_ caches each linked color's effective timestamp.
+  std::vector<ColorId> lru_prev_;
+  std::vector<ColorId> lru_next_;
+  std::vector<Round> lru_ts_;
+  std::vector<std::uint8_t> lru_linked_;
+  ColorId lru_head_ = kBlack;
+  /// Colors imported eligible before any phase ran: their effective
+  /// timestamp needs the first phase round, so the list link is deferred.
+  std::vector<ColorId> dirty_imports_;
+  std::vector<ColorId> edf_scratch_;
+  std::vector<ColorId> idle_scratch_;
+  std::vector<ColorId> lru_scratch_;
   std::int64_t completed_epochs_ = 0;
   std::int64_t active_colors_ = 0;
   std::int64_t eligible_drops_ = 0;

@@ -7,6 +7,7 @@
 
 #include "core/pending.h"
 #include "obs/observer.h"
+#include "util/bits.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -246,6 +247,15 @@ Engine::Engine(ArrivalSource& source, Policy& policy,
   faults_->model = &model;
   faults_->lost.assign(static_cast<std::size_t>(options_.num_resources),
                        kBlack);
+
+  // Sparse-round fast-forward eligibility and the stop-round inputs are
+  // resolved once: the policy's declaration never changes mid-run and the
+  // delay-class set is static metadata.
+  ff_eligible_ = options_.fast_forward && policy_->supports_fast_forward();
+  for (const auto& [delay, colors] : meta_->colors_by_delay()) {
+    ff_delays_.push_back(delay);
+  }
+  ff_snapshot_every_ = obs != nullptr ? obs->config.snapshot_every : 0;
 }
 
 Engine::~Engine() = default;
@@ -369,7 +379,54 @@ void Engine::run_rounds(ArrivalSource& source, Round until) {
   RRS_REQUIRE(until >= k_ && until <= arrival_end_,
               "segment end " << until << " outside [" << k_ << ", "
                              << arrival_end_ << "]");
-  while (k_ < until) run_round(&source);
+  while (k_ < until) {
+    run_round(&source);
+    if (ff_eligible_ && k_ < until && pending_.total() == 0) {
+      fast_forward(source, until);
+    }
+  }
+}
+
+Round Engine::next_stop_round(Round until) const {
+  Round stop = until;
+  // Deadline-block boundaries: every multiple of a delay bound runs the
+  // tracker's dd-advance / epoch-end logic, so it must be executed.  A
+  // round already on a boundary cannot be skipped at all.
+  for (const Round d : ff_delays_) {
+    if (k_ % d == 0) return k_;
+    stop = std::min(stop, ceil_multiple(k_, d));
+  }
+  // Fault events apply at the start of their round.
+  if (faults_->plan != nullptr &&
+      faults_->next < faults_->plan->events.size()) {
+    stop = std::min(stop, faults_->plan->events[faults_->next].round);
+  }
+  // Snapshots fire after round k when (k + 1) % every == 0; the next such
+  // round must run so the emission round (and its cumulative counters,
+  // frozen across the skip) stay identical.
+  if (ff_snapshot_every_ > 0) {
+    stop = std::min(stop, ceil_multiple(k_ + 1, ff_snapshot_every_) - 1);
+  }
+  const Round pe = policy_->next_policy_event(k_);
+  if (pe != kInfiniteHorizon) stop = std::min(stop, std::max(pe, k_));
+  return stop;
+}
+
+void Engine::fast_forward(ArrivalSource& source, Round until) {
+  const Round stop = next_stop_round(until);
+  if (stop <= k_) return;
+  const Round next = source.next_event_round(k_, stop);
+  RRS_CHECK_MSG(next >= k_ && next <= stop,
+                "next_event_round(" << k_ << ", " << stop << ") returned "
+                                    << next);
+  if (next == k_) return;
+  // The skipped rounds are observationally empty but still count as run
+  // rounds; degraded accounting is the only per-round counter that moves
+  // unconditionally.
+  if (cache_.num_down() > 0) {
+    result_.degraded.degraded_rounds += next - k_;
+  }
+  k_ = next;
 }
 
 EngineResult Engine::finish() {

@@ -46,6 +46,12 @@ std::span<const Job> Instance::arrivals_in_round(Round k) const {
                                   request_offsets_[idx]);
 }
 
+Round Instance::next_arrival_round(Round k) const {
+  const auto it =
+      std::lower_bound(request_rounds_.begin(), request_rounds_.end(), k);
+  return it == request_rounds_.end() ? -1 : *it;
+}
+
 std::int64_t Instance::jobs_of_color(ColorId color) const {
   RRS_REQUIRE(color >= 0 && color < num_colors(),
               "color " << color << " out of range");

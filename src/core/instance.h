@@ -77,6 +77,10 @@ class Instance {
   /// jobs().  Empty requests yield an empty span.
   [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) const;
 
+  /// First round >= `k` with at least one arrival, or -1 when the rest of
+  /// the sequence is arrival-free.  O(log #nonempty-rounds).
+  [[nodiscard]] Round next_arrival_round(Round k) const;
+
   /// Number of jobs of `color` in the whole sequence.
   [[nodiscard]] std::int64_t jobs_of_color(ColorId color) const;
 

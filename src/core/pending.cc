@@ -28,6 +28,7 @@ void PendingJobs::reset(ColorId num_colors) {
   ring_.clear();
   ring_mask_ = 0;
   cursor_ = -1;
+  hints_ = 0;
   total_ = 0;
 }
 
@@ -146,6 +147,7 @@ void PendingJobs::bucket_entry(ColorId color, Round deadline) {
   }
   ring_[static_cast<std::size_t>(target) & ring_mask_].push_back(
       {color, deadline});
+  ++hints_;
 }
 
 void PendingJobs::grow_ring(Round min_span) {
@@ -191,6 +193,21 @@ void PendingJobs::drain_expired(const CalendarEntry& entry, Round round,
 void PendingJobs::drop_expired(Round round, DropResult& out) {
   out.clear();
   if (round <= cursor_) return;  // already swept (sweeps are monotone)
+  if (total_ == 0) {
+    // Nothing can expire.  Discard any stale hints (left behind by
+    // executed jobs) wholesale so the cursor can jump the entire gap —
+    // after a fast-forwarded span the sweep would otherwise still walk a
+    // ring's worth of buckets.  Every cleared color's last_bucketed must
+    // be reset, or a later add at or below the discarded hint's deadline
+    // would skip re-bucketing and never be swept.
+    if (hints_ > 0) {
+      for (std::vector<CalendarEntry>& bucket : ring_) bucket.clear();
+      for (ColorQueue& q : queues_) q.last_bucketed = -1;
+      hints_ = 0;
+    }
+    cursor_ = round;
+    return;
+  }
   if (ring_.empty()) {
     cursor_ = round;
     return;
@@ -212,6 +229,7 @@ void PendingJobs::drop_expired(Round round, DropResult& out) {
         continue;
       }
       drain_expired(entry, round, out);
+      --hints_;
     }
     bucket.resize(kept);
   }

@@ -185,6 +185,7 @@ class PendingJobs {
   std::vector<std::vector<CalendarEntry>> ring_;
   std::size_t ring_mask_ = 0;
   Round cursor_ = -1;
+  std::int64_t hints_ = 0;  ///< outstanding calendar hints across buckets
 
   std::int64_t total_ = 0;
 };

@@ -9,23 +9,37 @@ namespace rrs {
 DistributionSummary summarize(std::vector<Round> samples) {
   DistributionSummary s;
   if (samples.empty()) return s;
-  std::sort(samples.begin(), samples.end());
   s.count = static_cast<std::int64_t>(samples.size());
-  for (const Round v : samples) s.sum += v;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (const Round v : samples) {
+    s.sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
   s.mean = static_cast<double>(s.sum) / static_cast<double>(samples.size());
   // Nearest rank in integer arithmetic: 1-based rank ceil(p * count / 100).
-  // The previous floor(q * (count - 1)) indexing returned the MINIMUM for
-  // p99 on a 2-element sample and was hostage to floating-point rounding
+  // floor(q * (count - 1)) indexing returned the MINIMUM for p99 on a
+  // 2-element sample and was hostage to floating-point rounding
   // (0.95 * 20 < 19.0); integer nearest-rank has neither failure mode.
+  //
+  // Selection instead of a full sort: the three ranks are nondecreasing,
+  // so each nth_element narrows to the suffix the previous one left
+  // partitioned.  O(count) expected versus O(count log count), and the
+  // selected values are exactly the sorted array's — bit-identical.
+  auto begin = samples.begin();
   const auto at = [&](std::int64_t p) {
     const std::int64_t rank = (s.count * p + 99) / 100;  // >= 1
-    return samples[static_cast<std::size_t>(rank - 1)];
+    const auto nth = samples.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+    if (nth >= begin) {
+      std::nth_element(begin, nth, samples.end());
+      begin = nth;
+    }
+    return *nth;
   };
-  s.min = samples.front();
   s.p50 = at(50);
   s.p95 = at(95);
   s.p99 = at(99);
-  s.max = samples.back();
   return s;
 }
 

@@ -163,7 +163,8 @@ RunRecord run_algorithm(const Instance& instance, const std::string& name,
 StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
                               int n, Round max_rounds,
                               const FaultPlan* fault_plan,
-                              bool charge_repair, Observer* observer) {
+                              bool charge_repair, Observer* observer,
+                              bool fast_forward) {
   EngineOptions options;
   options.num_resources = n;
   options.record_schedule = false;
@@ -174,6 +175,7 @@ StreamRunRecord run_streaming(ArrivalSource& source, const std::string& name,
   options.fault_plan = fault_plan;
   options.charge_repair = charge_repair;
   options.observer = observer;
+  options.fast_forward = fast_forward;
   std::unique_ptr<Policy> policy = make_stream_policy(name, options);
 
   Stopwatch watch;
@@ -339,6 +341,7 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
         engine_options.record_schedule = false;
         engine_options.max_rounds = arrival_end;
         engine_options.drain_pending = true;
+        engine_options.fast_forward = options.fast_forward;
         if (!shard_faults.empty()) {
           engine_options.fault_plan = &shard_faults[s];
           engine_options.charge_repair = options.charge_repair;

@@ -56,7 +56,7 @@ struct StreamRunRecord {
     ArrivalSource& source, const std::string& name, int n,
     Round max_rounds = kInfiniteHorizon,
     const FaultPlan* fault_plan = nullptr, bool charge_repair = false,
-    Observer* observer = nullptr);
+    Observer* observer = nullptr, bool fast_forward = true);
 
 /// Knobs for a sharded streaming run.
 struct ShardedRunOptions {
@@ -74,6 +74,10 @@ struct ShardedRunOptions {
   const FaultPlan* fault_plan = nullptr;
   /// Charge each repair as one reconfiguration (see EngineOptions).
   bool charge_repair = false;
+  /// Sparse-round fast-forward on every shard engine (see
+  /// EngineOptions::fast_forward).  Bit-identical either way; disable
+  /// only to measure the skip.
+  bool fast_forward = true;
   /// Optional merged observability sink (not owned).  When set, the runner
   /// attaches a fresh Observer (same ObsConfig, no snapshot stream) to
   /// every shard engine and, after the run, rebuilds this observer as the

@@ -105,13 +105,66 @@ class GeneratorSource : public ArrivalSource {
   }
 
   [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
+    RRS_REQUIRE(k > served_, "streaming sources are sequential: round "
+                                 << k << " already served (cursor "
+                                 << served_ << ")");
+    if (k < next_round_) {
+      // next_event_round() scanned past k: the round is already
+      // synthesized, and empty unless it is the peeked round.
+      served_ = k;
+      if (k == peek_round_) {
+        peek_round_ = -1;
+        return buffer_;
+      }
+      RRS_CHECK_MSG(peek_round_ < 0 || k < peek_round_,
+                    "pull at " << k << " behind unserved peek "
+                               << peek_round_);
+      return {};
+    }
     RRS_REQUIRE(k == next_round_, "streaming sources are sequential: "
                                   "expected round "
                                       << next_round_ << ", got " << k);
+    RRS_CHECK(peek_round_ < 0);
+    served_ = k;
     ++next_round_;
     buffer_.clear();
     if (!finite() || k < horizon_) synthesize(k);
     return buffer_;
+  }
+
+  /// Scans ahead for the first arrival-carrying round in [k, limit),
+  /// synthesizing (and remembering) rounds as it goes: scanned-and-empty
+  /// rounds serve empty pulls without re-synthesizing, and a found round's
+  /// jobs are held ("peeked") until that round is pulled.  The RNG
+  /// position only ever moves forward, once per round, so a run with
+  /// fast-forward is draw-for-draw identical to one without.
+  [[nodiscard]] Round next_event_round(Round k, Round limit) override {
+    RRS_REQUIRE(limit >= k && k > served_,
+                "next_event_round(" << k << ", " << limit
+                                    << ") behind cursor " << served_);
+    if (peek_round_ >= 0) {
+      RRS_CHECK(k <= peek_round_);
+      return std::min(peek_round_, limit);
+    }
+    Round j = std::max(k, next_round_);
+    while (j < limit) {
+      if (finite() && j >= horizon_) {
+        // Rounds at or past the horizon carry no arrivals and are never
+        // synthesized, so the whole tail can be declared empty at once.
+        j = limit;
+        break;
+      }
+      buffer_.clear();
+      synthesize(j);
+      ++j;
+      if (!buffer_.empty()) {
+        next_round_ = j;
+        peek_round_ = j - 1;
+        return peek_round_;
+      }
+    }
+    next_round_ = std::max(next_round_, j);
+    return limit;
   }
 
   // --- shard-native view support ---
@@ -144,6 +197,9 @@ class GeneratorSource : public ArrivalSource {
   void reassign(std::span<const ColorId> colors) {
     RRS_REQUIRE(restricted_,
                 "reassign needs a restricted view; call restrict_to first");
+    // A peek would hold jobs labeled in the outgoing color set; segment
+    // boundaries are stop rounds, so no scan ever crosses one.
+    RRS_CHECK(peek_round_ < 0);
     for (const ColorId c : active_) {
       synced_to_[static_cast<std::size_t>(c)] = next_round_;
     }
@@ -164,7 +220,9 @@ class GeneratorSource : public ArrivalSource {
     return counts;
   }
 
-  /// The next round this source will synthesize (pull position).
+  /// The next round this source will synthesize.  With fast-forward scans
+  /// this can run ahead of the pull cursor (scanned rounds are remembered
+  /// as empty and served without re-synthesis).
   [[nodiscard]] Round next_round() const { return next_round_; }
 
  protected:
@@ -284,10 +342,16 @@ class GeneratorSource : public ArrivalSource {
   std::vector<ColorId> active_;           // global ids, ascending
   std::vector<ColorId> local_of_global_;  // kBlack when not in this view
   std::vector<Round> synced_to_;          // per-global-color replay position
-  // Round state.
+  // Round state.  next_round_ is the SYNTHESIS position (first round whose
+  // draws have not happened); served_ is the pull cursor, which lags it
+  // when next_event_round() has scanned ahead.  Rounds in
+  // [served_ + 1, next_round_) are synthesized-and-empty except
+  // peek_round_, whose jobs wait in buffer_.
   std::vector<Job> buffer_;
   std::vector<std::int64_t> observed_;  // per-local-color arrivals emitted
   Round next_round_ = 0;
+  Round served_ = -1;
+  Round peek_round_ = -1;
   JobId next_id_ = 0;
   // Caches (mirror ArrivalSource's lazy base caches, with invalidation).
   mutable CostModel model_;

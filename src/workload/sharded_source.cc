@@ -238,6 +238,7 @@ class ShardedSource::Stream final : public ArrivalSource {
         arrival_end_(arrival_end),
         horizon_(advertised_horizon),
         next_round_(begin_round),
+        known_empty_until_(begin_round),
         delta_(parent.delta()) {
     const auto& colors = plan.shard_colors[static_cast<std::size_t>(shard)];
     delay_bounds_.reserve(colors.size());
@@ -274,11 +275,16 @@ class ShardedSource::Stream final : public ArrivalSource {
   [[nodiscard]] Round horizon() const override { return horizon_; }
 
   [[nodiscard]] std::span<const Job> arrivals_in_round(Round k) override {
-    RRS_REQUIRE(k == next_round_, "shard streams are sequential: expected "
-                                  "round "
-                                      << next_round_ << ", got " << k);
-    ++next_round_;
+    RRS_REQUIRE(k == next_round_ ||
+                    (k > next_round_ && k <= known_empty_until_),
+                "shard streams are sequential: expected round "
+                    << next_round_ << " (scanned to " << known_empty_until_
+                    << "), got " << k);
+    next_round_ = k + 1;
     if (k >= arrival_end_) return {};
+    // Rounds below the scan frontier were consumed (and found empty) by
+    // next_event_round(); their chunks may already be gone.
+    if (k < known_empty_until_) return {};
     if (k >= chunk_.first_round + chunk_.rounds || chunk_.rounds == 0) {
       chunk_ = fabric_->take_chunk(shard_, k);
     }
@@ -290,6 +296,33 @@ class ShardedSource::Stream final : public ArrivalSource {
       observed_[static_cast<std::size_t>(job.color)] += 1;
     }
     return span;
+  }
+
+  /// Walks the chunk stream forward looking for the first round in
+  /// [k, limit) with arrivals for this shard.  Scanned-and-empty rounds
+  /// are remembered (known_empty_until_) so later pulls inside the span
+  /// serve empty without touching the consumed chunks; the first nonempty
+  /// round's chunk stays current, so its pull takes the normal path.
+  [[nodiscard]] Round next_event_round(Round k, Round limit) override {
+    RRS_REQUIRE(limit >= k && k >= next_round_,
+                "next_event_round(" << k << ", " << limit
+                                    << ") behind cursor " << next_round_);
+    if (k >= arrival_end_) return limit;
+    Round j = std::max(k, known_empty_until_);
+    const Round cap = std::min(limit, arrival_end_);
+    while (j < cap) {
+      if (chunk_.rounds == 0 || j >= chunk_.first_round + chunk_.rounds) {
+        chunk_ = fabric_->take_chunk(shard_, j);
+      }
+      const auto r = static_cast<std::size_t>(j - chunk_.first_round);
+      if (chunk_.begin[r + 1] > chunk_.begin[r]) break;
+      ++j;
+    }
+    known_empty_until_ = std::max(known_empty_until_, j);
+    // Past arrival_end_ the stream is empty by construction, so a scan
+    // that drained the served range clears the caller's whole window.
+    if (j >= arrival_end_) return limit;
+    return std::min(j, limit);
   }
 
   [[nodiscard]] std::vector<std::int64_t> take_observed_counts() {
@@ -319,6 +352,7 @@ class ShardedSource::Stream final : public ArrivalSource {
   Round arrival_end_;  ///< end of the range this fabric actually serves
   Round horizon_;      ///< run-level horizon reported to engines
   Round next_round_;
+  Round known_empty_until_;  ///< scan frontier: rounds below are empty
   Cost delta_;
   std::vector<Round> delay_bounds_;
   std::vector<Cost> drop_costs_;

@@ -336,6 +336,36 @@ TEST(PendingJobs, PartiallyExecutedFrontJobStillExpires) {
   EXPECT_TRUE(pending.idle(0));
 }
 
+TEST(PendingJobs, EmptySetSweepJumpsInConstantTime) {
+  // With nothing pending, a sweep may jump the cursor arbitrarily far
+  // without walking the ring (the fast-forward path does exactly this).
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 4));
+  EXPECT_EQ(pending.pop_earliest(0), 0);
+  EXPECT_EQ(drop_at(pending, 1'000'000'000).total, 0);
+  pending.add(make_job(1, 0, 1'000'000'000, 4));
+  const auto dropped = drop_at(pending, 1'000'000'004);
+  EXPECT_EQ(dropped.total, 1);
+  EXPECT_EQ(dropped.job_ids, std::vector<JobId>{1});
+}
+
+TEST(PendingJobs, EmptySetJumpResetsStaleHints) {
+  // The empty-set jump discards outstanding calendar hints.  A later job
+  // re-using a discarded hint's deadline must be re-bucketed — if it were
+  // not, it would never be swept.
+  PendingJobs pending;
+  pending.reset(1);
+  pending.add(make_job(0, 0, 0, 8));      // deadline 8, hint bucketed
+  EXPECT_EQ(pending.pop_earliest(0), 0);  // set empty; the hint is stale
+  EXPECT_EQ(drop_at(pending, 5).total, 0);  // jump discards the hint
+  pending.add(make_job(1, 0, 5, 3));      // deadline 8 again
+  const auto dropped = drop_at(pending, 8);
+  EXPECT_EQ(dropped.total, 1);
+  EXPECT_EQ(dropped.job_ids, std::vector<JobId>{1});
+  EXPECT_TRUE(pending.idle(0));
+}
+
 /// Reference model: per-color deque of (deadline, id), linear-scan expiry.
 class NaivePending {
  public:
