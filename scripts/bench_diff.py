@@ -12,9 +12,10 @@ same verdict the bench applies internally via RRS_STREAMING_BASELINE,
 usable standalone on two saved artifacts (e.g. the JSON uploaded by two
 CI runs, or a before/after pair measured locally).
 
-Families present in only one file are reported but never fail the
-verdict: new cells may gate only once their floor is committed, and
-retired cells must not wedge the diff.
+Families present in only one file also fail the verdict: a benchmark
+that silently stopped running (or a baseline missing a committed cell)
+must surface as a nonzero exit, not as a skipped row.  Retire a cell by
+removing it from both files in the same change.
 """
 
 from __future__ import annotations
@@ -70,12 +71,14 @@ def main() -> int:
         f"{'ratio':>7}  verdict"
     )
     regressions = 0
+    missing = 0
     for family in sorted(baseline | candidate):
         base = baseline.get(family)
         cand = candidate.get(family)
         if base is None or cand is None:
             where = "baseline" if base is None else "candidate"
-            print(f"{family:<{width}}  only in {where}; skipped")
+            missing += 1
+            print(f"{family:<{width}}  MISSING from {where}")
             continue
         ratio = cand / base if base > 0 else float("inf")
         regressed = ratio < floor
@@ -90,10 +93,15 @@ def main() -> int:
             f"{ratio:>6.2f}x  {verdict}"
         )
 
-    if regressions:
-        print(f"FAIL: {regressions} family(ies) beyond budget")
+    if regressions or missing:
+        parts = []
+        if regressions:
+            parts.append(f"{regressions} family(ies) beyond budget")
+        if missing:
+            parts.append(f"{missing} family(ies) missing from one file")
+        print(f"FAIL: {'; '.join(parts)}")
         return 1
-    print("PASS: all shared families within budget")
+    print("PASS: all families present and within budget")
     return 0
 
 

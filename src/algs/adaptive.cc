@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
 #include "obs/observer.h"
 #include "util/check.h"
 
@@ -95,6 +96,22 @@ AdaptiveSplitPolicy::stats() const {
   stats.emplace_back("final_lru_percent",
                      static_cast<std::int64_t>(lru_fraction() * 100.0));
   return stats;
+}
+
+void AdaptiveSplitPolicy::checkpoint_state(CheckpointWriter& w) const {
+  DLruEdfPolicy::checkpoint_state(w);
+  w.i64(window_drop_cost_);
+  w.i64(window_reconfig_cost_);
+  w.i64(window_end_);
+  w.i64(adaptations_);
+}
+
+void AdaptiveSplitPolicy::restore_state(CheckpointReader& r) {
+  DLruEdfPolicy::restore_state(r);
+  window_drop_cost_ = r.i64();
+  window_reconfig_cost_ = r.i64();
+  window_end_ = r.i64();
+  adaptations_ = r.i64();
 }
 
 }  // namespace rrs

@@ -53,6 +53,10 @@ class AdaptiveSplitPolicy : public DLruEdfPolicy {
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> stats()
       const override;
 
+  /// Base checkpoint plus the adaptation-window accumulators.
+  void checkpoint_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   Options options_;
   Cost window_drop_cost_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
 #include "obs/observer.h"
 #include "util/check.h"
 
@@ -68,6 +69,18 @@ std::vector<std::pair<std::string, std::int64_t>> DLruPolicy::stats() const {
           {"eligible_drops", tracker_.eligible_drops()},
           {"ineligible_drops", tracker_.ineligible_drops()},
           {"capacity_changes", capacity_changes_}};
+}
+
+void DLruPolicy::checkpoint_state(CheckpointWriter& w) const {
+  tracker_.checkpoint(w);
+  w.i64(capacity_changes_);
+  w.i64(observed_epochs_);
+}
+
+void DLruPolicy::restore_state(CheckpointReader& r) {
+  tracker_.restore_checkpoint(r);
+  capacity_changes_ = r.i64();
+  observed_epochs_ = r.i64();
 }
 
 }  // namespace rrs

@@ -46,6 +46,11 @@ class DLruPolicy : public Policy {
     tracker_.import_color(color, state);
   }
 
+  /// Checkpoint = the tracker plus the two run counters; ranking scratch
+  /// is per-round and rebuilt on the next on_round().
+  void checkpoint_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   EligibilityTracker tracker_;
   std::vector<ColorId> evict_scratch_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
 #include "obs/observer.h"
 #include "util/check.h"
 
@@ -135,6 +136,20 @@ std::vector<std::pair<std::string, std::int64_t>> DLruEdfPolicy::stats()
           {"eligible_drops", tracker_.eligible_drops()},
           {"ineligible_drops", tracker_.ineligible_drops()},
           {"capacity_changes", capacity_changes_}};
+}
+
+void DLruEdfPolicy::checkpoint_state(CheckpointWriter& w) const {
+  tracker_.checkpoint(w);
+  w.f64(lru_fraction_);
+  w.i64(capacity_changes_);
+  w.i64(observed_epochs_);
+}
+
+void DLruEdfPolicy::restore_state(CheckpointReader& r) {
+  tracker_.restore_checkpoint(r);
+  lru_fraction_ = r.f64();
+  capacity_changes_ = r.i64();
+  observed_epochs_ = r.i64();
 }
 
 }  // namespace rrs

@@ -84,6 +84,13 @@ class DLruEdfPolicy : public Policy {
   /// construction).  Off by default — the id list grows with the run.
   void enable_drop_id_recording() { tracker_.enable_drop_id_recording(); }
 
+  /// Checkpoint = the tracker, the live capacity split (adaptive
+  /// derivatives retune it mid-run), and the two run counters; round
+  /// scratch is rebuilt on the next on_round().  Derivatives extend by
+  /// calling these and appending their own state.
+  void checkpoint_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  protected:
   /// For adaptive derivatives (see algs/adaptive.h): retune the capacity
   /// split between rounds.  Must stay in [0, 1).

@@ -53,6 +53,11 @@ class EdfPolicy : public Policy {
     tracker_.import_color(color, state);
   }
 
+  /// Checkpoint = the tracker plus the two run counters; ranking scratch
+  /// is per-round and rebuilt on the next on_round().
+  void checkpoint_state(CheckpointWriter& w) const override;
+  void restore_state(CheckpointReader& r) override;
+
  private:
   EligibilityTracker tracker_;
   StampedMap<std::int32_t> rank_pos_;

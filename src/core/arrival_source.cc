@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/checkpoint.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -41,6 +42,32 @@ std::string ArrivalSource::summary() const {
   }
   os << ", Delta=" << delta() << " (streaming)";
   return os.str();
+}
+
+void ArrivalSource::checkpoint(CheckpointWriter& w) const {
+  (void)w;
+  RRS_REQUIRE(false, "this arrival source does not support checkpointing: "
+                         << summary());
+}
+
+void ArrivalSource::restore(CheckpointReader& r) {
+  (void)r;
+  RRS_REQUIRE(false, "this arrival source does not support restore: "
+                         << summary());
+}
+
+void MaterializedSource::checkpoint(CheckpointWriter& w) const {
+  w.str("materialized");
+  w.i64(horizon());
+}
+
+void MaterializedSource::restore(CheckpointReader& r) {
+  RRS_REQUIRE(r.str() == "materialized",
+              "checkpoint source-type mismatch (this source is "
+              "materialized)");
+  const Round h = r.i64();
+  RRS_REQUIRE(h == horizon(), "checkpoint horizon " << h << " != "
+                                                    << horizon());
 }
 
 Instance materialize(ArrivalSource& source, Round rounds) {

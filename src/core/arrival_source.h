@@ -27,6 +27,9 @@
 
 namespace rrs {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Sentinel horizon of an unbounded stream.
 inline constexpr Round kInfiniteHorizon = -1;
 
@@ -114,6 +117,19 @@ class ArrivalSource {
   /// Human-readable one-line summary for diagnostics.
   [[nodiscard]] virtual std::string summary() const;
 
+  // --- checkpoint/restore (crash-safe service mode) ---
+
+  /// Serializes the source's stream position (cursors, RNG streams, any
+  /// scanned-ahead buffer) into the writer's current section so a freshly
+  /// constructed source with the same parameters resumes the identical
+  /// job sequence.  Sources without support reject (the default), so an
+  /// engine checkpoint over them fails loudly.
+  virtual void checkpoint(CheckpointWriter& w) const;
+
+  /// Restores checkpoint() state onto a fresh, unpulled source of the
+  /// same type and parameters.
+  virtual void restore(CheckpointReader& r);
+
  private:
   mutable std::map<Round, std::vector<ColorId>> colors_by_delay_;
   mutable bool delay_index_built_ = false;
@@ -165,6 +181,12 @@ class MaterializedSource final : public ArrivalSource {
   [[nodiscard]] std::string summary() const override {
     return instance_->summary();
   }
+
+  /// A materialized source has no mutable stream state (random access
+  /// over an owned-elsewhere Instance), so its checkpoint is a bare type
+  /// marker plus the horizon for sanity.
+  void checkpoint(CheckpointWriter& w) const override;
+  void restore(CheckpointReader& r) override;
 
  private:
   const Instance* instance_;

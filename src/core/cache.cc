@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -179,6 +180,91 @@ void CacheAssignment::erase_from_set(ColorId color) {
   locations_.resize(last * rep);
   stamp_[idx(color)] = 0;
   slot_of_[idx(color)] = -1;
+}
+
+void CacheAssignment::checkpoint(CheckpointWriter& w) const {
+  RRS_CHECK_MSG(!in_phase_, "checkpoint inside a reconfiguration phase");
+  w.i64(num_resources());
+  w.i64(replication_);
+  for (const ColorId c : physical_) w.i64(c);
+  for (const char d : down_flag_) w.boolean(d != 0);
+  w.u64(free_locations_.size());
+  for (const int loc : free_locations_) w.i64(loc);
+  w.u64(cached_.size());
+  const auto rep = static_cast<std::size_t>(replication_);
+  for (std::size_t slot = 0; slot < cached_.size(); ++slot) {
+    w.i64(cached_[slot]);
+    for (std::size_t i = 0; i < rep; ++i) w.i64(locations_[slot * rep + i]);
+  }
+}
+
+void CacheAssignment::restore_checkpoint(CheckpointReader& r) {
+  RRS_CHECK_MSG(!in_phase_ && cached_.empty() && num_down_ == 0,
+                "checkpoint restore into a non-fresh cache assignment");
+  const int n = num_resources();
+  RRS_REQUIRE(r.i64() == n && r.i64() == replication_,
+              "checkpoint cache geometry mismatch (this engine has n="
+                  << n << ", replication=" << replication_ << ")");
+  for (auto& c : physical_) {
+    const std::int64_t v = r.i64();
+    RRS_REQUIRE(v >= kBlack && v < (std::int64_t{1} << 31),
+                "checkpoint cache physical color " << v);
+    c = static_cast<ColorId>(v);
+  }
+  phase_start_ = physical_;
+  // Location accounting: every location must land in exactly one of the
+  // free stack, a cached slot's claim block, or the down set.
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (std::size_t loc = 0; loc < down_flag_.size(); ++loc) {
+    down_flag_[loc] = r.boolean() ? 1 : 0;
+    if (down_flag_[loc] != 0) {
+      ++num_down_;
+      seen[loc] = 1;
+      RRS_REQUIRE(physical_[loc] == kBlack,
+                  "checkpoint cache: down location " << loc
+                                                     << " not blank");
+    }
+  }
+  const std::uint64_t free_count = r.u64();
+  RRS_REQUIRE(free_count <= static_cast<std::uint64_t>(n),
+              "checkpoint cache free-stack size " << free_count);
+  free_locations_.clear();
+  for (std::uint64_t i = 0; i < free_count; ++i) {
+    const std::int64_t loc = r.i64();
+    RRS_REQUIRE(loc >= 0 && loc < n && seen[static_cast<std::size_t>(loc)] == 0,
+                "checkpoint cache free location " << loc);
+    seen[static_cast<std::size_t>(loc)] = 1;
+    free_locations_.push_back(static_cast<int>(loc));
+  }
+  const std::uint64_t slots = r.u64();
+  RRS_REQUIRE(slots * static_cast<std::uint64_t>(replication_) <=
+                  static_cast<std::uint64_t>(n),
+              "checkpoint cache slot count " << slots);
+  const auto rep = static_cast<std::size_t>(replication_);
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    const std::int64_t color = r.i64();
+    RRS_REQUIRE(color >= 0 && color < (std::int64_t{1} << 31),
+                "checkpoint cache cached color " << color);
+    const auto c = static_cast<ColorId>(color);
+    ensure_colors(c + 1);
+    RRS_REQUIRE(stamp_[idx(c)] != epoch_,
+                "checkpoint cache: color " << c << " cached twice");
+    stamp_[idx(c)] = epoch_;
+    slot_of_[idx(c)] = static_cast<std::int32_t>(slot);
+    cached_.push_back(c);
+    for (std::size_t i = 0; i < rep; ++i) {
+      const std::int64_t loc = r.i64();
+      RRS_REQUIRE(
+          loc >= 0 && loc < n && seen[static_cast<std::size_t>(loc)] == 0,
+          "checkpoint cache claimed location " << loc);
+      seen[static_cast<std::size_t>(loc)] = 1;
+      locations_.push_back(static_cast<int>(loc));
+    }
+  }
+  RRS_REQUIRE(std::all_of(seen.begin(), seen.end(),
+                          [](char s) { return s != 0; }),
+              "checkpoint cache: free/claimed/down sets do not cover every "
+              "location");
 }
 
 std::span<const std::pair<int, ColorId>> CacheAssignment::finish_phase() {

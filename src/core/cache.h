@@ -26,6 +26,9 @@
 
 namespace rrs {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Mapping of cache locations (resources) to colors, with a logical
 /// cached-color set on top.  All mutations happen between begin_phase() and
 /// finish_phase(); finish_phase() reports the physical recolorings, each of
@@ -123,6 +126,19 @@ class CacheAssignment {
   /// epoch stamp — O(num_resources), not O(num_colors).  Must be called
   /// outside a phase.
   void reset();
+
+  // --- checkpoint/restore (crash-safe service mode) ---
+
+  /// Serializes physical occupancy, down set, the exact free-location
+  /// stack (its order decides which locations later inserts claim, so it
+  /// is load-bearing for bit-identical resumption), and the logical
+  /// cached set slot by slot.
+  void checkpoint(CheckpointWriter& w) const;
+
+  /// Restores checkpoint() state into this assignment, which must be
+  /// freshly constructed with the same geometry.  Validates that the
+  /// free / claimed / down location sets partition [0, n) exactly.
+  void restore_checkpoint(CheckpointReader& r);
 
  private:
   [[nodiscard]] static std::size_t idx(ColorId c) {

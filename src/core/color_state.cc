@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/checkpoint.h"
 #include "util/bits.h"
 #include "util/check.h"
 
@@ -250,6 +251,113 @@ void EligibilityTracker::make_ineligible(ColorId color) {
     cal_remove(color);
     if (lru_linked_[idx(color)] != 0) lru_remove(color);
   }
+}
+
+void EligibilityTracker::checkpoint(CheckpointWriter& w) const {
+  w.i64(now_);
+  w.i64(super_epochs_);
+  w.i64(super_generation_);
+  w.i64(updated_this_super_);
+  w.i64(max_endings_);
+  w.i64(timestamp_updates_);
+  w.i64(completed_epochs_);
+  w.i64(active_colors_);
+  w.i64(eligible_drops_);
+  w.i64(ineligible_drops_);
+  w.i64(eligible_drop_weight_);
+  w.i64(ineligible_drop_weight_);
+  w.i64(static_cast<std::int64_t>(state_.size()));
+  for (const ColorState& s : state_) {
+    w.i64(s.cnt);
+    w.i64(s.dd);
+    w.i64(s.last_wrap);
+    w.i64(s.prev_wrap);
+    w.boolean(s.eligible);
+    w.boolean(s.seen_job);
+    w.i64(s.eff_ts);
+    w.i64(s.updated_gen);
+    w.i64(s.endings_gen);
+    w.i64(s.endings_in_super_);
+  }
+  w.u64(eligible_colors_.size());
+  for (const ColorId c : eligible_colors_) w.i64(c);
+  w.u64(ineligible_drop_ids_.size());
+  for (const JobId id : ineligible_drop_ids_) w.i64(id);
+}
+
+void EligibilityTracker::restore_checkpoint(CheckpointReader& r) {
+  RRS_CHECK_MSG(eligible_colors_.empty() && active_colors_ == 0,
+                "checkpoint restore into a non-fresh tracker");
+  // now_ first: make_eligible() keys its LRU-link-vs-defer decision on it,
+  // and timestamp() evaluation during the rebuild must use the checkpoint
+  // round's block.
+  now_ = r.i64();
+  const std::int64_t super_epochs = r.i64();
+  const std::int64_t super_generation = r.i64();
+  const std::int64_t updated_this_super = r.i64();
+  const std::int64_t max_endings = r.i64();
+  const std::int64_t timestamp_updates = r.i64();
+  const std::int64_t completed_epochs = r.i64();
+  const std::int64_t active_colors = r.i64();
+  const std::int64_t eligible_drops = r.i64();
+  const std::int64_t ineligible_drops = r.i64();
+  const Cost eligible_drop_weight = r.i64();
+  const Cost ineligible_drop_weight = r.i64();
+  const std::int64_t colors = r.i64();
+  RRS_REQUIRE(colors == static_cast<std::int64_t>(state_.size()),
+              "checkpoint tracker color count " << colors << " != "
+                                                << state_.size());
+  std::vector<char> flagged(state_.size(), 0);
+  for (std::size_t c = 0; c < state_.size(); ++c) {
+    ColorState& s = state_[c];
+    s.cnt = r.i64();
+    s.dd = r.i64();
+    s.last_wrap = r.i64();
+    s.prev_wrap = r.i64();
+    flagged[c] = r.boolean() ? 1 : 0;
+    s.seen_job = r.boolean();
+    s.eff_ts = r.i64();
+    s.updated_gen = r.i64();
+    s.endings_gen = r.i64();
+    s.endings_in_super_ = r.i64();
+    RRS_REQUIRE(s.cnt >= 0 && s.prev_wrap <= s.last_wrap,
+                "checkpoint tracker color " << c << " malformed");
+  }
+  // Replay eligibility in the saved order so eligible_pos comes back
+  // identical; the rank index structures rebuild through their total
+  // orders (bucket sort ranks, LRU (timestamp desc, color asc)), so the
+  // queries they answer match the uninterrupted run bit for bit.
+  const std::uint64_t eligible = r.u64();
+  RRS_REQUIRE(eligible <= state_.size(),
+              "checkpoint tracker eligible count " << eligible);
+  for (std::uint64_t i = 0; i < eligible; ++i) {
+    const std::int64_t c = r.i64();
+    RRS_REQUIRE(c >= 0 && c < colors && flagged[static_cast<std::size_t>(c)],
+                "checkpoint tracker eligible color " << c);
+    flagged[static_cast<std::size_t>(c)] = 0;  // reject duplicates
+    make_eligible(static_cast<ColorId>(c));
+  }
+  RRS_REQUIRE(std::all_of(flagged.begin(), flagged.end(),
+                          [](char f) { return f == 0; }),
+              "checkpoint tracker: eligible flags disagree with the "
+              "eligible list");
+  const std::uint64_t drop_ids = r.u64();
+  ineligible_drop_ids_.clear();
+  for (std::uint64_t i = 0; i < drop_ids; ++i) {
+    ineligible_drop_ids_.push_back(r.i64());
+  }
+  // Counters last: the make_eligible replay must not double-count.
+  super_epochs_ = super_epochs;
+  super_generation_ = super_generation;
+  updated_this_super_ = updated_this_super;
+  max_endings_ = max_endings;
+  timestamp_updates_ = timestamp_updates;
+  completed_epochs_ = completed_epochs;
+  active_colors_ = active_colors;
+  eligible_drops_ = eligible_drops;
+  ineligible_drops_ = ineligible_drops;
+  eligible_drop_weight_ = eligible_drop_weight;
+  ineligible_drop_weight_ = ineligible_drop_weight;
 }
 
 // --- incremental rank index ---

@@ -37,6 +37,9 @@
 
 namespace rrs {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Shared Section 3.1 per-color state machine.
 class EligibilityTracker {
  public:
@@ -146,6 +149,19 @@ class EligibilityTracker {
   /// tally are replayed so ranking and num_epochs() continue exactly
   /// where the exporting tracker left off.
   void import_color(ColorId color, const PolicyColorState& state);
+
+  // --- checkpoint/restore (crash-safe service mode) ---
+
+  /// Serializes the full per-color state, the eligible set (in its live
+  /// order, so eligible_pos survives), and every analysis counter.  The
+  /// rank index is NOT serialized: restore_checkpoint rebuilds it from
+  /// the flushed per-color state through the same total orders the live
+  /// structures maintain, so queries are bit-identical.
+  void checkpoint(CheckpointWriter& w) const;
+
+  /// Restores checkpoint() state onto a freshly begun tracker (same
+  /// source metadata, same enable_* settings).
+  void restore_checkpoint(CheckpointReader& r);
 
   // --- analysis counters (Section 3.2 definitions) ---
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/pending.h"
 #include "obs/observer.h"
 #include "util/bits.h"
@@ -45,10 +47,33 @@ const EngineOptions& validate_options(const EngineOptions& options) {
   if (options.fault_plan != nullptr) {
     validate_fault_plan(*options.fault_plan, options.num_resources);
   }
+  RRS_REQUIRE(options.pending_budget >= 0,
+              "pending_budget must be >= 0, got " << options.pending_budget);
   return options;
 }
 
+// Checkpoint payload section tags (see core/checkpoint.h for the framing).
+constexpr std::uint32_t kTagOptions = 1;
+constexpr std::uint32_t kTagEngine = 2;
+constexpr std::uint32_t kTagPending = 3;
+constexpr std::uint32_t kTagCache = 4;
+constexpr std::uint32_t kTagPolicy = 5;
+constexpr std::uint32_t kTagObserver = 6;
+constexpr std::uint32_t kTagSource = 7;
+
 }  // namespace
+
+void Policy::checkpoint_state(CheckpointWriter& w) const {
+  (void)w;
+  RRS_REQUIRE(false,
+              "policy '" << name() << "' does not support checkpointing");
+}
+
+void Policy::restore_state(CheckpointReader& r) {
+  (void)r;
+  RRS_REQUIRE(false,
+              "policy '" << name() << "' does not support checkpointing");
+}
 
 /// Owned snapshot of a source's problem metadata: the cost model by value
 /// plus per-color delay bounds.  Lets the engine outlive per-segment
@@ -297,6 +322,11 @@ void Engine::run_round(ArrivalSource* pull) {
   // Phase 2: arrival (none in drain rounds past the arrival horizon).
   std::span<const Job> arrivals;
   if (pull != nullptr) arrivals = pull->arrivals_in_round(k_);
+  if (options_.pending_budget > 0 &&
+      pending_.total() + static_cast<std::int64_t>(arrivals.size()) >
+          options_.pending_budget) {
+    arrivals = admit_arrivals(arrivals, degraded_round);
+  }
   for (const Job& job : arrivals) {
     pending_.add(job);
     max_deadline_ = std::max(max_deadline_, job.deadline());
@@ -372,6 +402,53 @@ void Engine::run_round(ArrivalSource* pull) {
     obs->emit_snapshot(k_, pending_.total());
   }
   ++k_;
+}
+
+std::span<const Job> Engine::admit_arrivals(std::span<const Job> arrivals,
+                                            bool degraded_round) {
+  const CostModel& model = meta_->cost_model();
+  Observer* const obs = options_.observer;
+  const std::int64_t over = pending_.total() +
+                            static_cast<std::int64_t>(arrivals.size()) -
+                            options_.pending_budget;
+  const std::size_t shed =
+      std::min(static_cast<std::size_t>(over), arrivals.size());
+  shed_order_.resize(arrivals.size());
+  std::iota(shed_order_.begin(), shed_order_.end(), std::size_t{0});
+  // Cheapest weight sheds first; on ties the later arrival goes so the
+  // earlier submission survives.
+  std::sort(shed_order_.begin(), shed_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              const Cost ca = model.drop_cost(arrivals[a].color);
+              const Cost cb = model.drop_cost(arrivals[b].color);
+              return ca != cb ? ca < cb : a > b;
+            });
+  std::vector<char> is_shed(arrivals.size(), 0);
+  for (std::size_t i = 0; i < shed; ++i) is_shed[shed_order_[i]] = 1;
+  admitted_.clear();
+  Cost shed_cost = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Job& job = arrivals[i];
+    if (is_shed[i] == 0) {
+      admitted_.push_back(job);
+      continue;
+    }
+    // A shed job did arrive (it came off the wire) but never enters the
+    // pending set: it is charged as a drop right here, at full weight.
+    ++result_.arrived;
+    shed_cost += model.drop_cost(job.color);
+    if (obs != nullptr) {
+      obs->stats.on_arrival(job.color);
+      obs->stats.on_drop(job.color, 1);
+    }
+  }
+  result_.cost.drops += shed_cost;
+  if (degraded_round) result_.degraded.drops_while_degraded += shed_cost;
+  result_.admission_rejected += static_cast<std::int64_t>(shed);
+  if (obs != nullptr) {
+    obs->stats.on_admission_reject(static_cast<std::int64_t>(shed));
+  }
+  return admitted_;
 }
 
 void Engine::run_rounds(ArrivalSource& source, Round until) {
@@ -505,6 +582,282 @@ void Engine::import_color(ColorId color, const EngineColorState& state) {
   }
   result_.peak_pending = std::max(result_.peak_pending, pending_.total());
   if (state.has_policy) policy_->import_color_state(color, state.policy);
+}
+
+void Engine::checkpoint(std::ostream& out, const ArrivalSource* source) const {
+  RRS_CHECK_MSG(!ended_, "checkpoint after finish/abandon");
+  CheckpointWriter w;
+
+  // Options fingerprint: everything that shapes the run's trajectory.  A
+  // restore under different options would silently diverge, so every field
+  // is validated, not absorbed.
+  w.begin_section(kTagOptions);
+  w.i64(options_.num_resources);
+  w.i64(options_.speed);
+  w.i64(options_.replication);
+  w.boolean(options_.record_schedule);
+  w.boolean(options_.drain_pending);
+  w.boolean(options_.charge_repair);
+  w.boolean(options_.fast_forward);
+  w.i64(options_.pending_budget);
+  w.str(policy_->name());
+  w.i64(meta_->num_colors());
+  w.i64(meta_->cost_model().delta());
+  w.i64(arrival_end_);
+  w.u64(options_.fault_plan == nullptr ? 0
+                                       : options_.fault_plan->events.size());
+  w.boolean(options_.observer != nullptr);
+  w.boolean(source != nullptr);
+  w.end_section();
+
+  w.begin_section(kTagEngine);
+  w.i64(k_);
+  w.i64(max_deadline_);
+  w.u64(faults_->next);
+  w.u64(faults_->hottest_head);
+  w.u64(faults_->hottest_down.size());
+  for (const int r : faults_->hottest_down) w.i64(r);
+  w.u64(faults_->lost.size());
+  for (const ColorId c : faults_->lost) w.i64(c);
+  w.i64(result_.cost.reconfig_events);
+  w.i64(result_.cost.reconfig_cost);
+  w.i64(result_.cost.drops);
+  w.i64(result_.cost.churn_reconfigs);
+  w.i64(result_.executed);
+  w.i64(result_.work_units);
+  w.i64(result_.arrived);
+  w.i64(result_.peak_pending);
+  w.i64(result_.admission_rejected);
+  w.i64(result_.degraded.fault_events);
+  w.i64(result_.degraded.repair_events);
+  w.i64(result_.degraded.churn_evictions);
+  w.i64(result_.degraded.degraded_rounds);
+  w.i64(result_.degraded.drops_while_degraded);
+  w.u64(result_.schedule.reconfigs.size());
+  for (const ReconfigEvent& e : result_.schedule.reconfigs) {
+    w.i64(e.round);
+    w.i64(e.mini);
+    w.i64(e.resource);
+    w.i64(e.color);
+  }
+  w.u64(result_.schedule.execs.size());
+  for (const ExecEvent& e : result_.schedule.execs) {
+    w.i64(e.round);
+    w.i64(e.mini);
+    w.i64(e.resource);
+    w.i64(e.job);
+  }
+  w.end_section();
+
+  w.begin_section(kTagPending);
+  pending_.checkpoint(w);
+  w.end_section();
+
+  w.begin_section(kTagCache);
+  cache_.checkpoint(w);
+  w.end_section();
+
+  w.begin_section(kTagPolicy);
+  policy_->checkpoint_state(w);
+  w.end_section();
+
+  if (options_.observer != nullptr) {
+    w.begin_section(kTagObserver);
+    options_.observer->checkpoint(w);
+    w.end_section();
+  }
+  if (source != nullptr) {
+    w.begin_section(kTagSource);
+    source->checkpoint(w);
+    w.end_section();
+  }
+  w.finish(out);
+}
+
+void Engine::restore(std::istream& in, ArrivalSource* source) {
+  RRS_CHECK_MSG(!ended_ && result_.arrived == 0 && result_.work_units == 0 &&
+                    pending_.total() == 0,
+                "Engine::restore requires a freshly constructed engine");
+  CheckpointReader r(in);
+
+  r.open_section(kTagOptions);
+  RRS_REQUIRE(r.i64() == options_.num_resources,
+              "checkpoint num_resources mismatch");
+  RRS_REQUIRE(r.i64() == options_.speed, "checkpoint speed mismatch");
+  RRS_REQUIRE(r.i64() == options_.replication,
+              "checkpoint replication mismatch");
+  RRS_REQUIRE(r.boolean() == options_.record_schedule,
+              "checkpoint record_schedule mismatch");
+  RRS_REQUIRE(r.boolean() == options_.drain_pending,
+              "checkpoint drain_pending mismatch");
+  RRS_REQUIRE(r.boolean() == options_.charge_repair,
+              "checkpoint charge_repair mismatch");
+  RRS_REQUIRE(r.boolean() == options_.fast_forward,
+              "checkpoint fast_forward mismatch");
+  RRS_REQUIRE(r.i64() == options_.pending_budget,
+              "checkpoint pending_budget mismatch");
+  RRS_REQUIRE(r.str() == policy_->name(), "checkpoint policy mismatch");
+  RRS_REQUIRE(r.i64() == meta_->num_colors(),
+              "checkpoint color-space mismatch");
+  RRS_REQUIRE(r.i64() == meta_->cost_model().delta(),
+              "checkpoint delta mismatch");
+  RRS_REQUIRE(r.i64() == arrival_end_, "checkpoint arrival_end mismatch");
+  const std::uint64_t plan_events =
+      options_.fault_plan == nullptr ? 0 : options_.fault_plan->events.size();
+  RRS_REQUIRE(r.u64() == plan_events, "checkpoint fault-plan mismatch");
+  RRS_REQUIRE(r.boolean() == (options_.observer != nullptr),
+              "checkpoint observer presence mismatch");
+  const bool has_source = r.boolean();
+  RRS_REQUIRE(source == nullptr || has_source,
+              "checkpoint carries no source state");
+  r.close_section();
+
+  r.open_section(kTagEngine);
+  const Round k = r.i64();
+  RRS_REQUIRE(k >= 0 && k <= arrival_end_,
+              "checkpoint round " << k << " outside [0, " << arrival_end_
+                                  << "]");
+  const Round max_deadline = r.i64();
+  RRS_REQUIRE(max_deadline >= 0, "checkpoint max_deadline out of range");
+  const std::uint64_t fnext = r.u64();
+  RRS_REQUIRE(fnext <= plan_events, "checkpoint fault cursor out of range");
+  const std::uint64_t hottest_head = r.u64();
+  const std::uint64_t hottest_size = r.u64();
+  RRS_REQUIRE(hottest_head <= hottest_size && hottest_size <= plan_events,
+              "checkpoint hottest-failure FIFO out of range");
+  std::vector<int> hottest_down;
+  hottest_down.reserve(static_cast<std::size_t>(hottest_size));
+  for (std::uint64_t i = 0; i < hottest_size; ++i) {
+    const std::int64_t loc = r.i64();
+    RRS_REQUIRE(loc >= 0 && loc < options_.num_resources,
+                "checkpoint hottest-failure location out of range");
+    hottest_down.push_back(static_cast<int>(loc));
+  }
+  RRS_REQUIRE(r.u64() == faults_->lost.size(),
+              "checkpoint fault-cursor size mismatch");
+  std::vector<ColorId> lost;
+  lost.reserve(faults_->lost.size());
+  for (std::size_t i = 0; i < faults_->lost.size(); ++i) {
+    const std::int64_t c = r.i64();
+    RRS_REQUIRE(c >= kBlack && c < meta_->num_colors(),
+                "checkpoint lost-color out of range");
+    lost.push_back(static_cast<ColorId>(c));
+  }
+  CostBreakdown cost;
+  cost.reconfig_events = r.i64();
+  cost.reconfig_cost = r.i64();
+  cost.drops = r.i64();
+  cost.churn_reconfigs = r.i64();
+  const std::int64_t executed = r.i64();
+  const std::int64_t work_units = r.i64();
+  const std::int64_t arrived = r.i64();
+  const std::int64_t peak_pending = r.i64();
+  const std::int64_t admission_rejected = r.i64();
+  DegradedStats degraded;
+  degraded.fault_events = r.i64();
+  degraded.repair_events = r.i64();
+  degraded.churn_evictions = r.i64();
+  degraded.degraded_rounds = r.i64();
+  degraded.drops_while_degraded = r.i64();
+  RRS_REQUIRE(cost.reconfig_events >= 0 && cost.reconfig_cost >= 0 &&
+                  cost.drops >= 0 && cost.churn_reconfigs >= 0 &&
+                  executed >= 0 && work_units >= executed && arrived >= 0 &&
+                  peak_pending >= 0 && admission_rejected >= 0 &&
+                  degraded.fault_events >= 0 && degraded.repair_events >= 0 &&
+                  degraded.churn_evictions >= 0 &&
+                  degraded.degraded_rounds >= 0 &&
+                  degraded.drops_while_degraded >= 0,
+              "checkpoint result counters out of range");
+  const std::uint64_t num_reconfigs = r.u64();
+  // Four i64 fields per event bound the claimable count by the bytes
+  // actually present, so a corrupt length cannot trigger a huge reserve.
+  RRS_REQUIRE(num_reconfigs <= r.remaining() / 32,
+              "checkpoint schedule truncated");
+  RRS_REQUIRE(options_.record_schedule || num_reconfigs == 0,
+              "checkpoint carries a schedule but record_schedule is off");
+  std::vector<ReconfigEvent> reconfigs;
+  reconfigs.reserve(static_cast<std::size_t>(num_reconfigs));
+  for (std::uint64_t i = 0; i < num_reconfigs; ++i) {
+    ReconfigEvent e;
+    e.round = r.i64();
+    const std::int64_t mini = r.i64();
+    const std::int64_t resource = r.i64();
+    const std::int64_t color = r.i64();
+    RRS_REQUIRE(e.round >= 0 && mini >= 0 && mini < options_.speed &&
+                    resource >= 0 && resource < options_.num_resources &&
+                    color >= kBlack && color < meta_->num_colors(),
+                "checkpoint reconfig event out of range");
+    e.mini = static_cast<std::int32_t>(mini);
+    e.resource = static_cast<std::int32_t>(resource);
+    e.color = static_cast<ColorId>(color);
+    reconfigs.push_back(e);
+  }
+  const std::uint64_t num_execs = r.u64();
+  RRS_REQUIRE(num_execs <= r.remaining() / 32,
+              "checkpoint schedule truncated");
+  RRS_REQUIRE(options_.record_schedule || num_execs == 0,
+              "checkpoint carries a schedule but record_schedule is off");
+  std::vector<ExecEvent> execs;
+  execs.reserve(static_cast<std::size_t>(num_execs));
+  for (std::uint64_t i = 0; i < num_execs; ++i) {
+    ExecEvent e;
+    e.round = r.i64();
+    const std::int64_t mini = r.i64();
+    const std::int64_t resource = r.i64();
+    e.job = r.i64();
+    RRS_REQUIRE(e.round >= 0 && mini >= 0 && mini < options_.speed &&
+                    resource >= 0 && resource < options_.num_resources &&
+                    e.job >= 0,
+                "checkpoint exec event out of range");
+    e.mini = static_cast<std::int32_t>(mini);
+    e.resource = static_cast<std::int32_t>(resource);
+    execs.push_back(e);
+  }
+  r.close_section();
+
+  r.open_section(kTagPending);
+  pending_.restore_checkpoint(r);
+  r.close_section();
+
+  r.open_section(kTagCache);
+  cache_.restore_checkpoint(r);
+  r.close_section();
+
+  r.open_section(kTagPolicy);
+  policy_->restore_state(r);
+  r.close_section();
+
+  if (options_.observer != nullptr) {
+    r.open_section(kTagObserver);
+    options_.observer->restore_checkpoint(r);
+    r.close_section();
+  }
+  if (has_source) {
+    // Present but unwanted (the caller restores the source separately):
+    // open/close skips it.
+    r.open_section(kTagSource);
+    if (source != nullptr) source->restore(r);
+    r.close_section();
+  }
+
+  // Commit only after every section parsed and validated: a malformed
+  // checkpoint leaves the engine untouched except for the component
+  // restores above, which themselves only commit on full validation.
+  k_ = k;
+  max_deadline_ = max_deadline;
+  faults_->next = fnext;
+  faults_->hottest_head = static_cast<std::size_t>(hottest_head);
+  faults_->hottest_down = std::move(hottest_down);
+  faults_->lost = std::move(lost);
+  result_.cost = cost;
+  result_.executed = executed;
+  result_.work_units = work_units;
+  result_.arrived = arrived;
+  result_.peak_pending = std::max(peak_pending, pending_.total());
+  result_.admission_rejected = admission_rejected;
+  result_.degraded = degraded;
+  result_.schedule.reconfigs = std::move(reconfigs);
+  result_.schedule.execs = std::move(execs);
 }
 
 EngineResult run_policy(ArrivalSource& source, Policy& policy,

@@ -20,6 +20,7 @@
 // phase), and optionally records a full event Schedule for validation.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 
 #include "core/arrival_source.h"
@@ -32,6 +33,8 @@
 namespace rrs {
 
 struct Observer;
+class CheckpointReader;
+class CheckpointWriter;
 class PhaseTimers;
 
 /// Knobs for one engine run.
@@ -81,6 +84,17 @@ struct EngineOptions {
   /// are bit-identical with the flag off; disable only to measure the
   /// skip itself.
   bool fast_forward = true;
+  /// Admission control: cap on the pending-set size (0 = unlimited).  When
+  /// a round's arrivals would push pending beyond the budget, the engine
+  /// sheds the cheapest-weight arrivals of that round at ingest — lowest
+  /// drop cost first, later arrivals shed before earlier ones on ties —
+  /// until the budget holds.  Shed jobs count as arrivals and are charged
+  /// as drops (EngineResult::admission_rejected and
+  /// StreamStats::admission_rejected isolate them from deadline expiries)
+  /// but never enter the pending set and are invisible to the policy.  A
+  /// budget the run never exceeds leaves every result bit-identical to
+  /// budget-off.
+  std::int64_t pending_budget = 0;
 };
 
 /// Capacity-churn counters for one run; all zero without a fault plan.
@@ -104,6 +118,9 @@ struct EngineResult {
   std::int64_t arrived = 0;   ///< jobs pulled from the source
   Round rounds = 0;           ///< rounds actually run
   std::int64_t peak_pending = 0;  ///< max pending-set size observed
+  /// Arrivals shed by pending-budget admission control (already counted in
+  /// arrived and charged in cost.drops).
+  std::int64_t admission_rejected = 0;
   DegradedStats degraded;     ///< capacity-churn counters
   Schedule schedule;          ///< events iff options.record_schedule
   /// Policy-specific counters captured after the run.
@@ -178,6 +195,24 @@ class Engine {
   /// arrivals again (they were counted by the exporting engine).
   void import_color(ColorId color, const EngineColorState& state);
 
+  /// Serializes the complete mutable run state — options fingerprint,
+  /// round cursor, accumulated result (schedule included when recorded),
+  /// fault cursor, pending set, cache, policy scratch, observer stats —
+  /// as one framed checkpoint (see core/checkpoint.h).  When `source` is
+  /// non-null its stream position is embedded too (pass the source driving
+  /// run_rounds); pass nullptr when the caller checkpoints the source
+  /// separately, as the sharded runner's manifest does.
+  /// checkpoint -> restore -> run_rounds is bit-identical to the
+  /// uninterrupted run.
+  void checkpoint(std::ostream& out, const ArrivalSource* source) const;
+
+  /// Restores a checkpoint() stream onto this freshly constructed engine
+  /// (same source parameters, policy type, and options; begin() already
+  /// ran via the constructor).  Rejects any mismatch or malformation with
+  /// InputError.  When `source` is non-null the embedded source state is
+  /// restored onto it; the checkpoint must then carry one.
+  void restore(std::istream& in, ArrivalSource* source);
+
  private:
   class MetaSource;
   struct FaultCursor;
@@ -185,6 +220,13 @@ class Engine {
   /// One full round at k_: churn, drop, arrival (from `pull`, or none),
   /// speed mini-rounds of policy + execution, periodic snapshot.
   void run_round(ArrivalSource* pull);
+
+  /// Pending-budget admission: sheds the over-budget suffix of `arrivals`
+  /// (cheapest drop cost first, later index first on ties), charges the
+  /// shed jobs as drops, and returns the admitted jobs (a view into
+  /// member scratch, valid until the next call).
+  [[nodiscard]] std::span<const Job> admit_arrivals(
+      std::span<const Job> arrivals, bool degraded_round);
 
   /// Latest round <= `until` that fast-forward may jump to from k_
   /// without crossing a deadline-block boundary, fault event, snapshot
@@ -206,6 +248,8 @@ class Engine {
   CacheAssignment cache_;
   EngineResult result_;
   PendingJobs::DropResult dropped_;  // reused across rounds
+  std::vector<Job> admitted_;        // admission-control scratch
+  std::vector<std::size_t> shed_order_;
   std::unique_ptr<FaultCursor> faults_;
   PhaseTimers* timers_ = nullptr;
   bool tracing_ = false;

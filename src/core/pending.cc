@@ -1,7 +1,9 @@
 #include "core/pending.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "core/checkpoint.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -135,6 +137,51 @@ Round PendingJobs::earliest_remaining(ColorId color) const {
   const ColorQueue& q = queues_[idx(color)];
   RRS_CHECK(q.head >= 0);
   return slot_remaining_[static_cast<std::size_t>(q.head)];
+}
+
+void PendingJobs::checkpoint(CheckpointWriter& w) const {
+  w.i64(cursor_);
+  w.i64(static_cast<std::int64_t>(queues_.size()));
+  std::vector<ExportedJob> jobs;
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    jobs.clear();
+    export_color(static_cast<ColorId>(c), jobs);
+    w.u64(jobs.size());
+    for (const ExportedJob& job : jobs) {
+      w.i64(job.id);
+      w.i64(job.deadline);
+      w.i64(job.remaining);
+    }
+  }
+}
+
+void PendingJobs::restore_checkpoint(CheckpointReader& r) {
+  RRS_CHECK_MSG(total_ == 0 && cursor_ == -1,
+                "checkpoint restore into a non-fresh pending store");
+  const std::int64_t cursor = r.i64();
+  RRS_REQUIRE(cursor >= -1, "checkpoint pending cursor " << cursor);
+  // The cursor must land before any restored job is re-added: past-
+  // deadline jobs bucket at cursor_ + 1, so the first sweep after restore
+  // finds them exactly where the original store would.
+  cursor_ = cursor;
+  const std::int64_t colors = r.i64();
+  RRS_REQUIRE(colors == static_cast<std::int64_t>(queues_.size()),
+              "checkpoint pending color count " << colors << " != "
+                                                << queues_.size());
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    const std::uint64_t count = r.u64();
+    Round prev = std::numeric_limits<Round>::min();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ExportedJob job;
+      job.id = r.i64();
+      job.deadline = r.i64();
+      job.remaining = r.i64();
+      RRS_REQUIRE(job.deadline >= prev && job.remaining >= 1,
+                  "checkpoint pending job " << job.id << " malformed");
+      prev = job.deadline;
+      restore(static_cast<ColorId>(c), job);
+    }
+  }
 }
 
 void PendingJobs::bucket_entry(ColorId color, Round deadline) {

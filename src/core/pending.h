@@ -26,6 +26,9 @@
 
 namespace rrs {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Multiset of pending jobs, keyed by color, ordered by deadline per color.
 ///
 /// Expiry sweeps must use nondecreasing rounds (the engine sweeps every
@@ -125,6 +128,18 @@ class PendingJobs {
   /// id).  Restore jobs in their exported order so per-color deadlines
   /// stay nondecreasing.
   void restore(ColorId color, const ExportedJob& job);
+
+  // --- checkpoint/restore (crash-safe service mode) ---
+
+  /// Serializes the sweep cursor and every color's FIFO (ids, deadlines,
+  /// partial progress) into the writer's current section.
+  void checkpoint(CheckpointWriter& w) const;
+
+  /// Restores state written by checkpoint() into this store, which must
+  /// be freshly reset() with the same color count.  The calendar is
+  /// rebuilt from the restored jobs; hint-set differences against the
+  /// original store are unobservable (stale hints drain nothing).
+  void restore_checkpoint(CheckpointReader& r);
 
  private:
   struct ColorQueue {

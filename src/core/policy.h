@@ -43,6 +43,8 @@
 namespace rrs {
 
 struct Observer;
+class CheckpointReader;
+class CheckpointWriter;
 
 /// Everything a policy sees in one fused per-mini-round callback.
 class RoundContext {
@@ -215,6 +217,17 @@ class Policy {
   stats() const {
     return {};
   }
+
+  /// Checkpoint hook: serializes the policy's full mutable state into the
+  /// writer's current section so a freshly constructed policy of the same
+  /// type can resume bit-identically via restore_state().  Policies
+  /// without support reject (the default), which makes any engine
+  /// checkpoint over them fail loudly instead of silently dropping state.
+  virtual void checkpoint_state(CheckpointWriter& w) const;
+
+  /// Restore hook: installs checkpoint_state() output onto a freshly
+  /// begun policy (begin() already called with the same parameters).
+  virtual void restore_state(CheckpointReader& r);
 };
 
 }  // namespace rrs

@@ -2,6 +2,9 @@
 
 #include <iostream>
 
+#include "core/checkpoint.h"
+#include "util/check.h"
+
 namespace rrs {
 
 void Observer::begin_run(std::span<const Round> delay_bounds,
@@ -21,6 +24,9 @@ void Observer::emit_snapshot(Round round, std::int64_t pending) {
   }
   if (snapshot_out != nullptr) {
     *snapshot_out << to_json_line(snapshots.back()) << '\n';
+    snapshot_out->flush();
+    RRS_REQUIRE(snapshot_out->good(),
+                "snapshot sink write failed (stream error after flush)");
   }
 }
 
@@ -28,7 +34,32 @@ void Observer::finish_run(Round round, std::int64_t pending) {
   final_snapshot = make_snapshot(stats, round, pending);
   if (snapshot_out != nullptr) {
     *snapshot_out << to_json_line(final_snapshot) << '\n';
+    snapshot_out->flush();
+    RRS_REQUIRE(snapshot_out->good(),
+                "snapshot sink write failed (stream error after flush)");
   }
+}
+
+void Observer::checkpoint(CheckpointWriter& w) const {
+  w.i64(config.snapshot_every);
+  stats.checkpoint(w);
+  w.u64(snapshots.size());
+  for (const Snapshot& s : snapshots) {
+    w.str(to_json_line(s));
+  }
+}
+
+void Observer::restore_checkpoint(CheckpointReader& r) {
+  RRS_REQUIRE(r.i64() == config.snapshot_every,
+              "checkpoint snapshot cadence mismatch");
+  stats.restore_checkpoint(r);
+  const std::uint64_t n = r.u64();
+  snapshots.clear();
+  snapshots.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    snapshots.push_back(parse_snapshot_line(r.str()));
+  }
+  final_snapshot = Snapshot{};
 }
 
 void Observer::dump_trace(std::ostream* os) const {

@@ -13,6 +13,9 @@
 
 namespace rrs {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Observability knobs.  The true "off" mode is no Observer at all
 /// (EngineOptions::observer == nullptr): the engine hot path then pays a
 /// single null check per hook site and its results stay bit-identical to a
@@ -62,6 +65,17 @@ struct Observer {
   /// Dumps the trace ring: to `os` if given, else to trace_dump_out, else
   /// to stderr.  The engine calls this when a run dies on InvariantError.
   void dump_trace(std::ostream* os = nullptr) const;
+
+  /// Serializes stats plus the periodic snapshot series (as JSON lines,
+  /// re-validated through the strict parser on restore).  The trace ring and
+  /// phase timers are diagnostics — recent-event debris and wall-clock data —
+  /// and are deliberately excluded: a restored run reproduces results, not
+  /// the debug trace.  restore_checkpoint requires begin_run() to have been
+  /// called with the same color space; a snapshot_out sink attached to the
+  /// restored observer receives only post-restore snapshots (the in-memory
+  /// series stays complete).
+  void checkpoint(CheckpointWriter& w) const;
+  void restore_checkpoint(CheckpointReader& r);
 };
 
 }  // namespace rrs

@@ -158,6 +158,7 @@ Snapshot make_snapshot(const StreamStats& stats, Round round,
   s.churn_repairs = stats.churn_repairs();
   s.churn_evictions = stats.churn_evictions();
   s.pending = pending;
+  s.admission_rejected = stats.admission_rejected();
   s.wait = stats.wait();
   s.slack = stats.slack();
   s.service = stats.service();
@@ -180,6 +181,7 @@ void merge_into(Snapshot& into, const Snapshot& from) {
   into.churn_repairs += from.churn_repairs;
   into.churn_evictions += from.churn_evictions;
   into.pending += from.pending;
+  into.admission_rejected += from.admission_rejected;
   into.fabric_chunks_produced += from.fabric_chunks_produced;
   into.fabric_peak_chunks =
       std::max(into.fabric_peak_chunks, from.fabric_peak_chunks);
@@ -219,6 +221,8 @@ std::string to_json_line(const Snapshot& snapshot) {
   append_int(out, snapshot.churn_evictions);
   out += ",\"pending\":";
   append_int(out, snapshot.pending);
+  out += ",\"admission_rejected\":";
+  append_int(out, snapshot.admission_rejected);
   out += ",\"fabric_chunks_produced\":";
   append_int(out, snapshot.fabric_chunks_produced);
   out += ",\"fabric_peak_chunks\":";
@@ -268,6 +272,8 @@ Snapshot parse_snapshot_line(std::string_view line) {
   s.churn_evictions = c.parse_int();
   c.expect(",\"pending\":");
   s.pending = c.parse_int();
+  c.expect(",\"admission_rejected\":");
+  s.admission_rejected = c.parse_int();
   c.expect(",\"fabric_chunks_produced\":");
   s.fabric_chunks_produced = c.parse_int();
   c.expect(",\"fabric_peak_chunks\":");
@@ -296,9 +302,12 @@ Snapshot parse_snapshot_line(std::string_view line) {
                   s.work_units >= 0 && s.reconfig_events >= 0 &&
                   s.churn_failures >= 0 && s.churn_repairs >= 0 &&
                   s.churn_evictions >= 0 && s.pending >= 0 &&
+                  s.admission_rejected >= 0 &&
                   s.fabric_chunks_produced >= 0 && s.fabric_peak_chunks >= 0 &&
                   s.fabric_ring_occupancy >= 0,
               "snapshot: negative counter");
+  RRS_REQUIRE(s.admission_rejected <= s.drop_count,
+              "snapshot: admission rejections exceed drop count");
   RRS_REQUIRE(s.executed == s.wait.count() && s.executed == s.slack.count(),
               "snapshot: executed disagrees with wait/slack sample counts");
   RRS_REQUIRE(s.executed == s.service.count(),
@@ -320,6 +329,8 @@ void write_snapshots(std::ostream& os, std::span<const Snapshot> snapshots) {
   for (const Snapshot& s : snapshots) {
     os << to_json_line(s) << '\n';
   }
+  os.flush();
+  RRS_REQUIRE(os.good(), "snapshot write failed (stream error after flush)");
 }
 
 std::vector<Snapshot> read_snapshots(std::istream& in) {

@@ -36,6 +36,9 @@ struct Snapshot {
   std::int64_t churn_repairs = 0;
   std::int64_t churn_evictions = 0;
   std::int64_t pending = 0;  // live gauge at snapshot time
+  /// Arrivals shed by pending-budget admission control (cumulative; a
+  /// subset of drop_count — shed jobs are charged as drops).
+  std::int64_t admission_rejected = 0;
   /// Shard-fabric gauges, stamped by the sharded runner on merged final
   /// snapshots: chunks the demux thread produced, the peak number buffered
   /// across all rings at once, and residual ring occupancy at run end

@@ -1,0 +1,116 @@
+#include "obs/stream_stats.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.h"
+
+namespace rrs {
+
+namespace {
+
+/// Histograms serialize as exact aggregates plus a sparse bucket list; the
+/// reader round-trips through Histogram::from_parts so every internal
+/// consistency check applies to checkpointed data too.
+void checkpoint_histogram(CheckpointWriter& w, const Histogram& h) {
+  w.i64(h.count());
+  w.i64(h.sum());
+  w.i64(h.min());
+  w.i64(h.max());
+  std::uint64_t nonzero = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.bucket(i) > 0) ++nonzero;
+  }
+  w.u64(nonzero);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.bucket(i) > 0) {
+      w.u32(static_cast<std::uint32_t>(i));
+      w.i64(h.bucket(i));
+    }
+  }
+}
+
+Histogram restore_histogram(CheckpointReader& r) {
+  const std::int64_t count = r.i64();
+  const std::int64_t sum = r.i64();
+  const Round min = r.i64();
+  const Round max = r.i64();
+  const std::uint64_t nonzero = r.u64();
+  RRS_REQUIRE(nonzero <= static_cast<std::uint64_t>(Histogram::kNumBuckets),
+              "checkpoint histogram has too many buckets");
+  std::vector<std::pair<int, std::int64_t>> buckets;
+  buckets.reserve(static_cast<std::size_t>(nonzero));
+  for (std::uint64_t i = 0; i < nonzero; ++i) {
+    const std::uint32_t index = r.u32();
+    RRS_REQUIRE(index < static_cast<std::uint32_t>(Histogram::kNumBuckets),
+                "checkpoint histogram bucket index out of range");
+    buckets.emplace_back(static_cast<int>(index), r.i64());
+  }
+  return Histogram::from_parts(count, sum, min, max, buckets);
+}
+
+}  // namespace
+
+void StreamStats::checkpoint(CheckpointWriter& w) const {
+  w.i64(arrived_);
+  w.i64(executed_);
+  w.i64(work_units_);
+  w.i64(completed_weight_);
+  w.i64(drop_count_);
+  w.i64(drop_weight_);
+  w.i64(reconfig_events_);
+  w.i64(reconfig_rounds_);
+  w.i64(last_reconfig_round_);
+  w.i64(churn_failures_);
+  w.i64(churn_repairs_);
+  w.i64(churn_evictions_);
+  w.i64(admission_rejected_);
+  checkpoint_histogram(w, wait_);
+  checkpoint_histogram(w, slack_);
+  checkpoint_histogram(w, service_);
+  checkpoint_histogram(w, reconfig_gap_);
+  w.u64(per_color_.size());
+  for (const ColorObs& obs : per_color_) {
+    w.i64(obs.arrived);
+    w.i64(obs.executed);
+    w.i64(obs.dropped);
+    w.i64(obs.dropped_weight);
+    w.i64(obs.wait_sum);
+    w.i64(obs.work_units);
+  }
+}
+
+void StreamStats::restore_checkpoint(CheckpointReader& r) {
+  arrived_ = r.i64();
+  executed_ = r.i64();
+  work_units_ = r.i64();
+  completed_weight_ = r.i64();
+  drop_count_ = r.i64();
+  drop_weight_ = r.i64();
+  reconfig_events_ = r.i64();
+  reconfig_rounds_ = r.i64();
+  last_reconfig_round_ = r.i64();
+  RRS_REQUIRE(last_reconfig_round_ >= -1,
+              "checkpoint reconfig cursor out of range");
+  churn_failures_ = r.i64();
+  churn_repairs_ = r.i64();
+  churn_evictions_ = r.i64();
+  admission_rejected_ = r.i64();
+  wait_ = restore_histogram(r);
+  slack_ = restore_histogram(r);
+  service_ = restore_histogram(r);
+  reconfig_gap_ = restore_histogram(r);
+  RRS_REQUIRE(r.u64() == per_color_.size(),
+              "checkpoint stream-stats color count mismatch");
+  for (ColorObs& obs : per_color_) {
+    obs.arrived = r.i64();
+    obs.executed = r.i64();
+    obs.dropped = r.i64();
+    obs.dropped_weight = r.i64();
+    obs.wait_sum = r.i64();
+    obs.work_units = r.i64();
+  }
+}
+
+}  // namespace rrs

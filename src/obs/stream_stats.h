@@ -10,6 +10,9 @@
 
 namespace rrs {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Per-color streaming counters.  All integers: additive merge is exact.
 struct ColorObs {
   std::int64_t arrived = 0;
@@ -117,6 +120,12 @@ class StreamStats {
     }
   }
 
+  /// Called once per admission-control shedding decision with the number of
+  /// arrivals rejected at ingest.  The rejected jobs also flow through
+  /// on_arrival/on_drop, so this counter isolates budget-driven drops from
+  /// deadline-driven ones.
+  void on_admission_reject(std::int64_t count) { admission_rejected_ += count; }
+
   void on_failure(bool evicted_cached_color) {
     ++churn_failures_;
     if (evicted_cached_color) ++churn_evictions_;
@@ -150,6 +159,19 @@ class StreamStats {
   [[nodiscard]] std::int64_t churn_evictions() const {
     return churn_evictions_;
   }
+  [[nodiscard]] std::int64_t admission_rejected() const {
+    return admission_rejected_;
+  }
+
+  // --- checkpoint ----------------------------------------------------------
+
+  /// Serializes every accumulator, including the reconfig-gap cursor
+  /// (last_reconfig_round_) — it is live inter-round state, unlike merge()
+  /// which deliberately drops it.  The begin()-supplied per-color metadata
+  /// (delay bounds, drop costs, lengths) is NOT serialized: restore requires
+  /// begin() to have been called with the same color space first.
+  void checkpoint(CheckpointWriter& w) const;
+  void restore_checkpoint(CheckpointReader& r);
 
   // --- merge ---------------------------------------------------------------
 
@@ -200,6 +222,7 @@ class StreamStats {
     churn_failures_ += other.churn_failures_;
     churn_repairs_ += other.churn_repairs_;
     churn_evictions_ += other.churn_evictions_;
+    admission_rejected_ += other.admission_rejected_;
   }
 
   static void merge_color(ColorObs& into, const ColorObs& from) {
@@ -231,6 +254,7 @@ class StreamStats {
   std::int64_t churn_failures_ = 0;
   std::int64_t churn_repairs_ = 0;
   std::int64_t churn_evictions_ = 0;
+  std::int64_t admission_rejected_ = 0;
 };
 
 }  // namespace rrs

@@ -24,6 +24,8 @@ const char* trace_kind_name(TraceKind kind) {
       return "snapshot";
     case TraceKind::kReshard:
       return "reshard";
+    case TraceKind::kFabricStall:
+      return "fabric-stall";
   }
   return "unknown";
 }

@@ -46,14 +46,14 @@ void CsvWriter::add_row(std::vector<std::string> row) {
 void CsvWriter::write(std::ostream& out) const {
   write_row(out, header_);
   for (const auto& row : rows_) write_row(out, row);
+  out.flush();
+  RRS_REQUIRE(out.good(), "CSV write failed (stream error after flush)");
 }
 
 void CsvWriter::write_file(const std::string& path) const {
   std::ofstream out(path);
   RRS_REQUIRE(out.good(), "cannot open CSV for writing: " << path);
   write(out);
-  out.flush();
-  RRS_REQUIRE(out.good(), "I/O error writing CSV: " << path);
 }
 
 }  // namespace rrs

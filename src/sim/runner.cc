@@ -1,12 +1,16 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <typeinfo>
 #include <utility>
 
 #include "algs/edf.h"
+#include "core/checkpoint.h"
+#include "sim/service.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -15,11 +19,6 @@
 
 namespace rrs {
 
-namespace {
-
-/// Engine options + fresh policy for the streaming algorithm `name`
-/// ("seq-edf"/"ds-seq-edf" run EDF unreplicated at speed 1/2; everything
-/// else goes through the registry with the Section 3 replication of 2).
 std::unique_ptr<Policy> make_stream_policy(const std::string& name,
                                            EngineOptions& options) {
   if (name == "seq-edf" || name == "ds-seq-edf") {
@@ -31,6 +30,11 @@ std::unique_ptr<Policy> make_stream_policy(const std::string& name,
   options.speed = 1;
   return make_policy(name);  // throws InputError on unknown names
 }
+
+namespace {
+
+/// Manifest section tag for sharded checkpoint sets.
+constexpr std::uint32_t kTagManifest = 1;
 
 /// One engine generation's observers: resharding rebuilds engines (and
 /// their observers) per era, each with its own local -> global color maps.
@@ -105,6 +109,7 @@ StreamRunRecord to_stream_record(const std::string& name, int n,
   record.arrived = result.arrived;
   record.rounds = result.rounds;
   record.peak_pending = result.peak_pending;
+  record.admission_rejected = result.admission_rejected;
   record.degraded = result.degraded;
   record.stats = std::move(result.policy_stats);
   return record;
@@ -131,6 +136,7 @@ void accumulate_slot(StreamRunRecord& into, const std::string& name, int n,
   into.arrived += result.arrived;
   into.rounds = std::max(into.rounds, result.rounds);
   into.peak_pending = std::max(into.peak_pending, result.peak_pending);
+  into.admission_rejected += result.admission_rejected;
   for (const auto& [key, value] : result.policy_stats) {
     auto it = std::find_if(into.stats.begin(), into.stats.end(),
                            [&key](const auto& kv) { return kv.first == key; });
@@ -202,6 +208,15 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
                 "periodic snapshot series cannot span engine generations; "
                 "set ObsConfig::snapshot_every = 0 with re-sharding");
   }
+  const bool ckpt_requested = options.checkpoint_at > 0 || options.resume;
+  if (ckpt_requested) {
+    RRS_REQUIRE(!options.checkpoint_dir.empty(),
+                "sharded checkpointing needs checkpoint_dir");
+    RRS_REQUIRE(options.reshard_every == 0,
+                "sharded checkpointing requires reshard_every == 0");
+    RRS_REQUIRE(options.checkpoint_at >= 0,
+                "checkpoint_at must be >= 0, got " << options.checkpoint_at);
+  }
 
   // Resolve the arrival horizon up front (the engine's own resolution,
   // hoisted): every shard engine and the fabric must agree on it.
@@ -252,6 +267,9 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
     }
   }
   record.native_sources = native;
+  RRS_REQUIRE(!ckpt_requested || native,
+              "sharded checkpointing requires shard-native sources: the "
+              "demux fabric's parent run-ahead is not repositionable");
   record.splitter_peak_chunks.assign(shard_count, 0);
 
   ThreadPool& pool = global_pool();
@@ -292,13 +310,122 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
   std::vector<EngineColorState> imports;
   bool rebuild = true;
 
+  // Builds one era's observers, policies, and engines; `src_of` maps a
+  // slot to the ArrivalSource its engine is constructed over.
+  const auto build_era = [&](Round start_round, auto&& src_of) {
+    EraObservers era;
+    era.color_maps = record.plan.shard_colors;
+    if (!options.shard_observers.empty()) {
+      era.obs = options.shard_observers;
+    } else if (options.observer != nullptr) {
+      era.owned.reserve(shard_count);
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        era.owned.push_back(
+            std::make_unique<Observer>(options.observer->config));
+        era.obs.push_back(era.owned.back().get());
+      }
+    }
+    eras.push_back(std::move(era));
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      EngineOptions engine_options;
+      policies[s] = make_stream_policy(name, engine_options);
+      engine_options.num_resources = record.plan.shard_resources[s];
+      engine_options.record_schedule = false;
+      engine_options.max_rounds = arrival_end;
+      engine_options.drain_pending = true;
+      engine_options.fast_forward = options.fast_forward;
+      if (!shard_faults.empty()) {
+        engine_options.fault_plan = &shard_faults[s];
+        engine_options.charge_repair = options.charge_repair;
+      }
+      if (!eras.back().obs.empty()) {
+        engine_options.observer = eras.back().obs[s];
+      }
+      engines[s] = std::make_unique<Engine>(src_of(s), *policies[s],
+                                            engine_options, start_round);
+    }
+  };
+
+  Round seg_begin = 0;
+  if (options.resume) {
+    // Newest valid checkpoint set wins; a set whose manifest or any
+    // sidecar fails validation is skipped to the next-oldest.  Every
+    // attempt starts from fresh views and engines: a failed partial
+    // restore may have mutated them.
+    const std::filesystem::path dir(options.checkpoint_dir);
+    bool restored = false;
+    std::string last_error;
+    for (const CheckpointFile& m : list_checkpoints(dir, ".manifest")) {
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        views[s] = gen->clone();
+        views[s]->restrict_to(record.plan.shard_colors[s]);
+      }
+      build_era(0, [&](std::size_t s) -> ArrivalSource& { return *views[s]; });
+      try {
+        std::ifstream min(m.path, std::ios::binary);
+        RRS_REQUIRE(min.good(), "cannot open checkpoint manifest "
+                                    << m.path.string());
+        CheckpointReader r(min);
+        r.open_section(kTagManifest);
+        RRS_REQUIRE(r.str() == name, "manifest algorithm mismatch");
+        RRS_REQUIRE(r.i64() == n, "manifest resource count mismatch");
+        RRS_REQUIRE(r.i64() == num_shards, "manifest shard count mismatch");
+        RRS_REQUIRE(r.i64() == arrival_end, "manifest arrival_end mismatch");
+        const Round round = r.i64();
+        RRS_REQUIRE(round == m.round && round > 0 && round <= arrival_end,
+                    "manifest round out of range");
+        RRS_REQUIRE(r.boolean() == options.charge_repair,
+                    "manifest charge_repair mismatch");
+        RRS_REQUIRE(r.boolean() == options.fast_forward,
+                    "manifest fast_forward mismatch");
+        const std::uint64_t plan_events =
+            options.fault_plan == nullptr ? 0
+                                          : options.fault_plan->events.size();
+        RRS_REQUIRE(r.u64() == plan_events, "manifest fault-plan mismatch");
+        RRS_REQUIRE(r.u64() == record.plan.shard_of_color.size(),
+                    "manifest color count mismatch");
+        for (const int shard : record.plan.shard_of_color) {
+          RRS_REQUIRE(r.i64() == shard, "manifest shard plan mismatch");
+        }
+        RRS_REQUIRE(r.u64() == record.plan.shard_resources.size(),
+                    "manifest shard count mismatch");
+        for (const int res : record.plan.shard_resources) {
+          RRS_REQUIRE(r.i64() == res, "manifest resource split mismatch");
+        }
+        r.close_section();
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          const std::filesystem::path side =
+              dir / ("ckpt-" + std::to_string(round) + ".shard" +
+                     std::to_string(s));
+          std::ifstream sin(side, std::ios::binary);
+          RRS_REQUIRE(sin.good(),
+                      "cannot open checkpoint sidecar " << side.string());
+          engines[s]->restore(sin, views[s].get());
+        }
+        seg_begin = round;
+        restored = true;
+        break;
+      } catch (const InputError& e) {
+        last_error = e.what();
+        eras.pop_back();
+        for (auto& eng : engines) eng.reset();
+        for (auto& p : policies) p.reset();
+      }
+    }
+    RRS_REQUIRE(restored, "no usable checkpoint set in "
+                              << options.checkpoint_dir
+                              << (last_error.empty() ? ""
+                                                     : "; last failure: ")
+                              << last_error);
+    rebuild = false;
+  }
+
   // The era/segment loop.  Each iteration runs rounds
   // [seg_begin, seg_end); with reshard_every == 0 there is exactly one
   // segment covering the whole arrival range.  The fabric (when not
   // native) is rebuilt per segment so a plan change never has to rewind
   // the sequential parent source: each fabric pulls exactly its segment
   // and is joined before the next one starts.
-  Round seg_begin = 0;
   do {
     const Round seg_end =
         options.reshard_every > 0
@@ -316,42 +443,9 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
 
     if (rebuild) {
       rebuild = false;
-      // Fresh observers for this engine generation: caller-provided ones
-      // (legacy single-era mode) win; otherwise a merged observer spawns
-      // per-shard ones with its config (snapshot streams stay detached —
-      // shards run concurrently and the merged series is written once at
-      // the end).
-      EraObservers era;
-      era.color_maps = record.plan.shard_colors;
-      if (!options.shard_observers.empty()) {
-        era.obs = options.shard_observers;
-      } else if (options.observer != nullptr) {
-        era.owned.reserve(shard_count);
+      build_era(seg_begin, slot_source);
+      if (!imports.empty()) {
         for (std::size_t s = 0; s < shard_count; ++s) {
-          era.owned.push_back(
-              std::make_unique<Observer>(options.observer->config));
-          era.obs.push_back(era.owned.back().get());
-        }
-      }
-      eras.push_back(std::move(era));
-      for (std::size_t s = 0; s < shard_count; ++s) {
-        EngineOptions engine_options;
-        policies[s] = make_stream_policy(name, engine_options);
-        engine_options.num_resources = record.plan.shard_resources[s];
-        engine_options.record_schedule = false;
-        engine_options.max_rounds = arrival_end;
-        engine_options.drain_pending = true;
-        engine_options.fast_forward = options.fast_forward;
-        if (!shard_faults.empty()) {
-          engine_options.fault_plan = &shard_faults[s];
-          engine_options.charge_repair = options.charge_repair;
-        }
-        if (!eras.back().obs.empty()) {
-          engine_options.observer = eras.back().obs[s];
-        }
-        engines[s] = std::make_unique<Engine>(slot_source(s), *policies[s],
-                                              engine_options, seg_begin);
-        if (!imports.empty()) {
           const std::vector<ColorId>& colors = record.plan.shard_colors[s];
           for (std::size_t l = 0; l < colors.size(); ++l) {
             engines[s]->import_color(
@@ -359,22 +453,77 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
                 imports[static_cast<std::size_t>(colors[l])]);
           }
         }
+        imports.clear();
       }
-      imports.clear();
     }
 
-    pool.parallel_for(shard_count, [&](std::size_t s) {
-      Observer* const slot_obs =
-          eras.back().obs.empty() ? nullptr : eras.back().obs[s];
-      Stopwatch shard_watch;
-      try {
-        engines[s]->run_rounds(slot_source(s), seg_end);
-      } catch (const InvariantError&) {
-        if (slot_obs != nullptr) slot_obs->dump_trace();
-        throw;
+    const auto run_segment = [&](Round until) {
+      pool.parallel_for(shard_count, [&](std::size_t s) {
+        Observer* const slot_obs =
+            eras.back().obs.empty() ? nullptr : eras.back().obs[s];
+        Stopwatch shard_watch;
+        try {
+          engines[s]->run_rounds(slot_source(s), until);
+        } catch (const InvariantError&) {
+          if (slot_obs != nullptr) slot_obs->dump_trace();
+          throw;
+        }
+        record.shards[s].seconds += shard_watch.seconds();
+      });
+    };
+
+    // With a checkpoint round inside this segment, run to it, write the
+    // coordinated set (sidecars first, manifest renamed into place last as
+    // the commit point), then continue — the run itself is unperturbed.
+    const Round ckpt_round =
+        options.checkpoint_at > seg_begin && options.checkpoint_at < seg_end
+            ? options.checkpoint_at
+            : 0;
+    if (ckpt_round > 0) {
+      run_segment(ckpt_round);
+      const std::filesystem::path dir(options.checkpoint_dir);
+      std::filesystem::create_directories(dir);
+      const std::string stem = "ckpt-" + std::to_string(ckpt_round);
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        const std::filesystem::path side =
+            dir / (stem + ".shard" + std::to_string(s));
+        const std::filesystem::path tmp = side.string() + ".tmp";
+        {
+          std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+          RRS_REQUIRE(out.good(),
+                      "cannot write checkpoint sidecar " << tmp.string());
+          engines[s]->checkpoint(out, views[s].get());
+        }
+        std::filesystem::rename(tmp, side);
       }
-      record.shards[s].seconds += shard_watch.seconds();
-    });
+      const std::filesystem::path manifest = dir / (stem + ".manifest");
+      const std::filesystem::path mtmp = manifest.string() + ".tmp";
+      {
+        std::ofstream out(mtmp, std::ios::binary | std::ios::trunc);
+        RRS_REQUIRE(out.good(),
+                    "cannot write checkpoint manifest " << mtmp.string());
+        CheckpointWriter w;
+        w.begin_section(kTagManifest);
+        w.str(name);
+        w.i64(n);
+        w.i64(num_shards);
+        w.i64(arrival_end);
+        w.i64(ckpt_round);
+        w.boolean(options.charge_repair);
+        w.boolean(options.fast_forward);
+        w.u64(options.fault_plan == nullptr
+                  ? 0
+                  : options.fault_plan->events.size());
+        w.u64(record.plan.shard_of_color.size());
+        for (const int shard : record.plan.shard_of_color) w.i64(shard);
+        w.u64(record.plan.shard_resources.size());
+        for (const int res : record.plan.shard_resources) w.i64(res);
+        w.end_section();
+        w.finish(out);
+      }
+      std::filesystem::rename(mtmp, manifest);
+    }
+    run_segment(seg_end);
 
     if (!native) {
       for (std::size_t s = 0; s < shard_count; ++s) {
@@ -488,6 +637,7 @@ ShardedRunRecord run_streaming_sharded(ArrivalSource& source,
     record.merged.arrived += shard.arrived;
     record.merged.rounds = std::max(record.merged.rounds, shard.rounds);
     record.merged.peak_pending += shard.peak_pending;
+    record.merged.admission_rejected += shard.admission_rejected;
     for (const auto& [key, value] : shard.stats) {
       auto it =
           std::find_if(record.merged.stats.begin(), record.merged.stats.end(),

@@ -40,10 +40,20 @@ struct StreamRunRecord {
   std::int64_t arrived = 0;       ///< jobs pulled from the source
   Round rounds = 0;               ///< rounds actually run
   std::int64_t peak_pending = 0;  ///< max pending-set size observed
+  /// Arrivals shed by pending-budget admission control (already counted in
+  /// arrived and charged in cost.drops).
+  std::int64_t admission_rejected = 0;
   DegradedStats degraded;         ///< capacity-churn counters
   double seconds = 0.0;           ///< wall-clock of the run
   std::vector<std::pair<std::string, std::int64_t>> stats;
 };
+
+/// Builds the engine options + fresh policy for the streaming algorithm
+/// `name` ("seq-edf"/"ds-seq-edf" run EDF unreplicated at speed 1/2;
+/// everything else goes through the registry with the Section 3
+/// replication of 2).  Throws InputError on unknown names.
+[[nodiscard]] std::unique_ptr<Policy> make_stream_policy(
+    const std::string& name, EngineOptions& options);
 
 /// Runs the engine-driven algorithm `name` ("dlru", "edf", "dlru-edf",
 /// "adaptive", "seq-edf", "ds-seq-edf") with `n` resources against
@@ -112,6 +122,25 @@ struct ShardedRunOptions {
   /// (job ids differ: they are locally dense).  Sources that don't support
   /// cloning fall back to the fabric silently.
   bool use_native_sources = true;
+  /// Crash-safe checkpoint/resume.  Requires reshard_every == 0 (one
+  /// engine generation per shard) and shard-native sources (each shard's
+  /// restricted generator view carries its own checkpointable cursor; the
+  /// demux fabric's parent run-ahead is not repositionable).  Directory
+  /// for `ckpt-<round>.manifest` + `ckpt-<round>.shard<k>` sets; empty
+  /// disables both knobs below.
+  std::string checkpoint_dir;
+  /// Write one coordinated checkpoint set (a sidecar per shard engine,
+  /// then the manifest — renamed into place last, as the commit point)
+  /// when every shard reaches this round, then keep running.  0 = never.
+  /// Checkpointing never perturbs results: the run stays bit-identical to
+  /// one without it.
+  Round checkpoint_at = 0;
+  /// Before running, restore every shard from the newest valid checkpoint
+  /// set in checkpoint_dir (corrupt or incomplete sets are skipped to the
+  /// next-oldest; InputError when none is usable).  The resumed run's
+  /// merged record is bit-identical to the uninterrupted run's
+  /// (diagnostics-only splitter gauges aside).
+  bool resume = false;
 };
 
 /// Outcome of one sharded streaming run: the per-shard records plus their

@@ -55,7 +55,11 @@ std::string fmt_double(double value, int digits) {
 
 std::string fmt_ratio(double value) {
   if (std::isinf(value)) return "x inf";
-  return "x" + fmt_double(value, 2);
+  // Built via += : GCC 12's -O3 restrict checker false-positives on
+  // operator+(const char*, std::string&&) here.
+  std::string out = "x";
+  out += fmt_double(value, 2);
+  return out;
 }
 
 }  // namespace rrs

@@ -8,6 +8,7 @@
 // implementations.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -88,6 +89,16 @@ class Rng {
       threshold *= uniform01();
     } while (threshold > bound);
     return count;
+  }
+
+  /// The full generator state, for checkpointing.  Restoring the exact
+  /// words resumes the output sequence bit-identically.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state_words() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  constexpr void set_state_words(const std::array<std::uint64_t, 4>& words) {
+    for (int i = 0; i < 4; ++i) state_[i] = words[static_cast<std::size_t>(i)];
   }
 
  private:

@@ -63,6 +63,26 @@ class DatacenterSource final : public GeneratorSource {
   void synthesize_color(ColorId color, Round k) override;
   [[nodiscard]] static Round geometric(Rng& rng, Round mean);
 
+  /// Mutable generation state: each service's RNG stream plus its on/off
+  /// phase machine (hot flag, rounds left in the phase).
+  void checkpoint_extra(CheckpointWriter& w) const override {
+    w.u64(state_.size());
+    for (const ServiceState& s : state_) {
+      checkpoint_rng(w, s.stream);
+      w.boolean(s.hot);
+      w.i64(s.phase_left);
+    }
+  }
+  void restore_extra(CheckpointReader& r) override {
+    RRS_REQUIRE(r.u64() == state_.size(),
+                "checkpoint service-state count mismatch");
+    for (ServiceState& s : state_) {
+      restore_rng(r, s.stream);
+      s.hot = r.boolean();
+      s.phase_left = r.i64();
+    }
+  }
+
   DatacenterParams params_;  // kept verbatim for clone()
   std::vector<ServiceSpec> services_;
   std::vector<ServiceState> state_;

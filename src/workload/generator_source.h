@@ -26,6 +26,7 @@
 // rewinding a stream.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "core/arrival_source.h"
+#include "core/checkpoint.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -225,6 +227,89 @@ class GeneratorSource : public ArrivalSource {
   /// as empty and served without re-synthesis).
   [[nodiscard]] Round next_round() const { return next_round_; }
 
+  // --- checkpoint/restore (crash-safe service mode) ---
+
+  /// Serializes the full stream position: cursors, the scanned-ahead
+  /// (peeked) buffer, observed counts, restriction bookkeeping, and —
+  /// via checkpoint_extra() — the subclass's RNG streams.
+  void checkpoint(CheckpointWriter& w) const final {
+    w.str("generator");
+    w.i64(delta_);
+    w.i64(horizon_);
+    w.i64(static_cast<std::int64_t>(delay_bounds_.size()));
+    w.boolean(restricted_);
+    w.u64(active_.size());
+    for (const ColorId c : active_) w.i64(c);
+    w.u64(synced_to_.size());
+    for (const Round s : synced_to_) w.i64(s);
+    w.i64(next_round_);
+    w.i64(served_);
+    w.i64(peek_round_);
+    w.i64(next_id_);
+    w.u64(buffer_.size());
+    for (const Job& job : buffer_) {
+      w.i64(job.id);
+      w.i64(job.color);
+      w.i64(job.arrival);
+      w.i64(job.delay_bound);
+      w.i64(job.drop_cost);
+      w.i64(job.length);
+    }
+    w.u64(observed_.size());
+    for (const std::int64_t v : observed_) w.i64(v);
+    checkpoint_extra(w);
+  }
+
+  /// Restores checkpoint() state onto a fresh, unpulled generator built
+  /// with the same parameters (and the same restrict_to() view, if any).
+  void restore(CheckpointReader& r) final {
+    RRS_CHECK_MSG(next_round_ == 0 && served_ == -1,
+                  "checkpoint restore into an already-pulled generator");
+    RRS_REQUIRE(r.str() == "generator",
+                "checkpoint source-type mismatch (this source is a "
+                "generator)");
+    RRS_REQUIRE(r.i64() == delta_ && r.i64() == horizon_ &&
+                    r.i64() == static_cast<std::int64_t>(delay_bounds_.size()),
+                "checkpoint generator metadata mismatch: " << summary());
+    RRS_REQUIRE(r.boolean() == restricted_,
+                "checkpoint generator restriction mismatch");
+    const std::uint64_t actives = r.u64();
+    RRS_REQUIRE(actives == active_.size(),
+                "checkpoint generator view size " << actives << " != "
+                                                  << active_.size());
+    for (const ColorId c : active_) {
+      RRS_REQUIRE(r.i64() == c, "checkpoint generator view colors differ");
+    }
+    const std::uint64_t synced = r.u64();
+    RRS_REQUIRE(synced == synced_to_.size(),
+                "checkpoint generator sync table size mismatch");
+    for (auto& s : synced_to_) s = r.i64();
+    next_round_ = r.i64();
+    served_ = r.i64();
+    peek_round_ = r.i64();
+    next_id_ = r.i64();
+    const std::uint64_t buffered = r.u64();
+    buffer_.clear();
+    for (std::uint64_t i = 0; i < buffered; ++i) {
+      Job job;
+      job.id = r.i64();
+      const std::int64_t color = r.i64();
+      RRS_REQUIRE(color >= 0 && color < num_colors(),
+                  "checkpoint generator buffered color " << color);
+      job.color = static_cast<ColorId>(color);
+      job.arrival = r.i64();
+      job.delay_bound = r.i64();
+      job.drop_cost = r.i64();
+      job.length = r.i64();
+      buffer_.push_back(job);
+    }
+    const std::uint64_t observed = r.u64();
+    RRS_REQUIRE(observed == observed_.size(),
+                "checkpoint generator observed-count table size mismatch");
+    for (auto& v : observed_) v = r.i64();
+    restore_extra(r);
+  }
+
  protected:
   /// `horizon` is the number of arrival-carrying rounds, or
   /// kInfiniteHorizon for an unbounded stream.
@@ -291,6 +376,32 @@ class GeneratorSource : public ArrivalSource {
     RRS_CHECK_MSG(false, "generator cannot synthesize color " << color
                              << " independently (no synthesize_color "
                                 "override)");
+  }
+
+  /// Serializes the subclass's stream state (RNG words, phase machines)
+  /// after the base fields.  Subclasses with ANY mutable generation state
+  /// must override both hooks; the default rejects so a family that was
+  /// never audited for checkpointing cannot silently resume wrong.
+  virtual void checkpoint_extra(CheckpointWriter& w) const {
+    (void)w;
+    RRS_REQUIRE(false,
+                "this generator family does not support checkpointing: "
+                    << summary());
+  }
+  virtual void restore_extra(CheckpointReader& r) {
+    (void)r;
+    RRS_REQUIRE(false, "this generator family does not support restore: "
+                           << summary());
+  }
+
+  /// Rng (de)serialization helpers for checkpoint_extra overrides.
+  static void checkpoint_rng(CheckpointWriter& w, const Rng& rng) {
+    for (const std::uint64_t word : rng.state_words()) w.u64(word);
+  }
+  static void restore_rng(CheckpointReader& r, Rng& rng) {
+    std::array<std::uint64_t, 4> words{};
+    for (auto& word : words) word = r.u64();
+    rng.set_state_words(words);
   }
 
  private:

@@ -49,6 +49,18 @@ class RandomBatchedSource final : public GeneratorSource {
  private:
   void synthesize_color(ColorId color, Round k) override;
 
+  /// The only mutable generation state is the per-color RNG streams;
+  /// everything else is parameter-derived at construction.
+  void checkpoint_extra(CheckpointWriter& w) const override {
+    w.u64(streams_.size());
+    for (const Rng& rng : streams_) checkpoint_rng(w, rng);
+  }
+  void restore_extra(CheckpointReader& r) override {
+    RRS_REQUIRE(r.u64() == streams_.size(),
+                "checkpoint RNG stream count mismatch");
+    for (Rng& rng : streams_) restore_rng(r, rng);
+  }
+
   RandomBatchedParams params_;         // kept verbatim for clone()
   std::vector<Rng> streams_;           // one RNG stream per color
   std::vector<Round> delays_;          // global-indexed (views relabel)

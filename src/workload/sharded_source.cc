@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_ring.h"
 #include "util/check.h"
 #include "util/spsc_ring.h"
 
@@ -41,6 +42,7 @@ class ShardedSource::Fabric {
         chunk_rounds_(options.chunk_rounds),
         backpressure_(options.backpressure),
         stall_limit_(options.stall_chunk_limit),
+        stall_trace_(options.stall_trace),
         peaks_(static_cast<std::size_t>(plan.num_shards)) {
     RRS_REQUIRE(chunk_rounds_ >= 1,
                 "chunk_rounds must be >= 1, got " << chunk_rounds_);
@@ -190,16 +192,23 @@ class ShardedSource::Fabric {
       if (ring.consumed() != consumed_before) {
         fruitless = 0;  // the consumer is alive, merely slower than us
       } else if (stall_limit_ != 0 && ++fruitless >= stall_limit_) {
+        if (stall_trace_ != nullptr) {
+          stall_trace_->push({chunk.first_round, TraceKind::kFabricStall,
+                              static_cast<int>(s),
+                              static_cast<std::int64_t>(ring.size())});
+        }
         std::ostringstream os;
         os << "sharded-source stall watchdog: shard " << s
            << " has not consumed across " << fruitless
            << " producer waits (stall_chunk_limit " << stall_limit_
-           << "); its consumer looks stalled or dead.  Ring occupancy:";
+           << "); its consumer looks stalled or dead.  Rings "
+              "(occupancy/capacity, produced/consumed):";
         for (std::size_t q = 0; q < rings_.size(); ++q) {
           os << " [" << q << "]=" << rings_[q]->size() << "/"
-             << rings_[q]->capacity();
+             << rings_[q]->capacity() << ", " << rings_[q]->produced() << "/"
+             << rings_[q]->consumed();
         }
-        os << ", produced " << chunks_produced() << "/"
+        os << "; produced " << chunks_produced() << "/"
            << total_chunks_ * rings_.size() << " chunks";
         throw InvariantError(os.str());
       }
@@ -214,6 +223,7 @@ class ShardedSource::Fabric {
   Round chunk_rounds_;
   bool backpressure_;
   std::size_t stall_limit_;
+  TraceRing* stall_trace_;
   std::size_t total_chunks_ = 0;
 
   std::vector<std::unique_ptr<SpscRing<Chunk>>> rings_;

@@ -34,6 +34,8 @@
 
 namespace rrs {
 
+class TraceRing;
+
 /// Knobs for the demux fabric.
 struct ShardedSourceOptions {
   /// Rounds pulled from the underlying source per produced chunk.
@@ -55,6 +57,13 @@ struct ShardedSourceOptions {
   /// occupancy instead of hanging CI.  0 disables; no effect without
   /// backpressure (the producer never waits).
   std::size_t stall_chunk_limit = 4096;
+  /// Optional trace sink (not owned) for the stall watchdog: right before
+  /// it throws, the producer pushes one kFabricStall event (round = the
+  /// blocked chunk's first round, detail = the stalled ring's index,
+  /// value = that ring's occupancy) so post-mortem trace dumps show where
+  /// the fabric died.  Only the producer thread touches it, and only at
+  /// failure time — do not share it with a concurrently written ring.
+  TraceRing* stall_trace = nullptr;
 };
 
 /// K single-consumer shard views over one underlying ArrivalSource.

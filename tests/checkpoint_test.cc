@@ -1,0 +1,412 @@
+// Checkpoint/restore round-trip pins: for every streaming algorithm x
+// workload family, checkpointing at an arbitrary mid-stream round and
+// restoring into a fresh engine (and fresh source) must finish with
+// results bit-identical to the uninterrupted run — costs, schedules,
+// observer stats, snapshot series — serial and sharded (K=2), with and
+// without fast-forward.  Plus pending-budget admission-control semantics
+// on the flash-crowd family.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/observer.h"
+#include "sim/runner.h"
+#include "workload/datacenter.h"
+#include "workload/flash_crowd.h"
+#include "workload/generator_source.h"
+#include "workload/poisson.h"
+#include "workload/random_batched.h"
+
+namespace rrs {
+namespace {
+
+const char* const kStreamingAlgorithms[] = {
+    "dlru", "edf", "dlru-edf", "adaptive", "seq-edf", "ds-seq-edf",
+};
+
+const char* const kFamilies[] = {
+    "random-batched", "poisson", "flash-crowd", "datacenter",
+};
+
+/// Fresh streaming source for (family, seed); mirrors streaming_test.
+std::unique_ptr<GeneratorSource> make_source(const std::string& family,
+                                             std::uint64_t seed) {
+  if (family == "random-batched") {
+    RandomBatchedParams params;
+    params.horizon = 256;
+    params.seed = seed;
+    return std::make_unique<RandomBatchedSource>(params);
+  }
+  if (family == "poisson") {
+    PoissonParams params;
+    params.horizon = 256;
+    params.seed = seed;
+    return std::make_unique<PoissonSource>(params);
+  }
+  if (family == "flash-crowd") {
+    FlashCrowdParams params;
+    params.spike_start = 128;
+    params.spike_end = 192;
+    params.horizon = 512;
+    params.seed = seed;
+    return std::make_unique<FlashCrowdSource>(params);
+  }
+  if (family == "datacenter") {
+    DatacenterParams params;
+    params.horizon = 1024;
+    params.seed = seed;
+    return std::make_unique<DatacenterSource>(params);
+  }
+  ADD_FAILURE() << "unknown family " << family;
+  return nullptr;
+}
+
+/// run_streaming's engine options, with the matrix's toggles applied.
+EngineOptions stream_options(const std::string& algorithm, bool fast_forward,
+                             std::unique_ptr<Policy>& policy) {
+  EngineOptions options;
+  policy = make_stream_policy(algorithm, options);
+  options.num_resources = 8;
+  options.record_schedule = true;  // pin schedule bytes too
+  options.drain_pending = true;
+  options.fast_forward = fast_forward;
+  return options;
+}
+
+void expect_identical(const EngineResult& a, const EngineResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.cost, b.cost) << label;
+  EXPECT_EQ(a.executed, b.executed) << label;
+  EXPECT_EQ(a.work_units, b.work_units) << label;
+  EXPECT_EQ(a.arrived, b.arrived) << label;
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.peak_pending, b.peak_pending) << label;
+  EXPECT_EQ(a.admission_rejected, b.admission_rejected) << label;
+  EXPECT_EQ(a.degraded, b.degraded) << label;
+  EXPECT_EQ(a.schedule.reconfigs, b.schedule.reconfigs) << label;
+  EXPECT_EQ(a.schedule.execs, b.schedule.execs) << label;
+  EXPECT_EQ(a.policy_stats, b.policy_stats) << label;
+}
+
+void expect_identical(const StreamRunRecord& a, const StreamRunRecord& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.cost, b.cost) << label;
+  EXPECT_EQ(a.executed, b.executed) << label;
+  EXPECT_EQ(a.work_units, b.work_units) << label;
+  EXPECT_EQ(a.arrived, b.arrived) << label;
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.peak_pending, b.peak_pending) << label;
+  EXPECT_EQ(a.admission_rejected, b.admission_rejected) << label;
+  EXPECT_EQ(a.degraded, b.degraded) << label;
+  EXPECT_EQ(a.stats, b.stats) << label;
+}
+
+using Cell = std::tuple<std::string, std::string, bool>;
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<Cell> {};
+
+// Serial pin: run to an arbitrary mid-stream round, checkpoint (source
+// embedded), restore onto a fresh engine + fresh source, finish — every
+// result field matches the uninterrupted run.
+TEST_P(CheckpointRoundTrip, SerialBitIdentical) {
+  const auto& [algorithm, family, ff] = GetParam();
+  const std::uint64_t seed = 1;
+  const std::string label = algorithm + "/" + family;
+
+  // Uninterrupted reference.
+  const auto ref_source = make_source(family, seed);
+  std::unique_ptr<Policy> ref_policy;
+  const EngineOptions ref_options = stream_options(algorithm, ff, ref_policy);
+  Engine ref_engine(*ref_source, *ref_policy, ref_options);
+  const Round end = ref_engine.arrival_end();
+  ASSERT_GT(end, 2);
+  ref_engine.run_rounds(*ref_source, end);
+  const EngineResult reference = ref_engine.finish();
+
+  // Interrupted: checkpoint at an arbitrary interior round.
+  const Round mid = end / 3 + 1;
+  const auto cut_source = make_source(family, seed);
+  std::unique_ptr<Policy> cut_policy;
+  const EngineOptions cut_options = stream_options(algorithm, ff, cut_policy);
+  Engine cut_engine(*cut_source, *cut_policy, cut_options);
+  cut_engine.run_rounds(*cut_source, mid);
+  std::stringstream bytes(std::ios::in | std::ios::out | std::ios::binary);
+  cut_engine.checkpoint(bytes, cut_source.get());
+
+  // Restore onto a fresh engine and a fresh (position-zero) source.
+  const auto resumed_source = make_source(family, seed);
+  std::unique_ptr<Policy> resumed_policy;
+  const EngineOptions resumed_options =
+      stream_options(algorithm, ff, resumed_policy);
+  Engine resumed_engine(*resumed_source, *resumed_policy, resumed_options);
+  resumed_engine.restore(bytes, resumed_source.get());
+  EXPECT_EQ(resumed_engine.round(), mid) << label;
+  resumed_engine.run_rounds(*resumed_source, end);
+  const EngineResult resumed = resumed_engine.finish();
+
+  expect_identical(reference, resumed, label);
+}
+
+// Sharded pin (K=2): a run that writes a coordinated checkpoint set
+// mid-stream is bit-identical to one that never checkpoints, and a
+// resumed run from that set finishes bit-identical too.
+TEST_P(CheckpointRoundTrip, ShardedBitIdentical) {
+  const auto& [algorithm, family, ff] = GetParam();
+  const std::uint64_t seed = 2;
+  const std::string label = algorithm + "/" + family;
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("ckpt_" + std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()));
+  std::filesystem::remove_all(dir);
+
+  ShardedRunOptions base;
+  base.fast_forward = ff;
+
+  const auto ref_source = make_source(family, seed);
+  const ShardedRunRecord reference = run_streaming_sharded(
+      *ref_source, algorithm, 8, 2, kInfiniteHorizon, base);
+
+  // Same run, checkpointing mid-stream: results unperturbed.  The drain
+  // can push merged.rounds past the arrival horizon, so the checkpoint
+  // round is picked inside the horizon itself.
+  ShardedRunOptions writing = base;
+  writing.checkpoint_dir = dir.string();
+  writing.checkpoint_at = ref_source->horizon() / 2;
+  ASSERT_GT(writing.checkpoint_at, 0);
+  const auto ckpt_source = make_source(family, seed);
+  const ShardedRunRecord checkpointed = run_streaming_sharded(
+      *ckpt_source, algorithm, 8, 2, kInfiniteHorizon, writing);
+  expect_identical(reference.merged, checkpointed.merged, label);
+
+  // Resume from the set and finish: still bit-identical.
+  ShardedRunOptions resuming = base;
+  resuming.checkpoint_dir = dir.string();
+  resuming.resume = true;
+  const auto res_source = make_source(family, seed);
+  const ShardedRunRecord resumed = run_streaming_sharded(
+      *res_source, algorithm, 8, 2, kInfiniteHorizon, resuming);
+  expect_identical(reference.merged, resumed.merged, label);
+  ASSERT_EQ(reference.shards.size(), resumed.shards.size());
+  for (std::size_t s = 0; s < reference.shards.size(); ++s) {
+    expect_identical(reference.shards[s], resumed.shards[s],
+                     label + " shard " + std::to_string(s));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+std::vector<Cell> all_cells() {
+  std::vector<Cell> cells;
+  for (const char* const algorithm : kStreamingAlgorithms) {
+    for (const char* const family : kFamilies) {
+      for (const bool ff : {true, false}) {
+        cells.emplace_back(algorithm, family, ff);
+      }
+    }
+  }
+  return cells;
+}
+
+std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {
+  std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param) +
+                     (std::get<2>(info.param) ? "_ff" : "_noff");
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, CheckpointRoundTrip,
+                         ::testing::ValuesIn(all_cells()), cell_name);
+
+// Observer state rides inside the checkpoint: the restored run's stats and
+// snapshot series equal the uninterrupted run's.
+TEST(CheckpointObserver, StatsAndSnapshotSeriesRoundTrip) {
+  ObsConfig config;
+  config.snapshot_every = 32;
+
+  const auto run = [&](Observer& obs, bool interrupt) {
+    const auto source = make_source("flash-crowd", 3);
+    std::unique_ptr<Policy> policy;
+    EngineOptions options = stream_options("dlru-edf", true, policy);
+    options.observer = &obs;
+    Engine engine(*source, *policy, options);
+    const Round end = engine.arrival_end();
+    if (!interrupt) {
+      engine.run_rounds(*source, end);
+      return engine.finish();
+    }
+    const Round mid = end / 2;
+    engine.run_rounds(*source, mid);
+    std::stringstream bytes(std::ios::in | std::ios::out | std::ios::binary);
+    engine.checkpoint(bytes, source.get());
+
+    const auto resumed_source = make_source("flash-crowd", 3);
+    std::unique_ptr<Policy> resumed_policy;
+    EngineOptions resumed_options =
+        stream_options("dlru-edf", true, resumed_policy);
+    resumed_options.observer = &obs;
+    Engine resumed(*resumed_source, *resumed_policy, resumed_options);
+    resumed.restore(bytes, resumed_source.get());
+    resumed.run_rounds(*resumed_source, end);
+    return resumed.finish();
+  };
+
+  Observer straight(config);
+  const EngineResult a = run(straight, false);
+  Observer restored(config);
+  const EngineResult b = run(restored, true);
+
+  expect_identical(a, b, "observer round trip");
+  ASSERT_FALSE(straight.snapshots.empty());
+  EXPECT_EQ(straight.snapshots, restored.snapshots);
+  EXPECT_EQ(straight.final_snapshot, restored.final_snapshot);
+  EXPECT_EQ(to_json_line(straight.final_snapshot),
+            to_json_line(restored.final_snapshot));
+  EXPECT_EQ(straight.stats.admission_rejected(),
+            restored.stats.admission_rejected());
+}
+
+// Restoring into an engine built with different options must reject, not
+// half-apply.
+TEST(CheckpointMismatch, RejectsDifferentOptionsOrPolicy) {
+  const auto source = make_source("poisson", 5);
+  std::unique_ptr<Policy> policy;
+  const EngineOptions options = stream_options("dlru-edf", true, policy);
+  Engine engine(*source, *policy, options);
+  engine.run_rounds(*source, 16);
+  std::stringstream bytes(std::ios::in | std::ios::out | std::ios::binary);
+  engine.checkpoint(bytes, source.get());
+  const std::string frame = bytes.str();
+
+  {
+    // Different resource count.
+    const auto s2 = make_source("poisson", 5);
+    std::unique_ptr<Policy> p2;
+    EngineOptions o2 = stream_options("dlru-edf", true, p2);
+    o2.num_resources = 4;
+    Engine e2(*s2, *p2, o2);
+    std::istringstream in(frame, std::ios::binary);
+    EXPECT_THROW(e2.restore(in, s2.get()), InputError);
+  }
+  {
+    // Different policy.
+    const auto s2 = make_source("poisson", 5);
+    std::unique_ptr<Policy> p2;
+    const EngineOptions o2 = stream_options("dlru", true, p2);
+    Engine e2(*s2, *p2, o2);
+    std::istringstream in(frame, std::ios::binary);
+    EXPECT_THROW(e2.restore(in, s2.get()), InputError);
+  }
+  {
+    // Restoring WITHOUT a source must still work: the embedded source
+    // state is skipped, for callers that reposition the source themselves.
+    const auto s2 = make_source("poisson", 5);
+    std::unique_ptr<Policy> p2;
+    const EngineOptions o2 = stream_options("dlru-edf", true, p2);
+    Engine e2(*s2, *p2, o2);
+    std::istringstream in(frame, std::ios::binary);
+    e2.restore(in, nullptr);
+    EXPECT_EQ(e2.round(), 16);
+  }
+}
+
+// --- pending-budget admission control --------------------------------------
+
+StreamRunRecord run_with_budget(std::int64_t budget, std::int64_t* peak,
+                                Observer* obs = nullptr) {
+  const auto source = make_source("flash-crowd", 7);
+  std::unique_ptr<Policy> policy;
+  EngineOptions options = stream_options("dlru-edf", true, policy);
+  options.num_resources = 4;  // starve the spike so pending piles up
+  options.record_schedule = false;
+  options.pending_budget = budget;
+  options.observer = obs;
+  Engine engine(*source, *policy, options);
+  engine.run_rounds(*source, engine.arrival_end());
+  EngineResult result = engine.finish();
+  if (peak != nullptr) *peak = result.peak_pending;
+  StreamRunRecord record;
+  record.cost = result.cost;
+  record.executed = result.executed;
+  record.work_units = result.work_units;
+  record.arrived = result.arrived;
+  record.rounds = result.rounds;
+  record.peak_pending = result.peak_pending;
+  record.admission_rejected = result.admission_rejected;
+  record.degraded = result.degraded;
+  record.stats = std::move(result.policy_stats);
+  return record;
+}
+
+TEST(AdmissionControl, FlashCrowdHoldsBudgetAndCountsRejections) {
+  std::int64_t unbounded_peak = 0;
+  const StreamRunRecord off = run_with_budget(0, &unbounded_peak);
+  ASSERT_GT(unbounded_peak, 32) << "spike too small to exercise the budget";
+
+  Observer obs;
+  std::int64_t peak = 0;
+  const StreamRunRecord on = run_with_budget(32, &peak, &obs);
+  EXPECT_LE(peak, 32);
+  EXPECT_GT(on.admission_rejected, 0);
+  EXPECT_EQ(on.arrived, off.arrived) << "shed jobs still count as arrivals";
+  EXPECT_EQ(obs.stats.admission_rejected(), on.admission_rejected);
+  EXPECT_EQ(obs.final_snapshot.admission_rejected, on.admission_rejected);
+  EXPECT_LE(on.admission_rejected, obs.final_snapshot.drop_count)
+      << "admission rejections are a subset of drops";
+}
+
+TEST(AdmissionControl, UnhitBudgetIsBitIdenticalToOff) {
+  std::int64_t peak = 0;
+  const StreamRunRecord off = run_with_budget(0, &peak);
+  const StreamRunRecord unhit = run_with_budget(peak + 1, nullptr);
+  expect_identical(off, unhit, "unhit budget");
+  EXPECT_EQ(unhit.admission_rejected, 0);
+}
+
+TEST(AdmissionControl, BudgetStateSurvivesCheckpoint) {
+  // Checkpoint mid-spike with the budget active; the restored run's
+  // admission counters match the uninterrupted budgeted run exactly.
+  const auto run = [&](bool interrupt) {
+    const auto source = make_source("flash-crowd", 9);
+    std::unique_ptr<Policy> policy;
+    EngineOptions options = stream_options("dlru-edf", true, policy);
+    options.num_resources = 4;
+    options.record_schedule = false;
+    options.pending_budget = 24;
+    Engine engine(*source, *policy, options);
+    const Round end = engine.arrival_end();
+    if (!interrupt) {
+      engine.run_rounds(*source, end);
+      return engine.finish();
+    }
+    engine.run_rounds(*source, 160);  // inside the spike
+    std::stringstream bytes(std::ios::in | std::ios::out | std::ios::binary);
+    engine.checkpoint(bytes, source.get());
+    const auto s2 = make_source("flash-crowd", 9);
+    std::unique_ptr<Policy> p2;
+    EngineOptions o2 = stream_options("dlru-edf", true, p2);
+    o2.num_resources = 4;
+    o2.record_schedule = false;
+    o2.pending_budget = 24;
+    Engine resumed(*s2, *p2, o2);
+    resumed.restore(bytes, s2.get());
+    resumed.run_rounds(*s2, end);
+    return resumed.finish();
+  };
+  const EngineResult straight = run(false);
+  const EngineResult resumed = run(true);
+  ASSERT_GT(straight.admission_rejected, 0);
+  expect_identical(straight, resumed, "budgeted round trip");
+}
+
+}  // namespace
+}  // namespace rrs

@@ -506,6 +506,39 @@ TEST(FaultRunTest, ChargedRepairAddsExactlyTheChurnReconfigs) {
             charged.cost.total() - charged.cost.churn_reconfigs * inst.delta());
 }
 
+TEST(FaultRunTest, DrainWithChargedRepairMatchesValidatorAcrossSeeds) {
+  // drain_pending, a non-empty FaultPlan, and charge_repair were only
+  // exercised separately before; combined, the drain keeps executing under
+  // churn while repairs accrue charged reconfigs.  Pin engine cost to the
+  // validator across seeds: the validator replays only policy-driven
+  // events, so it must reproduce total() minus the charged repairs exactly.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomBatchedParams params;
+    params.horizon = 128;
+    params.seed = seed;
+    const Instance inst = make_random_batched(params);
+    const FaultPlan plan = aggressive_mtbf(8, 128);
+
+    MaterializedSource source(inst);
+    DLruEdfPolicy policy;
+    EngineOptions options;
+    options.num_resources = 8;
+    options.replication = 2;
+    options.fault_plan = &plan;
+    options.charge_repair = true;
+    options.drain_pending = true;
+    const EngineResult r = run_policy(source, policy, options);
+    ASSERT_GT(r.degraded.fault_events, 0) << "seed " << seed;
+    ASSERT_GT(r.cost.churn_reconfigs, 0) << "seed " << seed;
+
+    const CostBreakdown validated = validate_or_throw(inst, r.schedule);
+    EXPECT_EQ(validated.total(),
+              r.cost.total() - r.cost.churn_reconfigs * inst.delta())
+        << "seed " << seed;
+    EXPECT_EQ(validated.drops, r.cost.drops) << "seed " << seed;
+  }
+}
+
 TEST(FaultRunTest, AllResourcesDownDropsEverythingAndTerminates) {
   FaultPlan plan;
   for (int r = 0; r < 4; ++r) plan.events.push_back({0, r, true});
