@@ -1,6 +1,7 @@
 #include "offline/lower_bound.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "util/bits.h"
@@ -68,6 +69,294 @@ LowerBound offline_lower_bound(const Instance& instance, int m) {
     }
   }
   return lb;
+}
+
+Cost lagrangian_lower_bound(const Instance& instance, int m,
+                            const LagrangianOptions& options) {
+  RRS_REQUIRE(m >= 1, "lower bound needs m >= 1");
+  RRS_REQUIRE(options.iterations >= 1, "LB3 needs at least one iteration");
+  const CostModel& model = instance.cost_model();
+  const Round horizon = instance.horizon();
+
+  // LB1 pieces, reused as the lambda = 0 evaluation and the per-color
+  // never-host alternative W_c.
+  std::vector<Cost> min_inc(static_cast<std::size_t>(instance.num_colors()));
+  std::vector<Cost> weight(static_cast<std::size_t>(instance.num_colors()));
+  Cost lb1 = 0;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    min_inc[static_cast<std::size_t>(c)] = model.min_incoming_cost(c);
+    weight[static_cast<std::size_t>(c)] = instance.weight_of_color(c);
+    lb1 += std::min(min_inc[static_cast<std::size_t>(c)],
+                    weight[static_cast<std::size_t>(c)]);
+  }
+  if (horizon <= 0 || instance.jobs().empty()) return lb1;
+
+  // Per-job execution windows [a, b): rounds where the job can receive a
+  // unit.  b clips at the horizon (the solvers charge jobs still pending
+  // at the end as drops).  Empty-window jobs are forced drops and fold
+  // into a per-color constant.
+  struct JobWindow {
+    Round a = 0, b = 0;
+    Cost w = 0;
+    Cost len = 1;
+  };
+  std::vector<std::vector<JobWindow>> windows(
+      static_cast<std::size_t>(instance.num_colors()));
+  std::vector<Cost> forced(static_cast<std::size_t>(instance.num_colors()), 0);
+  for (const Job& job : instance.jobs()) {
+    const Round b = std::min(job.deadline(), horizon);
+    if (b <= job.arrival) {
+      forced[static_cast<std::size_t>(job.color)] += job.drop_cost;
+      continue;
+    }
+    windows[static_cast<std::size_t>(job.color)].push_back(
+        {job.arrival, b, job.drop_cost, Cost{job.length}});
+  }
+
+  // Polyak step needs an upper bound on OFF; dropping every job is always
+  // feasible, so total weight works when the caller has nothing better.
+  Cost ub = options.upper_bound_hint;
+  if (ub < 0) ub = instance.total_weight();
+  const double ub_d = static_cast<double>(std::max<Cost>(ub, lb1 + 1));
+
+  std::vector<double> lambda(static_cast<std::size_t>(horizon), 0.0);
+  std::vector<double> grad(static_cast<std::size_t>(horizon), 0.0);
+  std::vector<Round> argmin;  // per qualifying job: window argmin round
+  double best = static_cast<double>(lb1);  // == L(0)
+  double scale = 1.0;
+  int stall = 0;
+  for (int it = 0; it < options.iterations; ++it) {
+    double value = 0.0;
+    for (Round t = 0; t < horizon; ++t) {
+      value -= static_cast<double>(m) * lambda[static_cast<std::size_t>(t)];
+      grad[static_cast<std::size_t>(t)] = -static_cast<double>(m);
+    }
+    for (ColorId c = 0; c < instance.num_colors(); ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      double hosted = static_cast<double>(min_inc[ci] + forced[ci]);
+      argmin.clear();
+      for (const JobWindow& jw : windows[ci]) {
+        double lo = lambda[static_cast<std::size_t>(jw.a)];
+        Round lo_t = jw.a;
+        for (Round t = jw.a + 1; t < jw.b; ++t) {
+          if (lambda[static_cast<std::size_t>(t)] < lo) {
+            lo = lambda[static_cast<std::size_t>(t)];
+            lo_t = t;
+          }
+        }
+        const double redeemed = static_cast<double>(jw.len) * lo;
+        if (redeemed < static_cast<double>(jw.w)) {
+          hosted += redeemed;
+          argmin.push_back(lo_t);
+        } else {
+          hosted += static_cast<double>(jw.w);
+          argmin.push_back(-1);
+        }
+      }
+      const double never = static_cast<double>(weight[ci]);
+      if (never <= hosted) {
+        value += never;  // never-host branch active: no gradient terms
+      } else {
+        value += hosted;
+        std::size_t ji = 0;
+        for (const JobWindow& jw : windows[ci]) {
+          const Round t = argmin[ji++];
+          if (t >= 0) {
+            grad[static_cast<std::size_t>(t)] += static_cast<double>(jw.len);
+          }
+        }
+      }
+    }
+    if (value > best) {
+      best = value;
+      stall = 0;
+    } else if (++stall >= 20) {
+      scale *= 0.5;
+      stall = 0;
+    }
+    double norm2 = 0.0;
+    for (Round t = 0; t < horizon; ++t) {
+      norm2 += grad[static_cast<std::size_t>(t)] *
+               grad[static_cast<std::size_t>(t)];
+    }
+    if (norm2 < 1e-12) break;  // stationary: dual optimum reached
+    const double step = scale * std::max(ub_d - value, 1.0) / norm2;
+    for (Round t = 0; t < horizon; ++t) {
+      lambda[static_cast<std::size_t>(t)] = std::max(
+          0.0, lambda[static_cast<std::size_t>(t)] +
+                   step * grad[static_cast<std::size_t>(t)]);
+    }
+  }
+  // OFF is integral, so the dual value rounds up; the epsilon guards
+  // against 6.999999 artifacts of the float iteration.
+  return std::max<Cost>(lb1, static_cast<Cost>(std::ceil(best - 1e-6)));
+}
+
+LowerBound offline_lower_bound_full(const Instance& instance, int m,
+                                    const LagrangianOptions& options) {
+  LowerBound lb = offline_lower_bound(instance, m);
+  lb.lagrangian = std::max(
+      {lagrangian_lower_bound(instance, m, options), lb.configure_or_drop,
+       lb.capacity});
+  return lb;
+}
+
+SuffixBoundOracle::SuffixBoundOracle(const Instance& instance, int m)
+    : instance_(&instance), m_(m) {
+  RRS_REQUIRE(m >= 1, "suffix bound oracle needs m >= 1");
+  const CostModel& model = instance.cost_model();
+  const Round horizon = instance.horizon();
+  const auto colors = static_cast<std::size_t>(instance.num_colors());
+
+  min_inc_.resize(colors);
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    min_inc_[static_cast<std::size_t>(c)] = model.min_incoming_cost(c);
+  }
+
+  future_weight_.assign(colors,
+                        std::vector<Cost>(static_cast<std::size_t>(horizon) + 1,
+                                          0));
+  for (const Job& job : instance.jobs()) {
+    if (job.arrival < horizon) {
+      future_weight_[static_cast<std::size_t>(job.color)]
+                    [static_cast<std::size_t>(job.arrival)] += job.drop_cost;
+    }
+  }
+  for (auto& per_color : future_weight_) {
+    for (Round k = horizon; k-- > 0;) {
+      per_color[static_cast<std::size_t>(k)] +=
+          per_color[static_cast<std::size_t>(k) + 1];
+    }
+  }
+
+  l_max_ = std::max<Cost>(1, model.max_length());
+  w_min_ = 0;
+  for (const Job& job : instance.jobs()) {
+    const Cost w = model.drop_cost(job.color);
+    if (w_min_ == 0 || w < w_min_) w_min_ = w;
+  }
+
+  max_scale_ = horizon > 0 ? floor_log2(horizon) + 1 : 0;
+  contained_units_.assign(
+      static_cast<std::size_t>(max_scale_) + 1,
+      std::vector<Cost>(static_cast<std::size_t>(horizon) + 2, 0));
+  suffix_window_drops_.resize(static_cast<std::size_t>(max_scale_) + 1);
+  if (horizon == 0 || instance.jobs().empty()) return;
+
+  for (int s = 0; s <= max_scale_; ++s) {
+    const Round width = Round{1} << s;
+    // Anchored windows: a job with arrival a, deadline d lies inside
+    // [k, k + width) for every start k in [max(0, d - width), a]; build
+    // with a difference array over k.
+    auto& diff = contained_units_[static_cast<std::size_t>(s)];
+    for (const Job& job : instance.jobs()) {
+      const Round d = std::min(job.deadline(), horizon);
+      if (d - job.arrival > width) continue;
+      const Round lo = std::max<Round>(0, d - width);
+      const Round hi = job.arrival;  // inclusive
+      if (hi < lo) continue;
+      diff[static_cast<std::size_t>(lo)] += Cost{job.length};
+      diff[static_cast<std::size_t>(hi) + 1] -= Cost{job.length};
+    }
+    for (std::size_t k = 1; k < diff.size(); ++k) diff[k] += diff[k - 1];
+
+    // Aligned windows: the LB2 partition, as suffix sums of per-window
+    // forced-drop charges so the oracle can price the far future past the
+    // anchored window in O(1).
+    const Round num_windows = (horizon + width - 1) / width;
+    std::vector<Cost> charge(static_cast<std::size_t>(num_windows) + 1, 0);
+    for (const Job& job : instance.jobs()) {
+      const Round d = std::min(job.deadline(), horizon);
+      const Round start = floor_multiple(job.arrival, width);
+      if (d <= start + width) {
+        charge[static_cast<std::size_t>(start / width)] += Cost{job.length};
+      }
+    }
+    for (Round i = 0; i < num_windows; ++i) {
+      const Cost excess = std::max<Cost>(
+          0, charge[static_cast<std::size_t>(i)] - Cost{m} * width);
+      charge[static_cast<std::size_t>(i)] =
+          w_min_ > 0 ? (excess + l_max_ - 1) / l_max_ * w_min_ : 0;
+    }
+    auto& suffix = suffix_window_drops_[static_cast<std::size_t>(s)];
+    suffix.assign(static_cast<std::size_t>(num_windows) + 1, 0);
+    for (Round i = num_windows; i-- > 0;) {
+      suffix[static_cast<std::size_t>(i)] =
+          suffix[static_cast<std::size_t>(i) + 1] +
+          charge[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+Cost SuffixBoundOracle::bound(Round round, const std::vector<ColorId>& cache,
+                              const offdp::Profile& profile) const {
+  const Instance& instance = *instance_;
+  const Round horizon = instance.horizon();
+  if (round >= horizon) return offdp::total_pending_weight(profile, instance);
+
+  // Split pending weight into guaranteed drops (deadline <= round: the job
+  // expires before it can receive another unit) and savable weight.
+  Cost guaranteed = 0;
+  Cost h_conf = 0;
+  for (std::size_t c = 0; c < profile.size(); ++c) {
+    const Cost w = instance.drop_cost(static_cast<ColorId>(c));
+    Cost savable = 0;
+    for (const auto& [deadline, count] : profile[c].buckets) {
+      if (deadline <= round) {
+        guaranteed += count * w;
+      } else {
+        savable += count * w;
+      }
+    }
+    const Cost future =
+        future_weight_[c][static_cast<std::size_t>(round)];
+    if (savable + future == 0) continue;
+    const bool configured =
+        std::find(cache.begin(), cache.end(), static_cast<ColorId>(c)) !=
+        cache.end();
+    if (!configured) {
+      h_conf += std::min(min_inc_[c], savable + future);
+    }
+  }
+
+  // Per-suffix capacity bound: for each scale, the anchored window
+  // [round, round + 2^s) plus the aligned windows wholly beyond it.
+  Cost h_cap = 0;
+  for (int s = 0; s <= max_scale_; ++s) {
+    const Round width = Round{1} << s;
+    Cost units =
+        contained_units_[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(round)];
+    for (std::size_t c = 0; c < profile.size(); ++c) {
+      const Round len = instance.length(static_cast<ColorId>(c));
+      bool first = true;
+      for (const auto& [deadline, count] : profile[c].buckets) {
+        if (deadline > round && deadline <= round + width) {
+          units += count * Cost{len};
+          // The front job already holds front_done units; only its
+          // remaining units demand capacity.  A front bucket at or below
+          // `round` drops and forfeits the partial work, so the next job
+          // starts from zero — no adjustment then.
+          if (first && deadline > round) units -= profile[c].front_done;
+        }
+        if (deadline > round) first = false;
+      }
+    }
+    Cost charge = 0;
+    const Cost excess = units - Cost{m_} * width;
+    if (excess > 0 && w_min_ > 0) {
+      charge = (excess + l_max_ - 1) / l_max_ * w_min_;
+    }
+    const auto& suffix = suffix_window_drops_[static_cast<std::size_t>(s)];
+    if (!suffix.empty()) {
+      const Round tail = (round + width + width - 1) / width;  // ceil
+      if (tail < static_cast<Round>(suffix.size())) {
+        charge += suffix[static_cast<std::size_t>(tail)];
+      }
+    }
+    h_cap = std::max(h_cap, charge);
+  }
+  return guaranteed + std::max(h_conf, h_cap);
 }
 
 }  // namespace rrs

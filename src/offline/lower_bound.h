@@ -1,7 +1,7 @@
 // Certified lower bounds on the offline optimum OFF.
 //
 // The competitive-ratio experiments need a denominator that provably does
-// not exceed Cost_OFF.  Two bounds are computed and combined by max():
+// not exceed Cost_OFF.  Three bounds are computed and combined by max():
 //
 //   LB1 (configure-or-drop): any reconfiguration event targeting color l
 //       costs at least min_f Delta(f -> l) (== Delta under the scalar
@@ -19,12 +19,39 @@
 //       disjoint, so the per-scale sum of excesses is a valid bound; we
 //       take the max over scales.
 //
-// Both bounds are exact lower bounds (no slack assumptions), so measured
-// ratios  cost_online / max(LB1, LB2)  are upper bounds on the true
-// competitive ratio — conservative in the right direction.
+//   LB3 (Lagrangian relaxation): dualize the per-round capacity coupling
+//       with multipliers lambda_t >= 0.  Any feasible schedule uses at most
+//       m units per round, so for every lambda,
+//
+//         Cost_OFF >= L(lambda)
+//                   = -m * sum_t lambda_t
+//                     + sum_c min(W_c, min_inc(c) + S_c(lambda)),
+//         S_c(lambda) = sum_{jobs j of c} min(w_j,
+//                         length(c) * min_{t in window(j)} lambda_t),
+//
+//       because a schedule either never hosts c (forfeiting W_c) or pays
+//       min_inc(c) once, and then each job of c is either dropped (w_j) or
+//       receives length(c) units inside its window, each unit redeeming at
+//       least the window-minimum multiplier.  L is concave in lambda; a
+//       projected subgradient ascent with a Polyak step searches for a
+//       maximizer.  L(0) equals LB1 exactly, so the iterate-max never falls
+//       below LB1; offline_lower_bound_full() additionally clamps the
+//       reported LB3 to max(LB1, LB2) so it can serve directly as the
+//       certified denominator.
+//
+// All bounds are exact lower bounds (no slack assumptions), so measured
+// ratios  cost_online / LB  are upper bounds on the true competitive
+// ratio — conservative in the right direction.
+//
+// SuffixBoundOracle packages per-suffix versions of LB1/LB2 as the
+// admissible node bound of the branch-and-bound solver (exact_bnb.{h,cc}).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/instance.h"
+#include "offline/state_space.h"
 
 namespace rrs {
 
@@ -32,13 +59,83 @@ namespace rrs {
 struct LowerBound {
   Cost configure_or_drop = 0;  ///< LB1
   Cost capacity = 0;           ///< LB2 (best dyadic scale)
+  Cost lagrangian = 0;         ///< LB3 (0 when not computed)
   [[nodiscard]] Cost best() const {
-    return configure_or_drop > capacity ? configure_or_drop : capacity;
+    Cost b = configure_or_drop > capacity ? configure_or_drop : capacity;
+    return lagrangian > b ? lagrangian : b;
   }
 };
 
-/// Computes both lower bounds for `instance` against an offline algorithm
-/// with `m` resources.
+/// Knobs for the LB3 subgradient ascent.
+struct LagrangianOptions {
+  /// Subgradient iterations (a few hundred is plenty at test scales).
+  int iterations = 300;
+  /// Known upper bound on OFF (any feasible schedule cost) used by the
+  /// Polyak step size; < 0 derives the trivial drop-everything bound.
+  Cost upper_bound_hint = -1;
+};
+
+/// Computes LB1 and LB2 for `instance` against an offline algorithm with
+/// `m` resources (LB3 left at 0 — use offline_lower_bound_full when the
+/// extra subgradient work is worth it).
 [[nodiscard]] LowerBound offline_lower_bound(const Instance& instance, int m);
+
+/// LB1, LB2, and LB3; the reported `lagrangian` is clamped to
+/// max(LB1, LB2) so it is usable directly as the strongest denominator.
+[[nodiscard]] LowerBound offline_lower_bound_full(
+    const Instance& instance, int m, const LagrangianOptions& options = {});
+
+/// Raw LB3: projected subgradient ascent on the Lagrangian dual of the
+/// per-round capacity relaxation.  Always >= LB1 (the lambda = 0 iterate
+/// evaluates to exactly LB1); a certified lower bound on OFF.
+[[nodiscard]] Cost lagrangian_lower_bound(
+    const Instance& instance, int m, const LagrangianOptions& options = {});
+
+/// Admissible per-suffix lower bound h(state) for best-first search over
+/// the configuration-multiset state space.
+///
+/// A state is (next_round k, configured multiset, pending profile) where
+/// the profile holds exactly the not-yet-executed jobs with arrival < k
+/// (see exact_bnb.cc).  bound() returns a certified lower bound on the
+/// cost any schedule must still pay over rounds [k, horizon):
+///
+///   guaranteed   drop weight of pending jobs with deadline <= k (they
+///                expire before they can receive another unit), plus
+///   max(h_conf,  per-suffix LB1 over colors not currently configured:
+///                min(min_inc(c), pending + future weight of c),
+///       h_cap)   per-suffix LB2: for each dyadic scale, the excess of the
+///                anchored window [k, k + 2^s) — pending jobs' remaining
+///                units plus precomputed contained future units — plus the
+///                aligned far-future windows' precomputed excess charges.
+///
+/// Construction precomputes per-color future-arrival weight suffixes,
+/// per-scale anchored contained-unit tables (range adds over the window
+/// start), and per-scale aligned-window excess suffix sums, so bound() is
+/// O(colors + buckets) per scale with no allocation.
+class SuffixBoundOracle {
+ public:
+  SuffixBoundOracle(const Instance& instance, int m);
+
+  /// Lower bound on the remaining cost from `(round, cache, profile)`.
+  /// At round == horizon this is exactly the pending drop weight.
+  [[nodiscard]] Cost bound(Round round, const std::vector<ColorId>& cache,
+                           const offdp::Profile& profile) const;
+
+ private:
+  const Instance* instance_;
+  int m_;
+  Cost w_min_ = 0;   // min drop cost among colors with jobs (0: no jobs)
+  Cost l_max_ = 1;   // max job length
+  int max_scale_ = 0;
+  std::vector<Cost> min_inc_;  // per color: cheapest incoming reconfig
+  // future_weight_[c][k]: drop weight of color-c jobs with arrival >= k.
+  std::vector<std::vector<Cost>> future_weight_;
+  // contained_units_[s][k]: execution units of jobs with arrival >= k and
+  // deadline <= k + 2^s (fully inside the anchored window [k, k + 2^s)).
+  std::vector<std::vector<Cost>> contained_units_;
+  // suffix_window_drops_[s][i]: summed drop charges of aligned scale-s
+  // windows with index >= i.
+  std::vector<std::vector<Cost>> suffix_window_drops_;
+};
 
 }  // namespace rrs

@@ -1,208 +1,19 @@
 #include "offline/optimal.h"
 
 #include <algorithm>
-#include <functional>
 #include <map>
 #include <span>
 #include <utility>
 #include <vector>
 
-#include "core/pending.h"
+#include "offline/state_space.h"
 #include "util/check.h"
 
 namespace rrs {
 namespace {
 
-/// Per-color pending queue: deadlines of pending jobs with multiplicity,
-/// ascending, plus the execution units already applied to the earliest
-/// pending job (0 <= front_done < length(color); dropping the front job
-/// forfeits the partial work and charges the full drop weight).
-struct ColorQueue {
-  std::vector<std::pair<Round, Cost>> buckets;
-  Round front_done = 0;
-};
-
-/// Pending profile, kept canonical so profiles compare.
-using Profile = std::vector<ColorQueue>;
-
-/// Full DP state key: configured multiset (sorted) + profile flattened.
-using Key = std::vector<std::int64_t>;
-
-Key encode(const std::vector<ColorId>& cache, const Profile& profile) {
-  Key key;
-  key.reserve(cache.size() + 8);
-  for (const ColorId c : cache) key.push_back(c);
-  key.push_back(-7);  // separator
-  for (std::size_t c = 0; c < profile.size(); ++c) {
-    if (profile[c].buckets.empty()) continue;
-    key.push_back(static_cast<std::int64_t>(c));
-    key.push_back(profile[c].front_done);
-    for (const auto& [deadline, count] : profile[c].buckets) {
-      key.push_back(-deadline - 2);  // negative marks deadline entries
-      key.push_back(count);
-    }
-  }
-  return key;
-}
-
-/// Drops entries with deadline <= round; returns the drop cost incurred
-/// (count x per-color drop cost; partially-executed jobs charge in full).
-Cost expire(Profile& profile, Round round, const Instance& instance) {
-  Cost dropped = 0;
-  for (std::size_t color = 0; color < profile.size(); ++color) {
-    auto& q = profile[color];
-    // Buckets ascend by deadline, so expiry removes a prefix; if the
-    // earliest job goes, its partial execution is forfeited.
-    std::size_t gone = 0;
-    while (gone < q.buckets.size() && q.buckets[gone].first <= round) {
-      dropped += q.buckets[gone].second *
-                 instance.drop_cost(static_cast<ColorId>(color));
-      ++gone;
-    }
-    if (gone > 0) {
-      q.buckets.erase(q.buckets.begin(),
-                      q.buckets.begin() + static_cast<std::ptrdiff_t>(gone));
-      q.front_done = 0;
-    }
-  }
-  return dropped;
-}
-
-/// Applies one execution unit to the earliest-deadline job of `color` if
-/// any (the model's EDF-within-color discipline); removes the job once it
-/// has received length(color) units.
-bool execute_one(Profile& profile, ColorId color, const Instance& instance) {
-  ColorQueue& q = profile[static_cast<std::size_t>(color)];
-  if (q.buckets.empty()) return false;
-  if (++q.front_done >= instance.length(color)) {
-    q.front_done = 0;
-    if (--q.buckets.front().second == 0) {
-      q.buckets.erase(q.buckets.begin());
-    }
-  }
-  return true;
-}
-
-Cost total_pending_weight(const Profile& profile, const Instance& instance) {
-  Cost total = 0;
-  for (std::size_t color = 0; color < profile.size(); ++color) {
-    for (const auto& [deadline, count] : profile[color].buckets) {
-      (void)deadline;
-      total += count * instance.drop_cost(static_cast<ColorId>(color));
-    }
-  }
-  return total;
-}
-
-/// Enumerates all multisets of size m over {kBlack} + `candidates`
-/// (candidates sorted ascending), invoking `visit` with each sorted
-/// multiset.  kBlack entries stand for unused slots.
-void enumerate_multisets(const std::vector<ColorId>& candidates, int m,
-                         std::vector<ColorId>& scratch,
-                         const std::function<void(const std::vector<ColorId>&)>&
-                             visit,
-                         std::size_t from = 0) {
-  if (static_cast<int>(scratch.size()) == m) {
-    visit(scratch);
-    return;
-  }
-  // kBlack (skip slot) allowed only as a prefix to keep multisets sorted.
-  if (scratch.empty() || scratch.back() == kBlack) {
-    scratch.push_back(kBlack);
-    enumerate_multisets(candidates, m, scratch, visit, from);
-    scratch.pop_back();
-  }
-  for (std::size_t i = from; i < candidates.size(); ++i) {
-    scratch.push_back(candidates[i]);
-    enumerate_multisets(candidates, m, scratch, visit, i);
-    scratch.pop_back();
-  }
-}
-
-/// Per-slot recoloring price: keeping a slot's color (or retiring it to
-/// black) is free; everything else pays Delta(from -> to).
-Cost slot_cost(const CostModel& model, ColorId from, ColorId to) {
-  if (from == to || to == kBlack) return 0;
-  return model.reconfig_cost(from, to);
-}
-
-/// Matrix-tier exact min-cost bijection turning per-slot `sources` into
-/// `targets` (same size; kBlack = unused slot).  Bitmask DP over source
-/// slots; optionally reconstructs the per-target source choice (smallest
-/// source index on ties, so the replay is deterministic).
-Cost matrix_assignment(const std::vector<ColorId>& sources,
-                       const std::vector<ColorId>& targets,
-                       const CostModel& model,
-                       std::vector<int>* out_assign = nullptr) {
-  const int m = static_cast<int>(sources.size());
-  RRS_REQUIRE(m <= 8,
-              "matrix-tier offline DP supports at most 8 resources, got "
-                  << m);
-  const std::size_t full = std::size_t{1} << m;
-  // best[t * full + mask]: min cost of matching targets [t, m) given that
-  // `mask` source slots are already taken.  Filled backwards.
-  std::vector<Cost> best((static_cast<std::size_t>(m) + 1) * full, 0);
-  for (int t = m - 1; t >= 0; --t) {
-    for (std::size_t mask = 0; mask < full; ++mask) {
-      Cost cell = -1;
-      for (int s = 0; s < m; ++s) {
-        if ((mask >> s) & 1u) continue;
-        const Cost cand =
-            slot_cost(model, sources[static_cast<std::size_t>(s)],
-                      targets[static_cast<std::size_t>(t)]) +
-            best[(static_cast<std::size_t>(t) + 1) * full |
-                 (mask | (std::size_t{1} << s))];
-        if (cell < 0 || cand < cell) cell = cand;
-      }
-      best[static_cast<std::size_t>(t) * full + mask] = cell;
-    }
-  }
-  if (out_assign != nullptr) {
-    out_assign->assign(static_cast<std::size_t>(m), -1);
-    std::size_t mask = 0;
-    for (int t = 0; t < m; ++t) {
-      const Cost want = best[static_cast<std::size_t>(t) * full + mask];
-      for (int s = 0; s < m; ++s) {
-        if ((mask >> s) & 1u) continue;
-        const Cost cand =
-            slot_cost(model, sources[static_cast<std::size_t>(s)],
-                      targets[static_cast<std::size_t>(t)]) +
-            best[(static_cast<std::size_t>(t) + 1) * full |
-                 (mask | (std::size_t{1} << s))];
-        if (cand == want) {
-          (*out_assign)[static_cast<std::size_t>(t)] = s;
-          mask |= std::size_t{1} << s;
-          break;
-        }
-      }
-    }
-  }
-  return best[0];
-}
-
-/// Summed Delta(from -> to) of turning multiset `a` into multiset `b`.
-/// Scalar and vector tiers price per unmatched target (the cost depends
-/// only on the target color, so matching identical colors first is
-/// optimal); the matrix tier needs the exact bijection.
-Cost reconfig_cost_between(const std::vector<ColorId>& a,
-                           const std::vector<ColorId>& b,
-                           const CostModel& model) {
-  if (model.tier() == CostModel::Tier::kMatrix) {
-    return matrix_assignment(a, b, model);
-  }
-  Cost total = 0;
-  std::vector<ColorId> remaining = a;
-  for (const ColorId color : b) {
-    if (color == kBlack) continue;
-    const auto it = std::find(remaining.begin(), remaining.end(), color);
-    if (it != remaining.end()) {
-      remaining.erase(it);
-    } else {
-      total += model.reconfig_cost(kBlack, color);  // cold price / Delta
-    }
-  }
-  return total;
-}
+using offdp::Key;
+using offdp::Profile;
 
 /// One DP state with its provenance for backtracking.
 struct State {
@@ -222,6 +33,13 @@ struct DpRun {
 
 DpRun run_dp(const Instance& instance, int m, std::int64_t max_states) {
   RRS_REQUIRE(m >= 1, "optimal offline DP needs m >= 1");
+  // The matrix-tier transition bijection uses a bitmask DP over source
+  // slots; past 8 resources that is undefined territory for this solver —
+  // fail up front (exact_bnb handles the matrix tier at any m).
+  RRS_REQUIRE(
+      instance.cost_model().tier() != CostModel::Tier::kMatrix || m <= 8,
+      "matrix-tier offline DP supports at most 8 resources, got "
+          << m << "; use exact_offline_bnb beyond that");
 
   DpRun run;
   State initial;
@@ -241,15 +59,8 @@ DpRun run_dp(const Instance& instance, int m, std::int64_t max_states) {
       Profile profile = state.profile;
 
       // Phase 1: drop.  Phase 2: arrival.
-      const Cost dropped = expire(profile, k, instance);
-      for (const Job& job : arrivals) {
-        auto& buckets = profile[static_cast<std::size_t>(job.color)].buckets;
-        if (!buckets.empty() && buckets.back().first == job.deadline()) {
-          ++buckets.back().second;
-        } else {
-          buckets.emplace_back(job.deadline(), 1);
-        }
-      }
+      const Cost dropped = offdp::expire(profile, k, instance);
+      offdp::add_arrivals(profile, arrivals);
 
       // Candidates: colors with pending jobs + currently configured ones.
       std::vector<ColorId> candidates;
@@ -272,17 +83,16 @@ DpRun run_dp(const Instance& instance, int m, std::int64_t max_states) {
       // that "keep" old colors are enumerated explicitly and dominate
       // every black-slot branch, so exactness is preserved.
       std::vector<ColorId> scratch;
-      enumerate_multisets(
-          candidates, m, scratch,
-          [&](const std::vector<ColorId>& config) {
-            const Cost reconf = reconfig_cost_between(
+      offdp::enumerate_multisets(
+          candidates, m, scratch, [&](const std::vector<ColorId>& config) {
+            const Cost reconf = offdp::reconfig_cost_between(
                 state.cache, config, instance.cost_model());
             Profile after = profile;
             for (const ColorId c : config) {
-              if (c != kBlack) execute_one(after, c, instance);
+              if (c != kBlack) offdp::execute_one(after, c, instance);
             }
             const Cost cost = state.cost + dropped + reconf;
-            Key key = encode(config, after);
+            Key key = offdp::encode(config, after);
             const auto it = index.find(key);
             if (it == index.end()) {
               index.emplace(std::move(key), next.size());
@@ -314,7 +124,7 @@ DpRun run_dp(const Instance& instance, int m, std::int64_t max_states) {
   for (std::size_t i = 0; i < final_states.size(); ++i) {
     const Cost final_cost =
         final_states[i].cost +
-        total_pending_weight(final_states[i].profile, instance);
+        offdp::total_pending_weight(final_states[i].profile, instance);
     if (run.best_final < 0 || final_cost < run.best_cost) {
       run.best_final = static_cast<std::int32_t>(i);
       run.best_cost = final_cost;
@@ -339,87 +149,19 @@ OptimalResult optimal_offline_schedule(const Instance& instance, int m,
   result.schedule.speed = 1;
   if (instance.horizon() == 0) return result;
 
-  // Backtrack the chosen configuration multiset of every round.
+  // Backtrack the chosen configuration multiset of every round, then let
+  // the shared replay turn the multiset sequence into concrete per-resource
+  // events charging exactly the DP's transition prices.
   std::vector<std::vector<ColorId>> configs(
       static_cast<std::size_t>(instance.horizon()));
   std::int32_t state_index = run.best_final;
   for (Round k = instance.horizon(); k-- > 0;) {
-    const State& state =
-        run.rounds[static_cast<std::size_t>(k) + 1]
-                  [static_cast<std::size_t>(state_index)];
+    const State& state = run.rounds[static_cast<std::size_t>(k) + 1]
+                                   [static_cast<std::size_t>(state_index)];
     configs[static_cast<std::size_t>(k)] = state.cache;
     state_index = state.parent;
   }
-
-  // Replay forward, assigning multiset slots to concrete resources.  Under
-  // the scalar/vector tiers colors keep their resource while still
-  // configured and freed slots emit no event (the per-target pricing never
-  // reads the previous occupant).  Under the matrix tier the per-round
-  // min-cost bijection is re-solved so the emitted events charge exactly
-  // the DP's transition price, and freed slots emit explicit to-black
-  // events (cost 0) so the validator's from-color replay matches the DP's
-  // logical configuration.
-  const CostModel& model = instance.cost_model();
-  const bool matrix = model.tier() == CostModel::Tier::kMatrix;
-  std::vector<ColorId> resource_color(static_cast<std::size_t>(m), kBlack);
-  PendingJobs pending;
-  pending.reset(instance.num_colors());
-  PendingJobs::DropResult expired;  // reused sweep buffer
-  std::vector<int> assign;          // matrix tier: target -> source slot
-  for (Round k = 0; k < instance.horizon(); ++k) {
-    pending.drop_expired(k, expired);
-    for (const Job& job : instance.arrivals_in_round(k)) pending.add(job);
-
-    std::vector<ColorId> want = configs[static_cast<std::size_t>(k)];
-    if (matrix) {
-      matrix_assignment(resource_color, want, model, &assign);
-      for (std::size_t t = 0; t < want.size(); ++t) {
-        const auto r = static_cast<std::size_t>(assign[t]);
-        if (resource_color[r] == want[t]) continue;
-        resource_color[r] = want[t];
-        result.schedule.reconfigs.push_back(
-            {k, 0, static_cast<std::int32_t>(r), want[t]});
-      }
-    } else {
-      // Match the target multiset against current resource colors.
-      std::vector<char> keep(static_cast<std::size_t>(m), 0);
-      for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
-        const auto it =
-            std::find(want.begin(), want.end(), resource_color[r]);
-        if (it != want.end() && resource_color[r] != kBlack) {
-          keep[r] = 1;
-          want.erase(it);
-        }
-      }
-      // Remaining wanted colors (non-black) take the unkept resources.
-      std::size_t next_resource = 0;
-      for (const ColorId color : want) {
-        if (color == kBlack) continue;
-        while (keep[next_resource]) ++next_resource;
-        resource_color[next_resource] = color;
-        keep[next_resource] = 1;
-        result.schedule.reconfigs.push_back(
-            {k, 0, static_cast<std::int32_t>(next_resource), color});
-      }
-      // Unkept resources logically hold black this round (the DP charged
-      // no execution for them); physically we leave them as-is, executing
-      // nothing, which the model permits ("up to one job") and the
-      // per-target pricing never notices.
-      for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
-        if (!keep[r]) resource_color[r] = kBlack;
-      }
-    }
-
-    // Execution: one unit to the earliest-deadline job per configured
-    // resource (EDF-within-color, mirroring the DP's execute_one).
-    for (std::size_t r = 0; r < static_cast<std::size_t>(m); ++r) {
-      const ColorId color = resource_color[r];
-      if (color == kBlack || pending.idle(color)) continue;
-      const PendingJobs::ExecResult exec = pending.execute_earliest(color);
-      result.schedule.execs.push_back(
-          {k, 0, static_cast<std::int32_t>(r), exec.id});
-    }
-  }
+  result.schedule = offdp::replay_configs(instance, m, configs);
   return result;
 }
 

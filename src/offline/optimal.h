@@ -19,8 +19,9 @@
 // scalar and vector tiers price each newly configured color by its cold
 // cost (matching identical colors first is optimal when the price depends
 // only on the target).  The matrix tier solves an exact min-cost bijection
-// between the old and new multisets per transition (bitmask DP; requires
-// m <= 8) and, because transition prices are path-dependent, the result is
+// between the old and new multisets per transition (bitmask DP; m <= 8 is
+// enforced up front with an InputError — use exact_offline_bnb beyond
+// that) and, because transition prices are path-dependent, the result is
 // exact over schedules that only configure demanded colors — tight
 // whenever indirect recoloring chains are never cheaper, i.e.
 // Delta(f->t) <= Delta(f->v) + Delta(v->t).

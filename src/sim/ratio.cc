@@ -38,4 +38,41 @@ RatioReport measure_ratio(const Instance& instance,
   return report;
 }
 
+RatioReport measure_ratio_certified(const Instance& instance,
+                                    const std::string& algorithm, int n,
+                                    int m, const BnbOptions& options) {
+  RatioReport report = measure_ratio(instance, algorithm, n, m);
+  BnbOptions opts = options;
+  if (n == m) {
+    // The online run emits a feasible m-resource schedule, so its cost is
+    // a certified upper bound on OPT(m) and may seed the incumbent.
+    const Cost online_cost = report.online.cost.total();
+    if (opts.incumbent_hint < 0 || online_cost < opts.incumbent_hint) {
+      opts.incumbent_hint = online_cost;
+    }
+  }
+  const BnbResult bnb = exact_offline_bnb(instance, m, opts);
+  RRS_CHECK_MSG(bnb.best_bound <= bnb.incumbent,
+                "certified interval inverted: LB " << bnb.best_bound
+                                                   << " > UB "
+                                                   << bnb.incumbent);
+  RRS_CHECK_MSG(bnb.best_bound >= report.lower_bound,
+                "B&B bound " << bnb.best_bound
+                             << " below closed-form lower bound "
+                             << report.lower_bound);
+  report.best_bound = bnb.best_bound;
+  report.certified_ub = bnb.incumbent;
+  report.opt_closed = bnb.closed;
+  const auto online_cost = static_cast<double>(report.online.cost.total());
+  report.ratio_upper =
+      report.best_bound > 0
+          ? online_cost / static_cast<double>(report.best_bound)
+          : (online_cost > 0 ? std::numeric_limits<double>::infinity() : 1.0);
+  report.ratio_lower =
+      report.certified_ub > 0
+          ? online_cost / static_cast<double>(report.certified_ub)
+          : (online_cost > 0 ? std::numeric_limits<double>::infinity() : 1.0);
+  return report;
+}
+
 }  // namespace rrs

@@ -5,6 +5,7 @@
 #include "core/validator.h"
 #include "util/check.h"
 #include "offline/appendix_off.h"
+#include "offline/exact_bnb.h"
 #include "workload/adversary_dlru.h"
 #include "workload/adversary_edf.h"
 
@@ -74,6 +75,50 @@ TEST(AppendixBOff, SegmentsServeTheirColors) {
       EXPECT_NE(color, adv.short_color);
     }
   }
+}
+
+TEST(AppendixAOff, CertifiedOptimalOnProofInstance) {
+  // Smallest legal Appendix A parameters (2^k > 2^{j+1} > n * Delta): the
+  // branch-and-bound solver closes the instance and certifies that the
+  // paper's explicit OFF schedule is exactly optimal — upgrading the E1/E8
+  // lower-bound denominators from "validated upper bound" to "certified
+  // optimum".
+  const AdversaryAInstance adv =
+      make_adversary_a({.n = 4, .delta = 2, .j = 3, .k = 5});
+  const Schedule off = appendix_a_off_schedule(adv);
+  const Cost off_cost = validate_or_throw(adv.instance, off).total();
+
+  BnbOptions options;
+  options.incumbent_hint = off_cost;  // OFF is a feasible schedule
+  const BnbResult bnb = exact_offline_bnb(adv.instance, 1, options);
+  ASSERT_TRUE(bnb.closed) << "interval [" << bnb.best_bound << ", "
+                          << bnb.incumbent << "]";
+  EXPECT_EQ(bnb.incumbent, off_cost)
+      << "Appendix A OFF schedule is not optimal";
+  ASSERT_TRUE(bnb.has_witness);
+  EXPECT_EQ(validate_or_throw(adv.instance, bnb.schedule).total(),
+            bnb.incumbent);
+}
+
+TEST(AppendixBOff, CertifiedOptimalOnProofInstance) {
+  // Smallest legal Appendix B parameters (2^k > 2^j > Delta > n): certify
+  // the drop-free OFF schedule at (n/2 + 1) * Delta as the exact optimum.
+  const AdversaryBInstance adv =
+      make_adversary_b({.n = 4, .delta = 5, .j = 3, .k = 4});
+  const Schedule off = appendix_b_off_schedule(adv);
+  const Cost off_cost = validate_or_throw(adv.instance, off).total();
+  ASSERT_EQ(off_cost, Cost{4 / 2 + 1} * 5);
+
+  BnbOptions options;
+  options.incumbent_hint = off_cost;
+  const BnbResult bnb = exact_offline_bnb(adv.instance, 1, options);
+  ASSERT_TRUE(bnb.closed) << "interval [" << bnb.best_bound << ", "
+                          << bnb.incumbent << "]";
+  EXPECT_EQ(bnb.incumbent, off_cost)
+      << "Appendix B OFF schedule is not optimal";
+  ASSERT_TRUE(bnb.has_witness);
+  EXPECT_EQ(validate_or_throw(adv.instance, bnb.schedule).total(),
+            bnb.incumbent);
 }
 
 TEST(AdversaryGenerators, ConstraintViolationsRejected) {

@@ -185,5 +185,25 @@ TEST(Optimal, RejectsBadM) {
   EXPECT_THROW((void)optimal_offline_cost(builder.build(), 0), InputError);
 }
 
+TEST(Optimal, MatrixTierRejectsMoreThanEightResources) {
+  // The matrix-tier transition pricing uses a bitmask bijection DP that is
+  // documented (and now enforced) to support at most m = 8; beyond that
+  // callers must use exact_offline_bnb.
+  InstanceBuilder builder;
+  const ColorId a = builder.add_color(2);
+  const ColorId b = builder.add_color(2);
+  builder.reconfig_cost(a, 1).reconfig_cost(b, 1);
+  builder.transition_cost(a, b, 3).transition_cost(b, a, 3);
+  builder.add_jobs(a, 0, 1);
+  const Instance inst = builder.build();
+  EXPECT_THROW((void)optimal_offline_cost(inst, 9), InputError);
+  // m = 8 is still in range; scalar/vector tiers have no such limit.
+  EXPECT_NO_THROW((void)optimal_offline_cost(inst, 8));
+  InstanceBuilder scalar;
+  const ColorId c = scalar.add_color(2);
+  scalar.add_jobs(c, 0, 1);
+  EXPECT_NO_THROW((void)optimal_offline_cost(scalar.build(), 9));
+}
+
 }  // namespace
 }  // namespace rrs

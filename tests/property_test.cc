@@ -7,9 +7,13 @@
 #include <map>
 
 #include "algs/dlru_edf.h"
+#include "algs/edf.h"
 #include "algs/ranked_cache.h"
+#include "core/fault_plan.h"
 #include "core/validator.h"
+#include "offline/exact_bnb.h"
 #include "offline/greedy_offline.h"
+#include "offline/lower_bound.h"
 #include "sim/ratio.h"
 #include "sim/runner.h"
 #include "util/rng.h"
@@ -218,6 +222,139 @@ TEST_P(SeededProperty, VarBatchNeverBeatsOfflineByMoreThanModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{21}));
+
+// ---------------------------------------------------------------------------
+// Offline-solver chain: on every instance the certified quantities must
+// order as
+//   LB1, LB2 <= best_bound <= OPT <= incumbent <= greedy <= total weight
+// and any online policy with n == m emits a feasible m-resource schedule,
+// so its cost is >= best_bound (the mimic argument).  LB3 standalone is
+// compared against the incumbent: when the search is budget-stopped its
+// frontier bound and an independently re-run subgradient need not be
+// ordered, but LB3 <= OPT <= incumbent always holds.
+// ---------------------------------------------------------------------------
+
+struct OffVariant {
+  CostModel::Tier tier = CostModel::Tier::kScalar;
+  bool long_jobs = false;
+  bool weighted = false;
+};
+
+std::vector<OffVariant> offline_variant_matrix() {
+  std::vector<OffVariant> out;
+  for (const auto tier :
+       {CostModel::Tier::kScalar, CostModel::Tier::kVector,
+        CostModel::Tier::kMatrix}) {
+    for (const bool long_jobs : {false, true}) {
+      for (const bool weighted : {false, true}) {
+        out.push_back({tier, long_jobs, weighted});
+      }
+    }
+  }
+  return out;
+}
+
+Instance offline_chain_instance(std::uint64_t seed, const OffVariant& v) {
+  Rng rng(seed * 7919 + static_cast<std::uint64_t>(v.tier) * 241 +
+          (v.long_jobs ? 31 : 0) + (v.weighted ? 11 : 0));
+  InstanceBuilder builder;
+  builder.delta(1 + rng.uniform(0, 3));
+  const int colors = static_cast<int>(2 + rng.uniform(0, 2));
+  std::vector<ColorId> ids;
+  for (int c = 0; c < colors; ++c) {
+    ids.push_back(builder.add_color(2 + rng.uniform(0, 4),
+                                    v.weighted ? 1 + rng.uniform(0, 4) : 1,
+                                    v.long_jobs ? 1 + rng.uniform(0, 2) : 1));
+  }
+  if (v.tier != CostModel::Tier::kScalar) {
+    for (const ColorId c : ids) builder.reconfig_cost(c, 1 + rng.uniform(0, 4));
+  }
+  if (v.tier == CostModel::Tier::kMatrix) {
+    for (const ColorId from : ids) {
+      for (const ColorId to : ids) {
+        if (from != to) builder.transition_cost(from, to, 1 + rng.uniform(0, 5));
+      }
+    }
+  }
+  const Round horizon = 8 + rng.uniform(0, 6);
+  for (std::int64_t i = 0, n = 3 + rng.uniform(0, 3); i < n; ++i) {
+    builder.add_jobs(
+        ids[static_cast<std::size_t>(rng.uniform(0, colors - 1))],
+        rng.uniform(0, horizon - 1), 1 + rng.uniform(0, 2));
+  }
+  return builder.build();
+}
+
+class OfflineChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineChain, CertifiedBoundsAreTotallyOrdered) {
+  // 20 seeds x 12 cost-model variants = 240 seeded instances.
+  constexpr int m = 2;
+  for (const OffVariant& v : offline_variant_matrix()) {
+    const Instance inst = offline_chain_instance(GetParam(), v);
+    const LowerBound lb = offline_lower_bound_full(inst, m);
+    const BnbResult bnb = exact_offline_bnb(inst, m);
+    const Cost greedy = best_offline_heuristic_cost(inst, m);
+
+    EXPECT_LE(lb.configure_or_drop, bnb.best_bound);
+    EXPECT_LE(lb.capacity, bnb.best_bound);
+    EXPECT_GE(lb.lagrangian, std::max(lb.configure_or_drop, lb.capacity));
+    EXPECT_LE(lb.lagrangian, bnb.incumbent);
+    EXPECT_LE(bnb.best_bound, bnb.incumbent);
+    EXPECT_LE(bnb.incumbent, greedy);
+    // Drop-everything also seeds the incumbent (greedy itself may pay
+    // reconfigurations above the total drop weight, so it is not capped).
+    EXPECT_LE(bnb.incumbent, inst.total_weight());
+
+    // Online with n == m and replication 1: its schedule is feasible with
+    // m resources, so its cost upper-bounds nothing but lower-bounds via
+    // OPT: cost >= OPT >= best_bound.
+    EdfPolicy policy;
+    EngineOptions options;
+    options.num_resources = m;
+    options.replication = 1;
+    options.record_schedule = false;
+    const EngineResult r = run_policy(inst, policy, options);
+    EXPECT_GE(r.cost.total(), bnb.best_bound)
+        << "tier " << static_cast<int>(v.tier) << " long " << v.long_jobs
+        << " weighted " << v.weighted;
+  }
+}
+
+TEST_P(OfflineChain, OnlineUnderFaultsStaysAboveCertifiedBound) {
+  // Faults only hurt the online player; the emitted schedule is still
+  // feasible for the pristine m-resource offline pool, so with repairs
+  // uncharged its cost still dominates best_bound.
+  constexpr int m = 2;
+  for (const bool weighted : {false, true}) {
+    const Instance inst = offline_chain_instance(
+        GetParam() + 500, {CostModel::Tier::kVector, false, weighted});
+    const BnbResult bnb = exact_offline_bnb(inst, m);
+
+    MtbfParams mtbf;
+    mtbf.num_resources = m;
+    mtbf.horizon = inst.horizon();
+    mtbf.mean_up = 5;
+    mtbf.mean_down = 2;
+    mtbf.seed = GetParam();
+    const FaultPlan plan = make_mtbf_plan(mtbf);
+
+    EdfPolicy policy;
+    EngineOptions options;
+    options.num_resources = m;
+    options.replication = 1;
+    options.record_schedule = false;
+    options.fault_plan = &plan;
+    options.charge_repair = false;
+    const EngineResult r = run_policy(inst, policy, options);
+    EXPECT_GE(r.cost.total(), bnb.best_bound)
+        << "faulty online run undercut the certified offline bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineChain,
                          ::testing::Range(std::uint64_t{1},
                                           std::uint64_t{21}));
 
